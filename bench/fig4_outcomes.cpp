@@ -1,0 +1,37 @@
+// Fig. 4 — Outcomes of fault injections: the percentage of injected faults
+// that are Masked, cause an SDC, or cause a DUE, for each of the six
+// benchmarks. Paper reference points: masked ~75% for CLAMR and HotSpot,
+// DGEMM the least masked (~40%, i.e. ~60% of injections cause an error),
+// LavaMD ~85% masked, and DUE >= SDC for most benchmarks except DGEMM.
+#include <chrono>
+
+#include "analysis/pvf.hpp"
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace phifi;
+  util::init_log_from_env();
+
+  util::Table table(
+      "Fig. 4 - Fault injection outcomes (% of injected faults)");
+  table.set_header({"benchmark", "trials", "masked", "sdc", "due",
+                    "not_injected_retries", "seconds"});
+
+  for (const auto& info : work::all_workloads()) {
+    const auto start = std::chrono::steady_clock::now();
+    const fi::CampaignResult result = bench::run_campaign(info, 0xf160415);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    table.add_row({std::string(info.name),
+                   std::to_string(result.overall.total()),
+                   util::fmt_percent(result.overall.masked_rate()),
+                   util::fmt_percent(result.overall.sdc_rate()),
+                   util::fmt_percent(result.overall.due_rate()),
+                   std::to_string(result.not_injected),
+                   util::fmt(seconds, 1)});
+  }
+  bench::print_table(table);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 6a/6b — Program Vulnerability Factor per execution-time window:
+// the benchmark's run is split into equal windows (CLAMR 9, DGEMM/HotSpot
+// 5, LUD/NW 4) and the PVF of faults injected within each window is
+// reported separately for SDC and DUE.
+//
+// Paper reference points: CLAMR peaks at window 3 (when the number of
+// active cells peaks) and declines after; DGEMM's SDC PVF is flat across
+// windows while its DUE PVF is lower at the start; LUD is most critical in
+// the middle of its execution; NW starts low and stabilizes; HotSpot is
+// roughly flat. LavaMD is not part of this figure in the paper.
+#include <vector>
+
+#include "analysis/pvf.hpp"
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace phifi;
+  util::init_log_from_env();
+
+  std::vector<fi::CampaignResult> results;
+  for (const auto& info : work::all_workloads()) {
+    if (info.name == "LavaMD") continue;  // not in the paper's Fig. 6
+    results.push_back(bench::run_campaign(info, 0xf166));
+  }
+
+  for (const bool sdc : {true, false}) {
+    util::Table table(std::string("Fig. 6") + (sdc ? "a - SDC" : "b - DUE") +
+                      " PVF [%] per execution-time window");
+    std::vector<std::string> header = {"benchmark"};
+    for (int w = 1; w <= 9; ++w) header.push_back("w" + std::to_string(w));
+    table.set_header(header);
+
+    for (const fi::CampaignResult& result : results) {
+      std::vector<std::string> row = {result.workload};
+      for (std::size_t w = 0; w < 9; ++w) {
+        if (w >= result.by_window.size()) {
+          row.push_back("-");
+          continue;
+        }
+        const auto& tally = result.by_window[w];
+        const double pvf = sdc ? analysis::sdc_pvf(tally).point
+                               : analysis::due_pvf(tally).point;
+        row.push_back(util::fmt(pvf, 1) + " (" +
+                      std::to_string(tally.total()) + ")");
+      }
+      table.add_row(row);
+    }
+    bench::print_table(table);
+  }
+  return 0;
+}

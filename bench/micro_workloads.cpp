@@ -1,0 +1,146 @@
+// Microbenchmarks (google-benchmark): kernel throughput of the six
+// workloads on the emulated device, the fault-model application cost, the
+// flip-engine selection cost, and the mitigation primitives. These are the
+// knobs that determine campaign throughput (trials/second), which is what
+// made the paper's >90,000-injection study practical.
+#include <benchmark/benchmark.h>
+
+#include "core/fault_model.hpp"
+#include "core/flip_engine.hpp"
+#include "core/progress.hpp"
+#include "mitigation/abft.hpp"
+#include "mitigation/residue.hpp"
+#include "util/rng.hpp"
+#include "workloads/registry.hpp"
+
+namespace {
+
+using namespace phifi;
+
+void run_workload(fi::Workload& workload) {
+  phi::Device device(phi::DeviceSpec::knights_corner_3120a(), 1);
+  fi::ProgressTracker progress;
+  progress.reset(workload.total_steps());
+  workload.run(device, progress);
+  progress.finish();
+}
+
+void BM_Workload(benchmark::State& state, const work::WorkloadInfo* info) {
+  auto workload = info->factory();
+  workload->setup(42);
+  for (auto _ : state) {
+    run_workload(*workload);
+  }
+  state.counters["output_bytes"] =
+      static_cast<double>(workload->output_bytes().size());
+}
+
+void BM_WorkloadSetup(benchmark::State& state,
+                      const work::WorkloadInfo* info) {
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    auto workload = info->factory();
+    workload->setup(seed++);
+    benchmark::DoNotOptimize(workload.get());
+  }
+}
+
+void BM_FaultModelApply(benchmark::State& state) {
+  const auto model = static_cast<fi::FaultModel>(state.range(0));
+  util::Rng rng(7);
+  std::array<std::byte, 8> element{};
+  for (auto _ : state) {
+    apply_fault(model, element, rng);
+    benchmark::DoNotOptimize(element.data());
+  }
+}
+
+void BM_FlipEngineSelect(benchmark::State& state) {
+  // A DGEMM-like registry: 3 matrices + constants + 228 x 9 control slots.
+  auto workload = work::find_workload("DGEMM")();
+  workload->setup(42);
+  fi::SiteRegistry registry;
+  workload->register_sites(registry);
+  fi::FlipEngine engine(
+      registry, static_cast<fi::SelectionPolicy>(state.range(0)));
+  util::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.inject(fi::FaultModel::kSingle, rng, 0.5));
+  }
+  state.counters["sites"] = static_cast<double>(registry.size());
+}
+
+void BM_AbftCapture(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<double> a(n * n);
+  std::vector<double> b(n * n);
+  for (auto& v : a) v = rng.uniform(-1, 1);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    mitigation::AbftGemm abft(a, b, n);
+    benchmark::DoNotOptimize(abft.expected_row_sums().data());
+  }
+}
+
+void BM_AbftVerify(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  std::vector<double> a(n * n, 0.5);
+  std::vector<double> b(n * n, 0.25);
+  std::vector<double> c(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      c[i * n + j] = 0.5 * 0.25 * static_cast<double>(n);
+    }
+  }
+  mitigation::AbftGemm abft(a, b, n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abft.check_and_correct(c));
+  }
+}
+
+void BM_ResidueAccumulate(benchmark::State& state) {
+  util::Rng rng(5);
+  std::vector<std::int64_t> values(1024);
+  for (auto& v : values) v = rng.range(-100000, 100000);
+  for (auto _ : state) {
+    mitigation::ResidueMod15 acc(0);
+    for (std::int64_t v : values) acc += mitigation::ResidueMod15(v);
+    benchmark::DoNotOptimize(acc.verify());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(values.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const auto& info : work::all_workloads()) {
+    benchmark::RegisterBenchmark(
+        ("BM_Workload/" + std::string(info.name)).c_str(), BM_Workload,
+        &info)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        ("BM_WorkloadSetup/" + std::string(info.name)).c_str(),
+        BM_WorkloadSetup, &info)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RegisterBenchmark("BM_FaultModelApply", BM_FaultModelApply)
+      ->DenseRange(0, 3);
+  benchmark::RegisterBenchmark("BM_FlipEngineSelect", BM_FlipEngineSelect)
+      ->DenseRange(0, 3);
+  benchmark::RegisterBenchmark("BM_AbftCapture", BM_AbftCapture)
+      ->Arg(64)
+      ->Arg(128);
+  benchmark::RegisterBenchmark("BM_AbftVerify", BM_AbftVerify)
+      ->Arg(64)
+      ->Arg(128);
+  benchmark::RegisterBenchmark("BM_ResidueAccumulate", BM_ResidueAccumulate);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Sec. 3.2 / 4.2 — Benchmark characterization: the paper classifies its
+// workloads by computation/communication pattern (DGEMM compute-bound,
+// HotSpot memory-bound with low arithmetic intensity, CLAMR iterative with
+// evolving mesh) and uses that to interpret the FIT differences. This bench
+// prints the measured characteristics on the emulated device: arithmetic
+// intensity from the device counters, kernel launches, output geometry,
+// and the injection-surface breakdown (how many bytes of each category a
+// fault can land in).
+#include <map>
+
+#include "bench/bench_common.hpp"
+#include "core/injection_site.hpp"
+#include "core/progress.hpp"
+
+int main() {
+  using namespace phifi;
+  util::init_log_from_env();
+
+  util::Table table("Sec. 3.2 - Workload characterization");
+  table.set_header({"benchmark", "flops", "bytes", "arith intensity",
+                    "launches", "output", "windows", "sites",
+                    "data bytes", "control bytes"});
+
+  for (const auto& info : work::all_workloads()) {
+    auto workload = info.factory();
+    workload->setup(42);
+    phi::Device device(phi::DeviceSpec::knights_corner_3120a(), 1);
+    fi::ProgressTracker progress;
+    progress.reset(workload->total_steps());
+    workload->run(device, progress);
+    progress.finish();
+    const phi::CounterSnapshot counters = device.counters().snapshot();
+
+    fi::SiteRegistry registry;
+    workload->register_sites(registry);
+    std::size_t control_bytes = 0;
+    std::size_t data_bytes = 0;
+    for (const auto& site : registry.sites()) {
+      if (site.frame == fi::FrameKind::kWorker ||
+          site.category == "control" || site.category == "pointer" ||
+          site.category == "constant") {
+        control_bytes += site.bytes;
+      } else {
+        data_bytes += site.bytes;
+      }
+    }
+
+    const util::Shape shape = workload->output_shape();
+    const std::string geometry =
+        std::to_string(shape.width) +
+        (shape.height > 1 ? "x" + std::to_string(shape.height) : "") +
+        (shape.depth > 1 ? "x" + std::to_string(shape.depth) : "") + " " +
+        std::string(to_string(workload->output_type()));
+
+    table.add_row({std::string(info.name), std::to_string(counters.flops),
+                   std::to_string(counters.bytes_read +
+                                  counters.bytes_written),
+                   util::fmt(counters.arithmetic_intensity(), 2),
+                   std::to_string(counters.kernel_launches), geometry,
+                   std::to_string(workload->time_windows()),
+                   std::to_string(registry.size()),
+                   std::to_string(data_bytes),
+                   std::to_string(control_bytes)});
+  }
+  bench::print_table(table);
+  return 0;
+}

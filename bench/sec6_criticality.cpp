@@ -1,0 +1,33 @@
+// Sec. 6 — Per-code-portion criticality for each benchmark: the conditional
+// SDC/DUE rates of faults injected into each source-level category, plus
+// the mitigation recommendation the profile implies (Sec. 6.1).
+//
+// Paper reference points: DGEMM matrices 43% SDC / 19% DUE, control 38%/38%;
+// CLAMR Sort 39%/43%, Tree 20%/41%, other mesh 33%/28%; HotSpot control and
+// constants ~30%/40%; LavaMD charge+distance responsible for 57% of SDCs;
+// LUD matrices 54%/28%, control 24%/36%; NW matrices with SDC ~ DUE.
+#include "analysis/criticality.hpp"
+#include "bench/bench_common.hpp"
+
+int main() {
+  using namespace phifi;
+  util::init_log_from_env();
+
+  for (const auto& info : work::all_workloads()) {
+    const fi::CampaignResult result = bench::run_campaign(info, 0x5ec6);
+    const bool algebraic = info.name == "DGEMM" || info.name == "LUD";
+
+    util::Table table("Sec. 6 criticality - " + std::string(info.name));
+    table.set_header({"category", "injections", "share", "sdc_rate",
+                      "due_rate", "recommended mitigation"});
+    for (const auto& row : analysis::criticality_table(result, 5)) {
+      table.add_row({row.category, std::to_string(row.injections),
+                     util::fmt_percent(row.injection_share),
+                     util::fmt_percent(row.sdc_rate),
+                     util::fmt_percent(row.due_rate),
+                     analysis::recommend_mitigation(row, algebraic)});
+    }
+    bench::print_table(table);
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// ABFT hardening: protect a matrix multiplication with Huang-Abraham
+// checksums and watch it repair injected corruption (Sec. 4.3 / 6.1).
+//
+//   $ ./examples/abft_hardening [n]
+//
+// Walks through the API at element level: capture the input checksums,
+// corrupt the product in the four patterns Fig. 2 distinguishes, and show
+// which are corrected (single, line, scattered) and which are only
+// detected (square blocks) — the exact coverage argument the paper makes
+// for DGEMM on the Xeon Phi.
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "mitigation/abft.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Gemm {
+  std::size_t n;
+  std::vector<double> a, b, c;
+
+  explicit Gemm(std::size_t size, std::uint64_t seed) : n(size) {
+    phifi::util::Rng rng(seed);
+    a.resize(n * n);
+    b.resize(n * n);
+    c.assign(n * n, 0.0);
+    for (auto& v : a) v = rng.uniform(0.05, 1.0);
+    for (auto& v : b) v = rng.uniform(0.05, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t j = 0; j < n; ++j) {
+          c[i * n + j] += a[i * n + k] * b[k * n + j];
+        }
+      }
+    }
+  }
+};
+
+double max_abs_error(const std::vector<double>& x,
+                     const std::vector<double>& y) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    worst = std::max(worst, std::abs(x[i] - y[i]));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace phifi;
+  const std::size_t n = argc > 1 ? std::atoll(argv[1]) : 48;
+
+  util::Table table("ABFT-protected GEMM (" + std::to_string(n) + "x" +
+                    std::to_string(n) + ")");
+  table.set_header({"injected pattern", "detected", "corrected",
+                    "residual max |error|"});
+
+  struct Scenario {
+    const char* name;
+    void (*corrupt)(std::vector<double>&, std::size_t);
+  };
+  const Scenario scenarios[] = {
+      {"none", [](std::vector<double>&, std::size_t) {}},
+      {"single element",
+       [](std::vector<double>& c, std::size_t n) { c[3 * n + 7] += 42.0; }},
+      {"row line",
+       [](std::vector<double>& c, std::size_t n) {
+         for (std::size_t j = 0; j < n; ++j) {
+           c[5 * n + j] += 1.0 + static_cast<double>(j);
+         }
+       }},
+      {"column line",
+       [](std::vector<double>& c, std::size_t n) {
+         for (std::size_t i = 2; i < n - 2; ++i) c[i * n + 9] -= 3.5;
+       }},
+      {"scattered (pairable)",
+       [](std::vector<double>& c, std::size_t n) {
+         c[1 * n + 2] += 1.0;
+         c[4 * n + 8] += 2.0;
+         c[7 * n + 5] -= 4.0;
+       }},
+      {"square block (2x2, symmetric)",
+       [](std::vector<double>& c, std::size_t n) {
+         c[3 * n + 5] += 1.0;
+         c[3 * n + 6] += 2.0;
+         c[4 * n + 5] += 2.0;
+         c[4 * n + 6] += 1.0;
+       }},
+  };
+
+  for (const Scenario& scenario : scenarios) {
+    Gemm gemm(n, 99);
+    const std::vector<double> golden = gemm.c;
+    const mitigation::AbftGemm abft(gemm.a, gemm.b, n);
+    scenario.corrupt(gemm.c, n);
+    const mitigation::AbftReport report = abft.check_and_correct(gemm.c);
+    table.add_row({scenario.name, report.detected() ? "yes" : "no",
+                   report.uncorrectable
+                       ? "no (flagged for recompute)"
+                       : (report.corrected > 0
+                              ? "yes (" + std::to_string(report.corrected) +
+                                    " cells)"
+                              : "n/a"),
+                   std::to_string(max_abs_error(golden, gemm.c))});
+  }
+  table.print_text(std::cout);
+
+  std::cout << "\nThe paper's conclusion holds: single, line and pairable "
+               "scattered errors\n(the dominant Xeon Phi DGEMM patterns of "
+               "Fig. 2) are corrected in O(n^2);\nonly coherent blocks "
+               "must fall back to recomputation.\n";
+  return 0;
+}

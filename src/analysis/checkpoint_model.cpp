@@ -1,0 +1,48 @@
+#include "analysis/checkpoint_model.hpp"
+
+#include <cmath>
+
+namespace phifi::analysis {
+
+double checkpoint_waste(double interval_seconds, double mtbf_seconds,
+                        double checkpoint_cost_seconds) {
+  if (interval_seconds <= 0.0 || mtbf_seconds <= 0.0 ||
+      checkpoint_cost_seconds < 0.0) {
+    return 1.0;
+  }
+  const double period = interval_seconds + checkpoint_cost_seconds;
+  // Checkpoint overhead + expected rework after a failure (half a period
+  // on average), both as fractions of machine time.
+  const double waste =
+      checkpoint_cost_seconds / period + period / (2.0 * mtbf_seconds);
+  return waste >= 1.0 ? 1.0 : waste;
+}
+
+CheckpointPlan optimal_checkpoint(double mtbf_seconds,
+                                  double checkpoint_cost_seconds) {
+  CheckpointPlan plan;
+  if (mtbf_seconds <= 0.0 || checkpoint_cost_seconds <= 0.0) {
+    plan.waste_fraction = 1.0;
+    return plan;
+  }
+  const double d = checkpoint_cost_seconds;
+  const double m = mtbf_seconds;
+  // Daly's higher-order optimum; reduces to Young's sqrt(2 d M) - d for
+  // d << M.
+  const double ratio = d / (2.0 * m);
+  double interval = std::sqrt(2.0 * d * m) *
+                        (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+                    d;
+  if (interval < d) interval = d;  // pathological regime: cost ~ MTBF
+  plan.interval_seconds = interval;
+  plan.waste_fraction = checkpoint_waste(interval, m, d);
+  return plan;
+}
+
+double machine_mtbf_seconds(double fit, double boards) {
+  if (fit <= 0.0 || boards <= 0.0) return 0.0;
+  const double machine_fit = fit * boards;
+  return 1e9 / machine_fit * 3600.0;
+}
+
+}  // namespace phifi::analysis

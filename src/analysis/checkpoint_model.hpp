@@ -1,0 +1,38 @@
+// Checkpoint-interval economics (Sec. 6's argument that lowering the DUE
+// rate of critical portions "can allow lowering the frequency of
+// checkpointing techniques").
+//
+// Young's first-order model with Daly's refinement: for a machine with
+// mean time between failures M and checkpoint cost d, the optimal
+// checkpoint interval is about sqrt(2 d M) (Young) with Daly's higher-order
+// correction, and the expected fraction of machine time lost to
+// checkpointing plus recomputation ("waste") at interval t is
+//     waste(t) = d / (t + d) + (t + d) / (2 M).
+// Feeding the measured DUE FIT rates through this model turns a hardening
+// result (fewer DUEs) into an operations result (longer intervals, less
+// waste), which is how the paper frames the benefit.
+#pragma once
+
+namespace phifi::analysis {
+
+struct CheckpointPlan {
+  double interval_seconds = 0.0;  ///< optimal compute time between checkpoints
+  double waste_fraction = 0.0;    ///< machine time lost at that interval
+};
+
+/// Expected waste fraction when checkpointing every `interval_seconds` of
+/// compute on a machine with `mtbf_seconds` and `checkpoint_cost_seconds`.
+/// Returns 1.0 (everything lost) for degenerate inputs (interval or MTBF
+/// not positive, or cost >= MTBF regime where no interval helps).
+double checkpoint_waste(double interval_seconds, double mtbf_seconds,
+                        double checkpoint_cost_seconds);
+
+/// Young/Daly optimal interval and its waste. `mtbf_seconds` and
+/// `checkpoint_cost_seconds` must be positive.
+CheckpointPlan optimal_checkpoint(double mtbf_seconds,
+                                  double checkpoint_cost_seconds);
+
+/// Machine MTBF in seconds for `boards` devices failing at `fit` each.
+double machine_mtbf_seconds(double fit, double boards);
+
+}  // namespace phifi::analysis

@@ -1,0 +1,82 @@
+#include "analysis/compare.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace phifi::analysis {
+
+double Comparison::max_relative_error() const {
+  double max_err = 0.0;
+  for (double e : relative_errors) {
+    if (e > max_err) max_err = e;
+  }
+  return max_err;
+}
+
+std::size_t Comparison::count_above(double tolerance) const {
+  std::size_t count = 0;
+  for (double e : relative_errors) {
+    if (e > tolerance) ++count;
+  }
+  return count;
+}
+
+double relative_error(double golden, double observed) {
+  if (!std::isfinite(observed)) {
+    return std::numeric_limits<double>::infinity();
+  }
+  if (golden == observed) return 0.0;
+  if (golden == 0.0) return std::numeric_limits<double>::infinity();
+  return std::fabs(observed - golden) / std::fabs(golden);
+}
+
+namespace {
+
+template <typename T>
+Comparison compare_typed(std::span<const std::byte> golden,
+                         std::span<const std::byte> observed) {
+  Comparison result;
+  const std::size_t n_golden = golden.size() / sizeof(T);
+  const std::size_t n_observed = observed.size() / sizeof(T);
+  const std::size_t common = std::min(n_golden, n_observed);
+  result.total_elements = std::max(n_golden, n_observed);
+
+  const auto* g = reinterpret_cast<const T*>(golden.data());
+  const auto* o = reinterpret_cast<const T*>(observed.data());
+  for (std::size_t i = 0; i < common; ++i) {
+    // Bitwise comparison, as in the beam setup: any bit mismatch is an
+    // error (this also catches -0.0 vs 0.0 and NaN payload changes).
+    if (std::memcmp(&g[i], &o[i], sizeof(T)) == 0) continue;
+    const double gv = static_cast<double>(g[i]);
+    const double ov = static_cast<double>(o[i]);
+    result.mismatch_indices.push_back(i);
+    result.relative_errors.push_back(relative_error(gv, ov));
+    if constexpr (std::is_floating_point_v<T>) {
+      if (!std::isfinite(ov)) result.any_non_finite = true;
+    }
+  }
+  for (std::size_t i = common; i < result.total_elements; ++i) {
+    result.mismatch_indices.push_back(i);
+    result.relative_errors.push_back(
+        std::numeric_limits<double>::infinity());
+  }
+  return result;
+}
+
+}  // namespace
+
+Comparison compare_outputs(std::span<const std::byte> golden,
+                           std::span<const std::byte> observed,
+                           fi::ElementType type) {
+  switch (type) {
+    case fi::ElementType::kF32: return compare_typed<float>(golden, observed);
+    case fi::ElementType::kF64: return compare_typed<double>(golden, observed);
+    case fi::ElementType::kI32:
+      return compare_typed<std::int32_t>(golden, observed);
+    case fi::ElementType::kI64:
+      return compare_typed<std::int64_t>(golden, observed);
+  }
+  return {};
+}
+
+}  // namespace phifi::analysis

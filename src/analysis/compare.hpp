@@ -1,0 +1,58 @@
+// Typed output comparison: which elements differ and by how much.
+//
+// The beam study (Sec. 4) classifies an execution as SDC on *any* bit
+// mismatch, then re-examines the corrupted elements' relative errors for the
+// imprecise-computing analysis (Fig. 3) and their positions for the spatial
+// analysis (Fig. 2). This module produces all three views from the golden
+// and observed byte buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/workload_api.hpp"
+
+namespace phifi::analysis {
+
+struct Comparison {
+  std::size_t total_elements = 0;
+  /// Flat indices of mismatching elements.
+  std::vector<std::size_t> mismatch_indices;
+  /// Relative error per mismatch (parallel to mismatch_indices). NaN or
+  /// infinite observed values, and nonzero disagreement against a zero
+  /// golden value, report +infinity.
+  std::vector<double> relative_errors;
+  bool any_non_finite = false;
+
+  [[nodiscard]] std::size_t mismatch_count() const {
+    return mismatch_indices.size();
+  }
+  [[nodiscard]] bool matches() const { return mismatch_indices.empty(); }
+
+  /// Largest relative error across mismatches (0 if none).
+  [[nodiscard]] double max_relative_error() const;
+
+  /// Number of elements whose relative error exceeds `tolerance`
+  /// (tolerance is a fraction: 0.005 = 0.5%).
+  [[nodiscard]] std::size_t count_above(double tolerance) const;
+
+  /// True if the execution still counts as an SDC when output values within
+  /// `tolerance` relative error are accepted (Sec. 4.4).
+  [[nodiscard]] bool is_sdc_at(double tolerance) const {
+    return count_above(tolerance) > 0;
+  }
+};
+
+/// Element-wise comparison of two equally-typed buffers. Buffers of unequal
+/// size compare as fully mismatched beyond the common prefix.
+Comparison compare_outputs(std::span<const std::byte> golden,
+                           std::span<const std::byte> observed,
+                           fi::ElementType type);
+
+/// Relative error |observed - golden| / |golden| with the conventions above.
+double relative_error(double golden, double observed);
+
+}  // namespace phifi::analysis

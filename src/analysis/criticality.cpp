@@ -1,0 +1,77 @@
+#include "analysis/criticality.hpp"
+
+#include <algorithm>
+
+namespace phifi::analysis {
+
+std::vector<CategoryCriticality> criticality_table(
+    const fi::CampaignResult& result, std::uint64_t min_injections) {
+  std::uint64_t total_injections = 0;
+  for (const auto& [category, tally] : result.by_category) {
+    total_injections += tally.total();
+  }
+  std::vector<CategoryCriticality> rows;
+  for (const auto& [category, tally] : result.by_category) {
+    if (tally.total() < min_injections) continue;
+    CategoryCriticality row;
+    row.category = category;
+    row.injections = tally.total();
+    row.sdc = tally.sdc;
+    row.due = tally.due;
+    row.sdc_rate = tally.sdc_rate();
+    row.due_rate = tally.due_rate();
+    row.injection_share =
+        total_injections == 0
+            ? 0.0
+            : static_cast<double>(tally.total()) / total_injections;
+    row.error_contribution = row.injection_share * (row.sdc_rate + row.due_rate);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const CategoryCriticality& a, const CategoryCriticality& b) {
+              return a.error_contribution > b.error_contribution;
+            });
+  return rows;
+}
+
+std::string recommend_mitigation(const CategoryCriticality& row,
+                                 bool algebraic) {
+  const bool due_heavy = row.due_rate > row.sdc_rate * 1.25;
+  const bool sdc_heavy = row.sdc_rate > row.due_rate * 1.25;
+  const bool low_impact = (row.sdc_rate + row.due_rate) < 0.10;
+
+  if (low_impact) {
+    return "low criticality: rely on the algorithm's natural masking; "
+           "no dedicated hardening needed";
+  }
+  if (row.category == "control") {
+    return "selective duplication-with-comparison of the replicated loop "
+           "control variables; residue check on index updates (cheap, "
+           "catches logic faults ECC cannot)";
+  }
+  if (row.category == "constant") {
+    return "replicate the few read-only constants and compare before use; "
+           "negligible overhead for a large DUE-rate reduction";
+  }
+  if (row.category == "mesh.sort") {
+    return "sort-specific single-element correction (Argyrides et al.) plus "
+           "a post-sort order audit; highest-priority portion for SDCs";
+  }
+  if (row.category == "mesh.tree") {
+    return "bounds-check child links during descent and apply redundant "
+           "multithreading to tree construction; dominant DUE source";
+  }
+  if (algebraic && (row.category == "matrix" || sdc_heavy)) {
+    return "ABFT checksums (detects and corrects single/line errors in "
+           "O(1)) or mod-3/mod-15 residue checks on the matrix operations";
+  }
+  if (due_heavy) {
+    return "control-flow checking and watchdog-assisted checkpoint/restart; "
+           "faults here crash rather than corrupt";
+  }
+  return "modular replication (duplication-with-comparison) of this "
+         "portion, or full RMT if the footprint is too large to duplicate "
+         "selectively";
+}
+
+}  // namespace phifi::analysis

@@ -1,0 +1,41 @@
+// Per-code-portion criticality (Sec. 6) and mitigation advice (Sec. 6.1).
+//
+// CAROL-FI's purpose is to tell the developer which source-level portions,
+// once corrupted, are most likely to hurt — so hardening can be selective.
+// This module turns a campaign's per-category tallies into the ranked
+// criticality tables of Sec. 6 and maps each category profile to the
+// mitigation the paper discusses (ABFT / residue checks / selective DWC /
+// RMT / checkpoint tuning).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace phifi::analysis {
+
+struct CategoryCriticality {
+  std::string category;
+  std::uint64_t injections = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due = 0;
+  double sdc_rate = 0.0;     ///< conditional: P(SDC | fault in category)
+  double due_rate = 0.0;     ///< conditional: P(DUE | fault in category)
+  double injection_share = 0.0;  ///< fraction of all injections
+  /// Contribution to the overall error rate:
+  /// injection_share * (sdc_rate + due_rate).
+  double error_contribution = 0.0;
+};
+
+/// One row per category, ranked by error_contribution (most critical
+/// first). Categories with fewer than `min_injections` samples are dropped.
+std::vector<CategoryCriticality> criticality_table(
+    const fi::CampaignResult& result, std::uint64_t min_injections = 10);
+
+/// Sec. 6.1-style mitigation recommendation for a category profile.
+/// `algebraic` marks matrix-algebra workloads where residue/ABFT apply.
+std::string recommend_mitigation(const CategoryCriticality& row,
+                                 bool algebraic);
+
+}  // namespace phifi::analysis

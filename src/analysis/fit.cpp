@@ -1,0 +1,26 @@
+#include "analysis/fit.hpp"
+
+namespace phifi::analysis {
+
+FitEstimate fit_from_counts(std::uint64_t errors, double fluence, double flux,
+                            double confidence) {
+  FitEstimate estimate;
+  estimate.errors = errors;
+  estimate.fluence = fluence;
+  if (fluence <= 0.0) return estimate;
+  estimate.cross_section = static_cast<double>(errors) / fluence;
+  estimate.fit = estimate.cross_section * flux * 1e9;
+  const util::Interval count_ci = util::poisson_interval(errors, confidence);
+  estimate.fit_lo = count_ci.lo / fluence * flux * 1e9;
+  estimate.fit_hi = count_ci.hi / fluence * flux * 1e9;
+  return estimate;
+}
+
+double machine_mtbf_days(double fit, double boards) {
+  if (fit <= 0.0 || boards <= 0.0) return 0.0;
+  const double machine_fit = fit * boards;
+  const double hours = 1e9 / machine_fit;
+  return hours / 24.0;
+}
+
+}  // namespace phifi::analysis

@@ -1,0 +1,42 @@
+// FIT-rate arithmetic (Sec. 4.1).
+//
+// A beam campaign observes `errors` outcomes over an accumulated fluence
+// (neutrons/cm^2). The device cross section is sigma = errors / fluence
+// (cm^2); scaling by the natural sea-level flux (~13 n/cm^2/h, JESD89A,
+// the figure the paper uses) and 1e9 hours gives the Failure-In-Time rate.
+// MTBF is the reciprocal; machine-level rates scale linearly with the
+// number of boards (Sec. 4.2's Trinity/exascale extrapolations).
+#pragma once
+
+#include <cstdint>
+
+#include "util/statistics.hpp"
+
+namespace phifi::analysis {
+
+/// Reference sea-level neutron flux, n/(cm^2 h) (JESD89A, NYC).
+inline constexpr double kSeaLevelFlux = 13.0;
+
+struct FitEstimate {
+  std::uint64_t errors = 0;
+  double fluence = 0.0;        ///< n/cm^2
+  double cross_section = 0.0;  ///< cm^2
+  double fit = 0.0;            ///< failures per 1e9 device-hours
+  double fit_lo = 0.0;         ///< 95% CI (Poisson on the error count)
+  double fit_hi = 0.0;
+
+  [[nodiscard]] double mtbf_hours() const {
+    return fit <= 0.0 ? 0.0 : 1e9 / fit;
+  }
+};
+
+/// Computes FIT with a Poisson confidence interval on the error count.
+FitEstimate fit_from_counts(std::uint64_t errors, double fluence,
+                            double flux = kSeaLevelFlux,
+                            double confidence = 0.95);
+
+/// Mean time between events, in days, for a machine of `boards` devices
+/// each failing at `fit`.
+double machine_mtbf_days(double fit, double boards);
+
+}  // namespace phifi::analysis

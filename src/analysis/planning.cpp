@@ -1,0 +1,56 @@
+#include "analysis/planning.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace phifi::analysis {
+
+double worst_case_half_width(std::uint64_t trials, double confidence) {
+  if (trials == 0) return 1.0;
+  const double z = util::normal_quantile_two_sided(confidence);
+  return z * 0.5 / std::sqrt(static_cast<double>(trials));
+}
+
+std::uint64_t required_trials(double half_width, double confidence) {
+  assert(half_width > 0.0);
+  const double z = util::normal_quantile_two_sided(confidence);
+  const double n = z / (2.0 * half_width);
+  return static_cast<std::uint64_t>(std::ceil(n * n));
+}
+
+std::uint64_t required_errors(double relative_half_width, double confidence) {
+  assert(relative_half_width > 0.0);
+  const double z = util::normal_quantile_two_sided(confidence);
+  const double k = z / relative_half_width;
+  return static_cast<std::uint64_t>(std::ceil(k * k));
+}
+
+double chi_squared_p_value(double statistic, unsigned dof) {
+  if (dof == 0) return 1.0;
+  if (statistic <= 0.0) return 1.0;
+  // Wilson-Hilferty: (X^2/k)^(1/3) is approximately normal with mean
+  // 1 - 2/(9k) and variance 2/(9k).
+  const double k = static_cast<double>(dof);
+  const double variance = 2.0 / (9.0 * k);
+  const double z = (std::cbrt(statistic / k) - (1.0 - variance)) /
+                   std::sqrt(variance);
+  return 1.0 - util::normal_cdf(z);
+}
+
+double two_proportion_p_value(std::uint64_t events_a, std::uint64_t trials_a,
+                              std::uint64_t events_b,
+                              std::uint64_t trials_b) {
+  if (trials_a == 0 || trials_b == 0) return 1.0;
+  const double na = static_cast<double>(trials_a);
+  const double nb = static_cast<double>(trials_b);
+  const double pa = static_cast<double>(events_a) / na;
+  const double pb = static_cast<double>(events_b) / nb;
+  const double pooled =
+      static_cast<double>(events_a + events_b) / (na + nb);
+  const double variance = pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb);
+  if (variance <= 0.0) return pa == pb ? 1.0 : 0.0;
+  const double z = std::fabs(pa - pb) / std::sqrt(variance);
+  return 2.0 * (1.0 - util::normal_cdf(z));
+}
+
+}  // namespace phifi::analysis

@@ -1,0 +1,33 @@
+// Program Vulnerability Factor helpers (Fig. 5/6).
+//
+// PVF here follows the paper's usage: the percentage of injected faults
+// that produce a given outcome (SDC or DUE), overall or conditioned on a
+// fault model / time window / code portion. Confidence intervals use the
+// Normal (Wald) approximation the paper quotes.
+#pragma once
+
+#include "core/campaign.hpp"
+#include "util/statistics.hpp"
+
+namespace phifi::analysis {
+
+/// PVF as a percentage with a 95% Wald interval.
+inline util::Interval pvf_percent(std::uint64_t events, std::uint64_t trials,
+                                  double confidence = 0.95) {
+  util::Interval p = util::wald_interval(events, trials, confidence);
+  return {.point = p.point * 100.0, .lo = p.lo * 100.0, .hi = p.hi * 100.0};
+}
+
+inline util::Interval sdc_pvf(const fi::OutcomeTally& tally) {
+  return pvf_percent(tally.sdc, tally.total());
+}
+
+inline util::Interval due_pvf(const fi::OutcomeTally& tally) {
+  return pvf_percent(tally.due, tally.total());
+}
+
+inline util::Interval masked_pvf(const fi::OutcomeTally& tally) {
+  return pvf_percent(tally.masked, tally.total());
+}
+
+}  // namespace phifi::analysis

@@ -1,0 +1,17 @@
+#include "analysis/sdc_analyzer.hpp"
+
+namespace phifi::analysis {
+
+void SdcAnalyzer::inspect(std::span<const std::byte> output) {
+  const Comparison comparison = compare_outputs(
+      supervisor_->golden(), output, supervisor_->output_type());
+  if (comparison.matches()) return;  // defensive; caller said SDC
+  ++sdc_count_;
+  if (comparison.mismatch_count() == 1) ++single_element_sdcs_;
+  corrupted_elements_.add(static_cast<double>(comparison.mismatch_count()));
+  patterns_.add(classify_pattern(comparison.mismatch_indices,
+                                 supervisor_->output_shape()));
+  tolerance_.add_sdc(comparison.max_relative_error());
+}
+
+}  // namespace phifi::analysis

@@ -1,0 +1,61 @@
+// Per-SDC deep analysis plugged into a campaign as a TrialObserver.
+//
+// For every SDC trial it diffs the trial output against the golden copy and
+// accumulates: the spatial pattern tally (Fig. 2's SDC breakdown), the
+// tolerance curve inputs (Fig. 3), and corrupted-element statistics
+// (Sec. 4.3's "less than 10% of corrupted executions have a single wrong
+// element").
+#pragma once
+
+#include "analysis/compare.hpp"
+#include "analysis/spatial.hpp"
+#include "analysis/tolerance.hpp"
+#include "core/campaign.hpp"
+#include "core/supervisor.hpp"
+#include "util/statistics.hpp"
+
+namespace phifi::analysis {
+
+class SdcAnalyzer {
+ public:
+  explicit SdcAnalyzer(const fi::TrialSupervisor& supervisor)
+      : supervisor_(&supervisor) {}
+
+  /// The campaign observer; the analyzer must outlive the campaign run.
+  [[nodiscard]] fi::TrialObserver observer() {
+    return [this](const fi::TrialResult& trial,
+                  std::span<const std::byte> output) {
+      if (trial.outcome != fi::Outcome::kSdc) return;
+      inspect(output);
+    };
+  }
+
+  /// Direct entry point for callers that manage trials themselves.
+  void inspect(std::span<const std::byte> output);
+
+  [[nodiscard]] const PatternTally& patterns() const { return patterns_; }
+  [[nodiscard]] const ToleranceAnalysis& tolerance() const {
+    return tolerance_;
+  }
+  [[nodiscard]] const util::RunningStats& corrupted_elements() const {
+    return corrupted_elements_;
+  }
+  [[nodiscard]] std::size_t sdc_count() const { return sdc_count_; }
+
+  /// Fraction of SDCs corrupting exactly one output element.
+  [[nodiscard]] double single_element_fraction() const {
+    return sdc_count_ == 0 ? 0.0
+                           : static_cast<double>(single_element_sdcs_) /
+                                 static_cast<double>(sdc_count_);
+  }
+
+ private:
+  const fi::TrialSupervisor* supervisor_;
+  PatternTally patterns_;
+  ToleranceAnalysis tolerance_;
+  util::RunningStats corrupted_elements_;
+  std::size_t sdc_count_ = 0;
+  std::size_t single_element_sdcs_ = 0;
+};
+
+}  // namespace phifi::analysis

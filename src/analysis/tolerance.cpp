@@ -1,0 +1,23 @@
+#include "analysis/tolerance.hpp"
+
+namespace phifi::analysis {
+
+std::size_t ToleranceAnalysis::sdc_at(double tolerance) const {
+  std::size_t count = 0;
+  for (double e : max_errors_) {
+    if (e > tolerance) ++count;
+  }
+  return count;
+}
+
+double ToleranceAnalysis::remaining_fraction(double tolerance) const {
+  if (max_errors_.empty()) return 1.0;
+  return static_cast<double>(sdc_at(tolerance)) /
+         static_cast<double>(max_errors_.size());
+}
+
+std::vector<double> ToleranceAnalysis::default_tolerances() {
+  return {0.001, 0.002, 0.005, 0.01, 0.02, 0.03, 0.05, 0.075, 0.10, 0.15};
+}
+
+}  // namespace phifi::analysis

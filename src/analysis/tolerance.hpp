@@ -1,0 +1,43 @@
+// Imprecise-computing analysis (Sec. 4.4, Fig. 3).
+//
+// Each SDC execution is summarized by the largest relative error among its
+// corrupted output elements. Accepting a tolerance t reclassifies every SDC
+// whose worst element is within t as acceptable; the SDC FIT rate scales by
+// the fraction that remains. The paper sweeps t from 0.1% to 15%.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace phifi::analysis {
+
+class ToleranceAnalysis {
+ public:
+  /// Records one SDC execution's worst relative error.
+  void add_sdc(double max_relative_error) {
+    max_errors_.push_back(max_relative_error);
+  }
+
+  [[nodiscard]] std::size_t total_sdc() const { return max_errors_.size(); }
+
+  /// SDCs that still exceed the tolerance (remain errors).
+  [[nodiscard]] std::size_t sdc_at(double tolerance) const;
+
+  /// Fraction of the zero-tolerance SDC count that remains at `tolerance`;
+  /// multiplying the SDC FIT by this gives the tolerant FIT. 1.0 when no
+  /// SDCs were recorded.
+  [[nodiscard]] double remaining_fraction(double tolerance) const;
+
+  /// FIT reduction in percent, the paper's Fig. 3 y-axis.
+  [[nodiscard]] double reduction_percent(double tolerance) const {
+    return (1.0 - remaining_fraction(tolerance)) * 100.0;
+  }
+
+  /// The paper's sweep: 0.1% to 15%.
+  static std::vector<double> default_tolerances();
+
+ private:
+  std::vector<double> max_errors_;
+};
+
+}  // namespace phifi::analysis

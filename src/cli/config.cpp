@@ -1,0 +1,207 @@
+#include "cli/config.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace phifi::cli {
+
+namespace {
+
+std::string trim(const std::string& text) {
+  const auto begin = text.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = text.find_last_not_of(" \t\r");
+  return text.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw std::runtime_error("config line " + std::to_string(line) + ": " +
+                           message);
+}
+
+double parse_double(int line, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    fail(line, "expected a number, got '" + value + "'");
+  }
+}
+
+std::uint64_t parse_u64(int line, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const unsigned long long parsed = std::stoull(value, &used, 0);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    fail(line, "expected an unsigned integer, got '" + value + "'");
+  }
+}
+
+fi::SelectionPolicy parse_policy(int line, const std::string& value) {
+  if (value == "carol-fi") return fi::SelectionPolicy::kCarolFi;
+  if (value == "bytes-weighted") return fi::SelectionPolicy::kBytesWeighted;
+  if (value == "global-bytes") {
+    return fi::SelectionPolicy::kGlobalBytesWeighted;
+  }
+  if (value == "worker-frame") return fi::SelectionPolicy::kWorkerFrameOnly;
+  fail(line, "unknown policy '" + value + "'");
+}
+
+std::vector<fi::FaultModel> parse_models(int line, const std::string& value) {
+  std::vector<fi::FaultModel> models;
+  std::stringstream stream(value);
+  std::string token;
+  while (std::getline(stream, token, '+')) {
+    token = trim(token);
+    bool found = false;
+    for (fi::FaultModel model : fi::kAllFaultModels) {
+      if (to_string(model) == token) {
+        models.push_back(model);
+        found = true;
+      }
+    }
+    if (!found) fail(line, "unknown fault model '" + token + "'");
+  }
+  if (models.empty()) fail(line, "empty fault model list");
+  return models;
+}
+
+}  // namespace
+
+fi::SupervisorConfig RunnerConfig::supervisor_config() const {
+  fi::SupervisorConfig config;
+  config.device_os_threads = device_os_threads;
+  config.timeout_factor = timeout_factor;
+  config.min_timeout_seconds = min_timeout_seconds;
+  config.input_seed = input_seed;
+  return config;
+}
+
+fi::CampaignConfig RunnerConfig::campaign_config() const {
+  fi::CampaignConfig config;
+  config.trials = trials;
+  config.seed = seed;
+  config.policy = policy;
+  config.models = models;
+  config.earliest_fraction = earliest_fraction;
+  config.latest_fraction = latest_fraction;
+  return config;
+}
+
+radiation::BeamConfig RunnerConfig::beam_config() const {
+  radiation::BeamConfig config;
+  config.flux = flux;
+  config.seed = seed;
+  config.min_sdc = min_sdc;
+  config.min_due = min_due;
+  config.max_executions = max_executions;
+  return config;
+}
+
+RunnerConfig parse_config(std::istream& is) {
+  RunnerConfig config;
+  std::string raw;
+  int line_number = 0;
+  while (std::getline(is, raw)) {
+    ++line_number;
+    const auto comment = raw.find('#');
+    if (comment != std::string::npos) raw.erase(comment);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      fail(line_number, "expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty()) fail(line_number, "empty value for '" + key + "'");
+
+    if (key == "mode") {
+      if (value == "inject") config.mode = RunMode::kInject;
+      else if (value == "beam") config.mode = RunMode::kBeam;
+      else fail(line_number, "mode must be 'inject' or 'beam'");
+    } else if (key == "workload") {
+      config.workload = value;
+    } else if (key == "seed") {
+      config.seed = parse_u64(line_number, value);
+    } else if (key == "log_file") {
+      config.log_file = value;
+    } else if (key == "report_file") {
+      config.report_file = value;
+    } else if (key == "trials") {
+      config.trials = parse_u64(line_number, value);
+    } else if (key == "policy") {
+      config.policy = parse_policy(line_number, value);
+    } else if (key == "models") {
+      config.models = parse_models(line_number, value);
+    } else if (key == "earliest_fraction") {
+      config.earliest_fraction = parse_double(line_number, value);
+    } else if (key == "latest_fraction") {
+      config.latest_fraction = parse_double(line_number, value);
+    } else if (key == "flux") {
+      config.flux = parse_double(line_number, value);
+    } else if (key == "min_sdc") {
+      config.min_sdc = parse_u64(line_number, value);
+    } else if (key == "min_due") {
+      config.min_due = parse_u64(line_number, value);
+    } else if (key == "max_executions") {
+      config.max_executions = parse_u64(line_number, value);
+    } else if (key == "device_os_threads") {
+      config.device_os_threads =
+          static_cast<unsigned>(parse_u64(line_number, value));
+    } else if (key == "timeout_factor") {
+      config.timeout_factor = parse_double(line_number, value);
+    } else if (key == "min_timeout_seconds") {
+      config.min_timeout_seconds = parse_double(line_number, value);
+    } else if (key == "input_seed") {
+      config.input_seed = parse_u64(line_number, value);
+    } else {
+      fail(line_number, "unknown key '" + key + "'");
+    }
+  }
+  if (config.earliest_fraction < 0.0 || config.latest_fraction > 1.0 ||
+      config.earliest_fraction >= config.latest_fraction) {
+    throw std::runtime_error(
+        "config: injection window must satisfy 0 <= earliest < latest <= 1");
+  }
+  return config;
+}
+
+std::string format_config(const RunnerConfig& config) {
+  std::ostringstream os;
+  os << "mode = " << (config.mode == RunMode::kBeam ? "beam" : "inject")
+     << "\n"
+     << "workload = " << config.workload << "\n"
+     << "seed = " << config.seed << "\n";
+  if (!config.log_file.empty()) os << "log_file = " << config.log_file << "\n";
+  if (!config.report_file.empty()) {
+    os << "report_file = " << config.report_file << "\n";
+  }
+  os << "trials = " << config.trials << "\n"
+     << "policy = " << to_string(config.policy) << "\n"
+     << "models = ";
+  for (std::size_t i = 0; i < config.models.size(); ++i) {
+    if (i) os << " + ";
+    os << to_string(config.models[i]);
+  }
+  os << "\n"
+     << "earliest_fraction = " << config.earliest_fraction << "\n"
+     << "latest_fraction = " << config.latest_fraction << "\n"
+     << "flux = " << config.flux << "\n"
+     << "min_sdc = " << config.min_sdc << "\n"
+     << "min_due = " << config.min_due << "\n"
+     << "max_executions = " << config.max_executions << "\n"
+     << "device_os_threads = " << config.device_os_threads << "\n"
+     << "timeout_factor = " << config.timeout_factor << "\n"
+     << "min_timeout_seconds = " << config.min_timeout_seconds << "\n"
+     << "input_seed = " << config.input_seed << "\n";
+  return os.str();
+}
+
+}  // namespace phifi::cli

@@ -1,0 +1,64 @@
+// Configuration-file-driven campaigns, mirroring the paper's artifact
+// workflow (Appendix A.4): "a configuration file is produced with all the
+// information needed by the fault injector; the fault injector is executed
+// with the configuration file as an argument and how many times the
+// experiment should be repeated."
+//
+// The format is a flat `key = value` file with `#` comments. Unknown keys
+// are an error (typos in reliability campaigns are expensive).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "radiation/beam_campaign.hpp"
+
+namespace phifi::cli {
+
+enum class RunMode { kInject, kBeam };
+
+struct RunnerConfig {
+  RunMode mode = RunMode::kInject;
+  std::string workload = "DGEMM";
+  std::uint64_t seed = 1;
+  std::string log_file;     ///< per-trial CSV log ("" = no log)
+  std::string report_file;  ///< markdown reliability report ("" = none)
+
+  // Injection-mode settings.
+  std::size_t trials = 1000;
+  fi::SelectionPolicy policy = fi::SelectionPolicy::kCarolFi;
+  std::vector<fi::FaultModel> models{
+      fi::FaultModel::kSingle, fi::FaultModel::kDouble,
+      fi::FaultModel::kRandom, fi::FaultModel::kZero};
+  double earliest_fraction = 0.01;
+  double latest_fraction = 0.99;
+
+  // Beam-mode settings.
+  double flux = 2.0e6;
+  std::uint64_t min_sdc = 100;
+  std::uint64_t min_due = 40;
+  std::uint64_t max_executions = 20000;
+
+  // Supervisor settings.
+  unsigned device_os_threads = 1;
+  double timeout_factor = 30.0;
+  double min_timeout_seconds = 1.0;
+  std::uint64_t input_seed = 0x900d5eedULL;
+
+  [[nodiscard]] fi::SupervisorConfig supervisor_config() const;
+  [[nodiscard]] fi::CampaignConfig campaign_config() const;
+  [[nodiscard]] radiation::BeamConfig beam_config() const;
+};
+
+/// Parses a config stream. Throws std::runtime_error with a line-numbered
+/// message on syntax errors, unknown keys, or invalid values.
+RunnerConfig parse_config(std::istream& is);
+
+/// Serializes a config back to the file format (for golden tests and for
+/// generating template files).
+std::string format_config(const RunnerConfig& config);
+
+}  // namespace phifi::cli

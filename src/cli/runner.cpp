@@ -1,0 +1,96 @@
+#include "cli/runner.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+#include "analysis/pvf.hpp"
+#include "core/trial_log.hpp"
+#include "report/report.hpp"
+#include "radiation/sensitivity.hpp"
+#include "util/table.hpp"
+#include "workloads/registry.hpp"
+
+namespace phifi::cli {
+
+RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
+  const fi::WorkloadFactory factory = work::find_workload(config.workload);
+  if (factory == nullptr) {
+    throw std::runtime_error("unknown workload '" + config.workload + "'");
+  }
+
+  RunSummary summary;
+  summary.workload = config.workload;
+  summary.mode = config.mode;
+
+  fi::TrialSupervisor supervisor(factory, config.supervisor_config());
+  supervisor.prepare_golden();
+
+  if (config.mode == RunMode::kInject) {
+    fi::Campaign campaign(supervisor, config.campaign_config());
+    const fi::CampaignResult result = campaign.run();
+    summary.outcomes = result.overall;
+
+    if (!config.report_file.empty()) {
+      std::ofstream report_stream(config.report_file);
+      if (!report_stream) {
+        throw std::runtime_error("cannot open report file '" +
+                                 config.report_file + "'");
+      }
+      report::ReportInputs inputs;
+      inputs.campaign = &result;
+      inputs.algebraic =
+          config.workload == "DGEMM" || config.workload == "LUD";
+      report_stream << report::render_report(inputs);
+    }
+
+    if (!config.log_file.empty()) {
+      std::ofstream log_stream(config.log_file);
+      if (!log_stream) {
+        throw std::runtime_error("cannot open log file '" +
+                                 config.log_file + "'");
+      }
+      fi::TrialLogWriter writer(log_stream);
+      writer.append_all(result);
+      summary.logged_trials = writer.written();
+    }
+
+    util::Table table("Injection campaign - " + config.workload);
+    table.set_header({"metric", "value"});
+    table.add_row({"trials", std::to_string(result.overall.total())});
+    table.add_row({"masked",
+                   util::fmt_percent(result.overall.masked_rate())});
+    table.add_row({"sdc", util::fmt_percent(result.overall.sdc_rate())});
+    table.add_row({"due", util::fmt_percent(result.overall.due_rate())});
+    table.add_row({"retries (not injected)",
+                   std::to_string(result.not_injected)});
+    table.print_text(out);
+  } else {
+    const phi::ResourceMap map =
+        phi::ResourceMap::for_spec(phi::DeviceSpec::knights_corner_3120a());
+    const radiation::DeviceSensitivity sensitivity =
+        radiation::DeviceSensitivity::knc_3120a(map);
+    radiation::BeamCampaign campaign(supervisor, sensitivity,
+                                     config.beam_config());
+    const radiation::BeamResult result = campaign.run();
+    summary.sdc_fit = result.sdc_fit.fit;
+    summary.due_fit = result.due_fit.fit;
+
+    util::Table table("Beam campaign - " + config.workload);
+    table.set_header({"metric", "value"});
+    table.add_row({"runs", std::to_string(result.runs)});
+    table.add_row({"fluence [n/cm^2]", util::fmt(result.fluence, 0)});
+    table.add_row({"SDC FIT",
+                   util::fmt_interval(result.sdc_fit.fit,
+                                      result.sdc_fit.fit_lo,
+                                      result.sdc_fit.fit_hi, 1)});
+    table.add_row({"DUE FIT",
+                   util::fmt_interval(result.due_fit.fit,
+                                      result.due_fit.fit_lo,
+                                      result.due_fit.fit_hi, 1)});
+    table.print_text(out);
+  }
+  return summary;
+}
+
+}  // namespace phifi::cli

@@ -1,0 +1,26 @@
+// Campaign runner behind the phifi_run tool: executes the campaign a
+// config file describes and prints/logs the results. Lives in the library
+// so the tests can drive it without spawning processes.
+#pragma once
+
+#include <iosfwd>
+
+#include "cli/config.hpp"
+
+namespace phifi::cli {
+
+struct RunSummary {
+  std::string workload;
+  RunMode mode = RunMode::kInject;
+  fi::OutcomeTally outcomes;      ///< inject mode
+  double sdc_fit = 0.0;           ///< beam mode
+  double due_fit = 0.0;           ///< beam mode
+  std::uint64_t logged_trials = 0;
+};
+
+/// Runs the configured campaign. Reports to `out`; per-trial logs go to
+/// config.log_file if set. Returns the summary (also printed).
+/// Throws std::runtime_error for unknown workloads.
+RunSummary run_from_config(const RunnerConfig& config, std::ostream& out);
+
+}  // namespace phifi::cli

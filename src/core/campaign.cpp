@@ -1,0 +1,96 @@
+#include "core/campaign.hpp"
+
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace phifi::fi {
+
+void OutcomeTally::add(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kMasked: ++masked; break;
+    case Outcome::kSdc: ++sdc; break;
+    case Outcome::kDue: ++due; break;
+    case Outcome::kNotInjected: break;
+  }
+}
+
+OutcomeTally& OutcomeTally::operator+=(const OutcomeTally& other) {
+  masked += other.masked;
+  sdc += other.sdc;
+  due += other.due;
+  return *this;
+}
+
+CampaignResult Campaign::run(const TrialObserver& observer) {
+  assert(!config_.models.empty());
+  CampaignResult result;
+  result.workload = supervisor_->workload_name();
+  result.time_windows = supervisor_->time_windows();
+  result.by_window.resize(result.time_windows);
+  result.trials.reserve(config_.trials);
+
+  util::Rng seed_stream(config_.seed);
+  const std::size_t retry_budget =
+      config_.trials * (1 + config_.max_retry_factor);
+  std::size_t attempts = 0;
+  std::size_t completed = 0;
+  std::size_t model_cursor = 0;
+
+  while (completed < config_.trials && attempts < retry_budget) {
+    TrialConfig trial;
+    trial.trial_seed = seed_stream.next();
+    trial.model = config_.models[model_cursor % config_.models.size()];
+    trial.policy = config_.policy;
+    trial.earliest_fraction = config_.earliest_fraction;
+    trial.latest_fraction = config_.latest_fraction;
+    ++attempts;
+
+    const TrialResult trial_result = supervisor_->run_trial(trial);
+    result.total_seconds += trial_result.seconds;
+
+    if (trial_result.outcome == Outcome::kNotInjected) {
+      ++result.not_injected;
+      continue;  // retry with a fresh seed; the model slot is not consumed
+    }
+    ++completed;
+    ++model_cursor;
+
+    result.overall.add(trial_result.outcome);
+    result.by_model[static_cast<std::size_t>(trial_result.record.model)].add(
+        trial_result.outcome);
+    if (trial_result.window < result.by_window.size()) {
+      result.by_window[trial_result.window].add(trial_result.outcome);
+    }
+    if (trial_result.record.injected) {
+      result.by_category[trial_result.record.category].add(
+          trial_result.outcome);
+      result
+          .by_frame[trial_result.record.frame == FrameKind::kWorker
+                        ? "worker"
+                        : "global"]
+          .add(trial_result.outcome);
+    }
+    if (observer) {
+      const bool has_output = trial_result.outcome == Outcome::kMasked ||
+                              trial_result.outcome == Outcome::kSdc;
+      observer(trial_result, has_output ? supervisor_->last_output()
+                                        : std::span<const std::byte>{});
+    }
+    result.trials.push_back(trial_result);
+
+    if (completed % 500 == 0) {
+      util::log_info() << result.workload << ": " << completed << "/"
+                       << config_.trials << " trials";
+    }
+  }
+
+  if (completed < config_.trials) {
+    util::log_warn() << result.workload << ": campaign stopped after "
+                     << attempts << " attempts with only " << completed
+                     << " injected trials";
+  }
+  return result;
+}
+
+}  // namespace phifi::fi

@@ -1,0 +1,95 @@
+// Fault-injection campaign: many supervised trials plus bookkeeping.
+//
+// The paper injects >=10,000 faults per benchmark, split across the four
+// fault models, and reports (Fig. 4-6) outcome fractions overall, per fault
+// model (PVF), and per execution-time window, plus per-code-portion
+// criticality (Sec. 6). Campaign runs the trials and accumulates exactly
+// those tallies; an optional observer sees each SDC trial's raw output for
+// deeper analysis (spatial patterns, relative error) without coupling the
+// core to the analysis layer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/supervisor.hpp"
+
+namespace phifi::fi {
+
+struct CampaignConfig {
+  /// Number of *injected* trials to run (NotInjected trials are retried and
+  /// not counted; a retry cap guards against pathological workloads).
+  std::size_t trials = 1000;
+  std::uint64_t seed = 0xcab01ef1ULL;
+  SelectionPolicy policy = SelectionPolicy::kCarolFi;
+  /// Fault models to cycle through, in equal proportion.
+  std::vector<FaultModel> models{FaultModel::kSingle, FaultModel::kDouble,
+                                 FaultModel::kRandom, FaultModel::kZero};
+  double earliest_fraction = 0.01;
+  double latest_fraction = 0.99;
+  std::size_t max_retry_factor = 3;  ///< retries allowed = factor * trials
+};
+
+/// Masked/SDC/DUE counts with convenience rates.
+struct OutcomeTally {
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due = 0;
+
+  [[nodiscard]] std::uint64_t total() const { return masked + sdc + due; }
+  [[nodiscard]] double sdc_rate() const {
+    return total() == 0 ? 0.0 : static_cast<double>(sdc) / total();
+  }
+  [[nodiscard]] double due_rate() const {
+    return total() == 0 ? 0.0 : static_cast<double>(due) / total();
+  }
+  [[nodiscard]] double masked_rate() const {
+    return total() == 0 ? 0.0 : static_cast<double>(masked) / total();
+  }
+  void add(Outcome outcome);
+  OutcomeTally& operator+=(const OutcomeTally& other);
+};
+
+struct CampaignResult {
+  std::string workload;
+  OutcomeTally overall;
+  /// Indexed by FaultModel enum value (Fig. 5).
+  std::array<OutcomeTally, 4> by_model;
+  /// Indexed by time window (Fig. 6).
+  std::vector<OutcomeTally> by_window;
+  /// Keyed by site category (Sec. 6 criticality).
+  std::map<std::string, OutcomeTally> by_category;
+  /// Keyed by frame kind name ("global"/"worker").
+  std::map<std::string, OutcomeTally> by_frame;
+  std::uint64_t not_injected = 0;
+  double total_seconds = 0.0;
+  unsigned time_windows = 1;
+
+  /// Full per-trial log (CAROL-FI stores per-injection logs; analyses that
+  /// need joint distributions read this).
+  std::vector<TrialResult> trials;
+};
+
+/// Observer invoked after every trial; `output` is non-empty only for
+/// completed (Masked/SDC) trials and is valid for the duration of the call.
+using TrialObserver =
+    std::function<void(const TrialResult&, std::span<const std::byte>)>;
+
+class Campaign {
+ public:
+  Campaign(TrialSupervisor& supervisor, CampaignConfig config)
+      : supervisor_(&supervisor), config_(std::move(config)) {}
+
+  /// Runs the campaign. The supervisor must already have a golden copy.
+  CampaignResult run(const TrialObserver& observer = nullptr);
+
+ private:
+  TrialSupervisor* supervisor_;
+  CampaignConfig config_;
+};
+
+}  // namespace phifi::fi

@@ -1,0 +1,62 @@
+#include "core/fault_model.hpp"
+
+#include <cassert>
+
+#include "util/bits.hpp"
+
+namespace phifi::fi {
+
+FaultApplication apply_fault(FaultModel model, std::span<std::byte> element,
+                             util::Rng& rng) {
+  assert(!element.empty());
+  FaultApplication app;
+  app.model = model;
+  const std::size_t total_bits = element.size() * 8;
+
+  switch (model) {
+    case FaultModel::kSingle: {
+      const std::size_t bit = rng.below(total_bits);
+      util::flip_bit(element, bit);
+      app.flipped_bits[0] = bit;
+      app.flipped_count = 1;
+      app.changed = true;
+      break;
+    }
+    case FaultModel::kDouble: {
+      // Two distinct bits within one randomly chosen byte: multi-cell upsets
+      // are physically adjacent, so the paper restricts the bit distance.
+      const std::size_t byte = rng.below(element.size());
+      const std::size_t first = rng.below(8);
+      std::size_t second = rng.below(7);
+      if (second >= first) ++second;
+      util::flip_bit(element, byte * 8 + first);
+      util::flip_bit(element, byte * 8 + second);
+      app.flipped_bits = {byte * 8 + first, byte * 8 + second};
+      app.flipped_count = 2;
+      app.changed = true;
+      break;
+    }
+    case FaultModel::kRandom: {
+      bool changed = false;
+      for (std::size_t i = 0; i < element.size(); ++i) {
+        const auto fresh = static_cast<std::byte>(rng.next() & 0xff);
+        changed |= (fresh != element[i]);
+        element[i] = fresh;
+      }
+      app.changed = changed;
+      break;
+    }
+    case FaultModel::kZero: {
+      bool changed = false;
+      for (std::byte& b : element) {
+        changed |= (b != std::byte{0});
+        b = std::byte{0};
+      }
+      app.changed = changed;
+      break;
+    }
+  }
+  return app;
+}
+
+}  // namespace phifi::fi

@@ -1,0 +1,56 @@
+// The four high-level fault models of Sec. 5.2.
+//
+// CAROL-FI injects at source level, so a single architectural upset can
+// manifest as more than a one-bit change by the time it reaches a program
+// variable. The paper therefore uses four models:
+//   Single — flip one random bit of the selected element;
+//   Double — flip two random bits within the same byte of the element
+//            (multi-cell upsets cluster physically, Sec. 5.2);
+//   Random — overwrite every bit of the element with random bits;
+//   Zero   — set every bit of the element to zero.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string_view>
+
+#include "util/rng.hpp"
+
+namespace phifi::fi {
+
+enum class FaultModel : int { kSingle = 0, kDouble = 1, kRandom = 2, kZero = 3 };
+
+inline constexpr std::array<FaultModel, 4> kAllFaultModels = {
+    FaultModel::kSingle, FaultModel::kDouble, FaultModel::kRandom,
+    FaultModel::kZero};
+
+constexpr std::string_view to_string(FaultModel model) {
+  switch (model) {
+    case FaultModel::kSingle: return "Single";
+    case FaultModel::kDouble: return "Double";
+    case FaultModel::kRandom: return "Random";
+    case FaultModel::kZero: return "Zero";
+  }
+  return "?";
+}
+
+/// How a fault application changed the target element.
+struct FaultApplication {
+  FaultModel model = FaultModel::kSingle;
+  /// Bit indices flipped, relative to the element start (LSB of byte 0 = 0).
+  /// Only meaningful for Single (1 entry) and Double (2 entries).
+  std::array<std::size_t, 2> flipped_bits = {0, 0};
+  std::size_t flipped_count = 0;
+  /// True if the write actually changed at least one bit (Zero on an
+  /// already-zero element changes nothing and is naturally masked).
+  bool changed = false;
+};
+
+/// Applies `model` to the element bytes in place, drawing randomness from
+/// `rng`. The span is the *element* (4/8 bytes for scalars, or one element
+/// of an array variable); callers pick the element.
+FaultApplication apply_fault(FaultModel model, std::span<std::byte> element,
+                             util::Rng& rng);
+
+}  // namespace phifi::fi

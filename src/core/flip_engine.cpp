@@ -1,0 +1,117 @@
+#include "core/flip_engine.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+namespace phifi::fi {
+
+namespace {
+void copy_truncated(char* dst, std::size_t dst_size, const std::string& src) {
+  const std::size_t n = std::min(dst_size - 1, src.size());
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+}  // namespace
+
+InjectionRecord FlipEngine::inject(FaultModel model, util::Rng& rng,
+                                   double progress_fraction, unsigned burst) {
+  InjectionRecord record;
+  record.model = model;
+  record.progress_fraction = progress_fraction;
+  if (registry_->size() == 0) return record;
+
+  const std::size_t site_index = select_site(rng);
+  const InjectionSite& site = registry_->site(site_index);
+  const std::size_t element = rng.below(site.element_count());
+  const std::size_t last = std::min(site.element_count(),
+                                    element + std::max(1u, burst));
+
+  FaultApplication app = apply_fault(model, site.element(element), rng);
+  bool changed = app.changed;
+  for (std::size_t e = element + 1; e < last; ++e) {
+    changed |= apply_fault(model, site.element(e), rng).changed;
+  }
+
+  record.injected = true;
+  record.changed = changed;
+  record.burst_elements = static_cast<std::uint32_t>(last - element);
+  record.frame = site.frame;
+  record.worker = site.worker;
+  record.site_index = static_cast<std::uint32_t>(site_index);
+  record.element_index = element;
+  record.flipped_bits[0] = app.flipped_bits[0];
+  record.flipped_bits[1] = app.flipped_bits[1];
+  record.flipped_count = static_cast<std::uint32_t>(app.flipped_count);
+  copy_truncated(record.site_name, sizeof(record.site_name), site.name);
+  copy_truncated(record.category, sizeof(record.category), site.category);
+  return record;
+}
+
+std::size_t FlipEngine::select_site(util::Rng& rng) const {
+  switch (policy_) {
+    case SelectionPolicy::kCarolFi: return select_carol_fi(rng);
+    case SelectionPolicy::kBytesWeighted: return select_bytes_weighted(rng);
+    case SelectionPolicy::kGlobalBytesWeighted:
+      return select_bytes_weighted(rng, /*global_only=*/true);
+    case SelectionPolicy::kWorkerFrameOnly: return select_worker_frame(rng);
+  }
+  return 0;
+}
+
+std::size_t FlipEngine::select_carol_fi(util::Rng& rng) const {
+  const std::size_t workers = registry_->worker_frame_count();
+  // Pick a thread; every thread's call stack ends at the outer frame with
+  // the globals, so each pick offers two frames: thread-local and global.
+  std::vector<std::size_t> frame;
+  if (workers > 0 && rng.bernoulli(0.5)) {
+    const int worker = static_cast<int>(rng.below(workers));
+    frame = registry_->frame_sites(FrameKind::kWorker, worker);
+  }
+  if (frame.empty()) {
+    frame = registry_->frame_sites(FrameKind::kGlobal);
+  }
+  if (frame.empty()) {
+    // Degenerate registry (e.g. worker frames only): fall back to anything.
+    return select_bytes_weighted(rng);
+  }
+  // Variable within the frame. Two effects pull in opposite directions:
+  // GDB's Flip-script picks uniformly from the frame's variable *list*, so
+  // an 8-byte pointer is as likely a victim as a megabyte array (the paper's
+  // control/constant criticality); yet the paper also reasons that larger
+  // arrays are likelier victims (LavaMD, Sec. 6) because big data is spread
+  // over many allocations. A 50/50 mixture of variable-uniform and
+  // bytes-weighted selection models both; the ablation bench varies it.
+  if (rng.bernoulli(0.5)) {
+    return frame[rng.below(frame.size())];
+  }
+  std::vector<double> weights;
+  weights.reserve(frame.size());
+  for (std::size_t index : frame) {
+    weights.push_back(static_cast<double>(registry_->site(index).bytes));
+  }
+  return frame[rng.weighted_index(weights)];
+}
+
+std::size_t FlipEngine::select_bytes_weighted(util::Rng& rng,
+                                              bool global_only) const {
+  std::vector<double> weights;
+  weights.reserve(registry_->size());
+  for (const InjectionSite& site : registry_->sites()) {
+    const bool eligible =
+        !global_only || site.frame == FrameKind::kGlobal;
+    weights.push_back(eligible ? static_cast<double>(site.bytes) : 0.0);
+  }
+  return rng.weighted_index(weights);
+}
+
+std::size_t FlipEngine::select_worker_frame(util::Rng& rng) const {
+  const std::size_t workers = registry_->worker_frame_count();
+  if (workers == 0) return select_bytes_weighted(rng);
+  const int worker = static_cast<int>(rng.below(workers));
+  const auto frame = registry_->frame_sites(FrameKind::kWorker, worker);
+  if (frame.empty()) return select_bytes_weighted(rng);
+  return frame[rng.below(frame.size())];
+}
+
+}  // namespace phifi::fi

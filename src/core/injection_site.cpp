@@ -1,0 +1,65 @@
+#include "core/injection_site.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace phifi::fi {
+
+void SiteRegistry::add_global(std::string name, std::string category,
+                              std::span<std::byte> bytes,
+                              std::size_t element_size) {
+  assert(!bytes.empty());
+  assert(element_size > 0 && bytes.size() % element_size == 0);
+  sites_.push_back(InjectionSite{.name = std::move(name),
+                                 .category = std::move(category),
+                                 .frame = FrameKind::kGlobal,
+                                 .worker = -1,
+                                 .data = bytes.data(),
+                                 .bytes = bytes.size(),
+                                 .element_size = element_size});
+}
+
+void SiteRegistry::add_worker(int worker, std::string name,
+                              std::string category, std::span<std::byte> bytes,
+                              std::size_t element_size) {
+  assert(worker >= 0);
+  assert(!bytes.empty());
+  assert(element_size > 0 && bytes.size() % element_size == 0);
+  sites_.push_back(InjectionSite{.name = std::move(name),
+                                 .category = std::move(category),
+                                 .frame = FrameKind::kWorker,
+                                 .worker = worker,
+                                 .data = bytes.data(),
+                                 .bytes = bytes.size(),
+                                 .element_size = element_size});
+}
+
+std::size_t SiteRegistry::worker_frame_count() const {
+  int max_worker = -1;
+  for (const auto& site : sites_) {
+    if (site.frame == FrameKind::kWorker) {
+      max_worker = std::max(max_worker, site.worker);
+    }
+  }
+  return static_cast<std::size_t>(max_worker + 1);
+}
+
+std::vector<std::size_t> SiteRegistry::frame_sites(FrameKind frame,
+                                                   int worker) const {
+  std::vector<std::size_t> indices;
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    const auto& site = sites_[i];
+    if (site.frame != frame) continue;
+    if (frame == FrameKind::kWorker && site.worker != worker) continue;
+    indices.push_back(i);
+  }
+  return indices;
+}
+
+std::size_t SiteRegistry::total_bytes() const {
+  std::size_t total = 0;
+  for (const auto& site : sites_) total += site.bytes;
+  return total;
+}
+
+}  // namespace phifi::fi

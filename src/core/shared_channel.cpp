@@ -1,0 +1,65 @@
+#include "core/shared_channel.hpp"
+
+#include <sys/mman.h>
+
+#include <cassert>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+
+namespace phifi::fi {
+
+SharedChannel::SharedChannel(std::size_t output_capacity) {
+  capacity_ = output_capacity;
+  map_bytes_ = sizeof(Header) + output_capacity;
+  void* mem = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) {
+    throw std::runtime_error("SharedChannel: mmap failed");
+  }
+  header_ = new (mem) Header{};
+  payload_ = static_cast<std::byte*>(mem) + sizeof(Header);
+  reset();
+}
+
+SharedChannel::~SharedChannel() {
+  if (header_ != nullptr) {
+    header_->~Header();
+    ::munmap(header_, map_bytes_);
+  }
+}
+
+void SharedChannel::reset() {
+  header_->record_ready.store(0, std::memory_order_relaxed);
+  header_->output_ready.store(0, std::memory_order_relaxed);
+  header_->output_size = 0;
+  header_->record = InjectionRecord{};
+}
+
+void SharedChannel::store_record(const InjectionRecord& record) {
+  header_->record = record;
+  header_->record_ready.store(1, std::memory_order_release);
+}
+
+void SharedChannel::store_output(std::span<const std::byte> output) {
+  assert(output.size() <= capacity_);
+  std::memcpy(payload_, output.data(), output.size());
+  header_->output_size = output.size();
+  header_->output_ready.store(1, std::memory_order_release);
+}
+
+bool SharedChannel::output_ready() const {
+  return header_->output_ready.load(std::memory_order_acquire) != 0;
+}
+
+bool SharedChannel::record_ready() const {
+  return header_->record_ready.load(std::memory_order_acquire) != 0;
+}
+
+InjectionRecord SharedChannel::record() const { return header_->record; }
+
+std::span<const std::byte> SharedChannel::output() const {
+  return {payload_, header_->output_size};
+}
+
+}  // namespace phifi::fi

@@ -1,0 +1,62 @@
+// Parent/child result channel for forked fault-injection trials.
+//
+// The supervisor forks each trial so crashes and hangs (DUEs) cannot poison
+// the campaign process. The child reports the injection record and the
+// program output through an anonymous shared mmap created before the fork;
+// the parent reads it after reaping the child. A record-ready flag is set
+// *before* the fault is applied so that even a trial that crashes
+// microseconds after the flip still tells the parent what was corrupted.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "core/flip_engine.hpp"
+
+namespace phifi::fi {
+
+class SharedChannel {
+ public:
+  /// Creates a channel able to carry `output_capacity` output bytes.
+  explicit SharedChannel(std::size_t output_capacity);
+  ~SharedChannel();
+
+  SharedChannel(const SharedChannel&) = delete;
+  SharedChannel& operator=(const SharedChannel&) = delete;
+
+  /// Parent: clears all flags before forking the next trial.
+  void reset();
+
+  // ---- child side ----
+
+  /// Publishes (or re-publishes) the injection record.
+  void store_record(const InjectionRecord& record);
+
+  /// Copies the final output and marks the trial complete.
+  void store_output(std::span<const std::byte> output);
+
+  // ---- parent side ----
+
+  [[nodiscard]] bool output_ready() const;
+  [[nodiscard]] bool record_ready() const;
+  [[nodiscard]] InjectionRecord record() const;
+  [[nodiscard]] std::span<const std::byte> output() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+ private:
+  struct Header {
+    std::atomic<std::uint32_t> record_ready;
+    std::atomic<std::uint32_t> output_ready;
+    std::uint64_t output_size;
+    InjectionRecord record;
+  };
+
+  Header* header_ = nullptr;
+  std::byte* payload_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t map_bytes_ = 0;
+};
+
+}  // namespace phifi::fi

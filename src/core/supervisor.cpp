@@ -1,0 +1,205 @@
+#include "core/supervisor.hpp"
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+#include <cstring>
+#include <cstdio>
+#include <stdexcept>
+#include <thread>
+
+#include "util/log.hpp"
+
+namespace phifi::fi {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+TrialSupervisor::TrialSupervisor(WorkloadFactory factory,
+                                 SupervisorConfig config)
+    : factory_(factory), config_(config) {
+  assert(factory_ != nullptr);
+}
+
+TrialSupervisor::~TrialSupervisor() = default;
+
+void TrialSupervisor::prepare_golden() {
+  auto workload = factory_();
+  workload->setup(config_.input_seed);
+  const auto start = Clock::now();
+  {
+    // Scoped so the device's pool threads are joined before any fork.
+    phi::Device device(config_.device_spec, config_.device_os_threads);
+    ProgressTracker progress;
+    progress.reset(workload->total_steps());
+    workload->run(device, progress);
+    progress.finish();
+  }
+  golden_seconds_ = seconds_since(start);
+  const auto bytes = workload->output_bytes();
+  golden_.assign(bytes.begin(), bytes.end());
+  shape_ = workload->output_shape();
+  type_ = workload->output_type();
+  windows_ = workload->time_windows();
+  name_ = workload->name();
+  channel_ = std::make_unique<SharedChannel>(golden_.size());
+  prepared_ = true;
+  util::log_info() << name_ << ": golden run " << golden_seconds_ << "s, "
+                   << golden_.size() << " output bytes";
+}
+
+TrialResult TrialSupervisor::run_trial(const TrialConfig& config) {
+  assert(prepared_ && "call prepare_golden() first");
+  return run_child(&config);
+}
+
+TrialResult TrialSupervisor::run_clean_trial() {
+  assert(prepared_ && "call prepare_golden() first");
+  return run_child(nullptr);
+}
+
+std::span<const std::byte> TrialSupervisor::last_output() const {
+  return channel_->output();
+}
+
+TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
+  channel_->reset();
+  const auto start = Clock::now();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error("TrialSupervisor: fork failed");
+  }
+  if (pid == 0) {
+    child_main(config);  // never returns
+  }
+
+  const double deadline = std::max(config_.min_timeout_seconds,
+                                   config_.timeout_factor * golden_seconds_);
+  int status = 0;
+  bool timed_out = false;
+  while (true) {
+    const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped == pid) break;
+    if (reaped < 0) {
+      throw std::runtime_error("TrialSupervisor: waitpid failed");
+    }
+    if (seconds_since(start) > deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      timed_out = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+  }
+
+  TrialResult result;
+  result.seconds = seconds_since(start);
+  if (channel_->record_ready()) result.record = channel_->record();
+  result.window = windows_ == 0
+                      ? 0
+                      : std::min(windows_ - 1,
+                                 static_cast<unsigned>(
+                                     result.record.progress_fraction *
+                                     windows_));
+
+  if (timed_out) {
+    result.outcome = Outcome::kDue;
+    result.due_kind = DueKind::kHang;
+    return result;
+  }
+  if (WIFSIGNALED(status)) {
+    result.outcome = Outcome::kDue;
+    result.due_kind = DueKind::kCrash;
+    return result;
+  }
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 ||
+      !channel_->output_ready()) {
+    result.outcome = Outcome::kDue;
+    result.due_kind = DueKind::kAbnormalExit;
+    return result;
+  }
+
+  // Clean exit: classify by comparing against the golden copy.
+  if (config != nullptr && !result.record.injected) {
+    result.outcome = Outcome::kNotInjected;
+    return result;
+  }
+  const auto output = channel_->output();
+  const bool matches =
+      output.size() == golden_.size() &&
+      std::memcmp(output.data(), golden_.data(), golden_.size()) == 0;
+  result.outcome = matches ? Outcome::kMasked : Outcome::kSdc;
+  return result;
+}
+
+void TrialSupervisor::child_main(const TrialConfig* config) {
+  // From here on we are in the forked child. The parent was single-threaded
+  // at fork time, so heap and libc state are consistent. Exit only through
+  // _exit() so the parent's atexit handlers and buffers are not replayed.
+  //
+  // Injected faults routinely corrupt the child's heap; glibc then spams
+  // stderr before aborting. That abort IS the result (a DUE), so the noise
+  // is dropped unless the operator asked for verbose logs.
+  if (util::log_level() > util::LogLevel::kInfo) {
+    std::FILE* sink = std::freopen("/dev/null", "w", stderr);
+    (void)sink;
+  }
+  try {
+    auto workload = factory_();
+    workload->setup(config_.input_seed);
+
+    SiteRegistry registry;
+    workload->register_sites(registry);
+
+    ProgressTracker progress;
+    progress.reset(workload->total_steps());
+
+    phi::Device device(config_.device_spec, config_.device_os_threads);
+
+    util::Rng rng(config != nullptr ? config->trial_seed : 0);
+    FlipEngine engine(registry, config != nullptr
+                                    ? config->policy
+                                    : SelectionPolicy::kCarolFi);
+    if (config != nullptr) {
+      const double target = rng.uniform(config->earliest_fraction,
+                                        config->latest_fraction);
+      // The hook runs on whichever worker thread crosses the target, like
+      // the Flip-script running while the stopped program's state sits in
+      // memory. Selection and fault bits come from the trial seed alone.
+      progress.arm(target, [this, config, &engine, &rng](double at) {
+        // Publish a provisional record first: if the flip crashes the
+        // program within microseconds, the parent still learns the model.
+        InjectionRecord provisional;
+        provisional.injected = true;
+        provisional.model = config->model;
+        provisional.progress_fraction = at;
+        channel_->store_record(provisional);
+        const InjectionRecord record =
+            engine.inject(config->model, rng, at, config->burst_elements);
+        channel_->store_record(record);
+      });
+    }
+
+    workload->run(device, progress);
+    progress.finish();
+
+    channel_->store_output(workload->output_bytes());
+  } catch (...) {
+    ::_exit(3);
+  }
+  ::_exit(0);
+}
+
+}  // namespace phifi::fi

@@ -1,0 +1,109 @@
+// Trial supervisor: the Supervisor script of CAROL-FI (Sec. 5.1).
+//
+// For each trial it forks the process; the child rebuilds the workload,
+// starts a flip thread (the Flip-script analog), runs the benchmark on the
+// emulated device, and reports output + injection record through a shared-
+// memory channel. The parent acts as the watchdog: it reaps the child,
+// kills it past the deadline, and classifies the outcome — Masked (output
+// bit-identical to the golden copy), SDC (mismatch), or DUE (crash /
+// abnormal exit / hang).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/flip_engine.hpp"
+#include "core/outcome.hpp"
+#include "core/shared_channel.hpp"
+#include "core/workload_api.hpp"
+#include "phi/device_spec.hpp"
+
+namespace phifi::fi {
+
+struct SupervisorConfig {
+  /// Input-generation seed; fixed for a whole campaign so every trial runs
+  /// the same computation as the golden copy.
+  std::uint64_t input_seed = 0x900d5eedULL;
+  /// OS threads backing the emulated device inside each trial child.
+  unsigned device_os_threads = 2;
+  phi::DeviceSpec device_spec = phi::DeviceSpec::knights_corner_3120a();
+  /// Watchdog deadline = max(min_timeout_seconds,
+  ///                         timeout_factor * golden run time).
+  double timeout_factor = 25.0;
+  double min_timeout_seconds = 2.0;
+};
+
+struct TrialConfig {
+  std::uint64_t trial_seed = 0;  ///< drives flip randomness + injection time
+  FaultModel model = FaultModel::kSingle;
+  SelectionPolicy policy = SelectionPolicy::kCarolFi;
+  /// Consecutive elements the fault footprint covers (1 = one variable
+  /// element; the beam model uses wider bursts for vector/cache strikes).
+  unsigned burst_elements = 1;
+  /// Injection-time fraction is drawn uniformly from this range. Kept off
+  /// the exact endpoints so the flip reliably fires while the program runs.
+  double earliest_fraction = 0.01;
+  double latest_fraction = 0.99;
+};
+
+struct TrialResult {
+  Outcome outcome = Outcome::kNotInjected;
+  DueKind due_kind = DueKind::kNone;
+  InjectionRecord record;
+  /// Time window the injection fell into, in [0, time_windows).
+  unsigned window = 0;
+  double seconds = 0.0;
+};
+
+class TrialSupervisor {
+ public:
+  TrialSupervisor(WorkloadFactory factory, SupervisorConfig config = {});
+  ~TrialSupervisor();
+
+  TrialSupervisor(const TrialSupervisor&) = delete;
+  TrialSupervisor& operator=(const TrialSupervisor&) = delete;
+
+  /// Runs the fault-free golden execution in-process and records its output
+  /// and timing. Must be called before run_trial(). The emulated device is
+  /// torn down afterwards so the campaign process is single-threaded when
+  /// it forks.
+  void prepare_golden();
+
+  /// Runs one injected trial in a forked child and classifies the outcome.
+  TrialResult run_trial(const TrialConfig& config);
+
+  /// Runs a fault-free trial through the same fork/channel machinery;
+  /// used for self-checks and injector-overhead measurement.
+  TrialResult run_clean_trial();
+
+  [[nodiscard]] std::span<const std::byte> golden() const { return golden_; }
+  [[nodiscard]] util::Shape output_shape() const { return shape_; }
+  [[nodiscard]] ElementType output_type() const { return type_; }
+  [[nodiscard]] unsigned time_windows() const { return windows_; }
+  [[nodiscard]] double golden_seconds() const { return golden_seconds_; }
+  [[nodiscard]] std::string_view workload_name() const { return name_; }
+
+  /// Output bytes of the most recent completed (Masked/SDC) trial; valid
+  /// until the next run_trial call.
+  [[nodiscard]] std::span<const std::byte> last_output() const;
+
+ private:
+  TrialResult run_child(const TrialConfig* config);
+  [[noreturn]] void child_main(const TrialConfig* config);
+
+  WorkloadFactory factory_;
+  SupervisorConfig config_;
+  std::vector<std::byte> golden_;
+  util::Shape shape_;
+  ElementType type_ = ElementType::kF32;
+  unsigned windows_ = 1;
+  double golden_seconds_ = 0.0;
+  std::string name_;
+  std::unique_ptr<SharedChannel> channel_;
+  bool prepared_ = false;
+};
+
+}  // namespace phifi::fi

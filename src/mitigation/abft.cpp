@@ -1,0 +1,154 @@
+#include "mitigation/abft.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace phifi::mitigation {
+
+AbftGemm::AbftGemm(std::span<const double> a, std::span<const double> b,
+                   std::size_t n)
+    : n_(n), expected_row_sums_(n, 0.0), expected_col_sums_(n, 0.0) {
+  assert(a.size() >= n * n && b.size() >= n * n);
+  // col_sum_b[k] = sum_j B[k][j];  expected_row_sums[i] = sum_k A[i][k] *
+  // col_sum_b[k]  (= sum_j C[i][j]).
+  std::vector<double> col_sum_b(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) sum += b[k * n + j];
+    col_sum_b[k] = sum;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) sum += a[i * n + k] * col_sum_b[k];
+    expected_row_sums_[i] = sum;
+    scale_ = std::max(scale_, std::fabs(sum));
+  }
+  // row_sum_a[k] = sum_i A[i][k];  expected_col_sums[j] = sum_k row_sum_a[k]
+  // * B[k][j]  (= sum_i C[i][j]).
+  std::vector<double> row_sum_a(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t k = 0; k < n; ++k) row_sum_a[k] += a[i * n + k];
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) sum += row_sum_a[k] * b[k * n + j];
+    expected_col_sums_[j] = sum;
+    scale_ = std::max(scale_, std::fabs(sum));
+  }
+}
+
+AbftReport AbftGemm::check_and_correct(std::span<double> c,
+                                       double tolerance) const {
+  assert(c.size() >= n_ * n_);
+  AbftReport report;
+  const double slack = tolerance * std::max(scale_, 1.0);
+
+  auto compute_deltas = [&](std::vector<double>& row_delta,
+                            std::vector<double>& col_delta) {
+    row_delta.assign(n_, 0.0);
+    col_delta.assign(n_, 0.0);
+    for (std::size_t i = 0; i < n_; ++i) {
+      double sum = 0.0;
+      for (std::size_t j = 0; j < n_; ++j) sum += c[i * n_ + j];
+      row_delta[i] = sum - expected_row_sums_[i];
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+      double sum = 0.0;
+      for (std::size_t i = 0; i < n_; ++i) sum += c[i * n_ + j];
+      col_delta[j] = sum - expected_col_sums_[j];
+    }
+  };
+
+  std::vector<double> row_delta;
+  std::vector<double> col_delta;
+  compute_deltas(row_delta, col_delta);
+
+  auto bad = [&](const std::vector<double>& deltas) {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < n_; ++i) {
+      if (std::isnan(deltas[i]) || std::fabs(deltas[i]) > slack) {
+        indices.push_back(i);
+      }
+    }
+    return indices;
+  };
+
+  std::vector<std::size_t> bad_rows = bad(row_delta);
+  std::vector<std::size_t> bad_cols = bad(col_delta);
+  report.bad_rows = bad_rows.size();
+  report.bad_cols = bad_cols.size();
+  if (bad_rows.empty() && bad_cols.empty()) {
+    report.consistent = true;
+    return report;
+  }
+
+  // Non-finite cells cannot be repaired by subtraction of deltas (the sums
+  // themselves are poisoned); recompute is the only remedy. Report as
+  // detected-uncorrectable.
+  bool non_finite = false;
+  for (std::size_t r : bad_rows) {
+    non_finite |= !std::isfinite(row_delta[r]);
+  }
+  for (std::size_t cidx : bad_cols) {
+    non_finite |= !std::isfinite(col_delta[cidx]);
+  }
+  if (non_finite) {
+    report.uncorrectable = true;
+    return report;
+  }
+
+  // Line errors: one bad row crossing many bad columns (or transposed).
+  // Each wrong cell (r, c) is off by col_delta[c] (resp. row_delta[r]).
+  if (bad_rows.size() == 1 && !bad_cols.empty()) {
+    const std::size_t r = bad_rows[0];
+    for (std::size_t cidx : bad_cols) {
+      c[r * n_ + cidx] -= col_delta[cidx];
+      ++report.corrected;
+    }
+  } else if (bad_cols.size() == 1 && !bad_rows.empty()) {
+    const std::size_t cc = bad_cols[0];
+    for (std::size_t r : bad_rows) {
+      c[r * n_ + cc] -= row_delta[r];
+      ++report.corrected;
+    }
+  } else {
+    // Scattered errors: greedily pair a bad row with the unique bad column
+    // whose delta matches; unpairable residue (e.g. a square block) is
+    // uncorrectable.
+    bool progress = true;
+    while (progress && !bad_rows.empty()) {
+      progress = false;
+      for (auto row_it = bad_rows.begin(); row_it != bad_rows.end();
+           ++row_it) {
+        std::size_t matches = 0;
+        std::size_t match_col = 0;
+        for (std::size_t cidx : bad_cols) {
+          if (std::fabs(row_delta[*row_it] - col_delta[cidx]) <= slack) {
+            ++matches;
+            match_col = cidx;
+          }
+        }
+        if (matches == 1) {
+          c[*row_it * n_ + match_col] -= row_delta[*row_it];
+          ++report.corrected;
+          col_delta[match_col] -= row_delta[*row_it];
+          row_delta[*row_it] = 0.0;
+          bad_rows.erase(row_it);
+          std::erase_if(bad_cols, [&](std::size_t cidx) {
+            return std::fabs(col_delta[cidx]) <= slack;
+          });
+          progress = true;
+          break;
+        }
+      }
+    }
+  }
+
+  // Re-audit after repair.
+  compute_deltas(row_delta, col_delta);
+  report.uncorrectable = !bad(row_delta).empty() || !bad(col_delta).empty();
+  return report;
+}
+
+}  // namespace phifi::mitigation

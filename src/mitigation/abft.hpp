@@ -1,0 +1,71 @@
+// Algorithm-Based Fault Tolerance for matrix multiplication
+// (Huang & Abraham 1984; the experimentally tuned GPU variant of Rech et
+// al. 2013 that the paper cites in Sec. 4.3/6.1).
+//
+// For C = A x B, the row checksum of C must equal A x (B's column-sum
+// vector) and the column checksum must equal (A's row-sum vector) x B.
+// After the multiply, inconsistent row/column sums locate errors:
+//   one bad row  x one bad col          -> single error, corrected in O(1);
+//   one bad row  x many bad cols (or
+//   transposed)                          -> line error, corrected per cell;
+//   several bad rows/cols that pair up   -> scattered ("random") errors,
+//                                           corrected greedily;
+//   unpairable residue (e.g. square
+//   blocks of errors)                    -> detected but not correctable,
+// which is exactly the pattern-dependent coverage Fig. 2's discussion
+// derives for DGEMM on the Xeon Phi.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace phifi::mitigation {
+
+struct AbftReport {
+  bool consistent = false;       ///< checksums matched (no error detected)
+  std::size_t corrected = 0;     ///< elements repaired in place
+  bool uncorrectable = false;    ///< inconsistency left after correction
+  std::size_t bad_rows = 0;
+  std::size_t bad_cols = 0;
+
+  [[nodiscard]] bool detected() const { return !consistent; }
+};
+
+class AbftGemm {
+ public:
+  /// Captures the input checksums of an n x n multiply C = A x B.
+  /// Cost: two matrix-vector products, O(n^2).
+  AbftGemm(std::span<const double> a, std::span<const double> b,
+           std::size_t n);
+
+  /// Verifies C against the captured checksums and repairs what the error
+  /// pattern allows. `tolerance` is the relative slack for floating-point
+  /// checksum comparison.
+  AbftReport check_and_correct(std::span<double> c,
+                               double tolerance = 1e-6) const;
+
+  [[nodiscard]] std::span<const double> expected_row_sums() const {
+    return expected_row_sums_;
+  }
+  [[nodiscard]] std::span<const double> expected_col_sums() const {
+    return expected_col_sums_;
+  }
+  /// Mutable views for fault-injection site registration: the checksum
+  /// vectors are program state too, and corrupting them must have its real
+  /// effect (false positives / bad repairs).
+  [[nodiscard]] std::span<double> mutable_row_sums() {
+    return expected_row_sums_;
+  }
+  [[nodiscard]] std::span<double> mutable_col_sums() {
+    return expected_col_sums_;
+  }
+
+ private:
+  std::size_t n_;
+  std::vector<double> expected_row_sums_;  // sum over j of C[i][j]
+  std::vector<double> expected_col_sums_;  // sum over i of C[i][j]
+  double scale_ = 1.0;  ///< magnitude scale for tolerance comparisons
+};
+
+}  // namespace phifi::mitigation

@@ -1,0 +1,71 @@
+// Checkpoint/restart harness (Sec. 6's discussion of checkpoint frequency).
+//
+// The paper argues that lowering the DUE rate of critical portions (CLAMR's
+// Sort/Tree) lets HPC systems checkpoint less often. This in-memory
+// checkpointer snapshots registered state regions and restores them after a
+// detected error; the mitigation-ablation bench uses it to quantify that
+// checkpoint-interval trade-off.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace phifi::mitigation {
+
+class CheckpointManager {
+ public:
+  /// Registers a live state region. Pointers must outlive the manager.
+  void register_region(std::string name, std::span<std::byte> region) {
+    regions_.push_back({std::move(name), region});
+    storage_.emplace_back(region.size());
+  }
+
+  template <typename T>
+  void register_array(std::string name, std::span<T> values) {
+    register_region(std::move(name),
+                    {reinterpret_cast<std::byte*>(values.data()),
+                     values.size() * sizeof(T)});
+  }
+
+  /// Copies all regions into the checkpoint store.
+  void save() {
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+      std::memcpy(storage_[i].data(), regions_[i].region.data(),
+                  regions_[i].region.size());
+    }
+    ++saves_;
+  }
+
+  /// Restores all regions from the last save(). No-op if never saved.
+  void restore() {
+    if (saves_ == 0) return;
+    for (std::size_t i = 0; i < regions_.size(); ++i) {
+      std::memcpy(regions_[i].region.data(), storage_[i].data(),
+                  regions_[i].region.size());
+    }
+    ++restores_;
+  }
+
+  [[nodiscard]] std::size_t saves() const { return saves_; }
+  [[nodiscard]] std::size_t restores() const { return restores_; }
+  [[nodiscard]] std::size_t bytes() const {
+    std::size_t total = 0;
+    for (const auto& r : regions_) total += r.region.size();
+    return total;
+  }
+
+ private:
+  struct Region {
+    std::string name;
+    std::span<std::byte> region;
+  };
+  std::vector<Region> regions_;
+  std::vector<std::vector<std::byte>> storage_;
+  std::size_t saves_ = 0;
+  std::size_t restores_ = 0;
+};
+
+}  // namespace phifi::mitigation

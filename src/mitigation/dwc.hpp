@@ -1,0 +1,99 @@
+// Selective variable hardening: duplication-with-comparison and TMR.
+//
+// Sec. 6's recommendation for the replicated loop-control variables and
+// read-only constants: keep two (or three) copies and compare on every
+// read. A mismatch is a *detected* error — the caller turns it into a
+// clean abort (DUE instead of SDC) for DWC, while TMR's majority vote
+// *corrects* it. Overhead is a few bytes and one compare per read, which
+// is why the paper prefers this over blanket replication.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <type_traits>
+
+namespace phifi::mitigation {
+
+/// Thrown when a duplicated variable's copies disagree.
+class DwcMismatch : public std::runtime_error {
+ public:
+  DwcMismatch() : std::runtime_error("DWC: duplicated copies disagree") {}
+};
+
+/// Two copies, compared on read. Copies are deliberately stored with one
+/// complemented so a fault that hits "the same bit of both copies" (one
+/// physical line feeding both) still trips the compare.
+template <typename T>
+class Duplicated {
+  static_assert(std::is_integral_v<T>,
+                "Duplicated stores a complemented shadow; integral types "
+                "only (wrap floats through their bit pattern)");
+
+ public:
+  Duplicated() : Duplicated(T{}) {}
+  explicit Duplicated(T value) { set(value); }
+
+  void set(T value) {
+    primary_ = value;
+    shadow_ = ~static_cast<std::uint64_t>(value);
+  }
+
+  /// Returns the value; throws DwcMismatch if the copies disagree.
+  [[nodiscard]] T get() const {
+    const T mirrored = static_cast<T>(~shadow_);
+    if (primary_ != mirrored) throw DwcMismatch();
+    return primary_;
+  }
+
+  /// Non-throwing check.
+  [[nodiscard]] bool consistent() const {
+    return primary_ == static_cast<T>(~shadow_);
+  }
+
+  /// Fault-injection hooks for tests.
+  T& raw_primary() { return primary_; }
+  std::uint64_t& raw_shadow() { return shadow_; }
+
+ private:
+  T primary_;
+  std::uint64_t shadow_;
+};
+
+/// Three copies with majority vote: corrects any single corrupted copy.
+template <typename T>
+class Tmr {
+ public:
+  Tmr() : Tmr(T{}) {}
+  explicit Tmr(T value) { set(value); }
+
+  void set(T value) {
+    copies_[0] = value;
+    copies_[1] = value;
+    copies_[2] = value;
+  }
+
+  /// Majority vote; also repairs the odd copy out. Throws if all three
+  /// disagree (uncorrectable).
+  T get() {
+    if (copies_[0] == copies_[1]) {
+      copies_[2] = copies_[0];
+      return copies_[0];
+    }
+    if (copies_[0] == copies_[2]) {
+      copies_[1] = copies_[0];
+      return copies_[0];
+    }
+    if (copies_[1] == copies_[2]) {
+      copies_[0] = copies_[1];
+      return copies_[1];
+    }
+    throw DwcMismatch();
+  }
+
+  T& raw_copy(int i) { return copies_[i]; }
+
+ private:
+  T copies_[3];
+};
+
+}  // namespace phifi::mitigation

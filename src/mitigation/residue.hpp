@@ -1,0 +1,99 @@
+// Residue codes (Sec. 6.1): low-cost arithmetic error detection.
+//
+// A residue code stores r = x mod M alongside x (x taken as its 64-bit
+// two's-complement bit pattern). Because addition and multiplication
+// commute with "mod M" — up to a wraparound correction that is itself
+// computable mod M — the residue of a result can be predicted from the
+// operand residues and compared with the residue of the stored result. A
+// mismatch means the ALU or the stored value was corrupted. With M = 3
+// (2 check bits) or M = 15 (4 check bits), every single-bit flip of the
+// value is detectable because 2^k mod 3 in {1,2} and 2^k mod 15 in
+// {1,2,4,8} are never zero. ECC on memory arrays cannot catch faults in
+// the arithmetic itself; residue checking can, which is why the paper
+// recommends it for algebraic codes (DGEMM/LUD) and NW.
+//
+// Both supported moduli divide 2^64 - 1, so 2^64 ≡ 1 (mod M) and the
+// wraparound corrections below are exact.
+#pragma once
+
+#include <cstdint>
+
+namespace phifi::mitigation {
+
+/// Residue of the two's-complement bit pattern of `value` modulo M.
+template <std::uint32_t M>
+constexpr std::uint32_t residue_of(std::int64_t value) {
+  static_assert(M == 3 || M == 15, "wraparound math assumes M | 2^64 - 1");
+  return static_cast<std::uint32_t>(static_cast<std::uint64_t>(value) % M);
+}
+
+/// An integer carrying its residue check. Arithmetic updates the residue
+/// through the residue algebra (NOT by recomputing it from the value), so a
+/// corrupted value and its residue disagree until verify() is called.
+template <std::uint32_t M>
+class ResidueChecked {
+ public:
+  ResidueChecked() : ResidueChecked(0) {}
+  explicit ResidueChecked(std::int64_t value)
+      : value_(value), residue_(residue_of<M>(value)) {}
+
+  [[nodiscard]] std::int64_t value() const { return value_; }
+  [[nodiscard]] std::uint32_t residue() const { return residue_; }
+
+  /// True if the stored value still matches its residue.
+  [[nodiscard]] bool verify() const {
+    return residue_of<M>(value_) == residue_;
+  }
+
+  ResidueChecked& operator+=(const ResidueChecked& other) {
+    const auto ua = static_cast<std::uint64_t>(value_);
+    const auto ub = static_cast<std::uint64_t>(other.value_);
+    const std::uint64_t sum = ua + ub;
+    const std::uint32_t carry = sum < ua ? 1 : 0;  // wrapped past 2^64
+    value_ = static_cast<std::int64_t>(sum);
+    // (ua+ub) - carry*2^64 ≡ ra + rb - carry (mod M) since 2^64 ≡ 1.
+    residue_ = (residue_ + other.residue_ + (M - carry)) % M;
+    return *this;
+  }
+
+  ResidueChecked& operator*=(const ResidueChecked& other) {
+    const auto ua = static_cast<std::uint64_t>(value_);
+    const auto ub = static_cast<std::uint64_t>(other.value_);
+    const __uint128_t product = static_cast<__uint128_t>(ua) * ub;
+    const auto high = static_cast<std::uint64_t>(product >> 64);
+    value_ = static_cast<std::int64_t>(static_cast<std::uint64_t>(product));
+    // low = P - high*2^64 ≡ ra*rb - high (mod M).
+    const std::uint32_t predicted =
+        static_cast<std::uint32_t>((static_cast<std::uint64_t>(residue_) *
+                                        other.residue_ +
+                                    static_cast<std::uint64_t>(M) * M -
+                                    high % M) %
+                                   M);
+    residue_ = predicted;
+    return *this;
+  }
+
+  friend ResidueChecked operator+(ResidueChecked a, const ResidueChecked& b) {
+    a += b;
+    return a;
+  }
+  friend ResidueChecked operator*(ResidueChecked a, const ResidueChecked& b) {
+    a *= b;
+    return a;
+  }
+
+  /// Direct access for fault injection in tests: corrupting the value
+  /// without touching the residue models a data fault; the reverse models a
+  /// check-bit fault.
+  std::int64_t& raw_value() { return value_; }
+  std::uint32_t& raw_residue() { return residue_; }
+
+ private:
+  std::int64_t value_;
+  std::uint32_t residue_;
+};
+
+using ResidueMod3 = ResidueChecked<3>;
+using ResidueMod15 = ResidueChecked<15>;
+
+}  // namespace phifi::mitigation

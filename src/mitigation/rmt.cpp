@@ -1,0 +1,48 @@
+#include "mitigation/rmt.hpp"
+
+namespace phifi::mitigation {
+
+RmtReport run_duplicated(std::span<std::byte> output,
+                         const std::function<void()>& kernel) {
+  RmtReport report;
+  kernel();
+  std::vector<std::byte> first(output.begin(), output.end());
+  kernel();
+  report.runs = 2;
+  report.mismatch_detected =
+      std::memcmp(first.data(), output.data(), output.size()) != 0;
+  return report;
+}
+
+RmtReport run_triplicated(std::span<std::byte> output,
+                          const std::function<void()>& kernel) {
+  RmtReport report;
+  kernel();
+  std::vector<std::byte> first(output.begin(), output.end());
+  kernel();
+  report.runs = 2;
+  if (std::memcmp(first.data(), output.data(), output.size()) == 0) {
+    return report;  // agreement, no third run needed
+  }
+  report.mismatch_detected = true;
+  std::vector<std::byte> second(output.begin(), output.end());
+  kernel();
+  report.runs = 3;
+  if (std::memcmp(first.data(), output.data(), output.size()) == 0 ||
+      std::memcmp(second.data(), output.data(), output.size()) == 0) {
+    report.corrected = true;  // third run broke the tie; output holds it
+    return report;
+  }
+  // Three distinct results: vote byte-wise as a last resort.
+  bool any_vote = false;
+  for (std::size_t i = 0; i < output.size(); ++i) {
+    if (first[i] == second[i] && first[i] != output[i]) {
+      output[i] = first[i];
+      any_vote = true;
+    }
+  }
+  report.corrected = any_vote;
+  return report;
+}
+
+}  // namespace phifi::mitigation

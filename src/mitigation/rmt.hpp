@@ -1,0 +1,35 @@
+// Redundant multithreading / redundant execution (Sec. 6).
+//
+// The general-purpose hammer the paper reserves for portions too large to
+// duplicate selectively (LavaMD): run the computation twice and compare
+// (detection: a mismatch becomes a clean re-run or abort instead of an
+// SDC), or three times with a vote (correction). The harness compares raw
+// output bytes, so it works for any kernel that writes a buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace phifi::mitigation {
+
+struct RmtReport {
+  bool mismatch_detected = false;
+  bool corrected = false;   ///< triple mode: majority restored the output
+  int runs = 0;
+};
+
+/// Runs `kernel` twice; the kernel must (re)compute its full result into
+/// `output` on each call. Returns whether the two runs agreed; on
+/// disagreement `output` holds the second run's bytes.
+RmtReport run_duplicated(std::span<std::byte> output,
+                         const std::function<void()>& kernel);
+
+/// Runs `kernel` up to three times and votes byte-wise. If two runs agree,
+/// output is left holding the agreed bytes.
+RmtReport run_triplicated(std::span<std::byte> output,
+                          const std::function<void()>& kernel);
+
+}  // namespace phifi::mitigation

@@ -1,0 +1,84 @@
+// Per-logical-hardware-thread control block.
+//
+// The paper's key DGEMM finding (Sec. 6) is that loop control variables,
+// although only a handful of integers in the source, are replicated once per
+// hardware thread (228x on the 3120A) and therefore occupy enough memory to
+// be hit often — and hits on them are severe. To reproduce that mechanism
+// the runtime gives every *logical* hardware thread a ControlBlock of named
+// 64-bit slots. Kernels keep their loop counters / bounds / pointers-as-
+// indices in these slots, and all accesses go through volatile references so
+// a concurrent bit-flip injected by the fault injector is actually observed
+// by the running kernel instead of living only in a register.
+#pragma once
+
+#include <array>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace phifi::phi {
+
+/// Handle to a named control slot; obtained from ControlLayout.
+struct ControlSlot {
+  std::size_t index = 0;
+};
+
+/// Names the slots a workload uses. Shared by all workers of one workload
+/// (each worker has its own values, the *layout* is common).
+class ControlLayout {
+ public:
+  static constexpr std::size_t kMaxSlots = 16;
+
+  /// Registers a slot name and returns its handle. Names must be unique;
+  /// at most kMaxSlots slots.
+  ControlSlot add(std::string_view name) {
+    assert(count_ < kMaxSlots);
+    names_[count_] = name;
+    return ControlSlot{count_++};
+  }
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] std::string_view name(std::size_t index) const {
+    assert(index < count_);
+    return names_[index];
+  }
+
+ private:
+  std::array<std::string_view, kMaxSlots> names_{};
+  std::size_t count_ = 0;
+};
+
+/// The per-worker storage. Values are read/written through volatile glvalues
+/// so that the compiler re-loads them on every access: an injected corruption
+/// takes effect at the next loop iteration, exactly like the GDB-level
+/// memory corruption CAROL-FI performs.
+class ControlBlock {
+ public:
+  [[nodiscard]] std::int64_t get(ControlSlot slot) const {
+    return const_cast<const volatile std::int64_t&>(slots_[slot.index]);
+  }
+  void set(ControlSlot slot, std::int64_t value) {
+    const_cast<volatile std::int64_t&>(slots_[slot.index]) = value;
+  }
+  /// Post-increment-style update returning the new value.
+  std::int64_t add(ControlSlot slot, std::int64_t delta) {
+    const std::int64_t next = get(slot) + delta;
+    set(slot, next);
+    return next;
+  }
+
+  /// Raw bytes of one slot, for injection-site registration.
+  [[nodiscard]] std::span<std::byte> slot_bytes(std::size_t index) {
+    return {reinterpret_cast<std::byte*>(&slots_[index]),
+            sizeof(std::int64_t)};
+  }
+
+  void clear() { slots_.fill(0); }
+
+ private:
+  std::array<std::int64_t, ControlLayout::kMaxSlots> slots_{};
+};
+
+}  // namespace phifi::phi

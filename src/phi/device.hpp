@@ -1,0 +1,91 @@
+// Offload-style execution runtime emulating a many-thread coprocessor.
+//
+// The Knights Corner card runs kernels across up to 228 hardware threads.
+// Reproducing the paper's reliability mechanisms does not require cycle
+// accuracy; it requires the *software structure* of such a device:
+//   * many logical hardware threads, each with private control state
+//     (ControlBlock) that is replicated per thread and corruptible;
+//   * shared arrays in device memory that all threads read/write;
+//   * bulk-synchronous kernel launches.
+// Logical hardware threads are multiplexed onto a small pool of OS threads
+// (the host machine is much smaller than the card), which preserves all of
+// the above while keeping a fault-injection trial cheap enough to run
+// thousands of times.
+//
+// Restriction: a kernel body must not synchronize across logical workers
+// (they may run sequentially on one OS thread). Express phases as separate
+// launches, as offload programming models do.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "phi/control_block.hpp"
+#include "phi/counters.hpp"
+#include "phi/device_spec.hpp"
+
+namespace phifi::phi {
+
+class Device;
+
+/// Everything a kernel body sees about the logical thread it runs on.
+struct WorkerCtx {
+  unsigned worker = 0;       ///< logical hardware-thread id
+  unsigned num_workers = 1;  ///< logical threads in this launch
+  ControlBlock* ctl = nullptr;
+  Counters* counters = nullptr;
+
+  [[nodiscard]] ControlBlock& control() const { return *ctl; }
+};
+
+class Device {
+ public:
+  /// Creates a device. `os_threads` is the size of the host thread pool
+  /// backing the logical hardware threads; 0 picks a small default based on
+  /// std::thread::hardware_concurrency().
+  explicit Device(DeviceSpec spec = DeviceSpec::knights_corner_3120a(),
+                  unsigned os_threads = 0);
+  ~Device();
+
+  Device(const Device&) = delete;
+  Device& operator=(const Device&) = delete;
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] Counters& counters() { return counters_; }
+  [[nodiscard]] unsigned os_threads() const { return os_threads_; }
+
+  /// Per-logical-thread control block; valid for
+  /// worker < spec().hardware_threads().
+  [[nodiscard]] ControlBlock& control_block(unsigned worker);
+
+  /// Runs `body` once per logical worker in [0, workers). Bulk-synchronous:
+  /// returns after every logical worker finished. Exceptions thrown by the
+  /// body are rethrown (first one wins) on the calling thread.
+  void launch(unsigned workers, const std::function<void(WorkerCtx&)>& body);
+
+  /// Block-partitions [0, count) across all hardware threads and invokes
+  /// body(begin, end, ctx) per logical worker with a non-empty range.
+  void parallel_for(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t, WorkerCtx&)>& body);
+
+  /// Contiguous chunk of [0,count) owned by `worker` of `workers`.
+  static std::pair<std::size_t, std::size_t> partition(std::size_t count,
+                                                       unsigned worker,
+                                                       unsigned workers);
+
+ private:
+  struct Pool;
+
+  DeviceSpec spec_;
+  unsigned os_threads_;
+  Counters counters_;
+  std::vector<ControlBlock> control_blocks_;
+  std::unique_ptr<Pool> pool_;
+};
+
+}  // namespace phifi::phi

@@ -1,0 +1,37 @@
+#include "phi/device_spec.hpp"
+
+namespace phifi::phi {
+
+DeviceSpec DeviceSpec::knights_corner_3120a() {
+  DeviceSpec spec;
+  spec.model = "Intel Xeon Phi 3120A (Knights Corner)";
+  spec.physical_cores = 57;
+  spec.threads_per_core = 4;
+  spec.vector_bits = 512;
+  spec.vector_registers_per_thread = 32;
+  spec.l1_bytes_per_core = 64 * 1024;
+  spec.l2_bytes_per_core = 512 * 1024;
+  spec.dram_bytes = std::size_t{6} << 30;
+  spec.process_nm = 22;
+  spec.ecc_enabled = true;
+  spec.clock_ghz = 1.1;
+  return spec;
+}
+
+DeviceSpec DeviceSpec::test_device() {
+  DeviceSpec spec;
+  spec.model = "phifi test device";
+  spec.physical_cores = 4;
+  spec.threads_per_core = 2;
+  spec.vector_bits = 128;
+  spec.vector_registers_per_thread = 8;
+  spec.l1_bytes_per_core = 16 * 1024;
+  spec.l2_bytes_per_core = 64 * 1024;
+  spec.dram_bytes = std::size_t{64} << 20;
+  spec.process_nm = 22;
+  spec.ecc_enabled = true;
+  spec.clock_ghz = 1.0;
+  return spec;
+}
+
+}  // namespace phifi::phi

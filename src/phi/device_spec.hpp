@@ -1,0 +1,52 @@
+// Static description of the emulated coprocessor.
+//
+// The paper's testbed is an Intel Xeon Phi 3120A ("Knights Corner"): 57
+// in-order physical cores, 4 hardware threads per core, 32 512-bit vector
+// registers per thread, 64 KB L1 + 512 KB L2 per core, 6 GB GDDR5, 22 nm,
+// MCA with SECDED ECC on the main storage arrays (Sec. 3.1). The spec feeds
+// (a) the offload runtime (how many logical hardware threads a kernel launch
+// fans out to) and (b) the radiation sensitivity model (how many bits of each
+// resource class exist and which are ECC-protected).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace phifi::phi {
+
+struct DeviceSpec {
+  std::string model = "generic";
+  unsigned physical_cores = 1;
+  unsigned threads_per_core = 1;
+  unsigned vector_bits = 128;
+  unsigned vector_registers_per_thread = 16;
+  std::size_t l1_bytes_per_core = 32 * 1024;
+  std::size_t l2_bytes_per_core = 256 * 1024;
+  std::size_t dram_bytes = std::size_t{1} << 30;
+  unsigned process_nm = 22;
+  bool ecc_enabled = true;
+  /// Nominal core clock; only used for reporting, never for timing.
+  double clock_ghz = 1.0;
+
+  [[nodiscard]] unsigned hardware_threads() const {
+    return physical_cores * threads_per_core;
+  }
+  [[nodiscard]] std::size_t l1_bytes_total() const {
+    return l1_bytes_per_core * physical_cores;
+  }
+  [[nodiscard]] std::size_t l2_bytes_total() const {
+    return l2_bytes_per_core * physical_cores;
+  }
+  [[nodiscard]] std::size_t vector_register_bits_total() const {
+    return static_cast<std::size_t>(vector_bits) *
+           vector_registers_per_thread * hardware_threads();
+  }
+
+  /// The paper's device: Xeon Phi 3120A, Knights Corner.
+  static DeviceSpec knights_corner_3120a();
+
+  /// A deliberately tiny device for fast unit tests.
+  static DeviceSpec test_device();
+};
+
+}  // namespace phifi::phi

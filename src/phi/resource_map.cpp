@@ -1,0 +1,89 @@
+#include "phi/resource_map.hpp"
+
+namespace phifi::phi {
+
+std::string_view to_string(ResourceClass cls) {
+  switch (cls) {
+    case ResourceClass::kDram: return "DRAM";
+    case ResourceClass::kL2Cache: return "L2";
+    case ResourceClass::kL1Cache: return "L1";
+    case ResourceClass::kRegisterFile: return "scalar-regs";
+    case ResourceClass::kVectorRegisters: return "vector-regs";
+    case ResourceClass::kPipelineQueues: return "pipeline-queues";
+    case ResourceClass::kDispatchLogic: return "dispatch-logic";
+    case ResourceClass::kInterconnect: return "interconnect";
+  }
+  return "?";
+}
+
+std::string_view to_string(Protection protection) {
+  switch (protection) {
+    case Protection::kSecded: return "SECDED";
+    case Protection::kParity: return "parity";
+    case Protection::kNone: return "none";
+  }
+  return "?";
+}
+
+ResourceMap ResourceMap::for_spec(const DeviceSpec& spec) {
+  ResourceMap map;
+  const std::size_t cores = spec.physical_cores;
+  const std::size_t hw_threads = spec.hardware_threads();
+  const Protection array_protection =
+      spec.ecc_enabled ? Protection::kSecded : Protection::kNone;
+
+  map.resources_ = {
+      {.cls = ResourceClass::kDram,
+       .bits = spec.dram_bytes * 8,
+       .protection = array_protection,
+       .beam_exposed = false},
+      {.cls = ResourceClass::kL2Cache,
+       .bits = spec.l2_bytes_total() * 8,
+       .protection = array_protection},
+      {.cls = ResourceClass::kL1Cache,
+       .bits = spec.l1_bytes_total() * 8,
+       .protection = spec.ecc_enabled ? Protection::kParity
+                                      : Protection::kNone},
+      {.cls = ResourceClass::kRegisterFile,
+       // 16 architectural 64-bit integer registers per hardware thread.
+       .bits = hw_threads * 16 * 64,
+       .protection = array_protection},
+      {.cls = ResourceClass::kVectorRegisters,
+       .bits = spec.vector_register_bits_total(),
+       .protection = array_protection},
+      // Sequential (flip-flop) state in pipeline and memory-order queues:
+      // rough per-core estimate for a short in-order pipeline with wide
+      // vector datapaths. Unprotected, per the paper.
+      {.cls = ResourceClass::kPipelineQueues,
+       .bits = cores * 96 * 1024,
+       .protection = Protection::kNone},
+      // Decode/dispatch control state per core.
+      {.cls = ResourceClass::kDispatchLogic,
+       .bits = cores * 24 * 1024,
+       .protection = Protection::kNone},
+      // Ring-stop buffers and arbitration state per core slice.
+      {.cls = ResourceClass::kInterconnect,
+       .bits = cores * 32 * 1024,
+       .protection = Protection::kNone},
+  };
+  return map;
+}
+
+const Resource* ResourceMap::find(ResourceClass cls) const {
+  for (const Resource& r : resources_) {
+    if (r.cls == cls) return &r;
+  }
+  return nullptr;
+}
+
+std::size_t ResourceMap::exposed_bits(bool unprotected_only) const {
+  std::size_t total = 0;
+  for (const Resource& r : resources_) {
+    if (!r.beam_exposed) continue;
+    if (unprotected_only && r.protection != Protection::kNone) continue;
+    total += r.bits;
+  }
+  return total;
+}
+
+}  // namespace phifi::phi

@@ -1,0 +1,96 @@
+#include "radiation/beam_campaign.hpp"
+
+#include "util/log.hpp"
+
+namespace phifi::radiation {
+
+BeamResult BeamCampaign::run() {
+  BeamResult result;
+  result.workload = supervisor_->workload_name();
+  analysis::SdcAnalyzer analyzer(*supervisor_);
+
+  util::Rng rng(config_.seed);
+  const double fluence_per_run = config_.flux * config_.run_seconds;
+  const double strikes_mean =
+      sensitivity_->expected_strikes(fluence_per_run);
+
+  while (result.runs < config_.max_runs &&
+         result.executions < config_.max_executions &&
+         (result.sdc < config_.min_sdc ||
+          result.due_total() < config_.min_due)) {
+    ++result.runs;
+    result.fluence += fluence_per_run;
+
+    const std::uint64_t strikes = rng.poisson(strikes_mean);
+    result.strikes += strikes;
+    if (strikes == 0) continue;  // clean execution: fluence only
+
+    // Walk the strikes of this execution; the first one that escapes the
+    // hardware decides the run's fate (the beam is tuned so two visible
+    // faults in one execution are negligible; we keep that property).
+    bool machine_check = false;
+    StrikeOutcome fault;
+    bool have_fault = false;
+    for (std::uint64_t s = 0; s < strikes; ++s) {
+      const StrikeOutcome outcome = sensitivity_->sample_strike(rng);
+      switch (outcome.kind) {
+        case StrikeOutcome::Kind::kAbsorbed:
+          ++result.absorbed;
+          break;
+        case StrikeOutcome::Kind::kMachineCheck:
+          machine_check = true;
+          break;
+        case StrikeOutcome::Kind::kProgramFault:
+          if (!have_fault) {
+            fault = outcome;
+            have_fault = true;
+          }
+          break;
+      }
+      if (machine_check) break;
+    }
+
+    if (machine_check) {
+      // MCA kills the offload before the program can finish: DUE without
+      // needing to execute anything.
+      ++result.due_machine_check;
+      continue;
+    }
+    if (!have_fault) continue;
+
+    ++result.executions;
+    fi::TrialConfig trial;
+    trial.trial_seed = rng.next();
+    trial.model = fault.model;
+    trial.policy = fault.target;
+    trial.burst_elements = fault.burst_elements;
+    const fi::TrialResult outcome = supervisor_->run_trial(trial);
+    switch (outcome.outcome) {
+      case fi::Outcome::kSdc:
+        ++result.sdc;
+        analyzer.inspect(supervisor_->last_output());
+        break;
+      case fi::Outcome::kDue:
+        ++result.due_program;
+        break;
+      case fi::Outcome::kMasked:
+      case fi::Outcome::kNotInjected:
+        ++result.masked_faults;
+        break;
+    }
+  }
+
+  result.sdc_fit = analysis::fit_from_counts(result.sdc, result.fluence);
+  result.due_fit =
+      analysis::fit_from_counts(result.due_total(), result.fluence);
+  result.patterns = analyzer.patterns();
+  result.tolerance = analyzer.tolerance();
+  result.single_element_fraction = analyzer.single_element_fraction();
+
+  util::log_info() << result.workload << ": beam campaign " << result.runs
+                   << " runs, " << result.executions << " executed, "
+                   << result.sdc << " SDC, " << result.due_total() << " DUE";
+  return result;
+}
+
+}  // namespace phifi::radiation

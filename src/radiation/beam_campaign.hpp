@@ -1,0 +1,86 @@
+// Neutron-beam campaign simulator (Sec. 4).
+//
+// Reproduces the LANSCE experimental loop: a benchmark runs back-to-back
+// under an accelerated neutron flux; the host diffs each execution's output
+// against a golden copy and logs SDCs and DUEs; FIT rates come from the
+// accumulated fluence scaled to the natural sea-level flux.
+//
+// Strikes arrive as a Poisson process over the device's strike cross
+// section. Executions with no strike that reaches program state are counted
+// analytically (they contribute fluence, not errors), so the simulator only
+// pays for the executions that matter — the same importance-sampling
+// argument the paper uses in reverse when it tunes the beam so that fewer
+// than 1e-4 executions see an error.
+#pragma once
+
+#include <cstdint>
+
+#include "analysis/fit.hpp"
+#include "analysis/sdc_analyzer.hpp"
+#include "core/supervisor.hpp"
+#include "radiation/sensitivity.hpp"
+
+namespace phifi::radiation {
+
+struct BeamConfig {
+  /// Accelerated flux at the device, n/(cm^2 s). LANSCE runs 1e5..2.5e6.
+  double flux = 2.0e6;
+  /// Modeled wall-clock time of one benchmark execution on the real device.
+  double run_seconds = 1.0;
+  std::uint64_t seed = 0xbea71e5ULL;
+  /// Stop when both minima are met (the paper collected >100 SDC/DUE per
+  /// benchmark) or when a budget runs out.
+  std::uint64_t min_sdc = 100;
+  std::uint64_t min_due = 60;
+  std::uint64_t max_executions = 20000;
+  std::uint64_t max_runs = 50'000'000;
+};
+
+struct BeamResult {
+  std::string workload;
+  std::uint64_t runs = 0;        ///< total executions under beam
+  std::uint64_t executions = 0;  ///< runs actually executed (strike reached
+                                 ///< program state)
+  double fluence = 0.0;          ///< n/cm^2
+  std::uint64_t strikes = 0;
+  std::uint64_t absorbed = 0;
+
+  std::uint64_t sdc = 0;
+  std::uint64_t due_machine_check = 0;  ///< MCA-detected (no execution)
+  std::uint64_t due_program = 0;        ///< crash/hang of the program
+  std::uint64_t masked_faults = 0;      ///< program faults with no effect
+
+  analysis::FitEstimate sdc_fit;
+  analysis::FitEstimate due_fit;
+  analysis::PatternTally patterns;        ///< spatial split of the SDCs
+  analysis::ToleranceAnalysis tolerance;  ///< Fig. 3 inputs
+  double single_element_fraction = 0.0;
+
+  [[nodiscard]] std::uint64_t due_total() const {
+    return due_machine_check + due_program;
+  }
+
+  /// SDC FIT attributed to one spatial pattern (Fig. 2's stacked bars).
+  [[nodiscard]] double pattern_fit(analysis::ErrorPattern pattern) const {
+    return sdc_fit.fit * patterns.fraction(pattern);
+  }
+};
+
+class BeamCampaign {
+ public:
+  BeamCampaign(fi::TrialSupervisor& supervisor,
+               const DeviceSensitivity& sensitivity, BeamConfig config)
+      : supervisor_(&supervisor),
+        sensitivity_(&sensitivity),
+        config_(config) {}
+
+  /// Runs the campaign. The supervisor must have a golden copy prepared.
+  BeamResult run();
+
+ private:
+  fi::TrialSupervisor* supervisor_;
+  const DeviceSensitivity* sensitivity_;
+  BeamConfig config_;
+};
+
+}  // namespace phifi::radiation

@@ -1,0 +1,118 @@
+#include "radiation/sensitivity.hpp"
+
+#include <cassert>
+
+namespace phifi::radiation {
+
+DeviceSensitivity DeviceSensitivity::knc_3120a(const phi::ResourceMap& map) {
+  DeviceSensitivity sensitivity;
+  // Calibration notes. Per-bit cross sections are in the published 22nm
+  // SRAM/flip-flop range (1e-15..1e-14 cm^2/bit); deratings fold electrical,
+  // latch-window and architectural masking into one factor. The absolute
+  // values set the device FIT scale (paper: up to ~193 FIT with ECC on);
+  // per-benchmark differences emerge from running the corrupted programs.
+  for (const phi::Resource& resource : map.resources()) {
+    if (!resource.beam_exposed) continue;
+    ResourceModel model;
+    model.cls = resource.cls;
+    switch (resource.cls) {
+      case phi::ResourceClass::kL2Cache:
+        model.bit_cross_section = 1.0e-14;
+        // SECDED corrects single-cell upsets; rare multi-cell upsets on a
+        // live line trip MCA (detected uncorrectable -> DUE).
+        model.machine_check_probability =
+            resource.protection == phi::Protection::kSecded ? 5.0e-4 : 0.0;
+        model.derating = 0.0;
+        break;
+      case phi::ResourceClass::kL1Cache:
+        model.bit_cross_section = 1.0e-14;
+        // Parity detects on read; residency/liveness keeps the rate low.
+        model.machine_check_probability =
+            resource.protection == phi::Protection::kParity ? 2.0e-3 : 0.0;
+        model.derating = 0.0;
+        break;
+      case phi::ResourceClass::kRegisterFile:
+      case phi::ResourceClass::kVectorRegisters:
+        model.bit_cross_section = 8.0e-15;
+        model.machine_check_probability =
+            resource.protection == phi::Protection::kSecded ? 2.0e-4 : 0.0;
+        model.derating =
+            resource.protection == phi::Protection::kNone ? 0.3 : 0.0;
+        // Data-path strikes are physical bit flips in register cells.
+        model.model_weights = {0.8, 0.2, 0.0, 0.0};
+        model.target = fi::SelectionPolicy::kGlobalBytesWeighted;
+        model.burst_probability = 0.7;  // 512-bit vector registers
+        break;
+      case phi::ResourceClass::kPipelineQueues:
+        // Unprotected flip-flops in load/store and pipeline queues: strikes
+        // corrupt in-flight data words.
+        model.bit_cross_section = 8.0e-15;
+        model.derating = 0.25;
+        model.model_weights = {0.60, 0.20, 0.15, 0.05};
+        model.target = fi::SelectionPolicy::kBytesWeighted;
+        model.burst_probability = 0.5;  // store-queue / line-wide entries
+        break;
+      case phi::ResourceClass::kDispatchLogic:
+        // Decode/dispatch state: manifests as corrupted control variables
+        // of one hardware thread, often as wild (Random) values.
+        model.bit_cross_section = 1.2e-14;
+        model.derating = 0.35;
+        model.model_weights = {0.30, 0.20, 0.40, 0.10};
+        model.target = fi::SelectionPolicy::kWorkerFrameOnly;
+        break;
+      case phi::ResourceClass::kInterconnect:
+        // Ring-stop buffers: whole flits replaced or zeroed.
+        model.bit_cross_section = 8.0e-15;
+        model.derating = 0.25;
+        model.model_weights = {0.25, 0.15, 0.45, 0.15};
+        model.target = fi::SelectionPolicy::kGlobalBytesWeighted;
+        model.burst_probability = 0.6;  // whole flits in flight
+        break;
+      case phi::ResourceClass::kDram:
+        continue;  // not beam exposed (filtered above, defensive)
+    }
+    model.total_cross_section =
+        static_cast<double>(resource.bits) * model.bit_cross_section;
+    sensitivity.total_sigma_ += model.total_cross_section;
+    sensitivity.resources_.push_back(model);
+  }
+  return sensitivity;
+}
+
+StrikeOutcome DeviceSensitivity::sample_strike(util::Rng& rng) const {
+  assert(!resources_.empty());
+  // Pick the struck resource proportionally to its total cross section.
+  double target = rng.uniform() * total_sigma_;
+  const ResourceModel* struck = &resources_.back();
+  for (const ResourceModel& resource : resources_) {
+    if (target < resource.total_cross_section) {
+      struck = &resource;
+      break;
+    }
+    target -= resource.total_cross_section;
+  }
+
+  StrikeOutcome outcome;
+  outcome.resource = struck->cls;
+  const double roll = rng.uniform();
+  if (roll < struck->machine_check_probability) {
+    outcome.kind = StrikeOutcome::Kind::kMachineCheck;
+    return outcome;
+  }
+  if (roll < struck->machine_check_probability + struck->derating) {
+    outcome.kind = StrikeOutcome::Kind::kProgramFault;
+    outcome.target = struck->target;
+    const std::size_t model_index = rng.weighted_index(
+        std::span<const double>(struck->model_weights.data(), 4));
+    outcome.model = static_cast<fi::FaultModel>(model_index);
+    if (struck->burst_probability > 0.0 &&
+        rng.bernoulli(struck->burst_probability)) {
+      outcome.burst_elements = struck->burst_elements;
+    }
+    return outcome;
+  }
+  outcome.kind = StrikeOutcome::Kind::kAbsorbed;
+  return outcome;
+}
+
+}  // namespace phifi::radiation

@@ -1,0 +1,99 @@
+// Device sensitivity model: from neutron strike to program-level fault.
+//
+// The beam experiment (Sec. 4) observes only program outcomes; everything
+// between the neutron and the corrupted variable is hardware the paper
+// (and we) cannot introspect. This model makes that pipeline explicit and
+// tunable:
+//
+//   strike target  ~ resource bit inventory x per-bit cross section
+//   SECDED arrays  -> single-cell upsets corrected (absorbed);
+//                     multi-cell upsets detected-uncorrectable -> MCA DUE
+//   parity arrays  -> detected on read -> MCA DUE (with a residency factor)
+//   unprotected    -> electrically/architecturally derated; survivors
+//                     manifest as a program-level fault with a per-resource
+//                     fault-model mixture (Sec. 5.2's rationale: high-level
+//                     manifestations of low-level faults are not just
+//                     single flips) and a target bias (data-path resources
+//                     corrupt program data; dispatch/pipeline state corrupts
+//                     a hardware thread's control variables).
+//
+// The per-bit cross sections are calibration constants in the literature's
+// 22nm range; they set the absolute FIT scale, while the *differences
+// between benchmarks* come entirely from executing the corrupted programs.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "core/fault_model.hpp"
+#include "core/flip_engine.hpp"
+#include "phi/resource_map.hpp"
+#include "util/rng.hpp"
+
+namespace phifi::radiation {
+
+/// What a single neutron strike turned into.
+struct StrikeOutcome {
+  enum class Kind {
+    kAbsorbed,       ///< corrected by ECC or electrically masked
+    kMachineCheck,   ///< detected uncorrectable -> immediate DUE
+    kProgramFault,   ///< manifests as a corruption of program state
+  };
+  Kind kind = Kind::kAbsorbed;
+  phi::ResourceClass resource = phi::ResourceClass::kL2Cache;
+  fi::FaultModel model = fi::FaultModel::kSingle;
+  fi::SelectionPolicy target = fi::SelectionPolicy::kGlobalBytesWeighted;
+  /// Program elements the upset's physical footprint spans (one upset in a
+  /// 512-bit vector register or a cache line covers several).
+  unsigned burst_elements = 1;
+};
+
+/// Per-resource-class tuning.
+struct ResourceModel {
+  phi::ResourceClass cls;
+  double bit_cross_section = 0.0;  ///< cm^2 per bit
+  /// P(multi-cell upset defeating SECDED / parity hit on live data) ->
+  /// immediate machine-check DUE.
+  double machine_check_probability = 0.0;
+  /// P(a non-absorbed strike perturbs architecturally live state).
+  double derating = 0.0;
+  /// Fault-model mixture of the program-level manifestation
+  /// (Single, Double, Random, Zero).
+  std::array<double, 4> model_weights = {1.0, 0.0, 0.0, 0.0};
+  /// Where the manifestation lands.
+  fi::SelectionPolicy target = fi::SelectionPolicy::kGlobalBytesWeighted;
+  /// P(the manifestation spans a vector-register/cache-line-wide footprint)
+  /// and the width of that footprint in program elements.
+  double burst_probability = 0.0;
+  unsigned burst_elements = 8;
+  /// Filled from the ResourceMap.
+  double total_cross_section = 0.0;  ///< bits x bit_cross_section, cm^2
+};
+
+class DeviceSensitivity {
+ public:
+  /// Calibrated model for the Knights Corner 3120A inventory.
+  static DeviceSensitivity knc_3120a(const phi::ResourceMap& map);
+
+  /// Total strike cross section of the beam-exposed device, cm^2.
+  [[nodiscard]] double strike_cross_section() const { return total_sigma_; }
+
+  /// Expected strikes for a given fluence (n/cm^2).
+  [[nodiscard]] double expected_strikes(double fluence) const {
+    return fluence * total_sigma_;
+  }
+
+  /// Samples the fate of one strike.
+  [[nodiscard]] StrikeOutcome sample_strike(util::Rng& rng) const;
+
+  [[nodiscard]] std::span<const ResourceModel> resources() const {
+    return resources_;
+  }
+
+ private:
+  std::vector<ResourceModel> resources_;
+  double total_sigma_ = 0.0;
+};
+
+}  // namespace phifi::radiation

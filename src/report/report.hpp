@@ -1,0 +1,28 @@
+// Markdown reliability report: one human-readable document per campaign,
+// combining the outcome split, fault-model PVFs, time-window PVFs, the
+// ranked criticality table with mitigation advice, and (when available)
+// beam FIT rates with their machine-scale implications. This is the
+// deliverable a CAROL-FI user hands to the application team.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "radiation/beam_campaign.hpp"
+
+namespace phifi::report {
+
+struct ReportInputs {
+  const fi::CampaignResult* campaign = nullptr;      ///< required
+  const radiation::BeamResult* beam = nullptr;       ///< optional
+  bool algebraic = false;  ///< workload class, for mitigation advice
+  double trinity_boards = 19000.0;
+  /// Checkpoint cost assumption for the interval recommendation, seconds.
+  double checkpoint_cost_seconds = 60.0;
+};
+
+/// Renders the report as GitHub-flavored markdown.
+std::string render_report(const ReportInputs& inputs);
+
+}  // namespace phifi::report

@@ -1,0 +1,173 @@
+// Lightweight non-owning 2D/3D array views plus an owning aligned buffer.
+//
+// Workload outputs are flat arrays with logical 1/2/3-dimensional shape;
+// the spatial-pattern classifier (Sec. 4.3 of the paper) needs to map a flat
+// mismatch index back to (row, col) or (x, y, z) coordinates. These views
+// keep that mapping in one place. Layout is row-major: index = (z*H + y)*W + x
+// with x the fastest dimension.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+#include <span>
+
+namespace phifi::util {
+
+/// Logical shape of a flat output array. A 1D output has height=depth=1;
+/// a 2D output has depth=1.
+struct Shape {
+  std::size_t width = 0;   ///< fastest-varying dimension (columns / x)
+  std::size_t height = 1;  ///< rows / y
+  std::size_t depth = 1;   ///< slices / z
+
+  [[nodiscard]] constexpr std::size_t size() const {
+    return width * height * depth;
+  }
+  [[nodiscard]] constexpr int rank() const {
+    if (depth > 1) return 3;
+    if (height > 1) return 2;
+    return 1;
+  }
+  [[nodiscard]] constexpr bool operator==(const Shape&) const = default;
+};
+
+/// Coordinates of an element within a Shape.
+struct Coord {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  std::size_t z = 0;
+
+  [[nodiscard]] constexpr bool operator==(const Coord&) const = default;
+};
+
+/// Maps a flat index to coordinates under the given shape.
+constexpr Coord unflatten(const Shape& shape, std::size_t index) {
+  assert(index < shape.size());
+  Coord c;
+  c.x = index % shape.width;
+  const std::size_t rest = index / shape.width;
+  c.y = rest % shape.height;
+  c.z = rest / shape.height;
+  return c;
+}
+
+/// Maps coordinates to a flat index under the given shape.
+constexpr std::size_t flatten(const Shape& shape, const Coord& c) {
+  assert(c.x < shape.width && c.y < shape.height && c.z < shape.depth);
+  return (c.z * shape.height + c.y) * shape.width + c.x;
+}
+
+/// Non-owning row-major 2D view over contiguous storage.
+template <typename T>
+class View2D {
+ public:
+  View2D() = default;
+  View2D(T* data, std::size_t rows, std::size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+  View2D(std::span<T> data, std::size_t rows, std::size_t cols)
+      : View2D(data.data(), rows, cols) {
+    assert(data.size() >= rows * cols);
+  }
+
+  T& operator()(std::size_t row, std::size_t col) const {
+    assert(row < rows_ && col < cols_);
+    return data_[row * cols_ + col];
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return rows_ * cols_; }
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] std::span<T> row(std::size_t r) const {
+    assert(r < rows_);
+    return {data_ + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<T> flat() const { return {data_, size()}; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+};
+
+/// Non-owning row-major 3D view (z slowest, x fastest).
+template <typename T>
+class View3D {
+ public:
+  View3D() = default;
+  View3D(T* data, std::size_t nz, std::size_t ny, std::size_t nx)
+      : data_(data), nz_(nz), ny_(ny), nx_(nx) {}
+
+  T& operator()(std::size_t z, std::size_t y, std::size_t x) const {
+    assert(z < nz_ && y < ny_ && x < nx_);
+    return data_[(z * ny_ + y) * nx_ + x];
+  }
+
+  [[nodiscard]] std::size_t nz() const { return nz_; }
+  [[nodiscard]] std::size_t ny() const { return ny_; }
+  [[nodiscard]] std::size_t nx() const { return nx_; }
+  [[nodiscard]] std::size_t size() const { return nz_ * ny_ * nx_; }
+  [[nodiscard]] T* data() const { return data_; }
+  [[nodiscard]] std::span<T> flat() const { return {data_, size()}; }
+
+ private:
+  T* data_ = nullptr;
+  std::size_t nz_ = 0;
+  std::size_t ny_ = 0;
+  std::size_t nx_ = 0;
+};
+
+/// Owning, cache-line-aligned, zero-initialized buffer. The 64-byte alignment
+/// mirrors the 512-bit vector alignment the Knights Corner kernels assume.
+template <typename T>
+class AlignedBuffer {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t count) { resize(count); }
+
+  void resize(std::size_t count) {
+    if (count == 0) {
+      storage_.reset();
+      size_ = 0;
+      return;
+    }
+    const std::size_t bytes =
+        ((count * sizeof(T) + kAlignment - 1) / kAlignment) * kAlignment;
+    T* raw = static_cast<T*>(
+        ::operator new(bytes, std::align_val_t{kAlignment}));
+    storage_.reset(raw);
+    size_ = count;
+    for (std::size_t i = 0; i < count; ++i) raw[i] = T{};
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] T* data() { return storage_.get(); }
+  [[nodiscard]] const T* data() const { return storage_.get(); }
+  T& operator[](std::size_t i) {
+    assert(i < size_);
+    return storage_.get()[i];
+  }
+  const T& operator[](std::size_t i) const {
+    assert(i < size_);
+    return storage_.get()[i];
+  }
+  [[nodiscard]] std::span<T> span() { return {data(), size_}; }
+  [[nodiscard]] std::span<const T> span() const { return {data(), size_}; }
+
+ private:
+  struct AlignedDelete {
+    void operator()(T* ptr) const {
+      ::operator delete(ptr, std::align_val_t{kAlignment});
+    }
+  };
+  std::unique_ptr<T, AlignedDelete> storage_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace phifi::util

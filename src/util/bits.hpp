@@ -1,0 +1,62 @@
+// Bit-level helpers shared by the fault models (Sec. 5.2) and the ECC model.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+namespace phifi::util {
+
+/// Flips bit `bit_index` (0 = LSB of byte 0) within a byte buffer.
+inline void flip_bit(std::span<std::byte> bytes, std::size_t bit_index) {
+  const std::size_t byte = bit_index / 8;
+  const unsigned shift = static_cast<unsigned>(bit_index % 8);
+  bytes[byte] ^= static_cast<std::byte>(1u << shift);
+}
+
+/// Reads bit `bit_index` from a byte buffer.
+inline bool read_bit(std::span<const std::byte> bytes, std::size_t bit_index) {
+  const std::size_t byte = bit_index / 8;
+  const unsigned shift = static_cast<unsigned>(bit_index % 8);
+  return (static_cast<unsigned>(bytes[byte]) >> shift) & 1u;
+}
+
+/// Number of bits that differ between two equally-sized buffers.
+inline std::size_t hamming_distance(std::span<const std::byte> a,
+                                    std::span<const std::byte> b) {
+  std::size_t distance = 0;
+  for (std::size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    distance += static_cast<std::size_t>(std::popcount(
+        static_cast<unsigned>(a[i] ^ b[i])));
+  }
+  return distance;
+}
+
+/// Bit-level reinterpretation helpers (memcpy-based, no aliasing UB).
+inline std::uint32_t float_bits(float value) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+inline float bits_to_float(std::uint32_t bits) {
+  float value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+inline std::uint64_t double_bits(double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+inline double bits_to_double(std::uint64_t bits) {
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace phifi::util

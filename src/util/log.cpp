@@ -1,0 +1,46 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace phifi::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void init_log_from_env() {
+  const char* env = std::getenv("PHIFI_LOG");
+  if (env == nullptr) return;
+  if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::kDebug);
+  else if (std::strcmp(env, "info") == 0) set_log_level(LogLevel::kInfo);
+  else if (std::strcmp(env, "warn") == 0) set_log_level(LogLevel::kWarn);
+  else if (std::strcmp(env, "error") == 0) set_log_level(LogLevel::kError);
+  else if (std::strcmp(env, "off") == 0) set_log_level(LogLevel::kOff);
+}
+
+void log_line(LogLevel level, const std::string& message) {
+  if (level < log_level() || level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[phifi %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace phifi::util

@@ -1,0 +1,55 @@
+// Minimal leveled logging. Campaign supervisors run thousands of forked
+// trials; logging must be cheap, line-buffered, and safe to use from the
+// parent between forks (children inherit the level but write to stderr
+// independently, so interleaving is at line granularity).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace phifi::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded. Defaults to kWarn so
+/// tests and benches stay quiet; set PHIFI_LOG=debug|info|warn|error|off in
+/// the environment or call set_log_level to change.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Reads PHIFI_LOG from the environment once and applies it.
+void init_log_from_env();
+
+/// Writes one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogStream log_debug() {
+  return detail::LogStream(LogLevel::kDebug);
+}
+inline detail::LogStream log_info() { return detail::LogStream(LogLevel::kInfo); }
+inline detail::LogStream log_warn() { return detail::LogStream(LogLevel::kWarn); }
+inline detail::LogStream log_error() {
+  return detail::LogStream(LogLevel::kError);
+}
+
+}  // namespace phifi::util

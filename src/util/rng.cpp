@@ -1,0 +1,93 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace phifi::util {
+
+std::uint64_t Rng::below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless unbiased bounded generation.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t low = static_cast<std::uint64_t>(m);
+  if (low < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (low < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      low = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t width =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // width == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = (width == 0) ? next() : below(width);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+double Rng::normal() {
+  if (have_spare_normal_) {
+    have_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * factor;
+  have_spare_normal_ = true;
+  return u * factor;
+}
+
+double Rng::exponential(double rate) {
+  assert(rate > 0.0);
+  // 1 - uniform() is in (0, 1], so the log argument is never zero.
+  return -std::log(1.0 - uniform()) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean < 30.0) {
+    // Knuth's product-of-uniforms method.
+    const double limit = std::exp(-mean);
+    std::uint64_t count = 0;
+    double product = uniform();
+    while (product > limit) {
+      ++count;
+      product *= uniform();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // large-mean regime (beam fluence bookkeeping) where exactness of the
+  // tail probabilities does not matter.
+  const double draw = normal(mean, std::sqrt(mean));
+  return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  assert(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) total += (w > 0.0) ? w : 0.0;
+  if (total <= 0.0) return static_cast<std::size_t>(below(weights.size()));
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = (weights[i] > 0.0) ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;  // floating-point slack lands on the last entry
+}
+
+}  // namespace phifi::util

@@ -1,0 +1,133 @@
+// Deterministic pseudo-random number generation for fault-injection campaigns.
+//
+// Every stochastic decision in the framework (input generation, injection
+// time, site selection, fault model bits, beam strike sampling) flows through
+// Rng so that a campaign is fully reproducible from a single 64-bit seed.
+// The generator is xoshiro256** seeded via SplitMix64, which is fast,
+// has a 2^256-1 period, and passes BigCrush; <random> engines are avoided
+// because their distributions are not portable across standard libraries.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace phifi::util {
+
+/// Expands a 64-bit seed into a stream of well-mixed 64-bit values.
+/// Used for seeding and for cheap one-shot hashing of (seed, index) pairs.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Deterministic across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 mix(seed);
+    for (auto& word : state_) word = mix.next();
+  }
+
+  /// Derives an independent child generator; used to hand each forked trial
+  /// its own stream so trial outcomes do not depend on campaign ordering.
+  [[nodiscard]] Rng fork(std::uint64_t stream_id) {
+    SplitMix64 mix(next() ^ (0x9e3779b97f4a7c15ULL * (stream_id + 1)));
+    Rng child(mix.next());
+    return child;
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform in [0, bound). Uses Lemire's multiply-shift rejection method;
+  /// bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Standard normal via Marsaglia polar method.
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return mean + stddev * normal();
+  }
+
+  /// Exponential with the given rate (events per unit). rate > 0.
+  double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// PTRS-style normal approximation fallback for large means).
+  std::uint64_t poisson(double mean);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Zero or negative weights are treated as zero; if all weights are zero,
+  /// picks uniformly. Requires a non-empty span.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle of an index permutation of the given size.
+  template <typename T>
+  void shuffle(std::span<T> values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace phifi::util

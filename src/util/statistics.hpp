@@ -1,0 +1,80 @@
+// Statistics helpers used by the FIT-rate and PVF analyses: streaming
+// moments, binomial proportion confidence intervals (Normal/Wald and Wilson,
+// the paper reports Normal 95% intervals), and Poisson rate intervals for
+// beam error counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace phifi::util {
+
+/// Welford streaming accumulator for mean / variance / extrema.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 when fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A two-sided confidence interval [lo, hi] around a point estimate.
+struct Interval {
+  double point = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+
+  [[nodiscard]] double half_width() const { return (hi - lo) / 2.0; }
+  /// Half-width relative to the point estimate (the paper keeps this < 10%).
+  [[nodiscard]] double relative_half_width() const {
+    return point == 0.0 ? 0.0 : half_width() / point;
+  }
+};
+
+/// z quantile for a two-sided confidence level (e.g. 0.95 -> 1.95996).
+/// Uses the Acklam inverse-normal approximation (|error| < 1.15e-9).
+double normal_quantile_two_sided(double confidence);
+
+/// Normal-approximation (Wald) interval for a binomial proportion, as used
+/// by the paper for its "Normal's 95% confidence intervals".
+Interval wald_interval(std::uint64_t successes, std::uint64_t trials,
+                       double confidence = 0.95);
+
+/// Wilson score interval; better behaved for small counts / extreme p.
+Interval wilson_interval(std::uint64_t successes, std::uint64_t trials,
+                         double confidence = 0.95);
+
+/// Normal-approximation interval for a Poisson count (beam error counts are
+/// Poisson in the fluence). Returns the interval on the count itself; the
+/// caller scales by fluence to get a rate.
+Interval poisson_interval(std::uint64_t count, double confidence = 0.95);
+
+/// Standard normal CDF.
+double normal_cdf(double x);
+
+/// Pearson chi-squared test statistic for observed vs expected counts.
+/// Returns the statistic; degrees of freedom are bins-1.
+double chi_squared_statistic(std::span<const std::uint64_t> observed,
+                             std::span<const double> expected);
+
+/// Linear interpolation of y at x over sorted sample points (xs, ys).
+/// Clamps outside the domain. Requires xs sorted ascending, same length.
+double interpolate(std::span<const double> xs, std::span<const double> ys,
+                   double x);
+
+}  // namespace phifi::util

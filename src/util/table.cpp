@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace phifi::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  assert(rows_.empty());
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  assert(header_.empty() || row.size() == header_.size());
+  if (!header_.empty()) row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void Table::print_text(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto grow = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  };
+  grow(header_);
+  for (const auto& row : rows_) grow(row);
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      os << cell;
+      if (i + 1 < widths.size()) {
+        os << std::string(widths[i] - cell.size() + 2, ' ');
+      }
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << "== " << title_ << " ==\n";
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t w : widths) total += w + 2;
+    os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  }
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit_cell = [&os](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") != std::string::npos) {
+      os << '"';
+      for (char c : cell) {
+        if (c == '"') os << '"';
+        os << c;
+      }
+      os << '"';
+    } else {
+      os << cell;
+    }
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ',';
+      emit_cell(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit_row(header_);
+  for (const auto& row : rows_) emit_row(row);
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_interval(double point, double lo, double hi, int decimals) {
+  return fmt(point, decimals) + " [" + fmt(lo, decimals) + ", " +
+         fmt(hi, decimals) + "]";
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return fmt(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace phifi::util

@@ -1,0 +1,55 @@
+// Plain-text and CSV table rendering for the benchmark harnesses.
+//
+// Every figure/table bench prints its result both as an aligned text table
+// (for eyeballing against the paper) and optionally as CSV (for plotting).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace phifi::util {
+
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Adds a data row; the number of cells must match the header width
+  /// (asserted in debug builds, padded/truncated otherwise).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each cell with to_string-like formatting.
+  void add_row(std::initializer_list<std::string> row) {
+    add_row(std::vector<std::string>(row));
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const { return title_; }
+
+  /// Renders an aligned monospace table with a rule under the header.
+  void print_text(std::ostream& os) const;
+
+  /// Renders RFC-4180-ish CSV (quotes cells containing commas/quotes).
+  void print_csv(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals (no locale).
+std::string fmt(double value, int decimals = 2);
+
+/// Formats "point [lo, hi]" for interval reporting.
+std::string fmt_interval(double point, double lo, double hi,
+                         int decimals = 1);
+
+/// Formats a fraction as a percentage string, e.g. 0.853 -> "85.3%".
+std::string fmt_percent(double fraction, int decimals = 1);
+
+}  // namespace phifi::util

@@ -1,0 +1,315 @@
+#include "workloads/clamr/amr_mesh.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "workloads/clamr/zorder.hpp"
+
+namespace phifi::work::clamr {
+
+AmrMesh::AmrMesh(MeshParams params)
+    : params_(params),
+      capacity_(static_cast<std::size_t>(params.fine_size()) *
+                params.fine_size()) {
+  x_.resize(capacity_);
+  y_.resize(capacity_);
+  depth_.resize(capacity_);
+  h_.resize(capacity_);
+  u_.resize(capacity_);
+  v_.resize(capacity_);
+  hn_.resize(capacity_);
+  un_.resize(capacity_);
+  vn_.resize(capacity_);
+  rx_.resize(capacity_);
+  ry_.resize(capacity_);
+  rdepth_.resize(capacity_);
+  marks_.resize(capacity_);
+  rank_of_cell_.resize(capacity_);
+  rh_.resize(capacity_);
+  ru_.resize(capacity_);
+  rv_.resize(capacity_);
+}
+
+void AmrMesh::init_dam_break(float amplitude) {
+  const std::uint32_t base = params_.base_size;
+  const int depth = params_.base_depth();
+  const float center = static_cast<float>(base) / 2.0f;
+  const float sigma = static_cast<float>(base) / 16.0f;
+  count_ = 0;
+  for (std::uint32_t j = 0; j < base; ++j) {
+    for (std::uint32_t i = 0; i < base; ++i) {
+      const std::size_t c = count_++;
+      x_[c] = static_cast<std::int32_t>(i);
+      y_[c] = static_cast<std::int32_t>(j);
+      depth_[c] = depth;
+      const float dx = (static_cast<float>(i) + 0.5f) - center;
+      const float dy = (static_cast<float>(j) + 0.5f) - center;
+      h_[c] = 1.0f + amplitude * std::exp(-(dx * dx + dy * dy) /
+                                          (2.0f * sigma * sigma));
+      u_[c] = 0.0f;
+      v_[c] = 0.0f;
+    }
+  }
+}
+
+void AmrMesh::compute_keys(std::span<std::uint32_t> keys) const {
+  assert(keys.size() >= count_);
+  const int fine_depth = params_.base_depth() + params_.max_refine;
+  for (std::size_t c = 0; c < count_; ++c) {
+    const int shift = fine_depth - depth_[c];
+    keys[c] = morton_encode(static_cast<std::uint32_t>(x_[c]) << shift,
+                            static_cast<std::uint32_t>(y_[c]) << shift);
+  }
+}
+
+void AmrMesh::apply_permutation(std::span<const std::int32_t> perm) {
+  assert(perm.size() >= count_);
+  for (std::size_t r = 0; r < count_; ++r) {
+    const std::int32_t c = perm[r];
+    rx_[r] = x_[c];
+    ry_[r] = y_[c];
+    rdepth_[r] = depth_[c];
+    rh_[r] = h_[c];
+    ru_[r] = u_[c];
+    rv_[r] = v_[c];
+  }
+  std::memcpy(x_.data(), rx_.data(), count_ * sizeof(std::int32_t));
+  std::memcpy(y_.data(), ry_.data(), count_ * sizeof(std::int32_t));
+  std::memcpy(depth_.data(), rdepth_.data(), count_ * sizeof(std::int32_t));
+  std::memcpy(h_.data(), rh_.data(), count_ * sizeof(float));
+  std::memcpy(u_.data(), ru_.data(), count_ * sizeof(float));
+  std::memcpy(v_.data(), rv_.data(), count_ * sizeof(float));
+}
+
+void AmrMesh::build_tree(Quadtree& tree) const {
+  tree.build({x_.data(), count_}, {y_.data(), count_},
+             {depth_.data(), count_}, count_);
+}
+
+AmrMesh::FacePoints AmrMesh::face_points(std::size_t cell) const {
+  const std::uint32_t fine = params_.fine_size();
+  const std::int64_t w = fine >> depth_[cell];
+  const std::int64_t ox = static_cast<std::int64_t>(x_[cell]) * w;
+  const std::int64_t oy = static_cast<std::int64_t>(y_[cell]) * w;
+  const std::int64_t q1 = w / 4;            // lower quarter offset
+  const std::int64_t q3 = w - 1 - w / 4;    // upper quarter offset
+  return {.fx = {ox + w, ox + w, ox - 1, ox - 1, ox + q1, ox + q3, ox + q1,
+                 ox + q3},
+          .fy = {oy + q1, oy + q3, oy + q1, oy + q3, oy + w, oy + w, oy - 1,
+                 oy - 1}};
+}
+
+bool AmrMesh::is_graded(const Quadtree& tree) const {
+  for (std::size_t c = 0; c < count_; ++c) {
+    const FacePoints faces = face_points(c);
+    for (int f = 0; f < 8; ++f) {
+      const std::int32_t nb = tree.locate(faces.fx[f], faces.fy[f]);
+      if (nb == Quadtree::kNull) continue;  // domain boundary
+      if (std::abs(depth_[static_cast<std::size_t>(nb)] - depth_[c]) > 1) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+AmrMesh::Neighborhood AmrMesh::gather(const Quadtree& tree,
+                                      std::size_t cell) const {
+  const std::uint32_t fine = params_.fine_size();
+  const std::int64_t w = fine >> depth_[cell];
+  const std::int64_t ox = static_cast<std::int64_t>(x_[cell]) * w;
+  const std::int64_t oy = static_cast<std::int64_t>(y_[cell]) * w;
+  const std::int64_t mx = ox + w / 2;
+  const std::int64_t my = oy + w / 2;
+
+  auto lookup = [&](std::int64_t fx, std::int64_t fy) -> std::int32_t {
+    const std::int32_t nb = tree.locate(fx, fy);
+    return nb == Quadtree::kNull ? static_cast<std::int32_t>(cell) : nb;
+  };
+  const std::int32_t e = lookup(ox + w, my);
+  const std::int32_t wb = lookup(ox - 1, my);
+  const std::int32_t n = lookup(mx, oy + w);
+  const std::int32_t s = lookup(mx, oy - 1);
+  return {.h_e = h_[e], .h_w = h_[wb], .h_n = h_[n], .h_s = h_[s],
+          .u_e = u_[e], .u_w = u_[wb], .u_n = u_[n], .u_s = u_[s],
+          .v_e = v_[e], .v_w = v_[wb], .v_n = v_[n], .v_s = v_[s]};
+}
+
+void AmrMesh::compute_cell(const Quadtree& tree, std::size_t cell) {
+  const Neighborhood nb = gather(tree, cell);
+  const float dx =
+      static_cast<float>(params_.fine_size() >> depth_[cell]);
+  const float lam = params_.dt / (2.0f * dx);
+  const float c2 = params_.wave_speed2;
+  // Lax-Friedrichs for the linearized shallow-water system
+  //   h_t = -(u_x + v_y),  u_t = -c^2 h_x,  v_t = -c^2 h_y.
+  hn_[cell] = 0.25f * (nb.h_e + nb.h_w + nb.h_n + nb.h_s) -
+              lam * ((nb.u_e - nb.u_w) + (nb.v_n - nb.v_s));
+  un_[cell] =
+      0.25f * (nb.u_e + nb.u_w + nb.u_n + nb.u_s) - lam * c2 * (nb.h_e - nb.h_w);
+  vn_[cell] =
+      0.25f * (nb.v_e + nb.v_w + nb.v_n + nb.v_s) - lam * c2 * (nb.h_n - nb.h_s);
+}
+
+void AmrMesh::swap_state() {
+  std::memcpy(h_.data(), hn_.data(), count_ * sizeof(float));
+  std::memcpy(u_.data(), un_.data(), count_ * sizeof(float));
+  std::memcpy(v_.data(), vn_.data(), count_ * sizeof(float));
+}
+
+std::size_t AmrMesh::regrid(const Quadtree& tree,
+                            std::span<const std::int32_t> order) {
+  const int base_depth = params_.base_depth();
+  const int fine_depth = base_depth + params_.max_refine;
+
+  // Rank -> cell index. No bounds checks on `order`: it is a registered
+  // injection site, and a corrupted permutation entry must have its real
+  // effect (a wild cell read), as in the instrumented application.
+  auto cell_at = [this, order](std::size_t rank) -> std::size_t {
+    return order.empty() ? rank : static_cast<std::size_t>(order[rank]);
+  };
+
+  // Gradient-based marks: 1 = refine, -1 = coarsen candidate, 0 = keep.
+  // Indexed by rank, like the rebuild scan below.
+  for (std::size_t r = 0; r < count_; ++r) {
+    const std::size_t c = cell_at(r);
+    const Neighborhood nb = gather(tree, c);
+    const float grad = std::fabs(nb.h_e - nb.h_w) + std::fabs(nb.h_n - nb.h_s);
+    std::int32_t mark = 0;
+    if (grad > params_.refine_threshold && depth_[c] < fine_depth) {
+      mark = 1;
+    } else if (grad < params_.coarsen_threshold && depth_[c] > base_depth) {
+      mark = -1;
+    }
+    marks_[r] = mark;
+  }
+
+  // 2:1 grading: no cell may end up more than one level coarser than a
+  // face neighbor's post-regrid level. Violations are fixed by cancelling
+  // coarsening first and force-refining if that is not enough; each sweep
+  // can only raise marks, so the fixpoint terminates within max_refine+2
+  // sweeps.
+  for (std::size_t r = 0; r < count_; ++r) {
+    rank_of_cell_[cell_at(r)] = static_cast<std::int32_t>(r);
+  }
+  bool changed = true;
+  for (int sweep = 0; changed && sweep < params_.max_refine + 2; ++sweep) {
+    changed = false;
+    for (std::size_t r = 0; r < count_; ++r) {
+      const std::size_t c = cell_at(r);
+      const std::int32_t post_c = depth_[c] + marks_[r];
+      std::int32_t max_neighbor_post = post_c;
+      const FacePoints faces = face_points(c);
+      for (int f = 0; f < 8; ++f) {
+        const std::int32_t nb = tree.locate(faces.fx[f], faces.fy[f]);
+        if (nb == Quadtree::kNull) continue;
+        const std::int32_t rn = rank_of_cell_[static_cast<std::size_t>(nb)];
+        const std::int32_t post_n =
+            depth_[static_cast<std::size_t>(nb)] +
+            marks_[static_cast<std::size_t>(rn)];
+        max_neighbor_post = std::max(max_neighbor_post, post_n);
+      }
+      while (depth_[c] + marks_[r] < max_neighbor_post - 1 &&
+             marks_[r] < 1 && depth_[c] + marks_[r] < fine_depth) {
+        ++marks_[r];
+        changed = true;
+      }
+    }
+  }
+
+  // Rebuild the cell list in Z-order: coarsen complete sibling groups
+  // (contiguous in Z-order), refine marked cells, copy the rest.
+  std::size_t out = 0;
+  std::size_t r = 0;
+  while (r < count_ && out < capacity_) {
+    const std::size_t c = cell_at(r);
+    // A sibling group: four rank-consecutive cells, same depth, same
+    // parent, all marked for coarsening, first one is quadrant 0.
+    if (marks_[r] == -1 && r + 3 < count_) {
+      const std::int32_t d = depth_[c];
+      bool group = (x_[c] % 2 == 0) && (y_[c] % 2 == 0);
+      std::size_t sibling[4] = {c, 0, 0, 0};
+      for (std::size_t s = 1; group && s < 4; ++s) {
+        sibling[s] = cell_at(r + s);
+        group = marks_[r + s] == -1 && depth_[sibling[s]] == d &&
+                (x_[sibling[s]] >> 1) == (x_[c] >> 1) &&
+                (y_[sibling[s]] >> 1) == (y_[c] >> 1);
+      }
+      if (group) {
+        rx_[out] = x_[c] >> 1;
+        ry_[out] = y_[c] >> 1;
+        rdepth_[out] = d - 1;
+        rh_[out] = 0.25f * (h_[sibling[0]] + h_[sibling[1]] +
+                            h_[sibling[2]] + h_[sibling[3]]);
+        ru_[out] = 0.25f * (u_[sibling[0]] + u_[sibling[1]] +
+                            u_[sibling[2]] + u_[sibling[3]]);
+        rv_[out] = 0.25f * (v_[sibling[0]] + v_[sibling[1]] +
+                            v_[sibling[2]] + v_[sibling[3]]);
+        out += 1;
+        r += 4;
+        continue;
+      }
+    }
+    if (marks_[r] == 1 && out + 4 <= capacity_) {
+      // Refine into four children, Z-order within the parent.
+      for (int q = 0; q < 4; ++q) {
+        rx_[out] = x_[c] * 2 + (q & 1);
+        ry_[out] = y_[c] * 2 + (q >> 1);
+        rdepth_[out] = depth_[c] + 1;
+        rh_[out] = h_[c];
+        ru_[out] = u_[c];
+        rv_[out] = v_[c];
+        ++out;
+      }
+      ++r;
+      continue;
+    }
+    rx_[out] = x_[c];
+    ry_[out] = y_[c];
+    rdepth_[out] = depth_[c];
+    rh_[out] = h_[c];
+    ru_[out] = u_[c];
+    rv_[out] = v_[c];
+    ++out;
+    ++r;
+  }
+
+  std::memcpy(x_.data(), rx_.data(), out * sizeof(std::int32_t));
+  std::memcpy(y_.data(), ry_.data(), out * sizeof(std::int32_t));
+  std::memcpy(depth_.data(), rdepth_.data(), out * sizeof(std::int32_t));
+  std::memcpy(h_.data(), rh_.data(), out * sizeof(float));
+  std::memcpy(u_.data(), ru_.data(), out * sizeof(float));
+  std::memcpy(v_.data(), rv_.data(), out * sizeof(float));
+  count_ = out;
+  return count_;
+}
+
+void AmrMesh::rasterize(std::span<float> out) const {
+  const std::uint32_t fine = params_.fine_size();
+  assert(out.size() >= static_cast<std::size_t>(fine) * fine);
+  for (std::size_t c = 0; c < count_; ++c) {
+    const std::uint32_t w = fine >> depth_[c];
+    const std::uint32_t ox = static_cast<std::uint32_t>(x_[c]) * w;
+    const std::uint32_t oy = static_cast<std::uint32_t>(y_[c]) * w;
+    for (std::uint32_t j = 0; j < w; ++j) {
+      for (std::uint32_t i = 0; i < w; ++i) {
+        const std::size_t px = ox + i;
+        const std::size_t py = oy + j;
+        if (px < fine && py < fine) out[py * fine + px] = h_[c];
+      }
+    }
+  }
+}
+
+double AmrMesh::total_volume() const {
+  double volume = 0.0;
+  const std::uint32_t fine = params_.fine_size();
+  for (std::size_t c = 0; c < count_; ++c) {
+    const double w = static_cast<double>(fine >> depth_[c]);
+    volume += static_cast<double>(h_[c]) * w * w;
+  }
+  return volume;
+}
+
+}  // namespace phifi::work::clamr

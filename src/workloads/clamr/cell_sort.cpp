@@ -1,0 +1,54 @@
+#include "workloads/clamr/cell_sort.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace phifi::work::clamr {
+
+void CellSort::sort(std::span<const std::uint32_t> keys,
+                    const std::function<void()>& pass_tick) {
+  assert(keys.size() <= capacity());
+  count_ = keys.size();
+  std::memcpy(keys_.data(), keys.data(), count_ * sizeof(std::uint32_t));
+  for (std::size_t i = 0; i < count_; ++i) {
+    perm_[i] = static_cast<std::int32_t>(i);
+  }
+  for (std::size_t width = 1; width < count_; width *= 2) {
+    merge_pass(width);
+    if (pass_tick) pass_tick();
+  }
+}
+
+void CellSort::merge_pass(std::size_t width) {
+  const std::size_t n = count_;
+  for (std::size_t lo = 0; lo < n; lo += 2 * width) {
+    const std::size_t mid = std::min(lo + width, n);
+    const std::size_t hi = std::min(lo + 2 * width, n);
+    std::size_t a = lo;
+    std::size_t b = mid;
+    std::size_t out = lo;
+    while (a < mid && b < hi) {
+      // <= keeps the sort stable: equal keys retain cell-index order, which
+      // keeps sibling groups deterministic for the coarsening pass.
+      if (keys_[a] <= keys_[b]) {
+        scratch_keys_[out] = keys_[a];
+        scratch_perm_[out++] = perm_[a++];
+      } else {
+        scratch_keys_[out] = keys_[b];
+        scratch_perm_[out++] = perm_[b++];
+      }
+    }
+    while (a < mid) {
+      scratch_keys_[out] = keys_[a];
+      scratch_perm_[out++] = perm_[a++];
+    }
+    while (b < hi) {
+      scratch_keys_[out] = keys_[b];
+      scratch_perm_[out++] = perm_[b++];
+    }
+  }
+  std::memcpy(keys_.data(), scratch_keys_.data(), n * sizeof(std::uint32_t));
+  std::memcpy(perm_.data(), scratch_perm_.data(), n * sizeof(std::int32_t));
+}
+
+}  // namespace phifi::work::clamr

@@ -1,0 +1,101 @@
+#include "workloads/clamr/quadtree.hpp"
+
+#include <cassert>
+
+namespace phifi::work::clamr {
+
+Quadtree::Quadtree(std::uint32_t fine_size, std::size_t cell_capacity)
+    : fine_size_(fine_size) {
+  assert((fine_size & (fine_size - 1)) == 0 && "fine_size must be 2^k");
+  // A full path per cell is the worst case; x2 headroom keeps rebuilds from
+  // ever reallocating (site pointers must stay stable).
+  const std::size_t node_capacity = cell_capacity * 2 + 64;
+  children_.resize(node_capacity * 4);
+  leaf_cell_.resize(node_capacity);
+}
+
+std::int32_t Quadtree::new_node() {
+  assert(node_count_ < node_capacity());
+  const auto node = static_cast<std::int32_t>(node_count_++);
+  for (int q = 0; q < 4; ++q) children_[node * 4 + q] = kNull;
+  leaf_cell_[node] = kNull;
+  return node;
+}
+
+void Quadtree::build(std::span<const std::int32_t> cell_x,
+                     std::span<const std::int32_t> cell_y,
+                     std::span<const std::int32_t> cell_depth,
+                     std::size_t count) {
+  node_count_ = 0;
+  cell_count_ = count;
+  new_node();  // root
+  for (std::size_t c = 0; c < count; ++c) {
+    const auto depth = cell_depth[c];
+    // Fine-grid corner of the cell's square.
+    const std::uint32_t w = fine_size_ >> depth;
+    std::uint32_t cx = static_cast<std::uint32_t>(cell_x[c]) * w;
+    std::uint32_t cy = static_cast<std::uint32_t>(cell_y[c]) * w;
+
+    std::int32_t node = 0;
+    std::uint32_t node_size = fine_size_;
+    std::uint32_t node_ox = 0;
+    std::uint32_t node_oy = 0;
+    for (std::int32_t d = 0; d < depth; ++d) {
+      const std::uint32_t half = node_size / 2;
+      const bool east = cx >= node_ox + half;
+      const bool north = cy >= node_oy + half;
+      const int q = (north ? 2 : 0) | (east ? 1 : 0);
+      std::int32_t child = children_[node * 4 + q];
+      if (child == kNull) {
+        child = new_node();
+        children_[node * 4 + q] = child;
+      }
+      if (east) node_ox += half;
+      if (north) node_oy += half;
+      node_size = half;
+      node = child;
+    }
+    leaf_cell_[node] = static_cast<std::int32_t>(c);
+  }
+}
+
+std::int32_t Quadtree::locate(std::int64_t fx, std::int64_t fy) const {
+  if (fx < 0 || fy < 0 || fx >= static_cast<std::int64_t>(fine_size_) ||
+      fy >= static_cast<std::int64_t>(fine_size_)) {
+    return kNull;
+  }
+  std::int32_t node = 0;
+  std::int64_t size = fine_size_;
+  std::int64_t ox = 0;
+  std::int64_t oy = 0;
+  // Descent is depth-bounded: a corrupted child link may point anywhere, and
+  // without the bound a cyclic link would hang every query.
+  for (int d = 0; d < kMaxDescent; ++d) {
+    if (safe_mode_ &&
+        (node < 0 || static_cast<std::size_t>(node) >= node_count_)) {
+      return kNull;  // corrupted link detected; caller degrades gracefully
+    }
+    const std::int32_t leaf = leaf_cell_[node];
+    if (leaf != kNull) {
+      if (safe_mode_ &&
+          (leaf < 0 || static_cast<std::size_t>(leaf) >= cell_count_)) {
+        return kNull;  // corrupted leaf payload
+      }
+      return leaf;
+    }
+    const std::int64_t half = size / 2;
+    if (half == 0) return kNull;
+    const bool east = fx >= ox + half;
+    const bool north = fy >= oy + half;
+    const int q = (north ? 2 : 0) | (east ? 1 : 0);
+    const std::int32_t child = children_[node * 4 + q];
+    if (child == kNull) return kNull;
+    if (east) ox += half;
+    if (north) oy += half;
+    size = half;
+    node = child;
+  }
+  return kNull;
+}
+
+}  // namespace phifi::work::clamr

@@ -1,0 +1,42 @@
+// Morton (Z-order) keys for AMR cells.
+//
+// CLAMR orders its cells along a space-filling curve; sibling cells are
+// contiguous in that order, which is what the coarsening pass relies on.
+// Keys are computed at the finest-level resolution so cells of different
+// refinement levels share one total order.
+#pragma once
+
+#include <cstdint>
+
+namespace phifi::work::clamr {
+
+/// Interleaves the low 16 bits of x and y: bit i of x lands at bit 2i,
+/// bit i of y at bit 2i+1.
+constexpr std::uint32_t morton_encode(std::uint32_t x, std::uint32_t y) {
+  auto spread = [](std::uint32_t v) {
+    v &= 0xffff;
+    v = (v | (v << 8)) & 0x00ff00ff;
+    v = (v | (v << 4)) & 0x0f0f0f0f;
+    v = (v | (v << 2)) & 0x33333333;
+    v = (v | (v << 1)) & 0x55555555;
+    return v;
+  };
+  return spread(x) | (spread(y) << 1);
+}
+
+/// Inverse of morton_encode.
+constexpr void morton_decode(std::uint32_t key, std::uint32_t& x,
+                             std::uint32_t& y) {
+  auto collapse = [](std::uint32_t v) {
+    v &= 0x55555555;
+    v = (v | (v >> 1)) & 0x33333333;
+    v = (v | (v >> 2)) & 0x0f0f0f0f;
+    v = (v | (v >> 4)) & 0x00ff00ff;
+    v = (v | (v >> 8)) & 0x0000ffff;
+    return v;
+  };
+  x = collapse(key);
+  y = collapse(key >> 1);
+}
+
+}  // namespace phifi::work::clamr

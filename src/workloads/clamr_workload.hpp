@@ -1,0 +1,94 @@
+// CLAMR mini-app: shallow-water wave propagation on an adaptive mesh.
+//
+// The DOE mini-app the paper uses as its LANL-representative workload
+// (Sec. 3.2). Each timestep: (1) Sort — re-order cells along the Z-order
+// curve; (2) Tree — rebuild the quadtree used for cross-level neighbor
+// lookup; (3) compute — a Lax-Friedrichs shallow-water step over all cells
+// in parallel; (4) regrid — refine/coarsen on the h gradient. The cell
+// count rises as the wave front expands and falls as it dissipates, which
+// reproduces the paper's "sensitivity peaks when active cells peak"
+// time-window result (window 3 of 9, Fig. 6). Sites are categorized as
+// mesh.sort / mesh.tree / mesh.other to reproduce the Sec. 6 criticality
+// split.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/array_view.hpp"
+#include "workloads/clamr/amr_mesh.hpp"
+#include "workloads/clamr/cell_sort.hpp"
+#include "workloads/clamr/quadtree.hpp"
+#include "workloads/common.hpp"
+
+namespace phifi::work {
+
+class Clamr : public WorkloadBase {
+ public:
+  /// `hardened` enables the Sec. 6.1 mitigations for the Sort and Tree
+  /// portions: bounds-checked quadtree descent, a post-sort audit that
+  /// re-sorts on inconsistency (aborting cleanly if the retry also fails),
+  /// and rank clamping in the solver sweep.
+  explicit Clamr(clamr::MeshParams params = {}, unsigned steps = 27,
+                 unsigned workers = kKncWorkers, bool hardened = false);
+
+  void setup(std::uint64_t input_seed) override;
+  void run(phi::Device& device, fi::ProgressTracker& progress) override;
+  void register_sites(fi::SiteRegistry& registry) override;
+
+  [[nodiscard]] std::span<const std::byte> output_bytes() const override;
+  [[nodiscard]] util::Shape output_shape() const override {
+    const std::size_t fine = params_.fine_size();
+    return {.width = fine, .height = fine};
+  }
+  [[nodiscard]] fi::ElementType output_type() const override {
+    return fi::ElementType::kF32;
+  }
+  [[nodiscard]] std::uint64_t total_steps() const override {
+    return total_ticks_;
+  }
+
+  [[nodiscard]] const clamr::AmrMesh& mesh() const { return mesh_; }
+  /// Cell count per step observed during the setup dry run.
+  [[nodiscard]] std::span<const std::uint64_t> step_cells() const {
+    return step_cells_;
+  }
+
+ private:
+  /// Advances one timestep, reporting progress through `tick` (may be
+  /// empty). Ticks are spread over the Sort, Tree, compute, and regrid
+  /// phases in proportion to their cost so injections land inside every
+  /// phase; the same code path serves the serial dry run (device == null),
+  /// which is how total_steps() is measured exactly.
+  using TickFn = std::function<void(std::uint64_t)>;
+  void advance_step(phi::Device* device, const TickFn& tick);
+
+  /// True if the live sort output is a valid permutation of [0, cells) in
+  /// non-decreasing key order (the hardened post-sort audit).
+  [[nodiscard]] bool sort_is_valid(std::size_t cells);
+
+  clamr::MeshParams params_;
+  unsigned steps_;
+  bool hardened_ = false;
+  std::vector<std::uint8_t> audit_seen_;  // audit scratch, unregistered
+  clamr::AmrMesh mesh_;
+  clamr::Quadtree tree_;
+  clamr::CellSort sort_;
+  util::AlignedBuffer<std::uint32_t> key_scratch_;
+  util::AlignedBuffer<float> raster_;
+  float init_amplitude_ = 0.5f;
+
+  // Per-step progress weights measured by a serial dry run in setup(); the
+  // cost of a step is proportional to its live cell count, and these make
+  // progress fraction track wall time closely (Fig. 6 windows).
+  std::vector<std::uint64_t> step_cells_;
+  std::uint64_t total_ticks_ = 0;
+
+  phi::ControlSlot s_cell_ = declare_slot("cell");
+  phi::ControlSlot s_begin_ = declare_slot("cell_begin");
+  phi::ControlSlot s_end_ = declare_slot("cell_end");
+  phi::ControlSlot s_step_ = declare_slot("step");
+  phi::ControlSlot s_ncells_ = declare_slot("ncells");
+};
+
+}  // namespace phifi::work

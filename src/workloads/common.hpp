@@ -1,0 +1,75 @@
+// Shared scaffolding for the six benchmarks.
+//
+// Each workload owns a per-logical-worker control-block array (the paper's
+// replicated loop control variables; see phi/control_block.hpp) and
+// registers both its data arrays and every used control slot of every
+// worker as injection sites. Workload sizes are chosen so one trial runs in
+// milliseconds: a fault-injection campaign is thousands of forked runs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/workload_api.hpp"
+#include "phi/control_block.hpp"
+#include "util/rng.hpp"
+
+namespace phifi::work {
+
+/// Logical hardware threads the benchmarks fan out to: 57 cores x 4 threads,
+/// the 3120A's full complement. This count (not the host's core count) is
+/// what determines how much replicated control state exists.
+inline constexpr unsigned kKncWorkers = 228;
+
+class WorkloadBase : public fi::Workload {
+ public:
+  WorkloadBase(std::string name, unsigned time_windows, unsigned workers)
+      : name_(std::move(name)), windows_(time_windows), workers_(workers) {
+    control_.resize(workers_);
+  }
+
+  [[nodiscard]] std::string_view name() const final { return name_; }
+  [[nodiscard]] unsigned time_windows() const final { return windows_; }
+  [[nodiscard]] unsigned workers() const { return workers_; }
+
+ protected:
+  /// Renames the workload (hardened variants tag themselves, e.g.
+  /// "DGEMM+ABFT").
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// The per-worker frame. Kernels index it with ctx.worker.
+  [[nodiscard]] phi::ControlBlock& control(unsigned worker) {
+    return control_[worker];
+  }
+
+  /// Declares a control slot used by this workload's kernels.
+  phi::ControlSlot declare_slot(std::string_view slot_name) {
+    return layout_.add(slot_name);
+  }
+
+  /// Registers every declared slot of every worker as a worker-frame site
+  /// with the given category (the paper groups them as "control").
+  void register_control_sites(fi::SiteRegistry& registry,
+                              std::string category = "control") {
+    for (unsigned w = 0; w < workers_; ++w) {
+      for (std::size_t s = 0; s < layout_.count(); ++s) {
+        registry.add_worker(static_cast<int>(w),
+                            std::string(layout_.name(s)), category,
+                            control_[w].slot_bytes(s), sizeof(std::int64_t));
+      }
+    }
+  }
+
+  void reset_control() {
+    for (auto& block : control_) block.clear();
+  }
+
+ private:
+  std::string name_;
+  unsigned windows_;
+  unsigned workers_;
+  phi::ControlLayout layout_;
+  std::vector<phi::ControlBlock> control_;
+};
+
+}  // namespace phifi::work

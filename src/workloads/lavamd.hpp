@@ -1,0 +1,78 @@
+// LavaMD: N-body particle interactions within a cut-off radius (Rodinia).
+//
+// Particles live in a 3D grid of boxes; each particle interacts with every
+// particle in its home box and the 26 surrounding boxes. The dominant
+// injection targets are the charge and position ("distance") arrays, which
+// are orders of magnitude larger than the rest of the state — the paper
+// (Sec. 6) attributes 57% of LavaMD's SDCs to them. This is the only
+// benchmark with a 3D output, hence the only one that can show the cubic
+// error pattern of Fig. 2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/array_view.hpp"
+#include "workloads/common.hpp"
+
+namespace phifi::work {
+
+class LavaMd : public WorkloadBase {
+ public:
+  /// `boxes_per_dim` boxes in each dimension, `particles_per_box` each.
+  explicit LavaMd(std::size_t boxes_per_dim = 3,
+                  std::size_t particles_per_box = 16,
+                  unsigned workers = kKncWorkers);
+
+  void setup(std::uint64_t input_seed) override;
+  void run(phi::Device& device, fi::ProgressTracker& progress) override;
+  void register_sites(fi::SiteRegistry& registry) override;
+
+  [[nodiscard]] std::span<const std::byte> output_bytes() const override;
+  /// Output is the per-particle force 4-vectors, laid out so the box grid's
+  /// z/y structure is visible to the spatial classifier: depth = boxes in z,
+  /// height = boxes in y, width = boxes in x * particles * 4 components.
+  [[nodiscard]] util::Shape output_shape() const override {
+    return {.width = nb_ * ppb_ * 4, .height = nb_, .depth = nb_};
+  }
+  [[nodiscard]] fi::ElementType output_type() const override {
+    return fi::ElementType::kF64;
+  }
+  [[nodiscard]] std::uint64_t total_steps() const override {
+    return box_count();
+  }
+
+  [[nodiscard]] std::size_t box_count() const { return nb_ * nb_ * nb_; }
+  [[nodiscard]] std::size_t particle_count() const {
+    return box_count() * ppb_;
+  }
+  [[nodiscard]] std::span<const double> forces() const { return fv_.span(); }
+
+ private:
+  std::size_t nb_;
+  std::size_t ppb_;
+  util::AlignedBuffer<double> rv_;  // positions+velocity term, 4 per particle
+  util::AlignedBuffer<double> qv_;  // charges, 1 per particle
+  util::AlignedBuffer<double> fv_;  // forces, 4 per particle (output)
+  /// Flattened neighbor lists: for each box, 27 slots of box indices
+  /// (-1-padded). Mirrors Rodinia's box_str neighbor arrays.
+  util::AlignedBuffer<std::int64_t> neighbors_;
+  util::AlignedBuffer<std::int64_t> neighbor_counts_;
+  double alpha_ = 0.5;
+  // Base pointers, re-read per box (corruptible frame variables).
+  const double* ptr_rv_ = nullptr;
+  const double* ptr_qv_ = nullptr;
+  double* ptr_fv_ = nullptr;
+  const std::int64_t* ptr_neighbors_ = nullptr;
+  const std::int64_t* ptr_neighbor_counts_ = nullptr;
+
+  phi::ControlSlot s_box_ = declare_slot("box");
+  phi::ControlSlot s_nbr_ = declare_slot("neighbor");
+  phi::ControlSlot s_i_ = declare_slot("i");
+  phi::ControlSlot s_j_ = declare_slot("j");
+  phi::ControlSlot s_begin_ = declare_slot("box_begin");
+  phi::ControlSlot s_end_ = declare_slot("box_end");
+  phi::ControlSlot s_ppb_ = declare_slot("particles_per_box");
+};
+
+}  // namespace phifi::work

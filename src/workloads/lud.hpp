@@ -1,0 +1,55 @@
+// LUD: in-place LU decomposition (Doolittle, no pivoting) of a dense
+// single-precision matrix, as in the Rodinia suite.
+//
+// Dense linear algebra like DGEMM but with tighter row/column
+// interdependencies: step k finalizes row k and column k, and every later
+// element is updated at each step below its own pivot. Those dependencies
+// are why mid-execution faults are the most critical (Fig. 6) and why LUD
+// shows the highest SDC FIT under the beam (Fig. 2).
+#pragma once
+
+#include "util/array_view.hpp"
+#include "workloads/common.hpp"
+
+namespace phifi::work {
+
+class Lud : public WorkloadBase {
+ public:
+  explicit Lud(std::size_t n = 96, unsigned workers = kKncWorkers);
+
+  void setup(std::uint64_t input_seed) override;
+  void run(phi::Device& device, fi::ProgressTracker& progress) override;
+  void register_sites(fi::SiteRegistry& registry) override;
+
+  [[nodiscard]] std::span<const std::byte> output_bytes() const override;
+  [[nodiscard]] util::Shape output_shape() const override {
+    return {.width = n_, .height = n_};
+  }
+  [[nodiscard]] fi::ElementType output_type() const override {
+    return fi::ElementType::kF32;
+  }
+  /// Progress is ticked with weight (n-k)^2 per elimination step, matching
+  /// the actual work, so time windows approximate wall-clock windows.
+  [[nodiscard]] std::uint64_t total_steps() const override;
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::span<const float> matrix() const { return a_.span(); }
+  [[nodiscard]] std::span<const float> original() const {
+    return original_.span();
+  }
+
+ private:
+  std::size_t n_;
+  util::AlignedBuffer<float> a_;         // decomposed in place
+  util::AlignedBuffer<float> original_;  // kept for verification tests
+  float* ptr_a_ = nullptr;  // base pointer, re-read per row (corruptible)
+
+  phi::ControlSlot s_k_ = declare_slot("k");
+  phi::ControlSlot s_i_ = declare_slot("i");
+  phi::ControlSlot s_j_ = declare_slot("j");
+  phi::ControlSlot s_begin_ = declare_slot("row_begin");
+  phi::ControlSlot s_end_ = declare_slot("row_end");
+  phi::ControlSlot s_n_ = declare_slot("n");
+};
+
+}  // namespace phifi::work

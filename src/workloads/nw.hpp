@@ -1,0 +1,68 @@
+// NW: Needleman-Wunsch global sequence alignment (Rodinia).
+//
+// Dynamic programming over an (L+1)x(L+1) int32 score matrix, filled along
+// anti-diagonals. The similarity of two residues is looked up at runtime by
+// indexing the substitution matrix with the sequence values — which is why
+// Random/Double faults on the sequences produce wild reads (DUEs) while
+// Zero faults mostly land on still-zero matrix cells and are masked, the
+// model-dependent behaviour the paper reports for NW (Fig. 5, Sec. 6).
+// NW is fault-injection-only in the paper (not beam tested).
+#pragma once
+
+#include <cstdint>
+
+#include "util/array_view.hpp"
+#include "workloads/common.hpp"
+
+namespace phifi::work {
+
+class Nw : public WorkloadBase {
+ public:
+  static constexpr std::size_t kAlphabet = 20;
+
+  explicit Nw(std::size_t length = 192, unsigned workers = kKncWorkers);
+
+  void setup(std::uint64_t input_seed) override;
+  void run(phi::Device& device, fi::ProgressTracker& progress) override;
+  void register_sites(fi::SiteRegistry& registry) override;
+
+  [[nodiscard]] std::span<const std::byte> output_bytes() const override;
+  [[nodiscard]] util::Shape output_shape() const override {
+    return {.width = length_ + 1, .height = length_ + 1};
+  }
+  [[nodiscard]] fi::ElementType output_type() const override {
+    return fi::ElementType::kI32;
+  }
+  [[nodiscard]] std::uint64_t total_steps() const override {
+    return static_cast<std::uint64_t>(length_) * length_;
+  }
+
+  [[nodiscard]] std::size_t length() const { return length_; }
+  [[nodiscard]] std::span<const std::int32_t> score() const {
+    return score_.span();
+  }
+  /// Final alignment score (bottom-right cell).
+  [[nodiscard]] std::int32_t alignment_score() const;
+
+ private:
+  std::size_t length_;
+  util::AlignedBuffer<std::int32_t> score_;
+  util::AlignedBuffer<std::int32_t> seq1_;
+  util::AlignedBuffer<std::int32_t> seq2_;
+  util::AlignedBuffer<std::int32_t> blosum_;  // kAlphabet x kAlphabet
+  std::int32_t gap_penalty_ = 2;
+  // Base pointers, re-read per diagonal chunk (corruptible frame variables).
+  std::int32_t* ptr_score_ = nullptr;
+  const std::int32_t* ptr_seq1_ = nullptr;
+  const std::int32_t* ptr_seq2_ = nullptr;
+  const std::int32_t* ptr_blosum_ = nullptr;
+
+  phi::ControlSlot s_diag_ = declare_slot("diag");
+  phi::ControlSlot s_i_ = declare_slot("i");
+  phi::ControlSlot s_begin_ = declare_slot("cell_begin");
+  phi::ControlSlot s_end_ = declare_slot("cell_end");
+  phi::ControlSlot s_cols_ = declare_slot("cols");
+  phi::ControlSlot s_penalty_ = declare_slot("penalty");
+};
+
+}  // namespace phifi::work

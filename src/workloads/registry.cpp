@@ -1,0 +1,52 @@
+#include "workloads/registry.hpp"
+
+#include <array>
+#include <memory>
+
+#include "workloads/clamr_workload.hpp"
+#include "workloads/dgemm.hpp"
+#include "workloads/hotspot.hpp"
+#include "workloads/lavamd.hpp"
+#include "workloads/lud.hpp"
+#include "workloads/nw.hpp"
+
+namespace phifi::work {
+
+namespace {
+
+std::unique_ptr<fi::Workload> make_clamr() {
+  return std::make_unique<Clamr>();
+}
+std::unique_ptr<fi::Workload> make_dgemm() {
+  return std::make_unique<Dgemm>();
+}
+std::unique_ptr<fi::Workload> make_hotspot() {
+  return std::make_unique<HotSpot>();
+}
+std::unique_ptr<fi::Workload> make_lavamd() {
+  return std::make_unique<LavaMd>();
+}
+std::unique_ptr<fi::Workload> make_lud() { return std::make_unique<Lud>(); }
+std::unique_ptr<fi::Workload> make_nw() { return std::make_unique<Nw>(); }
+
+constexpr std::array<WorkloadInfo, 6> kWorkloads = {{
+    {"CLAMR", &make_clamr, true},
+    {"DGEMM", &make_dgemm, true},
+    {"HotSpot", &make_hotspot, true},
+    {"LavaMD", &make_lavamd, true},
+    {"LUD", &make_lud, true},
+    {"NW", &make_nw, false},
+}};
+
+}  // namespace
+
+std::span<const WorkloadInfo> all_workloads() { return kWorkloads; }
+
+fi::WorkloadFactory find_workload(std::string_view name) {
+  for (const WorkloadInfo& info : kWorkloads) {
+    if (info.name == name) return info.factory;
+  }
+  return nullptr;
+}
+
+}  // namespace phifi::work

@@ -1,0 +1,26 @@
+// Central registry of the six benchmarks with their default configurations,
+// used by the campaign benches, examples, and the beam simulator.
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "core/workload_api.hpp"
+
+namespace phifi::work {
+
+struct WorkloadInfo {
+  std::string_view name;
+  fi::WorkloadFactory factory;
+  /// Whether the paper beam-tested it (NW is fault-injection-only).
+  bool beam_tested;
+};
+
+/// All six benchmarks in the paper's order: CLAMR, DGEMM, HotSpot, LavaMD,
+/// LUD, NW.
+std::span<const WorkloadInfo> all_workloads();
+
+/// Case-sensitive lookup by name; returns nullptr if unknown.
+fi::WorkloadFactory find_workload(std::string_view name);
+
+}  // namespace phifi::work

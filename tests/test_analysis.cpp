@@ -1,0 +1,160 @@
+// FIT arithmetic, tolerance curves, PVF helpers, and criticality tables.
+#include <gtest/gtest.h>
+
+#include "analysis/criticality.hpp"
+#include "analysis/fit.hpp"
+#include "analysis/pvf.hpp"
+#include "analysis/tolerance.hpp"
+
+namespace phifi::analysis {
+namespace {
+
+TEST(Fit, KnownConversion) {
+  // 100 errors over 1e10 n/cm^2: sigma = 1e-8 cm^2;
+  // FIT = 1e-8 * 13 * 1e9 = 130.
+  const FitEstimate fit = fit_from_counts(100, 1e10);
+  EXPECT_NEAR(fit.cross_section, 1e-8, 1e-15);
+  EXPECT_NEAR(fit.fit, 130.0, 1e-9);
+  EXPECT_GT(fit.fit_hi, fit.fit);
+  EXPECT_LT(fit.fit_lo, fit.fit);
+  EXPECT_NEAR(fit.mtbf_hours(), 1e9 / 130.0, 1e-3);
+}
+
+TEST(Fit, ZeroFluenceIsEmpty) {
+  const FitEstimate fit = fit_from_counts(10, 0.0);
+  EXPECT_EQ(fit.fit, 0.0);
+  EXPECT_EQ(fit.mtbf_hours(), 0.0);
+}
+
+TEST(Fit, ConfidenceIntervalShrinksWithCounts) {
+  const FitEstimate few = fit_from_counts(10, 1e10);
+  const FitEstimate many = fit_from_counts(1000, 1e12);
+  const double few_rel = (few.fit_hi - few.fit_lo) / few.fit;
+  const double many_rel = (many.fit_hi - many.fit_lo) / many.fit;
+  EXPECT_LT(many_rel, few_rel);
+  // The paper's criterion: >=100 errors gives better than ~±10%.
+  const FitEstimate hundred = fit_from_counts(100, 1e10);
+  EXPECT_LT((hundred.fit_hi - hundred.fit) / hundred.fit, 0.25);
+}
+
+TEST(Fit, MachineMtbfScalesInversely) {
+  // Sec. 4.2: Trinity-size machine, 19,000 boards. A 193-FIT benchmark
+  // gives an event roughly every 1e9/(193*19000)/24 ~ 11.4 days.
+  const double days = machine_mtbf_days(193.0, 19000.0);
+  EXPECT_NEAR(days, 11.36, 0.1);
+  EXPECT_NEAR(machine_mtbf_days(193.0, 190000.0), days / 10.0, 0.01);
+  EXPECT_EQ(machine_mtbf_days(0.0, 100.0), 0.0);
+}
+
+TEST(Tolerance, CurveIsMonotoneNonIncreasing) {
+  ToleranceAnalysis analysis;
+  for (double e : {0.0001, 0.002, 0.02, 0.2, 2.0}) analysis.add_sdc(e);
+  double previous = 1.0;
+  for (double tol : ToleranceAnalysis::default_tolerances()) {
+    const double remaining = analysis.remaining_fraction(tol);
+    EXPECT_LE(remaining, previous);
+    previous = remaining;
+  }
+}
+
+TEST(Tolerance, KnownCounts) {
+  ToleranceAnalysis analysis;
+  analysis.add_sdc(0.0005);
+  analysis.add_sdc(0.004);
+  analysis.add_sdc(0.04);
+  analysis.add_sdc(0.4);
+  EXPECT_EQ(analysis.total_sdc(), 4u);
+  EXPECT_EQ(analysis.sdc_at(0.001), 3u);
+  EXPECT_EQ(analysis.sdc_at(0.01), 2u);
+  EXPECT_EQ(analysis.sdc_at(0.1), 1u);
+  EXPECT_DOUBLE_EQ(analysis.remaining_fraction(0.01), 0.5);
+  EXPECT_DOUBLE_EQ(analysis.reduction_percent(0.01), 50.0);
+}
+
+TEST(Tolerance, InfiniteErrorsNeverTolerated) {
+  ToleranceAnalysis analysis;
+  analysis.add_sdc(std::numeric_limits<double>::infinity());
+  EXPECT_EQ(analysis.sdc_at(0.15), 1u);
+}
+
+TEST(Tolerance, EmptyRemainsOne) {
+  ToleranceAnalysis analysis;
+  EXPECT_DOUBLE_EQ(analysis.remaining_fraction(0.05), 1.0);
+}
+
+TEST(Pvf, PercentScaling) {
+  fi::OutcomeTally tally;
+  tally.masked = 60;
+  tally.sdc = 30;
+  tally.due = 10;
+  EXPECT_NEAR(sdc_pvf(tally).point, 30.0, 1e-9);
+  EXPECT_NEAR(due_pvf(tally).point, 10.0, 1e-9);
+  EXPECT_NEAR(masked_pvf(tally).point, 60.0, 1e-9);
+  EXPECT_LT(sdc_pvf(tally).lo, 30.0);
+  EXPECT_GT(sdc_pvf(tally).hi, 30.0);
+}
+
+fi::CampaignResult make_result() {
+  fi::CampaignResult result;
+  auto& matrix = result.by_category["matrix"];
+  matrix.masked = 40;
+  matrix.sdc = 40;
+  matrix.due = 20;
+  auto& control = result.by_category["control"];
+  control.masked = 20;
+  control.sdc = 30;
+  control.due = 50;
+  auto& rare = result.by_category["rare"];
+  rare.sdc = 2;  // below min_injections
+  return result;
+}
+
+TEST(Criticality, TableRanksByContribution) {
+  const auto rows = criticality_table(make_result(), 10);
+  ASSERT_EQ(rows.size(), 2u);
+  // control: share 100/202, rate 0.8 -> 0.396; matrix: 100/202*0.6 -> 0.297.
+  EXPECT_EQ(rows[0].category, "control");
+  EXPECT_EQ(rows[1].category, "matrix");
+  EXPECT_NEAR(rows[0].sdc_rate, 0.3, 1e-9);
+  EXPECT_NEAR(rows[0].due_rate, 0.5, 1e-9);
+  EXPECT_NEAR(rows[0].injection_share + rows[1].injection_share,
+              200.0 / 202.0, 1e-9);
+}
+
+TEST(Criticality, MinInjectionFilter) {
+  const auto rows = criticality_table(make_result(), 1);
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST(Criticality, RecommendationsAreCategoryAware) {
+  CategoryCriticality control{.category = "control",
+                              .injections = 100,
+                              .sdc_rate = 0.3,
+                              .due_rate = 0.4};
+  EXPECT_NE(recommend_mitigation(control, true).find("duplication"),
+            std::string::npos);
+
+  CategoryCriticality matrix{.category = "matrix",
+                             .injections = 100,
+                             .sdc_rate = 0.5,
+                             .due_rate = 0.2};
+  EXPECT_NE(recommend_mitigation(matrix, true).find("ABFT"),
+            std::string::npos);
+
+  CategoryCriticality sort{.category = "mesh.sort",
+                           .injections = 100,
+                           .sdc_rate = 0.4,
+                           .due_rate = 0.4};
+  EXPECT_NE(recommend_mitigation(sort, false).find("sort"),
+            std::string::npos);
+
+  CategoryCriticality low{.category = "whatever",
+                          .injections = 100,
+                          .sdc_rate = 0.01,
+                          .due_rate = 0.01};
+  EXPECT_NE(recommend_mitigation(low, false).find("low criticality"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace phifi::analysis

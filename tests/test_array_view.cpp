@@ -1,0 +1,91 @@
+#include "util/array_view.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <tuple>
+
+namespace phifi::util {
+namespace {
+
+TEST(Shape, RankAndSize) {
+  EXPECT_EQ((Shape{.width = 5}).rank(), 1);
+  EXPECT_EQ((Shape{.width = 5, .height = 4}).rank(), 2);
+  EXPECT_EQ((Shape{.width = 5, .height = 4, .depth = 3}).rank(), 3);
+  EXPECT_EQ((Shape{.width = 5, .height = 4, .depth = 3}).size(), 60u);
+}
+
+class ShapeRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t,
+                                                 std::size_t>> {};
+
+TEST_P(ShapeRoundTripTest, FlattenUnflattenRoundTrip) {
+  const auto [w, h, d] = GetParam();
+  const Shape shape{.width = w, .height = h, .depth = d};
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    const Coord c = unflatten(shape, i);
+    EXPECT_LT(c.x, w);
+    EXPECT_LT(c.y, h);
+    EXPECT_LT(c.z, d);
+    EXPECT_EQ(flatten(shape, c), i);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ShapeRoundTripTest,
+    ::testing::Values(std::make_tuple(7, 1, 1), std::make_tuple(4, 5, 1),
+                      std::make_tuple(3, 4, 5), std::make_tuple(1, 1, 1),
+                      std::make_tuple(16, 16, 1)));
+
+TEST(Shape, UnflattenIsRowMajorXFastest) {
+  const Shape shape{.width = 4, .height = 3, .depth = 2};
+  EXPECT_EQ(unflatten(shape, 0), (Coord{0, 0, 0}));
+  EXPECT_EQ(unflatten(shape, 1), (Coord{1, 0, 0}));
+  EXPECT_EQ(unflatten(shape, 4), (Coord{0, 1, 0}));
+  EXPECT_EQ(unflatten(shape, 12), (Coord{0, 0, 1}));
+}
+
+TEST(View2D, IndexingMatchesRowMajor) {
+  std::vector<int> data(12);
+  for (int i = 0; i < 12; ++i) data[i] = i;
+  View2D<int> view(data.data(), 3, 4);
+  EXPECT_EQ(view(0, 0), 0);
+  EXPECT_EQ(view(0, 3), 3);
+  EXPECT_EQ(view(1, 0), 4);
+  EXPECT_EQ(view(2, 3), 11);
+  EXPECT_EQ(view.row(1)[2], 6);
+  view(2, 2) = 99;
+  EXPECT_EQ(data[10], 99);
+}
+
+TEST(View3D, IndexingMatchesLayout) {
+  std::vector<int> data(24);
+  for (int i = 0; i < 24; ++i) data[i] = i;
+  View3D<int> view(data.data(), 2, 3, 4);
+  EXPECT_EQ(view(0, 0, 0), 0);
+  EXPECT_EQ(view(0, 1, 0), 4);
+  EXPECT_EQ(view(1, 0, 0), 12);
+  EXPECT_EQ(view(1, 2, 3), 23);
+}
+
+TEST(AlignedBuffer, IsCacheLineAlignedAndZeroed) {
+  AlignedBuffer<double> buffer(100);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buffer.data()) % 64, 0u);
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    EXPECT_EQ(buffer[i], 0.0);
+  }
+}
+
+TEST(AlignedBuffer, ResizeAndEmpty) {
+  AlignedBuffer<float> buffer;
+  EXPECT_TRUE(buffer.empty());
+  buffer.resize(7);
+  EXPECT_EQ(buffer.size(), 7u);
+  buffer[3] = 1.5f;
+  EXPECT_EQ(buffer.span()[3], 1.5f);
+  buffer.resize(0);
+  EXPECT_TRUE(buffer.empty());
+}
+
+}  // namespace
+}  // namespace phifi::util

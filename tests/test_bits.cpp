@@ -1,0 +1,58 @@
+#include "util/bits.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace phifi::util {
+namespace {
+
+TEST(Bits, FlipAndReadBit) {
+  std::array<std::byte, 4> buffer{};
+  auto span = std::span<std::byte>(buffer);
+  EXPECT_FALSE(read_bit(buffer, 13));
+  flip_bit(span, 13);
+  EXPECT_TRUE(read_bit(buffer, 13));
+  EXPECT_EQ(static_cast<unsigned>(buffer[1]), 1u << 5);
+  flip_bit(span, 13);
+  EXPECT_FALSE(read_bit(buffer, 13));
+  EXPECT_EQ(static_cast<unsigned>(buffer[1]), 0u);
+}
+
+TEST(Bits, FlipIsInvolution) {
+  std::array<std::byte, 8> buffer{std::byte{0xa5}, std::byte{0x3c}};
+  const auto original = buffer;
+  for (std::size_t bit = 0; bit < 64; ++bit) {
+    flip_bit(buffer, bit);
+    flip_bit(buffer, bit);
+    EXPECT_EQ(buffer, original) << "bit " << bit;
+  }
+}
+
+TEST(Bits, HammingDistance) {
+  std::array<std::byte, 2> a{std::byte{0xff}, std::byte{0x00}};
+  std::array<std::byte, 2> b{std::byte{0x0f}, std::byte{0x01}};
+  EXPECT_EQ(hamming_distance(a, b), 5u);
+  EXPECT_EQ(hamming_distance(a, a), 0u);
+}
+
+TEST(Bits, FloatBitsRoundTrip) {
+  for (float v : {0.0f, 1.0f, -3.25f, 1e30f, -1e-30f}) {
+    EXPECT_EQ(bits_to_float(float_bits(v)), v);
+  }
+}
+
+TEST(Bits, DoubleBitsRoundTrip) {
+  for (double v : {0.0, 1.0, -3.25, 1e300, -1e-300}) {
+    EXPECT_EQ(bits_to_double(double_bits(v)), v);
+  }
+}
+
+TEST(Bits, FloatSignBitFlip) {
+  const std::uint32_t bits = float_bits(2.5f);
+  EXPECT_EQ(bits_to_float(bits ^ 0x80000000u), -2.5f);
+}
+
+}  // namespace
+}  // namespace phifi::util

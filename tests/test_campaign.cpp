@@ -1,0 +1,157 @@
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tests/toy_workload.hpp"
+
+namespace phifi::fi {
+namespace {
+
+using phifi::testing::ToyWorkload;
+using phifi::testing::toy_supervisor_config;
+
+TEST(OutcomeTally, RatesAndAccumulation) {
+  OutcomeTally tally;
+  tally.add(Outcome::kMasked);
+  tally.add(Outcome::kMasked);
+  tally.add(Outcome::kSdc);
+  tally.add(Outcome::kDue);
+  tally.add(Outcome::kNotInjected);  // ignored
+  EXPECT_EQ(tally.total(), 4u);
+  EXPECT_DOUBLE_EQ(tally.masked_rate(), 0.5);
+  EXPECT_DOUBLE_EQ(tally.sdc_rate(), 0.25);
+  EXPECT_DOUBLE_EQ(tally.due_rate(), 0.25);
+
+  OutcomeTally other;
+  other.add(Outcome::kSdc);
+  tally += other;
+  EXPECT_EQ(tally.sdc, 2u);
+}
+
+TEST(OutcomeTally, EmptyRatesAreZero) {
+  OutcomeTally tally;
+  EXPECT_EQ(tally.total(), 0u);
+  EXPECT_EQ(tally.sdc_rate(), 0.0);
+  EXPECT_EQ(tally.due_rate(), 0.0);
+  EXPECT_EQ(tally.masked_rate(), 0.0);
+}
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ToyWorkload::reset_run_counter();
+    supervisor_ = std::make_unique<TrialSupervisor>(
+        &phifi::testing::make_toy_normal, toy_supervisor_config());
+    supervisor_->prepare_golden();
+  }
+
+  std::unique_ptr<TrialSupervisor> supervisor_;
+};
+
+TEST_F(CampaignTest, RunsRequestedTrialCount) {
+  CampaignConfig config;
+  config.trials = 24;
+  config.seed = 42;
+  Campaign campaign(*supervisor_, config);
+  const CampaignResult result = campaign.run();
+  EXPECT_EQ(result.overall.total(), 24u);
+  EXPECT_EQ(result.trials.size(), 24u);
+  EXPECT_EQ(result.workload, "Toy");
+  EXPECT_EQ(result.time_windows, 4u);
+  EXPECT_EQ(result.by_window.size(), 4u);
+}
+
+TEST_F(CampaignTest, ModelsCycleEvenly) {
+  CampaignConfig config;
+  config.trials = 20;
+  config.seed = 7;
+  Campaign campaign(*supervisor_, config);
+  const CampaignResult result = campaign.run();
+  std::uint64_t by_model_total = 0;
+  for (const auto& tally : result.by_model) {
+    EXPECT_EQ(tally.total(), 5u);
+    by_model_total += tally.total();
+  }
+  EXPECT_EQ(by_model_total, result.overall.total());
+}
+
+TEST_F(CampaignTest, WindowTalliesSumToOverall) {
+  CampaignConfig config;
+  config.trials = 20;
+  config.seed = 8;
+  Campaign campaign(*supervisor_, config);
+  const CampaignResult result = campaign.run();
+  std::uint64_t window_total = 0;
+  for (const auto& tally : result.by_window) window_total += tally.total();
+  EXPECT_EQ(window_total, result.overall.total());
+}
+
+TEST_F(CampaignTest, CategoriesMatchRegisteredSites) {
+  CampaignConfig config;
+  config.trials = 30;
+  config.seed = 9;
+  Campaign campaign(*supervisor_, config);
+  const CampaignResult result = campaign.run();
+  std::uint64_t category_total = 0;
+  for (const auto& [category, tally] : result.by_category) {
+    EXPECT_TRUE(category == "data" || category == "constant")
+        << "unexpected category " << category;
+    category_total += tally.total();
+  }
+  EXPECT_EQ(category_total, result.overall.total());
+}
+
+TEST_F(CampaignTest, ObserverSeesEveryTrial) {
+  CampaignConfig config;
+  config.trials = 12;
+  config.seed = 10;
+  Campaign campaign(*supervisor_, config);
+  int observed = 0;
+  int with_output = 0;
+  const CampaignResult result =
+      campaign.run([&](const TrialResult& trial,
+                       std::span<const std::byte> output) {
+        ++observed;
+        if (trial.outcome == Outcome::kMasked ||
+            trial.outcome == Outcome::kSdc) {
+          EXPECT_FALSE(output.empty());
+          ++with_output;
+        } else {
+          EXPECT_TRUE(output.empty());
+        }
+      });
+  EXPECT_EQ(observed, 12);
+  EXPECT_EQ(static_cast<std::uint64_t>(with_output),
+            result.overall.masked + result.overall.sdc);
+}
+
+TEST_F(CampaignTest, DeterministicForSeed) {
+  CampaignConfig config;
+  config.trials = 16;
+  config.seed = 123;
+  // Keep injection targets away from the very end of the run so a polling
+  // race cannot turn a trial into NotInjected in one run but not the other.
+  config.latest_fraction = 0.9;
+  const CampaignResult a = Campaign(*supervisor_, config).run();
+  const CampaignResult b = Campaign(*supervisor_, config).run();
+  // What is seed-deterministic is the *selection*: victim variable, element,
+  // fault model. The outcome of an individual trial can (rarely) flip when
+  // the injected write races the kernel's own read-modify-write of the same
+  // element — exactly as physical injections race the pipeline — so
+  // outcomes are only required to match closely.
+  ASSERT_EQ(a.trials.size(), b.trials.size());
+  int outcome_diffs = 0;
+  for (std::size_t i = 0; i < a.trials.size(); ++i) {
+    EXPECT_STREQ(a.trials[i].record.site_name, b.trials[i].record.site_name);
+    EXPECT_EQ(a.trials[i].record.model, b.trials[i].record.model);
+    EXPECT_EQ(a.trials[i].record.element_index,
+              b.trials[i].record.element_index);
+    outcome_diffs += a.trials[i].outcome != b.trials[i].outcome;
+  }
+  EXPECT_LE(outcome_diffs, 2);
+}
+
+}  // namespace
+}  // namespace phifi::fi

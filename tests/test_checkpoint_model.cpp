@@ -1,0 +1,72 @@
+#include "analysis/checkpoint_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace phifi::analysis {
+namespace {
+
+TEST(CheckpointModel, WasteFormulaKnownValues) {
+  // d=60s, t=3540s, M=36000s: waste = 60/3600 + 3600/72000 = 1/60 + 0.05.
+  EXPECT_NEAR(checkpoint_waste(3540.0, 36000.0, 60.0),
+              60.0 / 3600.0 + 3600.0 / 72000.0, 1e-12);
+}
+
+TEST(CheckpointModel, WasteDegenerateInputs) {
+  EXPECT_EQ(checkpoint_waste(0.0, 1000.0, 10.0), 1.0);
+  EXPECT_EQ(checkpoint_waste(100.0, 0.0, 10.0), 1.0);
+  EXPECT_EQ(checkpoint_waste(100.0, 1000.0, -1.0), 1.0);
+  // Absurdly frequent checkpoints on a failing machine caps at 1.
+  EXPECT_EQ(checkpoint_waste(1.0, 2.0, 100.0), 1.0);
+}
+
+TEST(CheckpointModel, OptimumMatchesYoungForSmallCost) {
+  // d << M: Daly reduces to Young's sqrt(2 d M).
+  const double m = 1e6;
+  const double d = 10.0;
+  const CheckpointPlan plan = optimal_checkpoint(m, d);
+  EXPECT_NEAR(plan.interval_seconds, std::sqrt(2.0 * d * m), 0.05 * plan.interval_seconds);
+}
+
+TEST(CheckpointModel, OptimumIsActuallyOptimal) {
+  // The waste at the returned interval must beat nearby intervals.
+  const double m = 50000.0;
+  const double d = 120.0;
+  const CheckpointPlan plan = optimal_checkpoint(m, d);
+  const double at_optimum = plan.waste_fraction;
+  EXPECT_LE(at_optimum,
+            checkpoint_waste(plan.interval_seconds * 0.5, m, d) + 1e-12);
+  EXPECT_LE(at_optimum,
+            checkpoint_waste(plan.interval_seconds * 2.0, m, d) + 1e-12);
+  EXPECT_LT(at_optimum, 0.2);
+}
+
+TEST(CheckpointModel, LowerDueRateMeansLongerIntervalLessWaste) {
+  // The Sec. 6 argument: halving the DUE FIT (doubling machine MTBF)
+  // lengthens the optimal interval and reduces the waste.
+  const double d = 60.0;
+  const double mtbf_base = machine_mtbf_seconds(40.0, 19000.0);
+  const double mtbf_hardened = machine_mtbf_seconds(20.0, 19000.0);
+  EXPECT_NEAR(mtbf_hardened, 2.0 * mtbf_base, 1e-6);
+  const CheckpointPlan base = optimal_checkpoint(mtbf_base, d);
+  const CheckpointPlan hardened = optimal_checkpoint(mtbf_hardened, d);
+  EXPECT_GT(hardened.interval_seconds, base.interval_seconds);
+  EXPECT_LT(hardened.waste_fraction, base.waste_fraction);
+}
+
+TEST(CheckpointModel, MachineMtbfSeconds) {
+  // 193 FIT x 19000 boards: 1e9/(193*19000) hours.
+  const double expected_hours = 1e9 / (193.0 * 19000.0);
+  EXPECT_NEAR(machine_mtbf_seconds(193.0, 19000.0), expected_hours * 3600.0,
+              1.0);
+  EXPECT_EQ(machine_mtbf_seconds(0.0, 100.0), 0.0);
+}
+
+TEST(CheckpointModel, DegenerateOptimum) {
+  const CheckpointPlan plan = optimal_checkpoint(0.0, 60.0);
+  EXPECT_EQ(plan.waste_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace phifi::analysis

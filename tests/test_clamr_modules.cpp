@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workloads/clamr/amr_mesh.hpp"
+#include "workloads/clamr/cell_sort.hpp"
+#include "workloads/clamr/quadtree.hpp"
+#include "workloads/clamr/zorder.hpp"
+
+namespace phifi::work::clamr {
+namespace {
+
+TEST(ZOrder, EncodeDecodeRoundTrip) {
+  for (std::uint32_t x = 0; x < 64; x += 3) {
+    for (std::uint32_t y = 0; y < 64; y += 5) {
+      std::uint32_t dx = 0;
+      std::uint32_t dy = 0;
+      morton_decode(morton_encode(x, y), dx, dy);
+      EXPECT_EQ(dx, x);
+      EXPECT_EQ(dy, y);
+    }
+  }
+}
+
+TEST(ZOrder, KnownValues) {
+  EXPECT_EQ(morton_encode(0, 0), 0u);
+  EXPECT_EQ(morton_encode(1, 0), 1u);
+  EXPECT_EQ(morton_encode(0, 1), 2u);
+  EXPECT_EQ(morton_encode(1, 1), 3u);
+  EXPECT_EQ(morton_encode(2, 0), 4u);
+  EXPECT_EQ(morton_encode(0, 2), 8u);
+}
+
+TEST(ZOrder, SiblingsAreContiguous) {
+  // The four children of any quadrant occupy four consecutive keys.
+  for (std::uint32_t px = 0; px < 8; ++px) {
+    for (std::uint32_t py = 0; py < 8; ++py) {
+      const std::uint32_t base = morton_encode(px * 2, py * 2);
+      std::set<std::uint32_t> keys;
+      for (int q = 0; q < 4; ++q) {
+        keys.insert(morton_encode(px * 2 + (q & 1), py * 2 + (q >> 1)));
+      }
+      EXPECT_EQ(*keys.begin(), base);
+      EXPECT_EQ(*keys.rbegin(), base + 3);
+      EXPECT_EQ(keys.size(), 4u);
+    }
+  }
+}
+
+class CellSortTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(CellSortTest, SortsArbitraryKeys) {
+  const std::size_t n = GetParam();
+  util::Rng rng(7 + n);
+  std::vector<std::uint32_t> keys(n);
+  for (auto& k : keys) k = static_cast<std::uint32_t>(rng.below(1000));
+
+  CellSort sorter(std::max<std::size_t>(n, 1));
+  sorter.sort(keys);
+  ASSERT_EQ(sorter.count(), n);
+
+  const auto perm = sorter.perm();
+  // perm is a permutation of [0, n).
+  std::set<std::int32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), n);
+  // Output keys are sorted and match the permuted input keys.
+  const auto sorted_keys = sorter.keys();
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_EQ(sorted_keys[r], keys[perm[r]]);
+    if (r > 0) {
+      EXPECT_LE(sorted_keys[r - 1], sorted_keys[r]);
+    }
+  }
+}
+
+TEST_P(CellSortTest, StableForEqualKeys) {
+  const std::size_t n = GetParam();
+  if (n == 0) return;
+  std::vector<std::uint32_t> keys(n, 5);  // all equal
+  CellSort sorter(n);
+  sorter.sort(keys);
+  for (std::size_t r = 0; r < n; ++r) {
+    EXPECT_EQ(sorter.perm()[r], static_cast<std::int32_t>(r));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CellSortTest,
+                         ::testing::Values(0, 1, 2, 3, 7, 64, 100, 1000));
+
+TEST(QuadtreeTest, LocatesEveryCellOfAUniformGrid) {
+  // 4x4 cells on a 16-wide fine grid: each cell has depth 2, width 4.
+  std::vector<std::int32_t> xs;
+  std::vector<std::int32_t> ys;
+  std::vector<std::int32_t> depths;
+  for (std::int32_t j = 0; j < 4; ++j) {
+    for (std::int32_t i = 0; i < 4; ++i) {
+      xs.push_back(i);
+      ys.push_back(j);
+      depths.push_back(2);
+    }
+  }
+  Quadtree tree(16, 64);
+  tree.build(xs, ys, depths, xs.size());
+  for (std::int64_t fy = 0; fy < 16; ++fy) {
+    for (std::int64_t fx = 0; fx < 16; ++fx) {
+      const std::int32_t cell = tree.locate(fx, fy);
+      ASSERT_NE(cell, Quadtree::kNull);
+      EXPECT_EQ(xs[cell], fx / 4);
+      EXPECT_EQ(ys[cell], fy / 4);
+    }
+  }
+}
+
+TEST(QuadtreeTest, MixedDepths) {
+  // One depth-1 cell covering the NE quadrant, four depth-2 cells in SW.
+  std::vector<std::int32_t> xs = {1, 0, 1, 0, 1};
+  std::vector<std::int32_t> ys = {1, 0, 0, 1, 1};
+  std::vector<std::int32_t> depths = {1, 2, 2, 2, 2};
+  Quadtree tree(8, 16);
+  tree.build(xs, ys, depths, xs.size());
+  EXPECT_EQ(tree.locate(6, 6), 0);  // NE quadrant
+  EXPECT_EQ(tree.locate(0, 0), 1);
+  EXPECT_EQ(tree.locate(3, 1), 2);
+  EXPECT_EQ(tree.locate(1, 3), 3);
+  EXPECT_EQ(tree.locate(2, 2), 4);
+}
+
+TEST(QuadtreeTest, OutsideDomainIsNull) {
+  std::vector<std::int32_t> xs = {0};
+  std::vector<std::int32_t> ys = {0};
+  std::vector<std::int32_t> depths = {0};
+  Quadtree tree(8, 4);
+  tree.build(xs, ys, depths, 1);
+  EXPECT_EQ(tree.locate(-1, 0), Quadtree::kNull);
+  EXPECT_EQ(tree.locate(0, 8), Quadtree::kNull);
+  EXPECT_EQ(tree.locate(100, 100), Quadtree::kNull);
+}
+
+TEST(QuadtreeTest, UncoveredRegionIsNull) {
+  // Only the SW depth-1 quadrant is present.
+  std::vector<std::int32_t> xs = {0};
+  std::vector<std::int32_t> ys = {0};
+  std::vector<std::int32_t> depths = {1};
+  Quadtree tree(8, 4);
+  tree.build(xs, ys, depths, 1);
+  EXPECT_EQ(tree.locate(1, 1), 0);
+  EXPECT_EQ(tree.locate(6, 6), Quadtree::kNull);
+}
+
+TEST(QuadtreeTest, CyclicCorruptionTerminates) {
+  std::vector<std::int32_t> xs = {0, 1, 0, 1};
+  std::vector<std::int32_t> ys = {0, 0, 1, 1};
+  std::vector<std::int32_t> depths = {1, 1, 1, 1};
+  Quadtree tree(8, 8);
+  tree.build(xs, ys, depths, 4);
+  // Corrupt a child link to point back at the root. The walk must
+  // terminate (the descent is depth-bounded and the quadrant size halves
+  // each step); under corruption it may return a wrong cell or kNull, but
+  // it must not hang.
+  tree.children_buffer()[0] = 0;
+  tree.leaf_buffer()[0] = Quadtree::kNull;
+  const std::int32_t result = tree.locate(1, 1);
+  EXPECT_TRUE(result == Quadtree::kNull || (result >= 0 && result < 4))
+      << result;
+  // A fully cyclic corruption (every quadrant loops to the root) returns
+  // kNull once the quadrant size bottoms out.
+  for (int q = 0; q < 4; ++q) tree.children_buffer()[q] = 0;
+  EXPECT_EQ(tree.locate(1, 1), Quadtree::kNull);
+}
+
+TEST(AmrMeshTest, InitialGridIsBaseResolution) {
+  MeshParams params;
+  AmrMesh mesh(params);
+  mesh.init_dam_break();
+  EXPECT_EQ(mesh.cell_count(),
+            static_cast<std::size_t>(params.base_size) * params.base_size);
+  // Hump in the middle: center cell higher than a corner cell.
+  const auto h = mesh.h();
+  const auto x = mesh.x();
+  const auto y = mesh.y();
+  float center_h = 0.0f;
+  float corner_h = 0.0f;
+  for (std::size_t c = 0; c < mesh.cell_count(); ++c) {
+    if (x[c] == 8 && y[c] == 8) center_h = h[c];
+    if (x[c] == 0 && y[c] == 0) corner_h = h[c];
+  }
+  EXPECT_GT(center_h, corner_h + 0.1f);
+}
+
+TEST(AmrMeshTest, PermutationReordersConsistently) {
+  MeshParams params;
+  AmrMesh mesh(params);
+  mesh.init_dam_break();
+  const std::size_t n = mesh.cell_count();
+  std::vector<std::uint32_t> keys(mesh.capacity());
+  mesh.compute_keys(keys);
+  CellSort sorter(mesh.capacity());
+  sorter.sort({keys.data(), n});
+  const float h_first_before = mesh.h()[sorter.perm()[0]];
+  mesh.apply_permutation(sorter.perm());
+  EXPECT_EQ(mesh.h()[0], h_first_before);
+  // Keys are now sorted in cell order.
+  mesh.compute_keys(keys);
+  for (std::size_t c = 1; c < n; ++c) EXPECT_LE(keys[c - 1], keys[c]);
+}
+
+TEST(AmrMeshTest, RegridRefinesSteepGradients) {
+  MeshParams params;
+  params.refine_threshold = 0.01f;
+  AmrMesh mesh(params);
+  mesh.init_dam_break(1.0f);
+  Quadtree tree(params.fine_size(), mesh.capacity());
+  mesh.build_tree(tree);
+  const std::size_t before = mesh.cell_count();
+  const std::size_t after = mesh.regrid(tree);
+  EXPECT_GT(after, before);
+  // Total volume conserved exactly by refinement (children copy h).
+}
+
+TEST(AmrMeshTest, CoarseningMergesFlatSiblings) {
+  MeshParams params;
+  AmrMesh mesh(params);
+  mesh.init_dam_break(0.0f);  // perfectly flat: every gradient is zero
+  Quadtree tree(params.fine_size(), mesh.capacity());
+  // Refine everything once by brute force: set a negative threshold.
+  MeshParams& p = mesh.mutable_params();
+  const float saved = p.refine_threshold;
+  p.refine_threshold = -1.0f;
+  mesh.build_tree(tree);
+  mesh.regrid(tree);
+  const std::size_t refined = mesh.cell_count();
+  EXPECT_EQ(refined, 4u * params.base_size * params.base_size);
+  // Restore the threshold: now everything is flat, so siblings coarsen.
+  p.refine_threshold = saved;
+  mesh.build_tree(tree);
+  mesh.regrid(tree);
+  EXPECT_EQ(mesh.cell_count(),
+            static_cast<std::size_t>(params.base_size) * params.base_size);
+  const double volume = mesh.total_volume();
+  const double fine = params.fine_size();
+  EXPECT_NEAR(volume, fine * fine, 1e-3);
+}
+
+TEST(AmrMeshTest, RasterizeCoversFineGrid) {
+  MeshParams params;
+  AmrMesh mesh(params);
+  mesh.init_dam_break();
+  std::vector<float> raster(
+      static_cast<std::size_t>(params.fine_size()) * params.fine_size(),
+      -1.0f);
+  mesh.rasterize(raster);
+  for (float v : raster) EXPECT_GT(v, 0.0f);  // every pixel written
+}
+
+TEST(AmrMeshTest, ComputeStepKeepsFlatFieldFlat) {
+  MeshParams params;
+  AmrMesh mesh(params);
+  mesh.init_dam_break(0.0f);
+  Quadtree tree(params.fine_size(), mesh.capacity());
+  mesh.build_tree(tree);
+  for (std::size_t c = 0; c < mesh.cell_count(); ++c) {
+    mesh.compute_cell(tree, c);
+  }
+  mesh.swap_state();
+  for (std::size_t c = 0; c < mesh.cell_count(); ++c) {
+    EXPECT_FLOAT_EQ(mesh.h()[c], 1.0f);
+  }
+}
+
+
+TEST(AmrMeshTest, RegridEnforcesTwoToOneGrading) {
+  MeshParams params;
+  params.refine_threshold = 0.03f;
+  params.coarsen_threshold = 0.01f;
+  AmrMesh mesh(params);
+  mesh.init_dam_break(0.8f);
+  Quadtree tree(params.fine_size(), mesh.capacity());
+  // Several regrid rounds around a steep hump: every intermediate mesh
+  // must satisfy the 2:1 face-neighbor constraint.
+  for (int round = 0; round < 4; ++round) {
+    mesh.build_tree(tree);
+    mesh.regrid(tree);
+    mesh.build_tree(tree);
+    ASSERT_TRUE(mesh.is_graded(tree)) << "round " << round;
+  }
+}
+
+TEST(AmrMeshTest, GradingCancelsIllegalCoarsening) {
+  // A fully refined mesh with one steep cell: its neighbors may not
+  // coarsen past one level below it even if their own gradients are flat.
+  MeshParams params;
+  AmrMesh mesh(params);
+  mesh.init_dam_break(0.0f);
+  Quadtree tree(params.fine_size(), mesh.capacity());
+  // Refine everything twice to the finest level.
+  MeshParams& p = mesh.mutable_params();
+  const float saved = p.refine_threshold;
+  p.refine_threshold = -1.0f;
+  for (int round = 0; round < 2; ++round) {
+    mesh.build_tree(tree);
+    mesh.regrid(tree);
+  }
+  p.refine_threshold = saved;
+  // Plant a sharp spike so one region stays refined while the rest wants
+  // to coarsen all the way back down.
+  const std::size_t cells = mesh.cell_count();
+  mesh.h_buffer()[cells / 2] = 5.0f;
+  for (int round = 0; round < 3; ++round) {
+    mesh.build_tree(tree);
+    mesh.regrid(tree);
+    mesh.build_tree(tree);
+    ASSERT_TRUE(mesh.is_graded(tree)) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace phifi::work::clamr

@@ -1,0 +1,141 @@
+#include "cli/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cli/runner.hpp"
+
+namespace phifi::cli {
+namespace {
+
+RunnerConfig parse(const std::string& text) {
+  std::istringstream stream(text);
+  return parse_config(stream);
+}
+
+TEST(CliConfig, DefaultsWhenEmpty) {
+  const RunnerConfig config = parse("");
+  EXPECT_EQ(config.mode, RunMode::kInject);
+  EXPECT_EQ(config.workload, "DGEMM");
+  EXPECT_EQ(config.models.size(), 4u);
+}
+
+TEST(CliConfig, ParsesAllKeys) {
+  const RunnerConfig config = parse(R"(
+# a comment
+mode = beam
+workload = HotSpot
+seed = 0x10
+log_file = /tmp/x.csv
+trials = 123
+policy = bytes-weighted
+models = Single + Zero
+earliest_fraction = 0.2
+latest_fraction = 0.8
+flux = 1e5
+min_sdc = 7
+min_due = 3
+max_executions = 99
+device_os_threads = 2
+timeout_factor = 11
+min_timeout_seconds = 0.5
+input_seed = 42
+)");
+  EXPECT_EQ(config.mode, RunMode::kBeam);
+  EXPECT_EQ(config.workload, "HotSpot");
+  EXPECT_EQ(config.seed, 16u);
+  EXPECT_EQ(config.log_file, "/tmp/x.csv");
+  EXPECT_EQ(config.trials, 123u);
+  EXPECT_EQ(config.policy, fi::SelectionPolicy::kBytesWeighted);
+  ASSERT_EQ(config.models.size(), 2u);
+  EXPECT_EQ(config.models[0], fi::FaultModel::kSingle);
+  EXPECT_EQ(config.models[1], fi::FaultModel::kZero);
+  EXPECT_DOUBLE_EQ(config.earliest_fraction, 0.2);
+  EXPECT_DOUBLE_EQ(config.flux, 1e5);
+  EXPECT_EQ(config.min_sdc, 7u);
+  EXPECT_EQ(config.device_os_threads, 2u);
+  EXPECT_DOUBLE_EQ(config.min_timeout_seconds, 0.5);
+  EXPECT_EQ(config.input_seed, 42u);
+}
+
+TEST(CliConfig, CommentsAndWhitespaceIgnored) {
+  const RunnerConfig config =
+      parse("  trials =  5   # inline comment\n\n   \n# whole line\n");
+  EXPECT_EQ(config.trials, 5u);
+}
+
+TEST(CliConfig, UnknownKeyIsError) {
+  EXPECT_THROW(parse("trails = 100\n"), std::runtime_error);
+}
+
+TEST(CliConfig, BadValuesAreErrors) {
+  EXPECT_THROW(parse("trials = many\n"), std::runtime_error);
+  EXPECT_THROW(parse("policy = lucky-dip\n"), std::runtime_error);
+  EXPECT_THROW(parse("models = Single + Quintuple\n"), std::runtime_error);
+  EXPECT_THROW(parse("mode = maybe\n"), std::runtime_error);
+  EXPECT_THROW(parse("trials\n"), std::runtime_error);
+  EXPECT_THROW(parse("trials =\n"), std::runtime_error);
+}
+
+TEST(CliConfig, InvalidInjectionWindowRejected) {
+  EXPECT_THROW(parse("earliest_fraction = 0.9\nlatest_fraction = 0.2\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse("latest_fraction = 1.5\n"), std::runtime_error);
+}
+
+TEST(CliConfig, FormatParseRoundTrip) {
+  RunnerConfig config;
+  config.mode = RunMode::kBeam;
+  config.workload = "NW";
+  config.seed = 77;
+  config.trials = 321;
+  config.policy = fi::SelectionPolicy::kWorkerFrameOnly;
+  config.models = {fi::FaultModel::kDouble};
+  config.log_file = "log.csv";
+  const RunnerConfig reparsed = parse(format_config(config));
+  EXPECT_EQ(reparsed.mode, config.mode);
+  EXPECT_EQ(reparsed.workload, config.workload);
+  EXPECT_EQ(reparsed.seed, config.seed);
+  EXPECT_EQ(reparsed.trials, config.trials);
+  EXPECT_EQ(reparsed.policy, config.policy);
+  EXPECT_EQ(reparsed.models, config.models);
+  EXPECT_EQ(reparsed.log_file, config.log_file);
+}
+
+TEST(CliRunner, UnknownWorkloadThrows) {
+  RunnerConfig config;
+  config.workload = "SuperLINPACK";
+  std::ostringstream out;
+  EXPECT_THROW(run_from_config(config, out), std::runtime_error);
+}
+
+TEST(CliRunner, RunsSmallInjectionCampaign) {
+  RunnerConfig config;
+  config.workload = "LUD";
+  config.trials = 15;
+  config.seed = 5;
+  std::ostringstream out;
+  const RunSummary summary = run_from_config(config, out);
+  EXPECT_EQ(summary.workload, "LUD");
+  EXPECT_EQ(summary.outcomes.total(), 15u);
+  EXPECT_NE(out.str().find("Injection campaign - LUD"), std::string::npos);
+}
+
+TEST(CliRunner, RunsSmallBeamCampaign) {
+  RunnerConfig config;
+  config.mode = RunMode::kBeam;
+  config.workload = "DGEMM";
+  config.seed = 6;
+  config.min_sdc = 3;
+  config.min_due = 1;
+  config.max_executions = 200;
+  std::ostringstream out;
+  const RunSummary summary = run_from_config(config, out);
+  EXPECT_EQ(summary.mode, RunMode::kBeam);
+  EXPECT_GT(summary.sdc_fit, 0.0);
+  EXPECT_NE(out.str().find("Beam campaign - DGEMM"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace phifi::cli

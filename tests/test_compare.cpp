@@ -1,0 +1,103 @@
+#include "analysis/compare.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace phifi::analysis {
+namespace {
+
+template <typename T>
+std::span<const std::byte> bytes_of(const std::vector<T>& values) {
+  return {reinterpret_cast<const std::byte*>(values.data()),
+          values.size() * sizeof(T)};
+}
+
+TEST(RelativeError, Conventions) {
+  EXPECT_DOUBLE_EQ(relative_error(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(10.0, 11.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(10.0, 9.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(-10.0, -9.0), 0.1);
+  EXPECT_TRUE(std::isinf(relative_error(0.0, 1.0)));
+  EXPECT_TRUE(std::isinf(
+      relative_error(1.0, std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_TRUE(std::isinf(
+      relative_error(1.0, std::numeric_limits<double>::infinity())));
+}
+
+TEST(Compare, IdenticalBuffersMatch) {
+  const std::vector<float> golden = {1.0f, 2.0f, 3.0f};
+  const Comparison cmp =
+      compare_outputs(bytes_of(golden), bytes_of(golden),
+                      fi::ElementType::kF32);
+  EXPECT_TRUE(cmp.matches());
+  EXPECT_EQ(cmp.total_elements, 3u);
+  EXPECT_EQ(cmp.max_relative_error(), 0.0);
+}
+
+TEST(Compare, FindsMismatchPositionsAndErrors) {
+  const std::vector<double> golden = {1.0, 2.0, 4.0, 8.0};
+  const std::vector<double> observed = {1.0, 2.2, 4.0, 4.0};
+  const Comparison cmp = compare_outputs(bytes_of(golden), bytes_of(observed),
+                                         fi::ElementType::kF64);
+  ASSERT_EQ(cmp.mismatch_count(), 2u);
+  EXPECT_EQ(cmp.mismatch_indices[0], 1u);
+  EXPECT_EQ(cmp.mismatch_indices[1], 3u);
+  EXPECT_NEAR(cmp.relative_errors[0], 0.1, 1e-12);
+  EXPECT_NEAR(cmp.relative_errors[1], 0.5, 1e-12);
+  EXPECT_NEAR(cmp.max_relative_error(), 0.5, 1e-12);
+}
+
+TEST(Compare, BitwiseCatchesNegativeZero) {
+  const std::vector<float> golden = {0.0f};
+  const std::vector<float> observed = {-0.0f};
+  const Comparison cmp = compare_outputs(bytes_of(golden), bytes_of(observed),
+                                         fi::ElementType::kF32);
+  EXPECT_EQ(cmp.mismatch_count(), 1u);
+}
+
+TEST(Compare, NanIsNonFiniteAndInfiniteError) {
+  const std::vector<float> golden = {1.0f, 2.0f};
+  const std::vector<float> observed = {std::nanf(""), 2.0f};
+  const Comparison cmp = compare_outputs(bytes_of(golden), bytes_of(observed),
+                                         fi::ElementType::kF32);
+  EXPECT_TRUE(cmp.any_non_finite);
+  EXPECT_TRUE(std::isinf(cmp.max_relative_error()));
+}
+
+TEST(Compare, IntegerTypes) {
+  const std::vector<std::int32_t> golden = {10, -20, 0};
+  const std::vector<std::int32_t> observed = {10, -22, 0};
+  const Comparison cmp = compare_outputs(bytes_of(golden), bytes_of(observed),
+                                         fi::ElementType::kI32);
+  ASSERT_EQ(cmp.mismatch_count(), 1u);
+  EXPECT_NEAR(cmp.relative_errors[0], 0.1, 1e-12);
+}
+
+TEST(Compare, ToleranceCounting) {
+  const std::vector<double> golden = {100.0, 100.0, 100.0};
+  const std::vector<double> observed = {100.05, 101.0, 120.0};
+  const Comparison cmp = compare_outputs(bytes_of(golden), bytes_of(observed),
+                                         fi::ElementType::kF64);
+  EXPECT_EQ(cmp.count_above(0.0001), 3u);
+  EXPECT_EQ(cmp.count_above(0.005), 2u);
+  EXPECT_EQ(cmp.count_above(0.05), 1u);
+  EXPECT_EQ(cmp.count_above(0.5), 0u);
+  EXPECT_TRUE(cmp.is_sdc_at(0.05));
+  EXPECT_FALSE(cmp.is_sdc_at(0.5));
+}
+
+TEST(Compare, SizeMismatchIsFullyWrongBeyondPrefix) {
+  const std::vector<float> golden = {1.0f, 2.0f, 3.0f};
+  const std::vector<float> observed = {1.0f, 2.0f};
+  const Comparison cmp = compare_outputs(bytes_of(golden), bytes_of(observed),
+                                         fi::ElementType::kF32);
+  EXPECT_EQ(cmp.total_elements, 3u);
+  EXPECT_EQ(cmp.mismatch_count(), 1u);
+  EXPECT_TRUE(std::isinf(cmp.relative_errors[0]));
+}
+
+}  // namespace
+}  // namespace phifi::analysis

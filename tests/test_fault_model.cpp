@@ -1,0 +1,116 @@
+#include "core/fault_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "util/bits.hpp"
+
+namespace phifi::fi {
+namespace {
+
+using util::hamming_distance;
+
+class FaultModelTest : public ::testing::TestWithParam<FaultModel> {};
+
+TEST_P(FaultModelTest, ReportsModelAndDeterministicForSeed) {
+  std::array<std::byte, 8> a{};
+  std::array<std::byte, 8> b{};
+  std::memset(a.data(), 0x5a, a.size());
+  std::memset(b.data(), 0x5a, b.size());
+  util::Rng rng_a(77);
+  util::Rng rng_b(77);
+  const FaultApplication app_a = apply_fault(GetParam(), a, rng_a);
+  const FaultApplication app_b = apply_fault(GetParam(), b, rng_b);
+  EXPECT_EQ(app_a.model, GetParam());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(app_a.changed, app_b.changed);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, FaultModelTest,
+                         ::testing::ValuesIn(kAllFaultModels));
+
+TEST(FaultModel, SingleFlipsExactlyOneBit) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::array<std::byte, 4> data{std::byte{0x12}, std::byte{0x34},
+                                  std::byte{0x56}, std::byte{0x78}};
+    const auto original = data;
+    const FaultApplication app =
+        apply_fault(FaultModel::kSingle, data, rng);
+    EXPECT_EQ(hamming_distance(original, data), 1u);
+    EXPECT_TRUE(app.changed);
+    EXPECT_EQ(app.flipped_count, 1u);
+    EXPECT_TRUE(util::read_bit(data, app.flipped_bits[0]) !=
+                util::read_bit(original, app.flipped_bits[0]));
+  }
+}
+
+TEST(FaultModel, DoubleFlipsTwoBitsInOneByte) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::array<std::byte, 8> data{};
+    const auto original = data;
+    const FaultApplication app =
+        apply_fault(FaultModel::kDouble, data, rng);
+    EXPECT_EQ(hamming_distance(original, data), 2u);
+    EXPECT_EQ(app.flipped_count, 2u);
+    // Both flipped bits are in the same byte (physically adjacent cells).
+    EXPECT_EQ(app.flipped_bits[0] / 8, app.flipped_bits[1] / 8);
+    EXPECT_NE(app.flipped_bits[0], app.flipped_bits[1]);
+  }
+}
+
+TEST(FaultModel, ZeroClearsElement) {
+  util::Rng rng(3);
+  std::array<std::byte, 4> data{std::byte{0xff}, std::byte{0x01},
+                                std::byte{0x00}, std::byte{0x80}};
+  const FaultApplication app = apply_fault(FaultModel::kZero, data, rng);
+  for (std::byte b : data) EXPECT_EQ(b, std::byte{0});
+  EXPECT_TRUE(app.changed);
+}
+
+TEST(FaultModel, ZeroOnZeroReportsUnchanged) {
+  util::Rng rng(4);
+  std::array<std::byte, 8> data{};
+  const FaultApplication app = apply_fault(FaultModel::kZero, data, rng);
+  EXPECT_FALSE(app.changed);
+}
+
+TEST(FaultModel, RandomOverwritesAllBytes) {
+  util::Rng rng(5);
+  // Over many trials, every byte position should change at least once.
+  std::array<bool, 8> changed_at{};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::array<std::byte, 8> data{};
+    apply_fault(FaultModel::kRandom, data, rng);
+    for (std::size_t i = 0; i < 8; ++i) {
+      changed_at[i] |= data[i] != std::byte{0};
+    }
+  }
+  for (bool c : changed_at) EXPECT_TRUE(c);
+}
+
+TEST(FaultModel, SingleCoversAllBitPositions) {
+  util::Rng rng(6);
+  std::array<bool, 32> hit{};
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::array<std::byte, 4> data{};
+    const FaultApplication app = apply_fault(FaultModel::kSingle, data, rng);
+    hit[app.flipped_bits[0]] = true;
+  }
+  for (std::size_t i = 0; i < hit.size(); ++i) {
+    EXPECT_TRUE(hit[i]) << "bit " << i << " never selected";
+  }
+}
+
+TEST(FaultModel, Names) {
+  EXPECT_EQ(to_string(FaultModel::kSingle), "Single");
+  EXPECT_EQ(to_string(FaultModel::kDouble), "Double");
+  EXPECT_EQ(to_string(FaultModel::kRandom), "Random");
+  EXPECT_EQ(to_string(FaultModel::kZero), "Zero");
+}
+
+}  // namespace
+}  // namespace phifi::fi

@@ -1,0 +1,52 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace phifi::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, EnvInitParsesKnownValues) {
+  LogLevelGuard guard;
+  ::setenv("PHIFI_LOG", "debug", 1);
+  init_log_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  ::setenv("PHIFI_LOG", "off", 1);
+  init_log_from_env();
+  EXPECT_EQ(log_level(), LogLevel::kOff);
+  ::setenv("PHIFI_LOG", "nonsense", 1);
+  set_log_level(LogLevel::kWarn);
+  init_log_from_env();  // unknown value leaves the level unchanged
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+  ::unsetenv("PHIFI_LOG");
+}
+
+TEST(Log, StreamsDoNotCrashAtAnyLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  log_debug() << "invisible " << 42;
+  log_info() << "invisible";
+  log_warn() << "invisible";
+  log_error() << "invisible";
+}
+
+}  // namespace
+}  // namespace phifi::util

@@ -1,0 +1,330 @@
+// ABFT, residue codes, DWC/TMR, RMT, and checkpointing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "mitigation/abft.hpp"
+#include "mitigation/checkpoint.hpp"
+#include "mitigation/dwc.hpp"
+#include "mitigation/residue.hpp"
+#include "mitigation/rmt.hpp"
+#include "util/rng.hpp"
+
+namespace phifi::mitigation {
+namespace {
+
+// ---- ABFT ----
+
+struct GemmFixture {
+  std::size_t n = 16;
+  std::vector<double> a;
+  std::vector<double> b;
+  std::vector<double> c;
+
+  explicit GemmFixture(std::uint64_t seed) {
+    util::Rng rng(seed);
+    a.resize(n * n);
+    b.resize(n * n);
+    c.assign(n * n, 0.0);
+    for (auto& v : a) v = rng.uniform(-1.0, 1.0);
+    for (auto& v : b) v = rng.uniform(-1.0, 1.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t j = 0; j < n; ++j) {
+          c[i * n + j] += a[i * n + k] * b[k * n + j];
+        }
+      }
+    }
+  }
+};
+
+TEST(Abft, CleanResultIsConsistent) {
+  GemmFixture gemm(1);
+  AbftGemm abft(gemm.a, gemm.b, gemm.n);
+  const AbftReport report = abft.check_and_correct(gemm.c);
+  EXPECT_TRUE(report.consistent);
+  EXPECT_EQ(report.corrected, 0u);
+  EXPECT_FALSE(report.uncorrectable);
+}
+
+TEST(Abft, CorrectsSingleError) {
+  GemmFixture gemm(2);
+  AbftGemm abft(gemm.a, gemm.b, gemm.n);
+  const double original = gemm.c[5 * gemm.n + 9];
+  gemm.c[5 * gemm.n + 9] += 3.5;
+  const AbftReport report = abft.check_and_correct(gemm.c);
+  EXPECT_TRUE(report.detected());
+  EXPECT_EQ(report.corrected, 1u);
+  EXPECT_FALSE(report.uncorrectable);
+  EXPECT_NEAR(gemm.c[5 * gemm.n + 9], original, 1e-6);
+}
+
+TEST(Abft, CorrectsRowLineError) {
+  GemmFixture gemm(3);
+  AbftGemm abft(gemm.a, gemm.b, gemm.n);
+  std::vector<double> originals;
+  for (std::size_t j = 2; j < 9; ++j) {
+    originals.push_back(gemm.c[7 * gemm.n + j]);
+    gemm.c[7 * gemm.n + j] += 1.0 + static_cast<double>(j);
+  }
+  const AbftReport report = abft.check_and_correct(gemm.c);
+  EXPECT_EQ(report.corrected, 7u);
+  EXPECT_FALSE(report.uncorrectable);
+  for (std::size_t j = 2; j < 9; ++j) {
+    EXPECT_NEAR(gemm.c[7 * gemm.n + j], originals[j - 2], 1e-6);
+  }
+}
+
+TEST(Abft, CorrectsColumnLineError) {
+  GemmFixture gemm(4);
+  AbftGemm abft(gemm.a, gemm.b, gemm.n);
+  for (std::size_t i = 1; i < 6; ++i) gemm.c[i * gemm.n + 3] -= 2.0;
+  const AbftReport report = abft.check_and_correct(gemm.c);
+  EXPECT_EQ(report.corrected, 5u);
+  EXPECT_FALSE(report.uncorrectable);
+}
+
+TEST(Abft, CorrectsScatteredPairableErrors) {
+  GemmFixture gemm(5);
+  AbftGemm abft(gemm.a, gemm.b, gemm.n);
+  // Distinct rows, distinct cols, distinct magnitudes: pairable.
+  gemm.c[2 * gemm.n + 4] += 1.0;
+  gemm.c[8 * gemm.n + 11] += 2.0;
+  gemm.c[13 * gemm.n + 1] += 4.0;
+  const AbftReport report = abft.check_and_correct(gemm.c);
+  EXPECT_EQ(report.corrected, 3u);
+  EXPECT_FALSE(report.uncorrectable);
+}
+
+TEST(Abft, SquareBlockIsDetectedButUncorrectable) {
+  GemmFixture gemm(6);
+  AbftGemm abft(gemm.a, gemm.b, gemm.n);
+  // 2x2 block with equal deltas: row/col sums cannot localize it.
+  gemm.c[3 * gemm.n + 5] += 1.0;
+  gemm.c[3 * gemm.n + 6] += 2.0;
+  gemm.c[4 * gemm.n + 5] += 2.0;
+  gemm.c[4 * gemm.n + 6] += 1.0;
+  const AbftReport report = abft.check_and_correct(gemm.c);
+  EXPECT_TRUE(report.detected());
+  EXPECT_TRUE(report.uncorrectable);
+}
+
+TEST(Abft, NanIsDetectedUncorrectable) {
+  GemmFixture gemm(7);
+  AbftGemm abft(gemm.a, gemm.b, gemm.n);
+  gemm.c[0] = std::nan("");
+  const AbftReport report = abft.check_and_correct(gemm.c);
+  EXPECT_TRUE(report.detected());
+  EXPECT_TRUE(report.uncorrectable);
+  EXPECT_EQ(report.corrected, 0u);
+}
+
+// ---- Residue codes ----
+
+template <std::uint32_t M>
+void expect_all_single_bit_flips_detected() {
+  util::Rng rng(17);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto value = static_cast<std::int64_t>(rng.next());
+    ResidueChecked<M> checked(value);
+    for (int bit = 0; bit < 64; ++bit) {
+      ResidueChecked<M> corrupted = checked;
+      corrupted.raw_value() ^= (std::int64_t{1} << bit);
+      EXPECT_FALSE(corrupted.verify())
+          << "M=" << M << " bit " << bit << " undetected";
+    }
+  }
+}
+
+TEST(Residue, Mod3DetectsEverySingleBitFlip) {
+  expect_all_single_bit_flips_detected<3>();
+}
+
+TEST(Residue, Mod15DetectsEverySingleBitFlip) {
+  expect_all_single_bit_flips_detected<15>();
+}
+
+TEST(Residue, ArithmeticPreservesVerification) {
+  util::Rng rng(23);
+  ResidueMod3 acc3(0);
+  ResidueMod15 acc15(0);
+  for (int i = 0; i < 500; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.range(-1000000, 1000000));
+    acc3 += ResidueMod3(v);
+    acc15 += ResidueMod15(v);
+    EXPECT_TRUE(acc3.verify());
+    EXPECT_TRUE(acc15.verify());
+  }
+  for (int i = 0; i < 100; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.range(-1000, 1000));
+    acc3 *= ResidueMod3(v);
+    acc15 *= ResidueMod15(v);
+    EXPECT_TRUE(acc3.verify()) << "at step " << i;
+    EXPECT_TRUE(acc15.verify()) << "at step " << i;
+  }
+}
+
+TEST(Residue, NegativeValuesAndOverflowWrap) {
+  ResidueMod15 a(std::numeric_limits<std::int64_t>::max());
+  a += ResidueMod15(1);  // wraps to INT64_MIN
+  EXPECT_TRUE(a.verify());
+  ResidueMod3 b(-5);
+  b *= ResidueMod3(-7);
+  EXPECT_EQ(b.value(), 35);
+  EXPECT_TRUE(b.verify());
+}
+
+TEST(Residue, CheckBitCorruptionDetected) {
+  ResidueMod15 a(12345);
+  a.raw_residue() ^= 1u;
+  EXPECT_FALSE(a.verify());
+}
+
+TEST(Residue, DoubleBitFlipDetectionRate) {
+  // Double flips are not guaranteed detectable, but most should be.
+  util::Rng rng(29);
+  int detected = 0;
+  constexpr int kTrials = 2000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    ResidueMod15 checked(static_cast<std::int64_t>(rng.next()));
+    const int b1 = static_cast<int>(rng.below(64));
+    int b2 = static_cast<int>(rng.below(63));
+    if (b2 >= b1) ++b2;
+    checked.raw_value() ^= (std::int64_t{1} << b1);
+    checked.raw_value() ^= (std::int64_t{1} << b2);
+    detected += !checked.verify();
+  }
+  EXPECT_GT(detected, kTrials * 0.7);
+}
+
+// ---- DWC / TMR ----
+
+TEST(Dwc, RoundTripAndDetection) {
+  Duplicated<std::int64_t> var(42);
+  EXPECT_EQ(var.get(), 42);
+  EXPECT_TRUE(var.consistent());
+  var.raw_primary() = 43;
+  EXPECT_FALSE(var.consistent());
+  EXPECT_THROW((void)var.get(), DwcMismatch);
+}
+
+TEST(Dwc, ShadowCorruptionDetected) {
+  Duplicated<std::int32_t> var(-7);
+  var.raw_shadow() ^= 0x10;
+  EXPECT_THROW((void)var.get(), DwcMismatch);
+}
+
+TEST(Dwc, CommonModeValueDetectedByComplementStorage) {
+  // A common-mode fault forcing the same raw value into both storage words
+  // (stuck-at / shared write path) is caught because the shadow is stored
+  // complemented.
+  Duplicated<std::int64_t> var(1000);
+  var.raw_shadow() = static_cast<std::uint64_t>(var.raw_primary());
+  EXPECT_THROW((void)var.get(), DwcMismatch);
+}
+
+TEST(Tmr, CorrectsSingleCopyCorruption) {
+  Tmr<std::int64_t> var(7);
+  var.raw_copy(1) = 99;
+  EXPECT_EQ(var.get(), 7);
+  EXPECT_EQ(var.raw_copy(1), 7);  // repaired
+}
+
+TEST(Tmr, AllDifferentThrows) {
+  Tmr<std::int64_t> var(7);
+  var.raw_copy(0) = 1;
+  var.raw_copy(1) = 2;
+  var.raw_copy(2) = 3;
+  EXPECT_THROW((void)var.get(), DwcMismatch);
+}
+
+// ---- RMT ----
+
+TEST(Rmt, DeterministicKernelAgrees) {
+  std::vector<double> out(16);
+  auto kernel = [&out] {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<double>(i) * 1.5;
+    }
+  };
+  const RmtReport report = run_duplicated(
+      {reinterpret_cast<std::byte*>(out.data()), out.size() * 8}, kernel);
+  EXPECT_FALSE(report.mismatch_detected);
+  EXPECT_EQ(report.runs, 2);
+}
+
+TEST(Rmt, DetectsOneTimeFault) {
+  std::vector<double> out(16);
+  int run_index = 0;
+  auto kernel = [&out, &run_index] {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = static_cast<double>(i);
+    }
+    if (run_index++ == 0) out[3] = 999.0;  // fault in first run only
+  };
+  const RmtReport report = run_duplicated(
+      {reinterpret_cast<std::byte*>(out.data()), out.size() * 8}, kernel);
+  EXPECT_TRUE(report.mismatch_detected);
+}
+
+TEST(Rmt, TripleCorrectsOneBadRun) {
+  std::vector<double> out(8);
+  int run_index = 0;
+  auto kernel = [&out, &run_index] {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] = 2.0;
+    }
+    if (run_index++ == 1) out[0] = -1.0;  // second run is the bad one
+  };
+  const RmtReport report = run_triplicated(
+      {reinterpret_cast<std::byte*>(out.data()), out.size() * 8}, kernel);
+  EXPECT_TRUE(report.mismatch_detected);
+  EXPECT_TRUE(report.corrected);
+  EXPECT_EQ(out[0], 2.0);
+  EXPECT_EQ(report.runs, 3);
+}
+
+// ---- Checkpoint ----
+
+TEST(Checkpoint, SaveRestoreRoundTrip) {
+  std::vector<float> state = {1.0f, 2.0f, 3.0f};
+  std::vector<std::int32_t> more = {7, 8};
+  CheckpointManager manager;
+  manager.register_array<float>("state", std::span<float>(state));
+  manager.register_array<std::int32_t>("more", std::span<std::int32_t>(more));
+  EXPECT_EQ(manager.bytes(), 3 * 4 + 2 * 4);
+
+  manager.save();
+  state[1] = -99.0f;
+  more[0] = 0;
+  manager.restore();
+  EXPECT_EQ(state[1], 2.0f);
+  EXPECT_EQ(more[0], 7);
+  EXPECT_EQ(manager.saves(), 1u);
+  EXPECT_EQ(manager.restores(), 1u);
+}
+
+TEST(Checkpoint, RestoreWithoutSaveIsNoOp) {
+  std::vector<float> state = {5.0f};
+  CheckpointManager manager;
+  manager.register_array<float>("state", std::span<float>(state));
+  manager.restore();
+  EXPECT_EQ(state[0], 5.0f);
+  EXPECT_EQ(manager.restores(), 0u);
+}
+
+TEST(Checkpoint, LatestSaveWins) {
+  std::vector<int> state = {1};
+  CheckpointManager manager;
+  manager.register_array<int>("state", std::span<int>(state));
+  manager.save();
+  state[0] = 2;
+  manager.save();
+  state[0] = 3;
+  manager.restore();
+  EXPECT_EQ(state[0], 2);
+}
+
+}  // namespace
+}  // namespace phifi::mitigation

@@ -1,0 +1,79 @@
+#include "analysis/planning.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace phifi::analysis {
+namespace {
+
+TEST(Planning, WorstCaseHalfWidthAtPaperScale) {
+  // 10,000 injections: half-width = 1.96 * 0.5 / 100 = 0.98%. The paper's
+  // quoted "1.96%" is the looser z/sqrt(n) bound.
+  EXPECT_NEAR(worst_case_half_width(10000), 0.0098, 1e-4);
+  EXPECT_NEAR(worst_case_half_width(10000) * 2.0, 0.0196, 2e-4);
+  EXPECT_EQ(worst_case_half_width(0), 1.0);
+}
+
+TEST(Planning, RequiredTrialsInvertsHalfWidth) {
+  const std::uint64_t n = required_trials(0.0098);
+  EXPECT_NEAR(static_cast<double>(n), 10000.0, 50.0);
+  // Round trip: the returned n achieves the requested width.
+  EXPECT_LE(worst_case_half_width(n), 0.0098 + 1e-9);
+  EXPECT_GT(worst_case_half_width(n - 50), 0.0098);
+}
+
+TEST(Planning, RequiredTrialsMonotone) {
+  EXPECT_GT(required_trials(0.001), required_trials(0.01));
+  EXPECT_GT(required_trials(0.01), required_trials(0.1));
+}
+
+TEST(Planning, RequiredErrorsForBeamCampaign) {
+  // 10% relative half-width needs (1.96/0.1)^2 ~ 385 errors; with the
+  // paper's "more than 100" the interval is ~19.6%.
+  EXPECT_NEAR(static_cast<double>(required_errors(0.10)), 385.0, 2.0);
+  EXPECT_NEAR(1.96 / std::sqrt(100.0), 0.196, 1e-3);
+  EXPECT_EQ(required_errors(1.96 / std::sqrt(100.0)), 100u);
+}
+
+TEST(Planning, ChiSquaredPValueKnownPoints) {
+  // Critical values: chi2_{0.95}(1) = 3.841, chi2_{0.95}(3) = 7.815.
+  EXPECT_NEAR(chi_squared_p_value(3.841, 1), 0.05, 0.01);
+  EXPECT_NEAR(chi_squared_p_value(7.815, 3), 0.05, 0.005);
+  EXPECT_GT(chi_squared_p_value(0.5, 3), 0.9);
+  EXPECT_LT(chi_squared_p_value(30.0, 3), 1e-4);
+  EXPECT_EQ(chi_squared_p_value(5.0, 0), 1.0);
+  EXPECT_EQ(chi_squared_p_value(0.0, 3), 1.0);
+}
+
+TEST(Planning, TwoProportionDetectsRealDifference) {
+  // 30% vs 15% with 500 trials each: clearly significant.
+  EXPECT_LT(two_proportion_p_value(150, 500, 75, 500), 1e-6);
+  // 30% vs 31% with 100 trials each: not significant.
+  EXPECT_GT(two_proportion_p_value(30, 100, 31, 100), 0.5);
+  EXPECT_EQ(two_proportion_p_value(0, 0, 5, 10), 1.0);
+  EXPECT_EQ(two_proportion_p_value(0, 10, 0, 10), 1.0);
+}
+
+TEST(Planning, TwoProportionCalibratedUnderNull) {
+  // Under the null (equal p), p-values should be uniform-ish: roughly 5%
+  // of experiments land below 0.05.
+  util::Rng rng(41);
+  int significant = 0;
+  constexpr int kExperiments = 2000;
+  for (int e = 0; e < kExperiments; ++e) {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    for (int i = 0; i < 300; ++i) {
+      a += rng.bernoulli(0.25);
+      b += rng.bernoulli(0.25);
+    }
+    significant += two_proportion_p_value(a, 300, b, 300) < 0.05;
+  }
+  EXPECT_NEAR(significant, kExperiments * 0.05, kExperiments * 0.025);
+}
+
+}  // namespace
+}  // namespace phifi::analysis

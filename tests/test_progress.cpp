@@ -1,0 +1,113 @@
+#include "core/progress.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace phifi::fi {
+namespace {
+
+TEST(Progress, FractionTracksTicks) {
+  ProgressTracker progress;
+  progress.reset(10);
+  EXPECT_EQ(progress.fraction(), 0.0);
+  progress.tick(3);
+  EXPECT_DOUBLE_EQ(progress.fraction(), 0.3);
+  progress.tick(7);
+  EXPECT_DOUBLE_EQ(progress.fraction(), 1.0);
+  progress.tick(5);  // over-ticking clamps
+  EXPECT_DOUBLE_EQ(progress.fraction(), 1.0);
+}
+
+TEST(Progress, ZeroTotalIsZeroFraction) {
+  ProgressTracker progress;
+  progress.reset(0);
+  progress.tick(100);
+  EXPECT_EQ(progress.fraction(), 0.0);
+}
+
+TEST(Progress, HookFiresOnceAtCrossing) {
+  ProgressTracker progress;
+  progress.reset(100);
+  int fires = 0;
+  double fired_at = 0.0;
+  progress.arm(0.5, [&](double at) {
+    ++fires;
+    fired_at = at;
+  });
+  for (int i = 0; i < 49; ++i) progress.tick();
+  EXPECT_EQ(fires, 0);
+  progress.tick();  // crosses 0.5
+  EXPECT_EQ(fires, 1);
+  EXPECT_DOUBLE_EQ(fired_at, 0.5);
+  for (int i = 0; i < 50; ++i) progress.tick();
+  EXPECT_EQ(fires, 1);
+  EXPECT_TRUE(progress.fired());
+}
+
+TEST(Progress, LateTargetFiresAtFinish) {
+  ProgressTracker progress;
+  progress.reset(10);
+  int fires = 0;
+  double fired_at = -1.0;
+  progress.arm(0.999, [&](double at) {
+    ++fires;
+    fired_at = at;
+  });
+  for (int i = 0; i < 9; ++i) progress.tick();
+  EXPECT_EQ(fires, 0);
+  progress.finish();
+  EXPECT_EQ(fires, 1);
+  EXPECT_DOUBLE_EQ(fired_at, 1.0);
+  EXPECT_TRUE(progress.finished());
+}
+
+TEST(Progress, WeightedTickCrossingReportsActualFraction) {
+  ProgressTracker progress;
+  progress.reset(100);
+  double fired_at = 0.0;
+  progress.arm(0.5, [&](double at) { fired_at = at; });
+  progress.tick(80);  // jumps straight past the target
+  EXPECT_DOUBLE_EQ(fired_at, 0.8);
+}
+
+TEST(Progress, UnarmedNeverFires) {
+  ProgressTracker progress;
+  progress.reset(4);
+  progress.tick(4);
+  progress.finish();
+  EXPECT_FALSE(progress.fired());
+}
+
+TEST(Progress, ResetClearsArming) {
+  ProgressTracker progress;
+  progress.reset(4);
+  int fires = 0;
+  progress.arm(0.1, [&](double) { ++fires; });
+  progress.reset(4);
+  progress.tick(4);
+  progress.finish();
+  EXPECT_EQ(fires, 0);
+}
+
+TEST(Progress, ConcurrentTickersFireExactlyOnce) {
+  for (int round = 0; round < 20; ++round) {
+    ProgressTracker progress;
+    progress.reset(4000);
+    std::atomic<int> fires{0};
+    progress.arm(0.5, [&](double) { fires.fetch_add(1); });
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t) {
+      threads.emplace_back([&progress] {
+        for (int i = 0; i < 1000; ++i) progress.tick();
+      });
+    }
+    for (auto& t : threads) t.join();
+    progress.finish();
+    EXPECT_EQ(fires.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace phifi::fi

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "radiation/beam_campaign.hpp"
+#include "radiation/sensitivity.hpp"
+#include "tests/toy_workload.hpp"
+
+namespace phifi::radiation {
+namespace {
+
+class SensitivityTest : public ::testing::Test {
+ protected:
+  phi::ResourceMap map_ =
+      phi::ResourceMap::for_spec(phi::DeviceSpec::knights_corner_3120a());
+  DeviceSensitivity sensitivity_ = DeviceSensitivity::knc_3120a(map_);
+};
+
+TEST_F(SensitivityTest, CrossSectionIsPositiveAndExcludesDram) {
+  EXPECT_GT(sensitivity_.strike_cross_section(), 0.0);
+  for (const ResourceModel& r : sensitivity_.resources()) {
+    EXPECT_NE(r.cls, phi::ResourceClass::kDram);
+    EXPECT_GT(r.total_cross_section, 0.0);
+  }
+}
+
+TEST_F(SensitivityTest, ExpectedStrikesScaleWithFluence) {
+  const double one = sensitivity_.expected_strikes(1e6);
+  EXPECT_GT(one, 0.0);
+  EXPECT_DOUBLE_EQ(sensitivity_.expected_strikes(2e6), 2.0 * one);
+}
+
+TEST_F(SensitivityTest, StrikeOutcomeDistributionIsSane) {
+  util::Rng rng(3);
+  std::map<StrikeOutcome::Kind, int> kinds;
+  std::map<fi::SelectionPolicy, int> targets;
+  constexpr int kStrikes = 200000;
+  for (int i = 0; i < kStrikes; ++i) {
+    const StrikeOutcome outcome = sensitivity_.sample_strike(rng);
+    ++kinds[outcome.kind];
+    if (outcome.kind == StrikeOutcome::Kind::kProgramFault) {
+      ++targets[outcome.target];
+    }
+  }
+  // The vast majority of strikes hit ECC-protected arrays and are absorbed.
+  EXPECT_GT(kinds[StrikeOutcome::Kind::kAbsorbed], kStrikes * 0.9);
+  // But machine checks and program faults both occur.
+  EXPECT_GT(kinds[StrikeOutcome::Kind::kMachineCheck], 0);
+  EXPECT_GT(kinds[StrikeOutcome::Kind::kProgramFault], 0);
+  // Program faults use the beam-specific target policies.
+  for (const auto& [policy, count] : targets) {
+    EXPECT_TRUE(policy == fi::SelectionPolicy::kBytesWeighted ||
+                policy == fi::SelectionPolicy::kGlobalBytesWeighted ||
+                policy == fi::SelectionPolicy::kWorkerFrameOnly);
+    EXPECT_GT(count, 0);
+  }
+}
+
+TEST_F(SensitivityTest, ProgramFaultModelsCoverMixture) {
+  util::Rng rng(5);
+  std::map<fi::FaultModel, int> models;
+  for (int i = 0; i < 400000; ++i) {
+    const StrikeOutcome outcome = sensitivity_.sample_strike(rng);
+    if (outcome.kind == StrikeOutcome::Kind::kProgramFault) {
+      ++models[outcome.model];
+    }
+  }
+  EXPECT_GT(models[fi::FaultModel::kSingle], 0);
+  EXPECT_GT(models[fi::FaultModel::kDouble], 0);
+  EXPECT_GT(models[fi::FaultModel::kRandom], 0);
+  EXPECT_GT(models[fi::FaultModel::kZero], 0);
+}
+
+TEST_F(SensitivityTest, EccOffIncreasesProgramFaults) {
+  phi::DeviceSpec no_ecc = phi::DeviceSpec::knights_corner_3120a();
+  no_ecc.ecc_enabled = false;
+  const DeviceSensitivity unprotected =
+      DeviceSensitivity::knc_3120a(phi::ResourceMap::for_spec(no_ecc));
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  int protected_faults = 0;
+  int unprotected_faults = 0;
+  for (int i = 0; i < 100000; ++i) {
+    protected_faults += sensitivity_.sample_strike(rng_a).kind ==
+                        StrikeOutcome::Kind::kProgramFault;
+    unprotected_faults += unprotected.sample_strike(rng_b).kind ==
+                          StrikeOutcome::Kind::kProgramFault;
+  }
+  EXPECT_GT(unprotected_faults, protected_faults);
+}
+
+TEST(BeamCampaignTest, SmallCampaignProducesFitEstimates) {
+  testing::ToyWorkload::reset_run_counter();
+  fi::TrialSupervisor supervisor(&testing::make_toy_normal,
+                                 testing::toy_supervisor_config());
+  supervisor.prepare_golden();
+  const phi::ResourceMap map =
+      phi::ResourceMap::for_spec(phi::DeviceSpec::knights_corner_3120a());
+  const DeviceSensitivity sensitivity = DeviceSensitivity::knc_3120a(map);
+
+  BeamConfig config;
+  config.seed = 99;
+  config.min_sdc = 5;
+  config.min_due = 2;
+  config.max_executions = 400;
+  config.flux = 2.0e6;
+  BeamCampaign campaign(supervisor, sensitivity, config);
+  const BeamResult result = campaign.run();
+
+  EXPECT_GT(result.runs, 0u);
+  EXPECT_GT(result.fluence, 0.0);
+  EXPECT_GT(result.strikes, 0u);
+  EXPECT_GT(result.executions, 0u);
+  EXPECT_LE(result.executions, config.max_executions);
+  // FIT estimates follow directly from counts and fluence.
+  EXPECT_NEAR(result.sdc_fit.fit,
+              static_cast<double>(result.sdc) / result.fluence * 13.0 * 1e9,
+              1e-6);
+  // Pattern fractions decompose the SDC FIT.
+  double pattern_fit_sum = 0.0;
+  for (int p = 1; p < analysis::kPatternCount; ++p) {
+    pattern_fit_sum +=
+        result.pattern_fit(static_cast<analysis::ErrorPattern>(p));
+  }
+  if (result.sdc > 0) {
+    EXPECT_NEAR(pattern_fit_sum, result.sdc_fit.fit,
+                result.sdc_fit.fit * 1e-9 + 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace phifi::radiation

@@ -1,0 +1,90 @@
+#include "analysis/sdc_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tests/toy_workload.hpp"
+
+namespace phifi::analysis {
+namespace {
+
+using phifi::testing::ToyWorkload;
+using phifi::testing::toy_supervisor_config;
+
+class SdcAnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ToyWorkload::reset_run_counter();
+    supervisor_ = std::make_unique<fi::TrialSupervisor>(
+        &phifi::testing::make_toy_normal, toy_supervisor_config());
+    supervisor_->prepare_golden();
+  }
+
+  /// A copy of the golden output with `count` elements bumped starting at
+  /// flat index `first`, each by `fraction` of its value.
+  std::vector<std::byte> corrupted(std::size_t first, std::size_t count,
+                                   double fraction) {
+    std::vector<std::byte> bytes(supervisor_->golden().begin(),
+                                 supervisor_->golden().end());
+    auto* values = reinterpret_cast<double*>(bytes.data());
+    for (std::size_t i = first; i < first + count; ++i) {
+      values[i] = values[i] * (1.0 + fraction) + 1e-6;
+    }
+    return bytes;
+  }
+
+  std::unique_ptr<fi::TrialSupervisor> supervisor_;
+};
+
+TEST_F(SdcAnalyzerTest, CountsAndClassifiesSdcs) {
+  SdcAnalyzer analyzer(*supervisor_);
+  analyzer.inspect(corrupted(5, 1, 0.5));   // single
+  analyzer.inspect(corrupted(8, 8, 0.5));   // one full row -> line
+  analyzer.inspect(corrupted(0, 64, 0.5));  // everything -> square
+  EXPECT_EQ(analyzer.sdc_count(), 3u);
+  EXPECT_EQ(analyzer.patterns().count(ErrorPattern::kSingle), 1u);
+  EXPECT_EQ(analyzer.patterns().count(ErrorPattern::kLine), 1u);
+  EXPECT_EQ(analyzer.patterns().count(ErrorPattern::kSquare), 1u);
+  EXPECT_NEAR(analyzer.single_element_fraction(), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(analyzer.corrupted_elements().mean(), (1 + 8 + 64) / 3.0,
+              1e-9);
+}
+
+TEST_F(SdcAnalyzerTest, ToleranceFeedsFromMaxRelativeError) {
+  SdcAnalyzer analyzer(*supervisor_);
+  analyzer.inspect(corrupted(3, 1, 0.004));  // ~0.4% error
+  analyzer.inspect(corrupted(9, 1, 0.20));   // 20% error
+  EXPECT_EQ(analyzer.tolerance().total_sdc(), 2u);
+  EXPECT_EQ(analyzer.tolerance().sdc_at(0.01), 1u);
+  EXPECT_EQ(analyzer.tolerance().sdc_at(0.5), 0u);
+}
+
+TEST_F(SdcAnalyzerTest, MatchingOutputIgnoredDefensively) {
+  SdcAnalyzer analyzer(*supervisor_);
+  std::vector<std::byte> clean(supervisor_->golden().begin(),
+                               supervisor_->golden().end());
+  analyzer.inspect(clean);
+  EXPECT_EQ(analyzer.sdc_count(), 0u);
+}
+
+TEST_F(SdcAnalyzerTest, ObserverOnlyReactsToSdcTrials) {
+  SdcAnalyzer analyzer(*supervisor_);
+  auto observer = analyzer.observer();
+  fi::TrialResult masked;
+  masked.outcome = fi::Outcome::kMasked;
+  observer(masked, supervisor_->golden());
+  fi::TrialResult due;
+  due.outcome = fi::Outcome::kDue;
+  observer(due, {});
+  EXPECT_EQ(analyzer.sdc_count(), 0u);
+
+  fi::TrialResult sdc;
+  sdc.outcome = fi::Outcome::kSdc;
+  const auto bytes = corrupted(1, 2, 0.5);
+  observer(sdc, bytes);
+  EXPECT_EQ(analyzer.sdc_count(), 1u);
+}
+
+}  // namespace
+}  // namespace phifi::analysis

@@ -1,0 +1,164 @@
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace phifi::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_EQ(stats.mean(), 0.0);
+  EXPECT_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(stats.min(), 2.0);
+  EXPECT_EQ(stats.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all;
+  RunningStats left;
+  RunningStats right;
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(left.min(), all.min());
+  EXPECT_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 1.0);
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile_two_sided(0.95), 1.959964, 1e-4);
+  EXPECT_NEAR(normal_quantile_two_sided(0.99), 2.575829, 1e-4);
+  EXPECT_NEAR(normal_quantile_two_sided(0.6827), 1.0, 1e-3);
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+}
+
+TEST(WaldInterval, MatchesHandComputation) {
+  // p = 0.2, n = 100: half-width = 1.95996 * sqrt(0.2*0.8/100) = 0.0784.
+  const Interval ci = wald_interval(20, 100);
+  EXPECT_DOUBLE_EQ(ci.point, 0.2);
+  EXPECT_NEAR(ci.lo, 0.2 - 0.0784, 1e-3);
+  EXPECT_NEAR(ci.hi, 0.2 + 0.0784, 1e-3);
+}
+
+TEST(WaldInterval, ClampsToUnitInterval) {
+  const Interval lo = wald_interval(0, 10);
+  EXPECT_EQ(lo.lo, 0.0);
+  const Interval hi = wald_interval(10, 10);
+  EXPECT_EQ(hi.hi, 1.0);
+}
+
+TEST(WaldInterval, ZeroTrials) {
+  const Interval ci = wald_interval(0, 0);
+  EXPECT_EQ(ci.point, 0.0);
+  EXPECT_EQ(ci.half_width(), 0.0);
+}
+
+TEST(WilsonInterval, ContainsTruthMoreRobustly) {
+  // Wilson never collapses to zero width at p-hat = 0.
+  const Interval ci = wilson_interval(0, 50);
+  EXPECT_EQ(ci.point, 0.0);
+  EXPECT_GT(ci.hi, 0.0);
+  EXPECT_LT(ci.hi, 0.2);
+}
+
+TEST(WilsonInterval, NarrowerThanWaldAtExtremes) {
+  const Interval wald = wald_interval(1, 1000);
+  const Interval wilson = wilson_interval(1, 1000);
+  EXPECT_GT(wilson.lo, wald.lo);
+}
+
+TEST(IntervalCoverage, WaldCoversNominallyAtModerateP) {
+  // Simulation check: 95% CI should cover the true p in roughly 95% of
+  // experiments (Wald is known slightly anti-conservative).
+  Rng rng(77);
+  const double p = 0.3;
+  int covered = 0;
+  constexpr int kExperiments = 2000;
+  for (int e = 0; e < kExperiments; ++e) {
+    std::uint64_t successes = 0;
+    for (int i = 0; i < 500; ++i) successes += rng.bernoulli(p);
+    const Interval ci = wald_interval(successes, 500);
+    covered += (ci.lo <= p && p <= ci.hi);
+  }
+  EXPECT_GT(covered, kExperiments * 0.92);
+}
+
+TEST(PoissonInterval, CoversCount) {
+  const Interval ci = poisson_interval(100);
+  EXPECT_LT(ci.lo, 100.0);
+  EXPECT_GT(ci.hi, 100.0);
+  // Roughly +- 1.96*sqrt(100) = 19.6.
+  EXPECT_NEAR(ci.hi - ci.lo, 2 * 19.6, 2.0);
+}
+
+TEST(PoissonInterval, ZeroCountHasPositiveUpperBound) {
+  const Interval ci = poisson_interval(0);
+  EXPECT_GE(ci.lo, -0.26);  // variance-stabilized lower edge, ~0
+  EXPECT_GT(ci.hi, 0.5);
+}
+
+TEST(ChiSquared, ZeroWhenMatching) {
+  const std::vector<std::uint64_t> obs = {10, 20, 30};
+  const std::vector<double> exp = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(chi_squared_statistic(obs, exp), 0.0);
+}
+
+TEST(ChiSquared, KnownValue) {
+  const std::vector<std::uint64_t> obs = {12, 8};
+  const std::vector<double> exp = {10.0, 10.0};
+  EXPECT_DOUBLE_EQ(chi_squared_statistic(obs, exp), 0.4 + 0.4);
+}
+
+TEST(Interpolate, LinearBetweenPoints) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0};
+  const std::vector<double> ys = {0.0, 10.0, 40.0};
+  EXPECT_DOUBLE_EQ(interpolate(xs, ys, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(interpolate(xs, ys, 1.5), 25.0);
+}
+
+TEST(Interpolate, ClampsOutsideDomain) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {3.0, 7.0};
+  EXPECT_DOUBLE_EQ(interpolate(xs, ys, 0.0), 3.0);
+  EXPECT_DOUBLE_EQ(interpolate(xs, ys, 9.0), 7.0);
+}
+
+}  // namespace
+}  // namespace phifi::util

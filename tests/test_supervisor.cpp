@@ -1,0 +1,142 @@
+#include "core/supervisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tests/toy_workload.hpp"
+
+namespace phifi::fi {
+namespace {
+
+using phifi::testing::ToyWorkload;
+using phifi::testing::toy_supervisor_config;
+
+TEST(Supervisor, GoldenIsPrepared) {
+  ToyWorkload::reset_run_counter();
+  TrialSupervisor supervisor(&phifi::testing::make_toy_normal,
+                             toy_supervisor_config());
+  supervisor.prepare_golden();
+  EXPECT_EQ(supervisor.golden().size(), 64 * sizeof(double));
+  EXPECT_EQ(supervisor.output_type(), ElementType::kF64);
+  EXPECT_EQ(supervisor.time_windows(), 4u);
+  EXPECT_GT(supervisor.golden_seconds(), 0.0);
+  EXPECT_EQ(supervisor.workload_name(), "Toy");
+}
+
+TEST(Supervisor, CleanTrialIsMasked) {
+  ToyWorkload::reset_run_counter();
+  TrialSupervisor supervisor(&phifi::testing::make_toy_normal,
+                             toy_supervisor_config());
+  supervisor.prepare_golden();
+  const TrialResult result = supervisor.run_clean_trial();
+  EXPECT_EQ(result.outcome, Outcome::kMasked);
+  EXPECT_EQ(result.due_kind, DueKind::kNone);
+}
+
+TEST(Supervisor, RandomFaultInOutputIsSdc) {
+  ToyWorkload::reset_run_counter();
+  TrialSupervisor supervisor(&phifi::testing::make_toy_normal,
+                             toy_supervisor_config());
+  supervisor.prepare_golden();
+  int sdcs = 0;
+  int injected = 0;
+  for (int i = 0; injected < 10 && i < 40; ++i) {
+    TrialConfig config;
+    config.trial_seed = 1000 + i;
+    config.model = FaultModel::kRandom;
+    config.policy = SelectionPolicy::kGlobalBytesWeighted;
+    const TrialResult result = supervisor.run_trial(config);
+    // A very late target can race the end of the run; such trials are
+    // reported NotInjected and retried, as in a real campaign.
+    if (result.outcome == Outcome::kNotInjected) continue;
+    ++injected;
+    if (result.outcome == Outcome::kSdc) {
+      ++sdcs;
+      EXPECT_TRUE(result.record.injected);
+      EXPECT_EQ(result.record.model, FaultModel::kRandom);
+      // The SDC trial's output is available and differs from golden.
+      const auto output = supervisor.last_output();
+      ASSERT_EQ(output.size(), supervisor.golden().size());
+      EXPECT_NE(std::memcmp(output.data(), supervisor.golden().data(),
+                            output.size()),
+                0);
+    }
+  }
+  // A Random overwrite of a persistently accumulated output element can
+  // practically never restore the exact value.
+  EXPECT_GE(sdcs, 8);
+}
+
+TEST(Supervisor, CrashTrialIsDueCrash) {
+  ToyWorkload::reset_run_counter();
+  TrialSupervisor supervisor(&phifi::testing::make_toy_crash,
+                             toy_supervisor_config());
+  supervisor.prepare_golden();
+  TrialConfig config;
+  config.trial_seed = 5;
+  const TrialResult result = supervisor.run_trial(config);
+  EXPECT_EQ(result.outcome, Outcome::kDue);
+  EXPECT_EQ(result.due_kind, DueKind::kCrash);
+}
+
+TEST(Supervisor, HangTrialIsDueHang) {
+  ToyWorkload::reset_run_counter();
+  auto config = toy_supervisor_config();
+  config.min_timeout_seconds = 0.3;
+  config.timeout_factor = 5.0;
+  TrialSupervisor supervisor(&phifi::testing::make_toy_hang, config);
+  supervisor.prepare_golden();
+  TrialConfig trial;
+  trial.trial_seed = 6;
+  const TrialResult result = supervisor.run_trial(trial);
+  EXPECT_EQ(result.outcome, Outcome::kDue);
+  EXPECT_EQ(result.due_kind, DueKind::kHang);
+}
+
+TEST(Supervisor, ThrowTrialIsDueAbnormalExit) {
+  ToyWorkload::reset_run_counter();
+  TrialSupervisor supervisor(&phifi::testing::make_toy_throw,
+                             toy_supervisor_config());
+  supervisor.prepare_golden();
+  TrialConfig trial;
+  trial.trial_seed = 7;
+  const TrialResult result = supervisor.run_trial(trial);
+  EXPECT_EQ(result.outcome, Outcome::kDue);
+  EXPECT_EQ(result.due_kind, DueKind::kAbnormalExit);
+}
+
+TEST(Supervisor, WindowAttributionMatchesProgressFraction) {
+  ToyWorkload::reset_run_counter();
+  TrialSupervisor supervisor(&phifi::testing::make_toy_normal,
+                             toy_supervisor_config());
+  supervisor.prepare_golden();
+  for (int i = 0; i < 8; ++i) {
+    TrialConfig trial;
+    trial.trial_seed = 100 + i;
+    trial.model = FaultModel::kSingle;
+    const TrialResult result = supervisor.run_trial(trial);
+    if (result.outcome == Outcome::kNotInjected) continue;
+    const unsigned expected = std::min(
+        3u, static_cast<unsigned>(result.record.progress_fraction * 4));
+    EXPECT_EQ(result.window, expected);
+  }
+}
+
+TEST(Supervisor, GoldenIsDeterministicAcrossInstances) {
+  ToyWorkload::reset_run_counter();
+  TrialSupervisor a(&phifi::testing::make_toy_normal,
+                    toy_supervisor_config());
+  a.prepare_golden();
+  ToyWorkload::reset_run_counter();
+  TrialSupervisor b(&phifi::testing::make_toy_normal,
+                    toy_supervisor_config());
+  b.prepare_golden();
+  ASSERT_EQ(a.golden().size(), b.golden().size());
+  EXPECT_EQ(std::memcmp(a.golden().data(), b.golden().data(),
+                        a.golden().size()),
+            0);
+}
+
+}  // namespace
+}  // namespace phifi::fi

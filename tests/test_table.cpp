@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace phifi::util {
+namespace {
+
+TEST(Table, TextRenderingAligns) {
+  Table table("demo");
+  table.set_header({"name", "value"});
+  table.add_row({"a", "1"});
+  table.add_row({"longer", "22"});
+  std::ostringstream os;
+  table.print_text(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  // Header separator line present.
+  EXPECT_NE(text.find("----"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table table;
+  table.set_header({"a", "b"});
+  table.add_row({"x,y", "he said \"hi\""});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",\"he said \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RowCount) {
+  Table table;
+  table.set_header({"h"});
+  EXPECT_EQ(table.rows(), 0u);
+  table.add_row({"1"});
+  table.add_row({"2"});
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Fmt, Decimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_percent(0.853, 1), "85.3%");
+  EXPECT_EQ(fmt_percent(1.0, 0), "100%");
+}
+
+TEST(Fmt, Interval) {
+  EXPECT_EQ(fmt_interval(10.0, 8.5, 11.5, 1), "10.0 [8.5, 11.5]");
+}
+
+}  // namespace
+}  // namespace phifi::util

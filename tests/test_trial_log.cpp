@@ -1,0 +1,136 @@
+#include "core/trial_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "tests/toy_workload.hpp"
+
+namespace phifi::fi {
+namespace {
+
+TrialResult make_trial(Outcome outcome, FaultModel model, const char* site,
+                       const char* category, unsigned window,
+                       double progress) {
+  TrialResult trial;
+  trial.outcome = outcome;
+  trial.due_kind = outcome == Outcome::kDue ? DueKind::kCrash : DueKind::kNone;
+  trial.record.injected = true;
+  trial.record.model = model;
+  trial.record.frame = FrameKind::kGlobal;
+  trial.record.element_index = 17;
+  trial.record.burst_elements = 2;
+  trial.record.progress_fraction = progress;
+  std::strncpy(trial.record.site_name, site,
+               sizeof(trial.record.site_name) - 1);
+  std::strncpy(trial.record.category, category,
+               sizeof(trial.record.category) - 1);
+  trial.window = window;
+  trial.seconds = 0.005;
+  return trial;
+}
+
+TEST(TrialLog, WriteReadRoundTrip) {
+  std::stringstream stream;
+  TrialLogWriter writer(stream);
+  writer.append(make_trial(Outcome::kSdc, FaultModel::kRandom, "matrix_a",
+                           "matrix", 2, 0.41));
+  writer.append(make_trial(Outcome::kDue, FaultModel::kZero, "i", "control",
+                           0, 0.07));
+  EXPECT_EQ(writer.written(), 2u);
+
+  const auto entries = TrialLogReader::read(stream);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].outcome, Outcome::kSdc);
+  EXPECT_EQ(entries[0].model, FaultModel::kRandom);
+  EXPECT_EQ(entries[0].site, "matrix_a");
+  EXPECT_EQ(entries[0].category, "matrix");
+  EXPECT_EQ(entries[0].element_index, 17u);
+  EXPECT_EQ(entries[0].burst_elements, 2u);
+  EXPECT_NEAR(entries[0].progress_fraction, 0.41, 1e-6);
+  EXPECT_EQ(entries[0].window, 2u);
+  EXPECT_EQ(entries[1].outcome, Outcome::kDue);
+  EXPECT_EQ(entries[1].due_kind, DueKind::kCrash);
+}
+
+TEST(TrialLog, AggregateRebuildsTallies) {
+  std::stringstream stream;
+  TrialLogWriter writer(stream);
+  writer.append(make_trial(Outcome::kMasked, FaultModel::kSingle, "a", "m",
+                           0, 0.1));
+  writer.append(
+      make_trial(Outcome::kSdc, FaultModel::kSingle, "a", "m", 1, 0.3));
+  writer.append(
+      make_trial(Outcome::kDue, FaultModel::kZero, "i", "c", 3, 0.9));
+
+  const auto entries = TrialLogReader::read(stream);
+  const CampaignResult result = TrialLogReader::aggregate(entries, 4);
+  EXPECT_EQ(result.overall.total(), 3u);
+  EXPECT_EQ(result.overall.masked, 1u);
+  EXPECT_EQ(result.overall.sdc, 1u);
+  EXPECT_EQ(result.overall.due, 1u);
+  EXPECT_EQ(
+      result.by_model[static_cast<int>(FaultModel::kSingle)].total(), 2u);
+  EXPECT_EQ(result.by_window[3].due, 1u);
+  EXPECT_EQ(result.by_category.at("m").sdc, 1u);
+  EXPECT_EQ(result.by_category.at("c").due, 1u);
+}
+
+TEST(TrialLog, RejectsBadHeader) {
+  std::stringstream stream("nope\n1,2,3\n");
+  EXPECT_THROW(TrialLogReader::read(stream), std::runtime_error);
+}
+
+TEST(TrialLog, RejectsMalformedRow) {
+  std::stringstream stream;
+  TrialLogWriter writer(stream);
+  stream << "1,SDC,none\n";
+  EXPECT_THROW(TrialLogReader::read(stream), std::runtime_error);
+}
+
+TEST(TrialLog, EnumRoundTrips) {
+  for (Outcome outcome : {Outcome::kMasked, Outcome::kSdc, Outcome::kDue,
+                          Outcome::kNotInjected}) {
+    EXPECT_EQ(outcome_from_string(to_string(outcome)), outcome);
+  }
+  for (DueKind kind : {DueKind::kNone, DueKind::kCrash,
+                       DueKind::kAbnormalExit, DueKind::kHang}) {
+    EXPECT_EQ(due_kind_from_string(to_string(kind)), kind);
+  }
+  for (FaultModel model : kAllFaultModels) {
+    EXPECT_EQ(fault_model_from_string(to_string(model)), model);
+  }
+  EXPECT_THROW(outcome_from_string("bogus"), std::runtime_error);
+  EXPECT_THROW(fault_model_from_string(""), std::runtime_error);
+}
+
+TEST(TrialLog, CampaignLogAggregatesBackToCampaignTallies) {
+  phifi::testing::ToyWorkload::reset_run_counter();
+  TrialSupervisor supervisor(&phifi::testing::make_toy_normal,
+                             phifi::testing::toy_supervisor_config());
+  supervisor.prepare_golden();
+  CampaignConfig config;
+  config.trials = 20;
+  config.seed = 99;
+  const CampaignResult live = Campaign(supervisor, config).run();
+
+  std::stringstream stream;
+  TrialLogWriter writer(stream);
+  writer.append_all(live);
+  const CampaignResult replayed = TrialLogReader::aggregate(
+      TrialLogReader::read(stream), live.time_windows);
+
+  EXPECT_EQ(replayed.overall.masked, live.overall.masked);
+  EXPECT_EQ(replayed.overall.sdc, live.overall.sdc);
+  EXPECT_EQ(replayed.overall.due, live.overall.due);
+  for (std::size_t m = 0; m < 4; ++m) {
+    EXPECT_EQ(replayed.by_model[m].total(), live.by_model[m].total());
+  }
+  for (unsigned w = 0; w < live.time_windows; ++w) {
+    EXPECT_EQ(replayed.by_window[w].total(), live.by_window[w].total());
+  }
+}
+
+}  // namespace
+}  // namespace phifi::fi

@@ -1,0 +1,124 @@
+// A tiny, controllable workload for exercising the supervisor machinery:
+// configurable to run cleanly, crash, hang, or throw mid-execution.
+//
+// Misbehaving modes only act from the second run() onwards within a
+// process tree: the first run is the supervisor's in-process golden
+// execution, which must stay clean. Forked trial children inherit the
+// incremented counter and therefore misbehave. Call reset_run_counter()
+// before each prepare_golden().
+#pragma once
+
+#include <atomic>
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "core/workload_api.hpp"
+#include "util/array_view.hpp"
+
+namespace phifi::testing {
+
+class ToyWorkload : public fi::Workload {
+ public:
+  enum class Mode { kNormal, kCrash, kHang, kThrow };
+
+  explicit ToyWorkload(Mode mode = Mode::kNormal, unsigned steps = 600)
+      : mode_(mode), steps_(steps) {}
+
+  static void reset_run_counter() { global_runs_.store(0); }
+
+  [[nodiscard]] std::string_view name() const override { return "Toy"; }
+
+  void setup(std::uint64_t input_seed) override {
+    out_.assign(64, 0.0);
+    scale_ = 1.0 + static_cast<double>(input_seed % 7);
+  }
+
+  void run(phi::Device&, fi::ProgressTracker& progress) override {
+    const bool golden_run = global_runs_.fetch_add(1) == 0;
+    const volatile double* scale = &scale_;
+    for (unsigned step = 0; step < steps_; ++step) {
+      if (!golden_run && step == steps_ / 2) misbehave();
+      // ~10us of busy work per step so the flip thread has time to fire.
+      volatile double sink = 0.0;
+      for (int i = 0; i < 2000; ++i) {
+        sink = sink + 1.0;
+      }
+      out_[step % out_.size()] += *scale * static_cast<double>(step % 13);
+      progress.tick();
+    }
+  }
+
+  void register_sites(fi::SiteRegistry& registry) override {
+    registry.add_global_array<double>("toy_output", "data",
+                                      std::span<double>(out_));
+    registry.add_global_scalar("scale", "constant", scale_);
+  }
+
+  [[nodiscard]] std::span<const std::byte> output_bytes() const override {
+    return {reinterpret_cast<const std::byte*>(out_.data()),
+            out_.size() * sizeof(double)};
+  }
+  [[nodiscard]] util::Shape output_shape() const override {
+    return {.width = 8, .height = 8};
+  }
+  [[nodiscard]] fi::ElementType output_type() const override {
+    return fi::ElementType::kF64;
+  }
+  [[nodiscard]] unsigned time_windows() const override { return 4; }
+  [[nodiscard]] std::uint64_t total_steps() const override { return steps_; }
+
+ private:
+  void misbehave() {
+    switch (mode_) {
+      case Mode::kNormal:
+        return;
+      case Mode::kCrash: {
+        volatile int* null_ptr = nullptr;
+        *null_ptr = 1;  // SIGSEGV
+        return;
+      }
+      case Mode::kHang: {
+        volatile bool forever = true;
+        while (forever) {
+        }
+        return;
+      }
+      case Mode::kThrow:
+        throw std::runtime_error("toy failure");
+    }
+  }
+
+  static inline std::atomic<int> global_runs_{0};
+
+  Mode mode_;
+  unsigned steps_;
+  std::vector<double> out_;
+  double scale_ = 1.0;
+};
+
+inline std::unique_ptr<fi::Workload> make_toy_normal() {
+  return std::make_unique<ToyWorkload>(ToyWorkload::Mode::kNormal);
+}
+inline std::unique_ptr<fi::Workload> make_toy_crash() {
+  return std::make_unique<ToyWorkload>(ToyWorkload::Mode::kCrash);
+}
+inline std::unique_ptr<fi::Workload> make_toy_hang() {
+  return std::make_unique<ToyWorkload>(ToyWorkload::Mode::kHang);
+}
+inline std::unique_ptr<fi::Workload> make_toy_throw() {
+  return std::make_unique<ToyWorkload>(ToyWorkload::Mode::kThrow);
+}
+
+/// Supervisor config tuned for fast unit tests.
+inline fi::SupervisorConfig toy_supervisor_config() {
+  fi::SupervisorConfig config;
+  config.device_os_threads = 1;
+  config.device_spec = phi::DeviceSpec::test_device();
+  config.min_timeout_seconds = 0.5;
+  config.timeout_factor = 30.0;
+  return config;
+}
+
+}  // namespace phifi::testing

@@ -1,0 +1,69 @@
+// phifi_parse: the artifact's parser-scripts analog. Reads one or more
+// per-trial CSV logs written by phifi_run (or Campaign + TrialLogWriter),
+// aggregates them, and prints the outcome/model/window/category tables —
+// so stored campaigns can be analyzed or merged without re-running
+// anything.
+//
+//   $ phifi_parse <log.csv> [more.csv ...]
+#include <fstream>
+#include <iostream>
+
+#include "analysis/pvf.hpp"
+#include "core/trial_log.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phifi;
+  if (argc < 2) {
+    std::cerr << "usage: phifi_parse <log.csv> [more.csv ...]\n";
+    return 2;
+  }
+
+  std::vector<fi::TrialLogEntry> entries;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream stream(argv[i]);
+    if (!stream) {
+      std::cerr << "phifi_parse: cannot open '" << argv[i] << "'\n";
+      return 2;
+    }
+    try {
+      auto batch = fi::TrialLogReader::read(stream);
+      entries.insert(entries.end(), batch.begin(), batch.end());
+    } catch (const std::exception& error) {
+      std::cerr << "phifi_parse: " << argv[i] << ": " << error.what()
+                << "\n";
+      return 1;
+    }
+  }
+
+  unsigned windows = 1;
+  for (const auto& entry : entries) {
+    windows = std::max(windows, entry.window + 1);
+  }
+  const fi::CampaignResult result =
+      fi::TrialLogReader::aggregate(entries, windows);
+
+  util::Table outcomes("Aggregated outcomes (" +
+                       std::to_string(entries.size()) + " trials)");
+  outcomes.set_header({"slice", "injections", "masked", "sdc", "due"});
+  auto add_row = [&outcomes](const std::string& label,
+                             const fi::OutcomeTally& tally) {
+    outcomes.add_row({label, std::to_string(tally.total()),
+                      util::fmt_percent(tally.masked_rate()),
+                      util::fmt_percent(tally.sdc_rate()),
+                      util::fmt_percent(tally.due_rate())});
+  };
+  add_row("overall", result.overall);
+  for (fi::FaultModel model : fi::kAllFaultModels) {
+    add_row(std::string("model ") + std::string(to_string(model)),
+            result.by_model[static_cast<std::size_t>(model)]);
+  }
+  for (unsigned w = 0; w < windows; ++w) {
+    add_row("window " + std::to_string(w + 1), result.by_window[w]);
+  }
+  for (const auto& [category, tally] : result.by_category) {
+    add_row("category " + category, tally);
+  }
+  outcomes.print_text(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// phifi_run: the artifact's experiment workflow as a command-line tool.
+//
+//   $ phifi_run <config-file> [repetitions]
+//   $ phifi_run --template            # print a config template
+//
+// Each repetition re-runs the configured campaign with a derived seed, as
+// the CAROL-FI scripts did when the paper accumulated its >90k injections
+// across batches.
+#include <fstream>
+#include <iostream>
+
+#include "cli/runner.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  using namespace phifi;
+  util::init_log_from_env();
+
+  if (argc >= 2 && std::string(argv[1]) == "--template") {
+    std::cout << cli::format_config(cli::RunnerConfig{});
+    return 0;
+  }
+  if (argc < 2) {
+    std::cerr << "usage: phifi_run <config-file> [repetitions]\n"
+              << "       phifi_run --template\n";
+    return 2;
+  }
+
+  std::ifstream config_stream(argv[1]);
+  if (!config_stream) {
+    std::cerr << "phifi_run: cannot open '" << argv[1] << "'\n";
+    return 2;
+  }
+
+  try {
+    cli::RunnerConfig config = cli::parse_config(config_stream);
+    const int repetitions = argc > 2 ? std::atoi(argv[2]) : 1;
+    const std::string base_log = config.log_file;
+    for (int rep = 0; rep < repetitions; ++rep) {
+      if (repetitions > 1) {
+        config.seed = config.seed + 0x9e3779b9ULL * (rep + 1);
+        if (!base_log.empty()) {
+          config.log_file = base_log + "." + std::to_string(rep);
+        }
+        std::cout << "--- repetition " << (rep + 1) << "/" << repetitions
+                  << " (seed " << config.seed << ") ---\n";
+      }
+      cli::run_from_config(config, std::cout);
+      std::cout << "\n";
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "phifi_run: " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
