@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_beam_flux.dir/ablation_beam_flux.cpp.o"
+  "CMakeFiles/ablation_beam_flux.dir/ablation_beam_flux.cpp.o.d"
+  "ablation_beam_flux"
+  "ablation_beam_flux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_beam_flux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_beam_fit.dir/fig2_beam_fit.cpp.o"
+  "CMakeFiles/fig2_beam_fit.dir/fig2_beam_fit.cpp.o.d"
+  "fig2_beam_fit"
+  "fig2_beam_fit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_beam_fit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

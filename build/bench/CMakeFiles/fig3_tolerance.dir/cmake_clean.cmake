@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_tolerance.dir/fig3_tolerance.cpp.o"
+  "CMakeFiles/fig3_tolerance.dir/fig3_tolerance.cpp.o.d"
+  "fig3_tolerance"
+  "fig3_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

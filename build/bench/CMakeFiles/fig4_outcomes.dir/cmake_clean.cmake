@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_outcomes.dir/fig4_outcomes.cpp.o"
+  "CMakeFiles/fig4_outcomes.dir/fig4_outcomes.cpp.o.d"
+  "fig4_outcomes"
+  "fig4_outcomes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_outcomes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3_characterization.dir/sec3_characterization.cpp.o"
+  "CMakeFiles/sec3_characterization.dir/sec3_characterization.cpp.o.d"
+  "sec3_characterization"
+  "sec3_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec4_extrapolation.dir/sec4_extrapolation.cpp.o"
+  "CMakeFiles/sec4_extrapolation.dir/sec4_extrapolation.cpp.o.d"
+  "sec4_extrapolation"
+  "sec4_extrapolation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec4_extrapolation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_injector_overhead.dir/sec5_injector_overhead.cpp.o"
+  "CMakeFiles/sec5_injector_overhead.dir/sec5_injector_overhead.cpp.o.d"
+  "sec5_injector_overhead"
+  "sec5_injector_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_injector_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

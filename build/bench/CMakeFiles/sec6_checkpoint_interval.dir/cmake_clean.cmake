@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_checkpoint_interval.dir/sec6_checkpoint_interval.cpp.o"
+  "CMakeFiles/sec6_checkpoint_interval.dir/sec6_checkpoint_interval.cpp.o.d"
+  "sec6_checkpoint_interval"
+  "sec6_checkpoint_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_checkpoint_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

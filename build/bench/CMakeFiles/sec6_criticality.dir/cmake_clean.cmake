@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_criticality.dir/sec6_criticality.cpp.o"
+  "CMakeFiles/sec6_criticality.dir/sec6_criticality.cpp.o.d"
+  "sec6_criticality"
+  "sec6_criticality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_criticality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

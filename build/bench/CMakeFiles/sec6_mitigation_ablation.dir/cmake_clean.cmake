@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_mitigation_ablation.dir/sec6_mitigation_ablation.cpp.o"
+  "CMakeFiles/sec6_mitigation_ablation.dir/sec6_mitigation_ablation.cpp.o.d"
+  "sec6_mitigation_ablation"
+  "sec6_mitigation_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_mitigation_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

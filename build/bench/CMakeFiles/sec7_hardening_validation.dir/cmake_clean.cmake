@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_hardening_validation.dir/sec7_hardening_validation.cpp.o"
+  "CMakeFiles/sec7_hardening_validation.dir/sec7_hardening_validation.cpp.o.d"
+  "sec7_hardening_validation"
+  "sec7_hardening_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_hardening_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abft_hardening.dir/abft_hardening.cpp.o"
+  "CMakeFiles/abft_hardening.dir/abft_hardening.cpp.o.d"
+  "abft_hardening"
+  "abft_hardening.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abft_hardening.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

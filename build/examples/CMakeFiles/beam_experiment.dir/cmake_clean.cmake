@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_experiment.dir/beam_experiment.cpp.o"
+  "CMakeFiles/beam_experiment.dir/beam_experiment.cpp.o.d"
+  "beam_experiment"
+  "beam_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

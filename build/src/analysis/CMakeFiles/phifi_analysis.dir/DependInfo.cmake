@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/checkpoint_model.cpp" "src/analysis/CMakeFiles/phifi_analysis.dir/checkpoint_model.cpp.o" "gcc" "src/analysis/CMakeFiles/phifi_analysis.dir/checkpoint_model.cpp.o.d"
+  "/root/repo/src/analysis/compare.cpp" "src/analysis/CMakeFiles/phifi_analysis.dir/compare.cpp.o" "gcc" "src/analysis/CMakeFiles/phifi_analysis.dir/compare.cpp.o.d"
+  "/root/repo/src/analysis/criticality.cpp" "src/analysis/CMakeFiles/phifi_analysis.dir/criticality.cpp.o" "gcc" "src/analysis/CMakeFiles/phifi_analysis.dir/criticality.cpp.o.d"
+  "/root/repo/src/analysis/fit.cpp" "src/analysis/CMakeFiles/phifi_analysis.dir/fit.cpp.o" "gcc" "src/analysis/CMakeFiles/phifi_analysis.dir/fit.cpp.o.d"
+  "/root/repo/src/analysis/planning.cpp" "src/analysis/CMakeFiles/phifi_analysis.dir/planning.cpp.o" "gcc" "src/analysis/CMakeFiles/phifi_analysis.dir/planning.cpp.o.d"
+  "/root/repo/src/analysis/sdc_analyzer.cpp" "src/analysis/CMakeFiles/phifi_analysis.dir/sdc_analyzer.cpp.o" "gcc" "src/analysis/CMakeFiles/phifi_analysis.dir/sdc_analyzer.cpp.o.d"
+  "/root/repo/src/analysis/spatial.cpp" "src/analysis/CMakeFiles/phifi_analysis.dir/spatial.cpp.o" "gcc" "src/analysis/CMakeFiles/phifi_analysis.dir/spatial.cpp.o.d"
+  "/root/repo/src/analysis/tolerance.cpp" "src/analysis/CMakeFiles/phifi_analysis.dir/tolerance.cpp.o" "gcc" "src/analysis/CMakeFiles/phifi_analysis.dir/tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/phifi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phifi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/phi/CMakeFiles/phifi_phi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

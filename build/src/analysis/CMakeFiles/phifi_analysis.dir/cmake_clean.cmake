@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phifi_analysis.dir/checkpoint_model.cpp.o"
+  "CMakeFiles/phifi_analysis.dir/checkpoint_model.cpp.o.d"
+  "CMakeFiles/phifi_analysis.dir/compare.cpp.o"
+  "CMakeFiles/phifi_analysis.dir/compare.cpp.o.d"
+  "CMakeFiles/phifi_analysis.dir/criticality.cpp.o"
+  "CMakeFiles/phifi_analysis.dir/criticality.cpp.o.d"
+  "CMakeFiles/phifi_analysis.dir/fit.cpp.o"
+  "CMakeFiles/phifi_analysis.dir/fit.cpp.o.d"
+  "CMakeFiles/phifi_analysis.dir/planning.cpp.o"
+  "CMakeFiles/phifi_analysis.dir/planning.cpp.o.d"
+  "CMakeFiles/phifi_analysis.dir/sdc_analyzer.cpp.o"
+  "CMakeFiles/phifi_analysis.dir/sdc_analyzer.cpp.o.d"
+  "CMakeFiles/phifi_analysis.dir/spatial.cpp.o"
+  "CMakeFiles/phifi_analysis.dir/spatial.cpp.o.d"
+  "CMakeFiles/phifi_analysis.dir/tolerance.cpp.o"
+  "CMakeFiles/phifi_analysis.dir/tolerance.cpp.o.d"
+  "libphifi_analysis.a"
+  "libphifi_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phifi_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

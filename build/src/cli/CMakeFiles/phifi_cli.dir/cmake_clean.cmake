@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phifi_cli.dir/config.cpp.o"
+  "CMakeFiles/phifi_cli.dir/config.cpp.o.d"
+  "CMakeFiles/phifi_cli.dir/runner.cpp.o"
+  "CMakeFiles/phifi_cli.dir/runner.cpp.o.d"
+  "libphifi_cli.a"
+  "libphifi_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phifi_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/campaign.cpp" "src/core/CMakeFiles/phifi_core.dir/campaign.cpp.o" "gcc" "src/core/CMakeFiles/phifi_core.dir/campaign.cpp.o.d"
+  "/root/repo/src/core/fault_model.cpp" "src/core/CMakeFiles/phifi_core.dir/fault_model.cpp.o" "gcc" "src/core/CMakeFiles/phifi_core.dir/fault_model.cpp.o.d"
+  "/root/repo/src/core/flip_engine.cpp" "src/core/CMakeFiles/phifi_core.dir/flip_engine.cpp.o" "gcc" "src/core/CMakeFiles/phifi_core.dir/flip_engine.cpp.o.d"
+  "/root/repo/src/core/injection_site.cpp" "src/core/CMakeFiles/phifi_core.dir/injection_site.cpp.o" "gcc" "src/core/CMakeFiles/phifi_core.dir/injection_site.cpp.o.d"
+  "/root/repo/src/core/shared_channel.cpp" "src/core/CMakeFiles/phifi_core.dir/shared_channel.cpp.o" "gcc" "src/core/CMakeFiles/phifi_core.dir/shared_channel.cpp.o.d"
+  "/root/repo/src/core/supervisor.cpp" "src/core/CMakeFiles/phifi_core.dir/supervisor.cpp.o" "gcc" "src/core/CMakeFiles/phifi_core.dir/supervisor.cpp.o.d"
+  "/root/repo/src/core/trial_log.cpp" "src/core/CMakeFiles/phifi_core.dir/trial_log.cpp.o" "gcc" "src/core/CMakeFiles/phifi_core.dir/trial_log.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phifi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/phi/CMakeFiles/phifi_phi.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

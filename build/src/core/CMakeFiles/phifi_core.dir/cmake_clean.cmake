@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phifi_core.dir/campaign.cpp.o"
+  "CMakeFiles/phifi_core.dir/campaign.cpp.o.d"
+  "CMakeFiles/phifi_core.dir/fault_model.cpp.o"
+  "CMakeFiles/phifi_core.dir/fault_model.cpp.o.d"
+  "CMakeFiles/phifi_core.dir/flip_engine.cpp.o"
+  "CMakeFiles/phifi_core.dir/flip_engine.cpp.o.d"
+  "CMakeFiles/phifi_core.dir/injection_site.cpp.o"
+  "CMakeFiles/phifi_core.dir/injection_site.cpp.o.d"
+  "CMakeFiles/phifi_core.dir/shared_channel.cpp.o"
+  "CMakeFiles/phifi_core.dir/shared_channel.cpp.o.d"
+  "CMakeFiles/phifi_core.dir/supervisor.cpp.o"
+  "CMakeFiles/phifi_core.dir/supervisor.cpp.o.d"
+  "CMakeFiles/phifi_core.dir/trial_log.cpp.o"
+  "CMakeFiles/phifi_core.dir/trial_log.cpp.o.d"
+  "libphifi_core.a"
+  "libphifi_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phifi_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libphifi_core.a"
+)

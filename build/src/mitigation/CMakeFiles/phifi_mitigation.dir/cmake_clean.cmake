@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phifi_mitigation.dir/abft.cpp.o"
+  "CMakeFiles/phifi_mitigation.dir/abft.cpp.o.d"
+  "CMakeFiles/phifi_mitigation.dir/rmt.cpp.o"
+  "CMakeFiles/phifi_mitigation.dir/rmt.cpp.o.d"
+  "libphifi_mitigation.a"
+  "libphifi_mitigation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phifi_mitigation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phi/device.cpp" "src/phi/CMakeFiles/phifi_phi.dir/device.cpp.o" "gcc" "src/phi/CMakeFiles/phifi_phi.dir/device.cpp.o.d"
+  "/root/repo/src/phi/device_spec.cpp" "src/phi/CMakeFiles/phifi_phi.dir/device_spec.cpp.o" "gcc" "src/phi/CMakeFiles/phifi_phi.dir/device_spec.cpp.o.d"
+  "/root/repo/src/phi/resource_map.cpp" "src/phi/CMakeFiles/phifi_phi.dir/resource_map.cpp.o" "gcc" "src/phi/CMakeFiles/phifi_phi.dir/resource_map.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/phifi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

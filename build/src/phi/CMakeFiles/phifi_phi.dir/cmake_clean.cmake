@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phifi_phi.dir/device.cpp.o"
+  "CMakeFiles/phifi_phi.dir/device.cpp.o.d"
+  "CMakeFiles/phifi_phi.dir/device_spec.cpp.o"
+  "CMakeFiles/phifi_phi.dir/device_spec.cpp.o.d"
+  "CMakeFiles/phifi_phi.dir/resource_map.cpp.o"
+  "CMakeFiles/phifi_phi.dir/resource_map.cpp.o.d"
+  "libphifi_phi.a"
+  "libphifi_phi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phifi_phi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phifi_radiation.dir/beam_campaign.cpp.o"
+  "CMakeFiles/phifi_radiation.dir/beam_campaign.cpp.o.d"
+  "CMakeFiles/phifi_radiation.dir/sensitivity.cpp.o"
+  "CMakeFiles/phifi_radiation.dir/sensitivity.cpp.o.d"
+  "libphifi_radiation.a"
+  "libphifi_radiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phifi_radiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

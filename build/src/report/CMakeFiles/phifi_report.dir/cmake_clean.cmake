@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phifi_report.dir/report.cpp.o"
+  "CMakeFiles/phifi_report.dir/report.cpp.o.d"
+  "libphifi_report.a"
+  "libphifi_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phifi_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phifi_util.dir/log.cpp.o"
+  "CMakeFiles/phifi_util.dir/log.cpp.o.d"
+  "CMakeFiles/phifi_util.dir/rng.cpp.o"
+  "CMakeFiles/phifi_util.dir/rng.cpp.o.d"
+  "CMakeFiles/phifi_util.dir/statistics.cpp.o"
+  "CMakeFiles/phifi_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/phifi_util.dir/table.cpp.o"
+  "CMakeFiles/phifi_util.dir/table.cpp.o.d"
+  "libphifi_util.a"
+  "libphifi_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phifi_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

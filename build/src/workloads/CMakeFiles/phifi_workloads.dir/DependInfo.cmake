@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/clamr/amr_mesh.cpp" "src/workloads/CMakeFiles/phifi_workloads.dir/clamr/amr_mesh.cpp.o" "gcc" "src/workloads/CMakeFiles/phifi_workloads.dir/clamr/amr_mesh.cpp.o.d"
+  "/root/repo/src/workloads/clamr/cell_sort.cpp" "src/workloads/CMakeFiles/phifi_workloads.dir/clamr/cell_sort.cpp.o" "gcc" "src/workloads/CMakeFiles/phifi_workloads.dir/clamr/cell_sort.cpp.o.d"
+  "/root/repo/src/workloads/clamr/quadtree.cpp" "src/workloads/CMakeFiles/phifi_workloads.dir/clamr/quadtree.cpp.o" "gcc" "src/workloads/CMakeFiles/phifi_workloads.dir/clamr/quadtree.cpp.o.d"
+  "/root/repo/src/workloads/clamr_workload.cpp" "src/workloads/CMakeFiles/phifi_workloads.dir/clamr_workload.cpp.o" "gcc" "src/workloads/CMakeFiles/phifi_workloads.dir/clamr_workload.cpp.o.d"
+  "/root/repo/src/workloads/dgemm.cpp" "src/workloads/CMakeFiles/phifi_workloads.dir/dgemm.cpp.o" "gcc" "src/workloads/CMakeFiles/phifi_workloads.dir/dgemm.cpp.o.d"
+  "/root/repo/src/workloads/hardened.cpp" "src/workloads/CMakeFiles/phifi_workloads.dir/hardened.cpp.o" "gcc" "src/workloads/CMakeFiles/phifi_workloads.dir/hardened.cpp.o.d"
+  "/root/repo/src/workloads/hotspot.cpp" "src/workloads/CMakeFiles/phifi_workloads.dir/hotspot.cpp.o" "gcc" "src/workloads/CMakeFiles/phifi_workloads.dir/hotspot.cpp.o.d"
+  "/root/repo/src/workloads/lavamd.cpp" "src/workloads/CMakeFiles/phifi_workloads.dir/lavamd.cpp.o" "gcc" "src/workloads/CMakeFiles/phifi_workloads.dir/lavamd.cpp.o.d"
+  "/root/repo/src/workloads/lud.cpp" "src/workloads/CMakeFiles/phifi_workloads.dir/lud.cpp.o" "gcc" "src/workloads/CMakeFiles/phifi_workloads.dir/lud.cpp.o.d"
+  "/root/repo/src/workloads/nw.cpp" "src/workloads/CMakeFiles/phifi_workloads.dir/nw.cpp.o" "gcc" "src/workloads/CMakeFiles/phifi_workloads.dir/nw.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/workloads/CMakeFiles/phifi_workloads.dir/registry.cpp.o" "gcc" "src/workloads/CMakeFiles/phifi_workloads.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/phifi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phi/CMakeFiles/phifi_phi.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigation/CMakeFiles/phifi_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phifi_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

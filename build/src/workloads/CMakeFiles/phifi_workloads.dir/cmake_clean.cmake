@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phifi_workloads.dir/clamr/amr_mesh.cpp.o"
+  "CMakeFiles/phifi_workloads.dir/clamr/amr_mesh.cpp.o.d"
+  "CMakeFiles/phifi_workloads.dir/clamr/cell_sort.cpp.o"
+  "CMakeFiles/phifi_workloads.dir/clamr/cell_sort.cpp.o.d"
+  "CMakeFiles/phifi_workloads.dir/clamr/quadtree.cpp.o"
+  "CMakeFiles/phifi_workloads.dir/clamr/quadtree.cpp.o.d"
+  "CMakeFiles/phifi_workloads.dir/clamr_workload.cpp.o"
+  "CMakeFiles/phifi_workloads.dir/clamr_workload.cpp.o.d"
+  "CMakeFiles/phifi_workloads.dir/dgemm.cpp.o"
+  "CMakeFiles/phifi_workloads.dir/dgemm.cpp.o.d"
+  "CMakeFiles/phifi_workloads.dir/hardened.cpp.o"
+  "CMakeFiles/phifi_workloads.dir/hardened.cpp.o.d"
+  "CMakeFiles/phifi_workloads.dir/hotspot.cpp.o"
+  "CMakeFiles/phifi_workloads.dir/hotspot.cpp.o.d"
+  "CMakeFiles/phifi_workloads.dir/lavamd.cpp.o"
+  "CMakeFiles/phifi_workloads.dir/lavamd.cpp.o.d"
+  "CMakeFiles/phifi_workloads.dir/lud.cpp.o"
+  "CMakeFiles/phifi_workloads.dir/lud.cpp.o.d"
+  "CMakeFiles/phifi_workloads.dir/nw.cpp.o"
+  "CMakeFiles/phifi_workloads.dir/nw.cpp.o.d"
+  "CMakeFiles/phifi_workloads.dir/registry.cpp.o"
+  "CMakeFiles/phifi_workloads.dir/registry.cpp.o.d"
+  "libphifi_workloads.a"
+  "libphifi_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phifi_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

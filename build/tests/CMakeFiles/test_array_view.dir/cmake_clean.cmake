@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_array_view.dir/test_array_view.cpp.o"
+  "CMakeFiles/test_array_view.dir/test_array_view.cpp.o.d"
+  "test_array_view"
+  "test_array_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_array_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

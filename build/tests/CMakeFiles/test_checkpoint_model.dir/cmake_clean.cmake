@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checkpoint_model.dir/test_checkpoint_model.cpp.o"
+  "CMakeFiles/test_checkpoint_model.dir/test_checkpoint_model.cpp.o.d"
+  "test_checkpoint_model"
+  "test_checkpoint_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checkpoint_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clamr_modules.dir/test_clamr_modules.cpp.o"
+  "CMakeFiles/test_clamr_modules.dir/test_clamr_modules.cpp.o.d"
+  "test_clamr_modules"
+  "test_clamr_modules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clamr_modules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_compare.cpp" "tests/CMakeFiles/test_compare.dir/test_compare.cpp.o" "gcc" "tests/CMakeFiles/test_compare.dir/test_compare.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/phifi_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/phifi_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/phi/CMakeFiles/phifi_phi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/phifi_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/phifi_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/radiation/CMakeFiles/phifi_radiation.dir/DependInfo.cmake"
+  "/root/repo/build/src/mitigation/CMakeFiles/phifi_mitigation.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/phifi_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/phifi_report.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flip_engine.dir/test_flip_engine.cpp.o"
+  "CMakeFiles/test_flip_engine.dir/test_flip_engine.cpp.o.d"
+  "test_flip_engine"
+  "test_flip_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flip_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

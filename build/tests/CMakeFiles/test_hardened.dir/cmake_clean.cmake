@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardened.dir/test_hardened.cpp.o"
+  "CMakeFiles/test_hardened.dir/test_hardened.cpp.o.d"
+  "test_hardened"
+  "test_hardened.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardened.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radiation.dir/test_radiation.cpp.o"
+  "CMakeFiles/test_radiation.dir/test_radiation.cpp.o.d"
+  "test_radiation"
+  "test_radiation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shared_channel.dir/test_shared_channel.cpp.o"
+  "CMakeFiles/test_shared_channel.dir/test_shared_channel.cpp.o.d"
+  "test_shared_channel"
+  "test_shared_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shared_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trial_log.dir/test_trial_log.cpp.o"
+  "CMakeFiles/test_trial_log.dir/test_trial_log.cpp.o.d"
+  "test_trial_log"
+  "test_trial_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trial_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

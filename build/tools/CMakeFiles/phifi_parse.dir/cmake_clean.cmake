@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phifi_parse.dir/phifi_parse.cpp.o"
+  "CMakeFiles/phifi_parse.dir/phifi_parse.cpp.o.d"
+  "phifi_parse"
+  "phifi_parse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phifi_parse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phifi_run.dir/phifi_run.cpp.o"
+  "CMakeFiles/phifi_run.dir/phifi_run.cpp.o.d"
+  "phifi_run"
+  "phifi_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phifi_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
