@@ -3,10 +3,53 @@
 // (GDB + disabled optimizations there; fork isolation, volatile control
 // accesses, and progress instrumentation here) but the claim under test is
 // the same: the injector keeps trials cheap enough for 10k-trial campaigns.
+//
+// The second table isolates the *supervisor's* own CPU cost: the parent's
+// CPU time per trial under the legacy fixed 200µs watchdog poll vs. the
+// adaptive schedule (coarse sleeps far from the expected completion time,
+// ~20 polls across the expected runtime near it), and the reduction the
+// adaptive poll buys. Parent CPU is proportional to watchdog wakeups, so
+// the saving grows with trial duration.
+#include <sys/resource.h>
+
 #include <chrono>
 
 #include "bench/bench_common.hpp"
 #include "core/progress.hpp"
+
+namespace {
+
+/// Parent-process CPU seconds (user + system), excluding children.
+double self_cpu_seconds() {
+  rusage usage{};
+  ::getrusage(RUSAGE_SELF, &usage);
+  const auto seconds = [](const timeval& tv) {
+    return static_cast<double>(tv.tv_sec) +
+           static_cast<double>(tv.tv_usec) * 1e-6;
+  };
+  return seconds(usage.ru_utime) + seconds(usage.ru_stime);
+}
+
+/// Runs reps supervised trials under the given poll mode and returns the
+/// parent's CPU milliseconds per trial.
+double watchdog_cpu_ms_per_trial(const phifi::work::WorkloadInfo& info,
+                                 phifi::fi::WatchdogPoll poll, int reps) {
+  using namespace phifi;
+  fi::SupervisorConfig config = bench::bench_supervisor_config();
+  config.poll = poll;
+  fi::TrialSupervisor supervisor(info.factory, config);
+  supervisor.prepare_golden();
+  const double cpu_start = self_cpu_seconds();
+  for (int rep = 0; rep < reps; ++rep) {
+    fi::TrialConfig trial;
+    trial.trial_seed = 9000 + rep;
+    trial.model = fi::FaultModel::kSingle;
+    (void)supervisor.run_trial(trial);
+  }
+  return (self_cpu_seconds() - cpu_start) * 1000.0 / reps;
+}
+
+}  // namespace
 
 int main() {
   using namespace phifi;
@@ -60,5 +103,22 @@ int main() {
                    util::fmt(trial_ms > 0 ? 1000.0 / trial_ms : 0.0, 0)});
   }
   bench::print_table(table);
+
+  util::Table watchdog("Supervisor watchdog CPU per trial (parent process)");
+  watchdog.set_header({"benchmark", "fixed poll [ms]", "adaptive poll [ms]",
+                       "reduction"});
+  constexpr int kWatchdogReps = 20;
+  for (const auto& info : work::all_workloads()) {
+    const double fixed_ms = watchdog_cpu_ms_per_trial(
+        info, fi::WatchdogPoll::kFixed, kWatchdogReps);
+    const double adaptive_ms = watchdog_cpu_ms_per_trial(
+        info, fi::WatchdogPoll::kAdaptive, kWatchdogReps);
+    const double reduction =
+        fixed_ms > 0.0 ? 1.0 - adaptive_ms / fixed_ms : 0.0;
+    watchdog.add_row({std::string(info.name), util::fmt(fixed_ms, 3),
+                      util::fmt(adaptive_ms, 3),
+                      util::fmt_percent(reduction)});
+  }
+  bench::print_table(watchdog);
   return 0;
 }

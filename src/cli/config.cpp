@@ -80,6 +80,12 @@ fi::SupervisorConfig RunnerConfig::supervisor_config() const {
   config.timeout_factor = timeout_factor;
   config.min_timeout_seconds = min_timeout_seconds;
   config.input_seed = input_seed;
+  config.poll = watchdog_poll;
+  config.kill_grace_seconds = kill_grace_seconds;
+  config.child_address_space_mb = child_address_space_mb;
+  config.child_cpu_seconds = child_cpu_seconds;
+  config.heartbeat_divisions = heartbeat_divisions;
+  config.stall_timeout_seconds = stall_timeout_seconds;
   return config;
 }
 
@@ -91,6 +97,11 @@ fi::CampaignConfig RunnerConfig::campaign_config() const {
   config.models = models;
   config.earliest_fraction = earliest_fraction;
   config.latest_fraction = latest_fraction;
+  config.journal_path = journal_file;
+  config.resume = resume;
+  config.journal_fsync = journal_fsync;
+  config.stop_flag = stop_flag;
+  config.max_consecutive_failures = max_consecutive_failures;
   return config;
 }
 
@@ -134,6 +145,20 @@ RunnerConfig parse_config(std::istream& is) {
       config.log_file = value;
     } else if (key == "report_file") {
       config.report_file = value;
+    } else if (key == "journal_file") {
+      config.journal_file = value;
+    } else if (key == "resume") {
+      if (value == "true") config.resume = true;
+      else if (value == "false") config.resume = false;
+      else fail(line_number, "resume must be 'true' or 'false'");
+    } else if (key == "journal_fsync") {
+      if (value == "every-record") {
+        config.journal_fsync = fi::JournalFsync::kEveryRecord;
+      } else if (value == "on-close") {
+        config.journal_fsync = fi::JournalFsync::kOnClose;
+      } else {
+        fail(line_number, "journal_fsync must be 'every-record' or 'on-close'");
+      }
     } else if (key == "trials") {
       config.trials = parse_u64(line_number, value);
     } else if (key == "policy") {
@@ -161,6 +186,27 @@ RunnerConfig parse_config(std::istream& is) {
       config.min_timeout_seconds = parse_double(line_number, value);
     } else if (key == "input_seed") {
       config.input_seed = parse_u64(line_number, value);
+    } else if (key == "watchdog_poll") {
+      if (value == "fixed") config.watchdog_poll = fi::WatchdogPoll::kFixed;
+      else if (value == "adaptive") {
+        config.watchdog_poll = fi::WatchdogPoll::kAdaptive;
+      } else {
+        fail(line_number, "watchdog_poll must be 'fixed' or 'adaptive'");
+      }
+    } else if (key == "kill_grace_seconds") {
+      config.kill_grace_seconds = parse_double(line_number, value);
+    } else if (key == "child_address_space_mb") {
+      config.child_address_space_mb = parse_u64(line_number, value);
+    } else if (key == "child_cpu_seconds") {
+      config.child_cpu_seconds =
+          static_cast<unsigned>(parse_u64(line_number, value));
+    } else if (key == "heartbeat_divisions") {
+      config.heartbeat_divisions =
+          static_cast<unsigned>(parse_u64(line_number, value));
+    } else if (key == "stall_timeout_seconds") {
+      config.stall_timeout_seconds = parse_double(line_number, value);
+    } else if (key == "max_consecutive_failures") {
+      config.max_consecutive_failures = parse_u64(line_number, value);
     } else {
       fail(line_number, "unknown key '" + key + "'");
     }
@@ -183,6 +229,13 @@ std::string format_config(const RunnerConfig& config) {
   if (!config.report_file.empty()) {
     os << "report_file = " << config.report_file << "\n";
   }
+  if (!config.journal_file.empty()) {
+    os << "journal_file = " << config.journal_file << "\n";
+  }
+  if (config.resume) os << "resume = true\n";
+  if (config.journal_fsync == fi::JournalFsync::kOnClose) {
+    os << "journal_fsync = on-close\n";
+  }
   os << "trials = " << config.trials << "\n"
      << "policy = " << to_string(config.policy) << "\n"
      << "models = ";
@@ -200,7 +253,18 @@ std::string format_config(const RunnerConfig& config) {
      << "device_os_threads = " << config.device_os_threads << "\n"
      << "timeout_factor = " << config.timeout_factor << "\n"
      << "min_timeout_seconds = " << config.min_timeout_seconds << "\n"
-     << "input_seed = " << config.input_seed << "\n";
+     << "input_seed = " << config.input_seed << "\n"
+     << "watchdog_poll = "
+     << (config.watchdog_poll == fi::WatchdogPoll::kFixed ? "fixed"
+                                                          : "adaptive")
+     << "\n"
+     << "kill_grace_seconds = " << config.kill_grace_seconds << "\n"
+     << "child_address_space_mb = " << config.child_address_space_mb << "\n"
+     << "child_cpu_seconds = " << config.child_cpu_seconds << "\n"
+     << "heartbeat_divisions = " << config.heartbeat_divisions << "\n"
+     << "stall_timeout_seconds = " << config.stall_timeout_seconds << "\n"
+     << "max_consecutive_failures = " << config.max_consecutive_failures
+     << "\n";
   return os.str();
 }
 

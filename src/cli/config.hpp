@@ -8,6 +8,7 @@
 // are an error (typos in reliability campaigns are expensive).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
@@ -26,6 +27,11 @@ struct RunnerConfig {
   std::uint64_t seed = 1;
   std::string log_file;     ///< per-trial CSV log ("" = no log)
   std::string report_file;  ///< markdown reliability report ("" = none)
+
+  // Durability: write-ahead journal + resume (see core/campaign_journal).
+  std::string journal_file;  ///< per-trial journal ("" = no journal)
+  bool resume = false;       ///< replay journal_file and continue
+  fi::JournalFsync journal_fsync = fi::JournalFsync::kEveryRecord;
 
   // Injection-mode settings.
   std::size_t trials = 1000;
@@ -47,6 +53,19 @@ struct RunnerConfig {
   double timeout_factor = 30.0;
   double min_timeout_seconds = 1.0;
   std::uint64_t input_seed = 0x900d5eedULL;
+  fi::WatchdogPoll watchdog_poll = fi::WatchdogPoll::kAdaptive;
+  double kill_grace_seconds = 0.25;
+  std::size_t child_address_space_mb = 0;  ///< 0 = unlimited
+  unsigned child_cpu_seconds = 0;          ///< 0 = unlimited
+  unsigned heartbeat_divisions = 16;       ///< 0 = heartbeat off
+  double stall_timeout_seconds = 0.0;      ///< 0 = no early stall kill
+
+  // Campaign failure handling.
+  std::size_t max_consecutive_failures = 5;
+
+  /// Cooperative shutdown flag (not a config-file key): wired by phifi_run
+  /// to its SIGINT/SIGTERM handlers.
+  const std::atomic<bool>* stop_flag = nullptr;
 
   [[nodiscard]] fi::SupervisorConfig supervisor_config() const;
   [[nodiscard]] fi::CampaignConfig campaign_config() const;

@@ -30,6 +30,9 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
     fi::Campaign campaign(supervisor, config.campaign_config());
     const fi::CampaignResult result = campaign.run();
     summary.outcomes = result.overall;
+    summary.resumed_trials = result.resumed_trials;
+    summary.interrupted = result.interrupted;
+    summary.aborted = result.aborted;
 
     if (!config.report_file.empty()) {
       std::ofstream report_stream(config.report_file);
@@ -64,6 +67,12 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
     table.add_row({"due", util::fmt_percent(result.overall.due_rate())});
     table.add_row({"retries (not injected)",
                    std::to_string(result.not_injected)});
+    if (result.resumed_trials > 0) {
+      table.add_row({"resumed from journal",
+                     std::to_string(result.resumed_trials)});
+    }
+    if (result.interrupted) table.add_row({"status", "interrupted"});
+    if (result.aborted) table.add_row({"status", "aborted (circuit breaker)"});
     table.print_text(out);
   } else {
     const phi::ResourceMap map =

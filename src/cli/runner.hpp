@@ -16,6 +16,9 @@ struct RunSummary {
   double sdc_fit = 0.0;           ///< beam mode
   double due_fit = 0.0;           ///< beam mode
   std::uint64_t logged_trials = 0;
+  std::uint64_t resumed_trials = 0;  ///< replayed from the journal
+  bool interrupted = false;  ///< stopped by SIGINT/SIGTERM; journal flushed
+  bool aborted = false;      ///< circuit breaker tripped
 };
 
 /// Runs the configured campaign. Reports to `out`; per-trial logs go to

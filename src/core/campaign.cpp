@@ -1,8 +1,14 @@
 #include "core/campaign.hpp"
 
 #include <cassert>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <thread>
 
 #include "util/log.hpp"
+#include "util/rng.hpp"
 
 namespace phifi::fi {
 
@@ -22,6 +28,60 @@ OutcomeTally& OutcomeTally::operator+=(const OutcomeTally& other) {
   return *this;
 }
 
+void accumulate_trial(CampaignResult& result, const TrialResult& trial) {
+  result.total_seconds += trial.seconds;
+  if (trial.outcome == Outcome::kNotInjected) {
+    ++result.not_injected;
+    return;
+  }
+  result.overall.add(trial.outcome);
+  result.by_model[static_cast<std::size_t>(trial.record.model)].add(
+      trial.outcome);
+  if (trial.window < result.by_window.size()) {
+    result.by_window[trial.window].add(trial.outcome);
+  }
+  if (trial.record.injected) {
+    result.by_category[trial.record.category].add(trial.outcome);
+    result
+        .by_frame[trial.record.frame == FrameKind::kWorker ? "worker"
+                                                           : "global"]
+        .add(trial.outcome);
+  }
+  result.trials.push_back(trial);
+}
+
+std::uint64_t campaign_fingerprint(const CampaignConfig& config,
+                                   std::string_view workload,
+                                   unsigned time_windows) {
+  // FNV-1a over every field a resume must agree on.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (8 * i)) & 0xff;
+      hash *= 0x100000001b3ULL;
+    }
+  };
+  for (char c : workload) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  mix(config.seed);
+  mix(static_cast<std::uint64_t>(config.policy));
+  mix(config.models.size());
+  for (FaultModel model : config.models) {
+    mix(static_cast<std::uint64_t>(model));
+  }
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(double));
+  std::memcpy(&bits, &config.earliest_fraction, sizeof(bits));
+  mix(bits);
+  std::memcpy(&bits, &config.latest_fraction, sizeof(bits));
+  mix(bits);
+  mix(config.trials);
+  mix(time_windows);
+  return hash;
+}
+
 CampaignResult Campaign::run(const TrialObserver& observer) {
   assert(!config_.models.empty());
   CampaignResult result;
@@ -30,62 +90,144 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
   result.by_window.resize(result.time_windows);
   result.trials.reserve(config_.trials);
 
+  const std::uint64_t fingerprint = campaign_fingerprint(
+      config_, result.workload, result.time_windows);
+
+  // Durability: replay an existing journal (resume) and/or open a writer.
+  std::unique_ptr<CampaignJournalWriter> journal;
+  std::size_t completed = 0;
+  if (!config_.journal_path.empty()) {
+    if (config_.resume) {
+      const JournalContents contents = read_journal(config_.journal_path);
+      if (contents.header.fingerprint != fingerprint) {
+        throw std::runtime_error(
+            "campaign resume rejected: journal '" + config_.journal_path +
+            "' was written by a different campaign configuration");
+      }
+      if (contents.dropped_bytes > 0) {
+        util::log_warn() << result.workload << ": journal dropped "
+                         << contents.dropped_bytes
+                         << " bytes of torn tail on resume";
+      }
+      for (const JournalRecord& record : contents.records) {
+        accumulate_trial(result, record.trial);
+        if (record.trial.outcome != Outcome::kNotInjected) ++completed;
+        ++result.attempts;
+      }
+      result.resumed_trials = completed;
+      util::log_info() << result.workload << ": resumed " << completed << "/"
+                       << config_.trials << " trials from '"
+                       << config_.journal_path << "'";
+      journal = std::make_unique<CampaignJournalWriter>(
+          config_.journal_path, contents.valid_bytes, config_.journal_fsync);
+    } else {
+      JournalHeader header;
+      header.fingerprint = fingerprint;
+      header.time_windows = result.time_windows;
+      header.workload = result.workload;
+      journal = std::make_unique<CampaignJournalWriter>(
+          config_.journal_path, header, config_.journal_fsync);
+    }
+  }
+
+  // Trial seeds are drawn sequentially from the campaign seed, one per
+  // attempt; replaying `attempts` draws realigns a resumed stream so the
+  // continuation is bit-identical to an uninterrupted campaign.
   util::Rng seed_stream(config_.seed);
+  for (std::uint64_t i = 0; i < result.attempts; ++i) seed_stream.next();
+
   const std::size_t retry_budget =
       config_.trials * (1 + config_.max_retry_factor);
-  std::size_t attempts = 0;
-  std::size_t completed = 0;
-  std::size_t model_cursor = 0;
+  std::size_t attempts = static_cast<std::size_t>(result.attempts);
+  std::size_t consecutive_failures = 0;
+  // The seed draw for the current attempt; held across infrastructure
+  // retries so a failed attempt never consumes a second draw (which would
+  // desynchronize the stream a resume replays).
+  bool seed_pending = false;
+  std::uint64_t pending_seed = 0;
 
   while (completed < config_.trials && attempts < retry_budget) {
+    if (config_.stop_flag != nullptr &&
+        config_.stop_flag->load(std::memory_order_relaxed)) {
+      result.interrupted = true;
+      break;
+    }
+
+    if (!seed_pending) {
+      pending_seed = seed_stream.next();
+      seed_pending = true;
+    }
     TrialConfig trial;
-    trial.trial_seed = seed_stream.next();
-    trial.model = config_.models[model_cursor % config_.models.size()];
+    trial.trial_seed = pending_seed;
+    trial.model = config_.models[completed % config_.models.size()];
     trial.policy = config_.policy;
     trial.earliest_fraction = config_.earliest_fraction;
     trial.latest_fraction = config_.latest_fraction;
+
+    // Infrastructure failures (fork/waitpid, not trial DUEs) are retried
+    // with exponential backoff; K consecutive ones trip the circuit
+    // breaker and abort cleanly with the journal intact.
+    TrialResult trial_result;
+    try {
+      trial_result = supervisor_->run_trial(trial);
+    } catch (const std::exception& error) {
+      ++consecutive_failures;
+      util::log_warn() << result.workload << ": trial infrastructure failure ("
+                       << consecutive_failures << "/"
+                       << config_.max_consecutive_failures
+                       << "): " << error.what();
+      if (consecutive_failures >= config_.max_consecutive_failures) {
+        result.aborted = true;
+        break;
+      }
+      const unsigned doublings = static_cast<unsigned>(
+          std::min<std::size_t>(consecutive_failures - 1, 10));
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          static_cast<std::uint64_t>(config_.retry_backoff_initial_ms)
+          << doublings));
+      continue;  // same attempt: the held seed draw is reused, not redrawn
+    }
+    consecutive_failures = 0;
+    seed_pending = false;
     ++attempts;
 
-    const TrialResult trial_result = supervisor_->run_trial(trial);
-    result.total_seconds += trial_result.seconds;
-
+    // Journal first (write-ahead of the in-memory tallies), then tally.
+    if (journal != nullptr) {
+      JournalRecord record;
+      record.attempt_index = attempts - 1;
+      record.trial = trial_result;
+      journal->append(record);
+    }
+    accumulate_trial(result, trial_result);
     if (trial_result.outcome == Outcome::kNotInjected) {
-      ++result.not_injected;
       continue;  // retry with a fresh seed; the model slot is not consumed
     }
     ++completed;
-    ++model_cursor;
 
-    result.overall.add(trial_result.outcome);
-    result.by_model[static_cast<std::size_t>(trial_result.record.model)].add(
-        trial_result.outcome);
-    if (trial_result.window < result.by_window.size()) {
-      result.by_window[trial_result.window].add(trial_result.outcome);
-    }
-    if (trial_result.record.injected) {
-      result.by_category[trial_result.record.category].add(
-          trial_result.outcome);
-      result
-          .by_frame[trial_result.record.frame == FrameKind::kWorker
-                        ? "worker"
-                        : "global"]
-          .add(trial_result.outcome);
-    }
     if (observer) {
       const bool has_output = trial_result.outcome == Outcome::kMasked ||
                               trial_result.outcome == Outcome::kSdc;
       observer(trial_result, has_output ? supervisor_->last_output()
                                         : std::span<const std::byte>{});
     }
-    result.trials.push_back(trial_result);
 
     if (completed % 500 == 0) {
       util::log_info() << result.workload << ": " << completed << "/"
                        << config_.trials << " trials";
     }
   }
+  result.attempts = attempts;
 
-  if (completed < config_.trials) {
+  if (journal != nullptr) journal->sync();
+  if (result.interrupted) {
+    util::log_warn() << result.workload << ": campaign interrupted after "
+                     << completed << "/" << config_.trials
+                     << " trials; journal flushed";
+  } else if (result.aborted) {
+    util::log_warn() << result.workload << ": campaign aborted after "
+                     << config_.max_consecutive_failures
+                     << " consecutive infrastructure failures";
+  } else if (completed < config_.trials) {
     util::log_warn() << result.workload << ": campaign stopped after "
                      << attempts << " attempts with only " << completed
                      << " injected trials";

@@ -10,12 +10,14 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
+#include "core/campaign_journal.hpp"
 #include "core/supervisor.hpp"
 
 namespace phifi::fi {
@@ -32,6 +34,30 @@ struct CampaignConfig {
   double earliest_fraction = 0.01;
   double latest_fraction = 0.99;
   std::size_t max_retry_factor = 3;  ///< retries allowed = factor * trials
+
+  // ---- durability / supervision ----
+
+  /// Write-ahead journal path ("" = no journal). Every trial attempt is
+  /// appended as it completes, so a killed campaign can be resumed.
+  std::string journal_path;
+  /// Resume from an existing journal at journal_path: replay its records
+  /// into the tallies, skip the already-consumed seed draws, and continue.
+  /// Trial seeds derive from (campaign seed, attempt index), so a resumed
+  /// campaign is bit-identical to an uninterrupted one. Rejected (throws)
+  /// if the journal's config fingerprint does not match.
+  bool resume = false;
+  JournalFsync journal_fsync = JournalFsync::kEveryRecord;
+  /// Cooperative stop: checked between trials. When it becomes true the
+  /// in-flight trial finishes, the journal is flushed, and run() returns
+  /// with result.interrupted set. Wire SIGINT/SIGTERM handlers to this.
+  const std::atomic<bool>* stop_flag = nullptr;
+  /// Circuit breaker: abort (journal intact, result.aborted set) after this
+  /// many consecutive infrastructure failures (fork/waitpid errors — not
+  /// trial DUEs, which are results).
+  std::size_t max_consecutive_failures = 5;
+  /// Exponential backoff before retrying a failed trial attempt:
+  /// initial * 2^n milliseconds, capped at 10 doublings.
+  unsigned retry_backoff_initial_ms = 100;
 };
 
 /// Masked/SDC/DUE counts with convenience rates.
@@ -72,7 +98,26 @@ struct CampaignResult {
   /// Full per-trial log (CAROL-FI stores per-injection logs; analyses that
   /// need joint distributions read this).
   std::vector<TrialResult> trials;
+
+  /// Seed draws consumed (completed + NotInjected attempts); resume skips
+  /// this many draws to realign the seed stream.
+  std::uint64_t attempts = 0;
+  /// Trials replayed from a journal rather than executed this run.
+  std::uint64_t resumed_trials = 0;
+  bool interrupted = false;  ///< stop_flag fired before completion
+  bool aborted = false;      ///< circuit breaker tripped
 };
+
+/// Folds one completed (injected or NotInjected) trial into the tallies.
+/// Used by the live campaign loop, journal replay, and phifi_parse so the
+/// three can never disagree on aggregation.
+void accumulate_trial(CampaignResult& result, const TrialResult& trial);
+
+/// Fingerprint of everything a resume must agree on: workload, seed,
+/// policy, fault models, injection window, trial count, time windows.
+std::uint64_t campaign_fingerprint(const CampaignConfig& config,
+                                   std::string_view workload,
+                                   unsigned time_windows);
 
 /// Observer invoked after every trial; `output` is non-empty only for
 /// completed (Masked/SDC) trials and is valid for the duration of the call.

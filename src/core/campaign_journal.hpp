@@ -1,0 +1,104 @@
+// Write-ahead campaign journal: crash durability for long campaigns.
+//
+// The paper's >90,000 CAROL-FI injections (Sec. 5) accumulate over hours of
+// runs whose whole point is to provoke crashes and hangs; losing a campaign
+// to a SIGINT or an OOM kill of the *supervisor* would throw away real
+// work. The journal appends one checksummed record per trial attempt as it
+// completes, fsyncing per the configured policy, so a campaign killed at
+// any instant can be resumed: the header carries a fingerprint of the
+// campaign configuration (workload, seed, models, policy, windows) so a
+// mismatched resume is rejected, and a truncated or checksum-corrupt tail
+// (the torn final write of a crash) is dropped on load, not fatal.
+//
+// On-disk layout (all integers little-endian):
+//   magic "PHIFIJL1"
+//   u32 header_size | header payload | u32 crc32(header payload)
+//     header payload: u64 fingerprint, u32 time_windows,
+//                     u32 name_len, name bytes
+//   repeated records, each:
+//   u32 payload_size | record payload | u32 crc32(record payload)
+//     record payload: u64 attempt_index + the flattened TrialResult
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/supervisor.hpp"
+
+namespace phifi::fi {
+
+/// When the journal reaches the disk, not just the page cache.
+enum class JournalFsync {
+  kEveryRecord,  ///< fsync after each append; survives power loss
+  kOnClose,      ///< fsync only on sync()/close; survives process death
+};
+
+struct JournalHeader {
+  std::uint64_t fingerprint = 0;
+  unsigned time_windows = 1;
+  std::string workload;
+};
+
+/// One journaled trial attempt. NotInjected attempts are journaled too:
+/// they consume a seed draw, and resume must replay the seed stream
+/// exactly for the continued campaign to be bit-identical.
+struct JournalRecord {
+  std::uint64_t attempt_index = 0;
+  TrialResult trial;
+};
+
+struct JournalContents {
+  JournalHeader header;
+  std::vector<JournalRecord> records;
+  /// File offset just past the last valid record; resume truncates here.
+  std::uint64_t valid_bytes = 0;
+  /// Bytes of truncated/corrupt tail dropped during the load (0 = clean).
+  std::uint64_t dropped_bytes = 0;
+};
+
+class CampaignJournalWriter {
+ public:
+  /// Starts a fresh journal at `path` (truncating any existing file) and
+  /// writes the header. Throws std::runtime_error on I/O failure.
+  CampaignJournalWriter(const std::string& path, const JournalHeader& header,
+                        JournalFsync fsync_policy);
+
+  /// Reopens an existing (already loaded and fingerprint-checked) journal
+  /// for appending. Truncates to `valid_bytes` first, dropping any torn
+  /// tail a crash left behind.
+  CampaignJournalWriter(const std::string& path, std::uint64_t valid_bytes,
+                        JournalFsync fsync_policy);
+
+  ~CampaignJournalWriter();
+
+  CampaignJournalWriter(const CampaignJournalWriter&) = delete;
+  CampaignJournalWriter& operator=(const CampaignJournalWriter&) = delete;
+
+  /// Appends one record; durable per the fsync policy when it returns.
+  void append(const JournalRecord& record);
+
+  /// Forces buffered records to disk regardless of policy.
+  void sync();
+
+  [[nodiscard]] std::uint64_t written() const { return written_; }
+
+ private:
+  void write_all(const void* data, std::size_t size);
+
+  int fd_ = -1;
+  JournalFsync fsync_ = JournalFsync::kEveryRecord;
+  std::uint64_t written_ = 0;
+};
+
+/// Loads a journal. A truncated or checksum-corrupt tail is dropped (and
+/// reported via dropped_bytes); everything before it is returned. Throws
+/// std::runtime_error only if the file cannot be opened or its header is
+/// itself missing or corrupt.
+JournalContents read_journal(const std::string& path);
+
+/// CRC-32 (IEEE, reflected) over a byte buffer; exposed for tests and for
+/// tools that audit journals.
+std::uint32_t journal_crc32(const void* data, std::size_t size);
+
+}  // namespace phifi::fi

@@ -21,6 +21,9 @@ enum class DueKind {
   kCrash,        ///< killed by SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT
   kAbnormalExit, ///< exited with nonzero status (e.g. uncaught exception)
   kHang,         ///< exceeded the watchdog deadline and was killed
+  kRlimit,       ///< hit a per-child resource limit (CPU rlimit SIGXCPU, or
+                 ///< address-space rlimit surfacing as allocation failure)
+  kStall,        ///< heartbeat stalled; cut before the absolute deadline
 };
 
 constexpr std::string_view to_string(Outcome outcome) {
@@ -39,6 +42,8 @@ constexpr std::string_view to_string(DueKind kind) {
     case DueKind::kCrash: return "crash";
     case DueKind::kAbnormalExit: return "abnormal-exit";
     case DueKind::kHang: return "hang";
+    case DueKind::kRlimit: return "rlimit";
+    case DueKind::kStall: return "stall";
   }
   return "?";
 }

@@ -24,6 +24,12 @@ class ProgressTracker {
   /// the armed fraction. Receives the fraction at the crossing tick.
   using InjectionHook = std::function<void(double)>;
 
+  /// Hook invoked each time progress crosses another 1/divisions of the run
+  /// (the supervisor uses it to bump the shared-channel heartbeat). May fire
+  /// more than once per division under concurrent ticking; callees must
+  /// treat it as a monotone liveness pulse, not an exact counter.
+  using PulseHook = std::function<void()>;
+
   void reset(std::uint64_t total_steps) {
     total_.store(total_steps, std::memory_order_relaxed);
     done_.store(0, std::memory_order_relaxed);
@@ -31,6 +37,9 @@ class ProgressTracker {
     fired_.store(false, std::memory_order_relaxed);
     armed_ = false;
     hook_ = nullptr;
+    pulse_divisions_ = 0;
+    pulse_done_.store(0, std::memory_order_relaxed);
+    pulse_ = nullptr;
   }
 
   /// Arms the one-shot injection hook. Call before run(), never during.
@@ -38,6 +47,15 @@ class ProgressTracker {
     target_ = target_fraction;
     hook_ = std::move(hook);
     armed_ = true;
+  }
+
+  /// Arms the repeating pulse hook: fires whenever progress enters a new
+  /// 1/divisions slice of the run. Call before run(); divisions == 0
+  /// disables pulsing.
+  void set_pulse(unsigned divisions, PulseHook pulse) {
+    pulse_divisions_ = divisions;
+    pulse_ = std::move(pulse);
+    pulse_done_.store(0, std::memory_order_relaxed);
   }
 
   [[nodiscard]] bool fired() const {
@@ -48,12 +66,20 @@ class ProgressTracker {
   void tick(std::uint64_t steps = 1) {
     const std::uint64_t done =
         done_.fetch_add(steps, std::memory_order_relaxed) + steps;
-    if (!armed_) return;
+    if (!armed_ && pulse_divisions_ == 0) return;
     const std::uint64_t total = total_.load(std::memory_order_relaxed);
     if (total == 0) return;
     const double fraction =
         static_cast<double>(done) / static_cast<double>(total);
-    if (fraction >= target_ &&
+    if (pulse_divisions_ != 0) {
+      const std::uint64_t slice =
+          static_cast<std::uint64_t>(fraction * pulse_divisions_);
+      if (slice > pulse_done_.load(std::memory_order_relaxed)) {
+        pulse_done_.store(slice, std::memory_order_relaxed);
+        pulse_();
+      }
+    }
+    if (armed_ && fraction >= target_ &&
         !fired_.exchange(true, std::memory_order_acq_rel)) {
       hook_(fraction > 1.0 ? 1.0 : fraction);
     }
@@ -90,6 +116,9 @@ class ProgressTracker {
   bool armed_ = false;
   double target_ = 1.0;
   InjectionHook hook_;
+  unsigned pulse_divisions_ = 0;
+  std::atomic<std::uint64_t> pulse_done_{0};
+  PulseHook pulse_;
 };
 
 }  // namespace phifi::fi

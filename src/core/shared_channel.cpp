@@ -32,8 +32,17 @@ SharedChannel::~SharedChannel() {
 void SharedChannel::reset() {
   header_->record_ready.store(0, std::memory_order_relaxed);
   header_->output_ready.store(0, std::memory_order_relaxed);
+  header_->heartbeat.store(0, std::memory_order_relaxed);
   header_->output_size = 0;
   header_->record = InjectionRecord{};
+}
+
+void SharedChannel::beat() {
+  header_->heartbeat.fetch_add(1, std::memory_order_release);
+}
+
+std::uint64_t SharedChannel::heartbeat() const {
+  return header_->heartbeat.load(std::memory_order_acquire);
 }
 
 void SharedChannel::store_record(const InjectionRecord& record) {

@@ -37,8 +37,14 @@ class SharedChannel {
   /// Copies the final output and marks the trial complete.
   void store_output(std::span<const std::byte> output);
 
+  /// Bumps the liveness heartbeat. The child calls this as it crosses
+  /// execution-time windows; the watchdog reads it to tell a slow-but-alive
+  /// child from a hung one.
+  void beat();
+
   // ---- parent side ----
 
+  [[nodiscard]] std::uint64_t heartbeat() const;
   [[nodiscard]] bool output_ready() const;
   [[nodiscard]] bool record_ready() const;
   [[nodiscard]] InjectionRecord record() const;
@@ -49,6 +55,7 @@ class SharedChannel {
   struct Header {
     std::atomic<std::uint32_t> record_ready;
     std::atomic<std::uint32_t> output_ready;
+    std::atomic<std::uint64_t> heartbeat;
     std::uint64_t output_size;
     InjectionRecord record;
   };

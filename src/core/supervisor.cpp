@@ -1,6 +1,8 @@
 #include "core/supervisor.hpp"
 
+#include <cerrno>
 #include <signal.h>
+#include <sys/resource.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -10,6 +12,7 @@
 #include <chrono>
 #include <cstring>
 #include <cstdio>
+#include <new>
 #include <stdexcept>
 #include <thread>
 
@@ -21,8 +24,64 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Child exit code for an allocation failure under the address-space rlimit
+/// (distinct from the generic uncaught-exception code 3).
+constexpr int kChildExitRlimit = 4;
+
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// waitpid that survives signal delivery to the campaign process: EINTR is
+/// a retry, not an error. Any other failure is real and still throws.
+pid_t waitpid_eintr(pid_t pid, int* status, int flags) {
+  while (true) {
+    const pid_t reaped = ::waitpid(pid, status, flags);
+    if (reaped >= 0 || errno != EINTR) return reaped;
+  }
+}
+
+/// Kills an overdue child: SIGTERM, a grace window, then SIGKILL. Returns
+/// true if the SIGKILL escalation was needed. Always reaps the child.
+bool kill_with_escalation(pid_t pid, double grace_seconds, int* status) {
+  ::kill(pid, SIGTERM);
+  const auto grace_start = Clock::now();
+  while (seconds_since(grace_start) < grace_seconds) {
+    const pid_t reaped = waitpid_eintr(pid, status, WNOHANG);
+    if (reaped == pid) return false;
+    if (reaped < 0) {
+      throw std::runtime_error("TrialSupervisor: waitpid failed during kill");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ::kill(pid, SIGKILL);
+  if (waitpid_eintr(pid, status, 0) < 0) {
+    throw std::runtime_error("TrialSupervisor: waitpid failed after SIGKILL");
+  }
+  return true;
+}
+
+/// Poll pacing (WatchdogPoll::kAdaptive). Every wakeup costs parent CPU
+/// (waitpid + clock reads), so the schedule minimizes wakeups: sleep half
+/// the remaining gap (up to 20ms) far from the expected completion time,
+/// then ~20 polls across the expected runtime near it — never finer than
+/// the legacy fixed 200µs poll, so reap latency stays bounded by the same
+/// constant while long trials cost orders of magnitude fewer wakeups.
+std::chrono::microseconds adaptive_poll_interval(double elapsed,
+                                                 double expected) {
+  using std::chrono::microseconds;
+  if (expected <= 0.0) return microseconds(200);
+  const long floor_us = std::clamp(
+      static_cast<long>(expected * 1e6 / 20.0), 200L, 1000L);
+  if (elapsed < 0.8 * expected) {
+    const double gap = 0.8 * expected - elapsed;
+    const auto us = static_cast<long>(gap * 1e6 / 2.0);
+    return microseconds(std::clamp(us, floor_us, 20000L));
+  }
+  if (elapsed < 1.5 * expected + 0.002) return microseconds(floor_us);
+  // Hang territory: completion is unlikely to be imminent, and kill
+  // decisions tolerate ms-scale latency.
+  return microseconds(std::max(floor_us, 1000L));
 }
 
 }  // namespace
@@ -87,25 +146,65 @@ TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
 
   const double deadline = std::max(config_.min_timeout_seconds,
                                    config_.timeout_factor * golden_seconds_);
+  const bool heartbeat_on = config_.heartbeat_divisions > 0;
+  const double hard_deadline =
+      heartbeat_on ? std::max(config_.max_deadline_factor, 1.0) * deadline
+                   : deadline;
+  // A child past the base deadline stays alive only while its heartbeat
+  // advanced within this window; the optional stall timeout additionally
+  // cuts a silent child before the deadline.
+  const double liveness_window = config_.stall_timeout_seconds > 0.0
+                                     ? config_.stall_timeout_seconds
+                                     : deadline;
+
   int status = 0;
-  bool timed_out = false;
+  DueKind killed_as = DueKind::kNone;
+  bool escalated = false;
+  std::uint64_t last_beat = channel_->heartbeat();
+  auto last_beat_time = start;
   while (true) {
-    const pid_t reaped = ::waitpid(pid, &status, WNOHANG);
+    const pid_t reaped = waitpid_eintr(pid, &status, WNOHANG);
     if (reaped == pid) break;
     if (reaped < 0) {
       throw std::runtime_error("TrialSupervisor: waitpid failed");
     }
-    if (seconds_since(start) > deadline) {
-      ::kill(pid, SIGKILL);
-      ::waitpid(pid, &status, 0);
-      timed_out = true;
+
+    const auto now = Clock::now();
+    const double elapsed = seconds_since(start);
+    if (heartbeat_on) {
+      const std::uint64_t beat = channel_->heartbeat();
+      if (beat != last_beat) {
+        last_beat = beat;
+        last_beat_time = now;
+      }
+    }
+    const double beat_gap =
+        std::chrono::duration<double>(now - last_beat_time).count();
+
+    if (heartbeat_on && config_.stall_timeout_seconds > 0.0 &&
+        beat_gap > config_.stall_timeout_seconds) {
+      killed_as = DueKind::kStall;
+    } else if (elapsed > deadline) {
+      const bool alive = heartbeat_on && beat_gap <= liveness_window &&
+                         elapsed <= hard_deadline;
+      if (!alive) killed_as = DueKind::kHang;
+    }
+    if (killed_as != DueKind::kNone) {
+      escalated =
+          kill_with_escalation(pid, config_.kill_grace_seconds, &status);
       break;
     }
-    std::this_thread::sleep_for(std::chrono::microseconds(200));
+
+    std::this_thread::sleep_for(
+        config_.poll == WatchdogPoll::kAdaptive
+            ? adaptive_poll_interval(elapsed, golden_seconds_)
+            : std::chrono::microseconds(200));
   }
 
   TrialResult result;
   result.seconds = seconds_since(start);
+  result.heartbeats = channel_->heartbeat();
+  result.escalated_kill = escalated;
   if (channel_->record_ready()) result.record = channel_->record();
   result.window = windows_ == 0
                       ? 0
@@ -114,14 +213,20 @@ TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
                                      result.record.progress_fraction *
                                      windows_));
 
-  if (timed_out) {
+  if (killed_as != DueKind::kNone) {
     result.outcome = Outcome::kDue;
-    result.due_kind = DueKind::kHang;
+    result.due_kind = killed_as;
     return result;
   }
   if (WIFSIGNALED(status)) {
     result.outcome = Outcome::kDue;
-    result.due_kind = DueKind::kCrash;
+    result.due_kind =
+        WTERMSIG(status) == SIGXCPU ? DueKind::kRlimit : DueKind::kCrash;
+    return result;
+  }
+  if (WIFEXITED(status) && WEXITSTATUS(status) == kChildExitRlimit) {
+    result.outcome = Outcome::kDue;
+    result.due_kind = DueKind::kRlimit;
     return result;
   }
   if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 ||
@@ -156,6 +261,21 @@ void TrialSupervisor::child_main(const TrialConfig* config) {
     std::FILE* sink = std::freopen("/dev/null", "w", stderr);
     (void)sink;
   }
+  // Resource fences: a runaway child dies by rlimit in the kernel even if
+  // the parent's watchdog is starved or buggy.
+  if (config_.child_address_space_mb > 0) {
+    const rlim_t bytes =
+        static_cast<rlim_t>(config_.child_address_space_mb) * 1024 * 1024;
+    const rlimit limit{bytes, bytes};
+    ::setrlimit(RLIMIT_AS, &limit);
+  }
+  if (config_.child_cpu_seconds > 0) {
+    // Hard limit one second later so SIGXCPU (catchable, classifiable) is
+    // what lands, not the uncatchable hard-limit SIGKILL.
+    const rlimit limit{config_.child_cpu_seconds,
+                       static_cast<rlim_t>(config_.child_cpu_seconds) + 1};
+    ::setrlimit(RLIMIT_CPU, &limit);
+  }
   try {
     auto workload = factory_();
     workload->setup(config_.input_seed);
@@ -165,6 +285,10 @@ void TrialSupervisor::child_main(const TrialConfig* config) {
 
     ProgressTracker progress;
     progress.reset(workload->total_steps());
+    if (config_.heartbeat_divisions > 0) {
+      progress.set_pulse(config_.heartbeat_divisions,
+                         [this] { channel_->beat(); });
+    }
 
     phi::Device device(config_.device_spec, config_.device_os_threads);
 
@@ -196,6 +320,8 @@ void TrialSupervisor::child_main(const TrialConfig* config) {
     progress.finish();
 
     channel_->store_output(workload->output_bytes());
+  } catch (const std::bad_alloc&) {
+    ::_exit(kChildExitRlimit);
   } catch (...) {
     ::_exit(3);
   }

@@ -23,6 +23,17 @@
 
 namespace phifi::fi {
 
+/// How the watchdog paces its child polls.
+enum class WatchdogPoll {
+  /// Legacy behaviour: a fixed 200µs sleep between polls.
+  kFixed,
+  /// Coarse sleeps (up to 20ms) far from the expected completion time,
+  /// ~20 polls across the expected runtime near it, never finer than the
+  /// fixed poll. Cuts supervisor CPU (it's proportional to wakeups) while
+  /// keeping reap latency bounded by the same 200µs constant.
+  kAdaptive,
+};
+
 struct SupervisorConfig {
   /// Input-generation seed; fixed for a whole campaign so every trial runs
   /// the same computation as the golden copy.
@@ -34,6 +45,29 @@ struct SupervisorConfig {
   ///                         timeout_factor * golden run time).
   double timeout_factor = 25.0;
   double min_timeout_seconds = 2.0;
+  WatchdogPoll poll = WatchdogPoll::kAdaptive;
+  /// Overdue children get SIGTERM first; SIGKILL follows after this grace
+  /// window if they have not exited (injected faults can wedge signal
+  /// handling, and test workloads may ignore SIGTERM outright).
+  double kill_grace_seconds = 0.25;
+  /// Per-child address-space cap in MiB (0 = inherit the parent's limit).
+  /// A child that exhausts it fails allocation and is classified
+  /// DueKind::kRlimit instead of wedging the host under memory pressure.
+  std::size_t child_address_space_mb = 0;
+  /// Per-child CPU-seconds cap (0 = unlimited). The kernel delivers
+  /// SIGXCPU, classified DueKind::kRlimit — a runaway child dies by rlimit
+  /// even if the watchdog itself is starved.
+  unsigned child_cpu_seconds = 0;
+  /// Heartbeat pulses the child emits over one run (0 disables the
+  /// heartbeat protocol). While the heartbeat keeps advancing, a child past
+  /// the base deadline is granted extensions up to
+  /// max_deadline_factor * deadline — "slow but alive" is not a hang.
+  unsigned heartbeat_divisions = 16;
+  double max_deadline_factor = 4.0;
+  /// If > 0, a child whose heartbeat has not advanced for this many seconds
+  /// is killed *before* the absolute deadline and classified
+  /// DueKind::kStall. Requires heartbeat_divisions > 0.
+  double stall_timeout_seconds = 0.0;
 };
 
 struct TrialConfig {
@@ -56,6 +90,10 @@ struct TrialResult {
   /// Time window the injection fell into, in [0, time_windows).
   unsigned window = 0;
   double seconds = 0.0;
+  /// Heartbeat pulses observed from the child (diagnostics).
+  std::uint64_t heartbeats = 0;
+  /// True when the child ignored SIGTERM and had to be SIGKILLed.
+  bool escalated_kill = false;
 };
 
 class TrialSupervisor {

@@ -44,6 +44,8 @@ DueKind due_kind_from_string(std::string_view text) {
   if (text == "crash") return DueKind::kCrash;
   if (text == "abnormal-exit") return DueKind::kAbnormalExit;
   if (text == "hang") return DueKind::kHang;
+  if (text == "rlimit") return DueKind::kRlimit;
+  if (text == "stall") return DueKind::kStall;
   throw std::runtime_error("unknown due kind: " + std::string(text));
 }
 

@@ -91,6 +91,45 @@ TEST(Progress, ResetClearsArming) {
   EXPECT_EQ(fires, 0);
 }
 
+TEST(Progress, PulseFiresOncePerSlice) {
+  ProgressTracker progress;
+  progress.reset(100);
+  int pulses = 0;
+  progress.set_pulse(4, [&] { ++pulses; });
+  progress.tick(24);
+  EXPECT_EQ(pulses, 0);  // below the first 1/4 slice
+  progress.tick(1);
+  EXPECT_EQ(pulses, 1);  // crossed 25%
+  progress.tick(50);
+  EXPECT_EQ(pulses, 2);  // a jump over several slices pulses once
+  progress.tick(25);
+  EXPECT_EQ(pulses, 3);
+  progress.tick(10);  // over-ticking clamps; no extra pulse
+  EXPECT_EQ(pulses, 3);
+}
+
+TEST(Progress, PulseAndArmCoexist) {
+  ProgressTracker progress;
+  progress.reset(100);
+  int pulses = 0;
+  int fires = 0;
+  progress.set_pulse(10, [&] { ++pulses; });
+  progress.arm(0.5, [&](double) { ++fires; });
+  for (int i = 0; i < 100; ++i) progress.tick();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(pulses, 10);
+}
+
+TEST(Progress, ResetClearsPulse) {
+  ProgressTracker progress;
+  progress.reset(10);
+  int pulses = 0;
+  progress.set_pulse(2, [&] { ++pulses; });
+  progress.reset(10);
+  progress.tick(10);
+  EXPECT_EQ(pulses, 0);
+}
+
 TEST(Progress, ConcurrentTickersFireExactlyOnce) {
   for (int round = 0; round < 20; ++round) {
     ProgressTracker progress;

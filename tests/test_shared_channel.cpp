@@ -91,6 +91,32 @@ TEST(SharedChannel, VisibleAcrossFork) {
   EXPECT_EQ(channel.output()[1], std::byte{0xbb});
 }
 
+TEST(SharedChannel, HeartbeatCountsAndResets) {
+  SharedChannel channel(8);
+  EXPECT_EQ(channel.heartbeat(), 0u);
+  channel.beat();
+  channel.beat();
+  channel.beat();
+  EXPECT_EQ(channel.heartbeat(), 3u);
+  channel.reset();
+  EXPECT_EQ(channel.heartbeat(), 0u);
+}
+
+TEST(SharedChannel, HeartbeatVisibleAcrossFork) {
+  // The watchdog's liveness signal: child beats, parent observes.
+  SharedChannel channel(8);
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    for (int i = 0; i < 5; ++i) channel.beat();
+    _exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(channel.heartbeat(), 5u);
+}
+
 TEST(SharedChannel, ZeroCapacityHandlesEmptyOutput) {
   SharedChannel channel(0);
   channel.store_output({});

@@ -54,6 +54,24 @@ TEST(TrialLog, WriteReadRoundTrip) {
   EXPECT_EQ(entries[1].due_kind, DueKind::kCrash);
 }
 
+TEST(TrialLog, RlimitAndStallDueKindsRoundTrip) {
+  std::stringstream stream;
+  TrialLogWriter writer(stream);
+  TrialResult rlimit = make_trial(Outcome::kDue, FaultModel::kSingle, "a",
+                                  "m", 1, 0.5);
+  rlimit.due_kind = DueKind::kRlimit;
+  writer.append(rlimit);
+  TrialResult stall = make_trial(Outcome::kDue, FaultModel::kSingle, "b",
+                                 "m", 2, 0.6);
+  stall.due_kind = DueKind::kStall;
+  writer.append(stall);
+
+  const auto entries = TrialLogReader::read(stream);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].due_kind, DueKind::kRlimit);
+  EXPECT_EQ(entries[1].due_kind, DueKind::kStall);
+}
+
 TEST(TrialLog, AggregateRebuildsTallies) {
   std::stringstream stream;
   TrialLogWriter writer(stream);

@@ -8,10 +8,16 @@
 // before each prepare_golden().
 #pragma once
 
+#include <csignal>
+
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstring>
 #include <memory>
+#include <new>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "core/workload_api.hpp"
@@ -21,7 +27,20 @@ namespace phifi::testing {
 
 class ToyWorkload : public fi::Workload {
  public:
-  enum class Mode { kNormal, kCrash, kHang, kThrow };
+  enum class Mode {
+    kNormal,
+    kCrash,
+    kHang,
+    kThrow,
+    /// Ignores SIGTERM then hangs — exercises the SIGTERM→SIGKILL
+    /// escalation path of the watchdog.
+    kHangIgnoreTerm,
+    /// Allocates without bound — exercises the address-space rlimit path.
+    kBloat,
+    /// Runs far slower than the golden run but keeps ticking — exercises
+    /// the heartbeat "slow but alive" deadline extension.
+    kSlow,
+  };
 
   explicit ToyWorkload(Mode mode = Mode::kNormal, unsigned steps = 600)
       : mode_(mode), steps_(steps) {}
@@ -40,6 +59,11 @@ class ToyWorkload : public fi::Workload {
     const volatile double* scale = &scale_;
     for (unsigned step = 0; step < steps_; ++step) {
       if (!golden_run && step == steps_ / 2) misbehave();
+      if (!golden_run && mode_ == Mode::kSlow) {
+        // Much slower than the golden run, but still ticking: the heartbeat
+        // should keep the watchdog from killing this child.
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
       // ~10us of busy work per step so the flip thread has time to fire.
       volatile double sink = 0.0;
       for (int i = 0; i < 2000; ++i) {
@@ -87,6 +111,27 @@ class ToyWorkload : public fi::Workload {
       }
       case Mode::kThrow:
         throw std::runtime_error("toy failure");
+      case Mode::kHangIgnoreTerm: {
+        std::signal(SIGTERM, SIG_IGN);
+        volatile bool forever = true;
+        while (forever) {
+        }
+        return;
+      }
+      case Mode::kBloat: {
+        // Keep every chunk referenced so the optimizer cannot elide the
+        // allocations; the vector leaks, but the child is about to die.
+        static std::vector<char*> hoard;
+        for (;;) {
+          constexpr std::size_t kChunk = 32u << 20;
+          char* chunk = new char[kChunk];
+          std::memset(chunk, 0x5a, kChunk);
+          hoard.push_back(chunk);
+        }
+        return;
+      }
+      case Mode::kSlow:
+        return;  // handled per-step in run()
     }
   }
 
@@ -109,6 +154,16 @@ inline std::unique_ptr<fi::Workload> make_toy_hang() {
 }
 inline std::unique_ptr<fi::Workload> make_toy_throw() {
   return std::make_unique<ToyWorkload>(ToyWorkload::Mode::kThrow);
+}
+inline std::unique_ptr<fi::Workload> make_toy_hang_ignore_term() {
+  return std::make_unique<ToyWorkload>(ToyWorkload::Mode::kHangIgnoreTerm);
+}
+inline std::unique_ptr<fi::Workload> make_toy_bloat() {
+  return std::make_unique<ToyWorkload>(ToyWorkload::Mode::kBloat);
+}
+inline std::unique_ptr<fi::Workload> make_toy_slow() {
+  // Fewer steps so the 1ms-per-step slowed run stays ~0.3s.
+  return std::make_unique<ToyWorkload>(ToyWorkload::Mode::kSlow, 300);
 }
 
 /// Supervisor config tuned for fast unit tests.

@@ -2,49 +2,113 @@
 // per-trial CSV logs written by phifi_run (or Campaign + TrialLogWriter),
 // aggregates them, and prints the outcome/model/window/category tables —
 // so stored campaigns can be analyzed or merged without re-running
-// anything.
+// anything. With --from-journal it reads binary write-ahead journals
+// instead, so a campaign's results can be re-derived from the journal
+// alone (e.g. after a crash, without a CSV log ever having been written).
 //
 //   $ phifi_parse <log.csv> [more.csv ...]
+//   $ phifi_parse --from-journal <campaign.jnl> [more.jnl ...]
 #include <fstream>
 #include <iostream>
 
 #include "analysis/pvf.hpp"
+#include "core/campaign_journal.hpp"
 #include "core/trial_log.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Loads journals and aggregates them through the same accumulate_trial the
+/// live campaign uses. Returns the trial count via `trials`.
+int aggregate_journals(int argc, char** argv, phifi::fi::CampaignResult* result,
+                       std::size_t* trials) {
+  using namespace phifi;
+  unsigned windows = 1;
+  std::vector<fi::JournalContents> journals;
+  for (int i = 2; i < argc; ++i) {
+    try {
+      journals.push_back(fi::read_journal(argv[i]));
+      if (journals.back().dropped_bytes > 0) {
+        std::cerr << "phifi_parse: " << argv[i] << ": dropped "
+                  << journals.back().dropped_bytes
+                  << " bytes of torn tail\n";
+      }
+      windows = std::max(windows, journals.back().header.time_windows);
+    } catch (const std::exception& error) {
+      std::cerr << "phifi_parse: " << argv[i] << ": " << error.what() << "\n";
+      return 1;
+    }
+  }
+  result->time_windows = windows;
+  result->by_window.resize(windows);
+  for (const fi::JournalContents& journal : journals) {
+    if (!result->workload.empty() &&
+        journal.header.workload != result->workload) {
+      std::cerr << "phifi_parse: refusing to merge journals from different "
+                   "workloads ('"
+                << result->workload << "' vs '" << journal.header.workload
+                << "')\n";
+      return 1;
+    }
+    result->workload = journal.header.workload;
+    for (const fi::JournalRecord& record : journal.records) {
+      fi::accumulate_trial(*result, record.trial);
+      ++*trials;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace phifi;
   if (argc < 2) {
-    std::cerr << "usage: phifi_parse <log.csv> [more.csv ...]\n";
+    std::cerr << "usage: phifi_parse <log.csv> [more.csv ...]\n"
+              << "       phifi_parse --from-journal <campaign.jnl> [more "
+                 "...]\n";
     return 2;
   }
 
-  std::vector<fi::TrialLogEntry> entries;
-  for (int i = 1; i < argc; ++i) {
-    std::ifstream stream(argv[i]);
-    if (!stream) {
-      std::cerr << "phifi_parse: cannot open '" << argv[i] << "'\n";
+  fi::CampaignResult result;
+  std::size_t trials = 0;
+  const bool from_journal = std::string(argv[1]) == "--from-journal";
+  if (from_journal) {
+    if (argc < 3) {
+      std::cerr << "phifi_parse: --from-journal needs at least one file\n";
       return 2;
     }
-    try {
-      auto batch = fi::TrialLogReader::read(stream);
-      entries.insert(entries.end(), batch.begin(), batch.end());
-    } catch (const std::exception& error) {
-      std::cerr << "phifi_parse: " << argv[i] << ": " << error.what()
-                << "\n";
-      return 1;
+    const int status = aggregate_journals(argc, argv, &result, &trials);
+    if (status != 0) return status;
+  } else {
+    std::vector<fi::TrialLogEntry> entries;
+    for (int i = 1; i < argc; ++i) {
+      std::ifstream stream(argv[i]);
+      if (!stream) {
+        std::cerr << "phifi_parse: cannot open '" << argv[i] << "'\n";
+        return 2;
+      }
+      try {
+        auto batch = fi::TrialLogReader::read(stream);
+        entries.insert(entries.end(), batch.begin(), batch.end());
+      } catch (const std::exception& error) {
+        std::cerr << "phifi_parse: " << argv[i] << ": " << error.what()
+                  << "\n";
+        return 1;
+      }
     }
+    unsigned windows = 1;
+    for (const auto& entry : entries) {
+      windows = std::max(windows, entry.window + 1);
+    }
+    result = fi::TrialLogReader::aggregate(entries, windows);
+    trials = entries.size();
   }
 
-  unsigned windows = 1;
-  for (const auto& entry : entries) {
-    windows = std::max(windows, entry.window + 1);
-  }
-  const fi::CampaignResult result =
-      fi::TrialLogReader::aggregate(entries, windows);
-
-  util::Table outcomes("Aggregated outcomes (" +
-                       std::to_string(entries.size()) + " trials)");
+  util::Table outcomes(
+      "Aggregated outcomes (" + std::to_string(trials) + " trials" +
+      (from_journal ? ", from journal" : "") +
+      (result.workload.empty() ? "" : ", " + result.workload) + ")");
   outcomes.set_header({"slice", "injections", "masked", "sdc", "due"});
   auto add_row = [&outcomes](const std::string& label,
                              const fi::OutcomeTally& tally) {
@@ -58,7 +122,7 @@ int main(int argc, char** argv) {
     add_row(std::string("model ") + std::string(to_string(model)),
             result.by_model[static_cast<std::size_t>(model)]);
   }
-  for (unsigned w = 0; w < windows; ++w) {
+  for (unsigned w = 0; w < result.time_windows; ++w) {
     add_row("window " + std::to_string(w + 1), result.by_window[w]);
   }
   for (const auto& [category, tally] : result.by_category) {

@@ -1,16 +1,38 @@
 // phifi_run: the artifact's experiment workflow as a command-line tool.
 //
 //   $ phifi_run <config-file> [repetitions]
-//   $ phifi_run --template            # print a config template
+//   $ phifi_run <config-file> --resume     # continue a journaled campaign
+//   $ phifi_run --template                 # print a config template
 //
 // Each repetition re-runs the configured campaign with a derived seed, as
 // the CAROL-FI scripts did when the paper accumulated its >90k injections
 // across batches.
+//
+// SIGINT/SIGTERM request a graceful stop: the in-flight trial finishes,
+// the journal is flushed, and the resume command is printed. A second
+// SIGINT falls through to the default handler (immediate exit) — the
+// journal survives that too; only the in-flight trial is lost.
+#include <csignal>
+
+#include <atomic>
 #include <fstream>
 #include <iostream>
 
 #include "cli/runner.hpp"
 #include "util/log.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void request_stop(int) {
+  g_stop.store(true, std::memory_order_relaxed);
+  // Restore default disposition so a second signal exits immediately.
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace phifi;
@@ -21,9 +43,24 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (argc < 2) {
-    std::cerr << "usage: phifi_run <config-file> [repetitions]\n"
+    std::cerr << "usage: phifi_run <config-file> [repetitions] [--resume]\n"
               << "       phifi_run --template\n";
     return 2;
+  }
+
+  int repetitions = 1;
+  bool resume = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--resume") {
+      resume = true;
+    } else {
+      repetitions = std::atoi(argv[i]);
+      if (repetitions < 1) {
+        std::cerr << "phifi_run: bad repetition count '" << arg << "'\n";
+        return 2;
+      }
+    }
   }
 
   std::ifstream config_stream(argv[1]);
@@ -32,21 +69,42 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  std::signal(SIGINT, request_stop);
+  std::signal(SIGTERM, request_stop);
+
   try {
     cli::RunnerConfig config = cli::parse_config(config_stream);
-    const int repetitions = argc > 2 ? std::atoi(argv[2]) : 1;
+    if (resume) config.resume = true;
+    config.stop_flag = &g_stop;
+    if (config.resume && config.journal_file.empty()) {
+      std::cerr << "phifi_run: --resume requires 'journal_file' in the "
+                   "config\n";
+      return 2;
+    }
     const std::string base_log = config.log_file;
+    const std::string base_journal = config.journal_file;
     for (int rep = 0; rep < repetitions; ++rep) {
       if (repetitions > 1) {
         config.seed = config.seed + 0x9e3779b9ULL * (rep + 1);
         if (!base_log.empty()) {
           config.log_file = base_log + "." + std::to_string(rep);
         }
+        if (!base_journal.empty()) {
+          config.journal_file = base_journal + "." + std::to_string(rep);
+        }
         std::cout << "--- repetition " << (rep + 1) << "/" << repetitions
                   << " (seed " << config.seed << ") ---\n";
       }
-      cli::run_from_config(config, std::cout);
+      const cli::RunSummary summary = cli::run_from_config(config, std::cout);
       std::cout << "\n";
+      if (summary.interrupted || summary.aborted) {
+        if (!config.journal_file.empty()) {
+          std::cout << (summary.interrupted ? "interrupted" : "aborted")
+                    << "; completed trials are journaled. Resume with:\n"
+                    << "  " << argv[0] << " " << argv[1] << " --resume\n";
+        }
+        return summary.interrupted ? 130 : 1;
+      }
     }
   } catch (const std::exception& error) {
     std::cerr << "phifi_run: " << error.what() << "\n";
