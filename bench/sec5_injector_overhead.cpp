@@ -10,12 +10,24 @@
 // ~20 polls across the expected runtime near it), and the reduction the
 // adaptive poll buys. Parent CPU is proportional to watchdog wakeups, so
 // the saving grows with trial duration.
+//
+// The third table measures the telemetry subsystem's cost: campaign trial
+// time with tracing + metrics disabled (the nullptr fast path, which must
+// stay within noise of the pre-telemetry injector) vs. enabled (NDJSON
+// trace + metrics registry + watchdog histograms), so every observability
+// claim ships with its measured price.
 #include <sys/resource.h>
 
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
+#include <memory>
 
 #include "bench/bench_common.hpp"
 #include "core/progress.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -47,6 +59,47 @@ double watchdog_cpu_ms_per_trial(const phifi::work::WorkloadInfo& info,
     (void)supervisor.run_trial(trial);
   }
   return (self_cpu_seconds() - cpu_start) * 1000.0 / reps;
+}
+
+/// Wall-clock milliseconds per trial of a small campaign, with telemetry
+/// fully off (`telemetry=false`) or fully on: metrics registry attached to
+/// both supervisor and campaign, NDJSON trace to a temp file.
+double campaign_ms_per_trial(const phifi::work::WorkloadInfo& info,
+                             bool telemetry, std::size_t trials,
+                             std::uint64_t seed) {
+  using namespace phifi;
+  using Clock = std::chrono::steady_clock;
+
+  telemetry::MetricsRegistry metrics;
+  std::unique_ptr<telemetry::TraceWriter> trace;
+  char trace_path[] = "/tmp/phifi_sec5_trace_XXXXXX";
+  if (telemetry) {
+    const int fd = ::mkstemp(trace_path);
+    if (fd >= 0) ::close(fd);
+    trace = std::make_unique<telemetry::TraceWriter>(trace_path);
+  }
+
+  fi::SupervisorConfig sup_config = bench::bench_supervisor_config();
+  if (telemetry) sup_config.metrics = &metrics;
+  fi::TrialSupervisor supervisor(info.factory, sup_config);
+  supervisor.prepare_golden();
+
+  fi::CampaignConfig config = bench::bench_campaign_config(seed);
+  config.trials = trials;
+  if (telemetry) {
+    config.metrics = &metrics;
+    config.trace = trace.get();
+  }
+  fi::Campaign campaign(supervisor, config);
+
+  const auto start = Clock::now();
+  (void)campaign.run();
+  const double ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count() /
+      static_cast<double>(trials);
+  if (telemetry) ::unlink(trace_path);
+  return ms;
 }
 
 }  // namespace
@@ -120,5 +173,22 @@ int main() {
                       util::fmt_percent(reduction)});
   }
   bench::print_table(watchdog);
+
+  util::Table telem("Telemetry overhead per trial (trace + metrics)");
+  telem.set_header({"benchmark", "telemetry off [ms]", "telemetry on [ms]",
+                    "overhead"});
+  constexpr std::size_t kTelemetryTrials = 40;
+  for (const auto& info : work::all_workloads()) {
+    const double off_ms =
+        campaign_ms_per_trial(info, /*telemetry=*/false, kTelemetryTrials,
+                              /*seed=*/777);
+    const double on_ms =
+        campaign_ms_per_trial(info, /*telemetry=*/true, kTelemetryTrials,
+                              /*seed=*/777);
+    const double overhead = off_ms > 0.0 ? on_ms / off_ms - 1.0 : 0.0;
+    telem.add_row({std::string(info.name), util::fmt(off_ms, 2),
+                   util::fmt(on_ms, 2), util::fmt_percent(overhead)});
+  }
+  bench::print_table(telem);
   return 0;
 }

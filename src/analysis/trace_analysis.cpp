@@ -1,0 +1,86 @@
+#include "analysis/trace_analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace phifi::analysis {
+
+namespace {
+
+fi::Outcome outcome_from_string(const std::string& name) {
+  if (name == "Masked") return fi::Outcome::kMasked;
+  if (name == "SDC") return fi::Outcome::kSdc;
+  if (name == "DUE") return fi::Outcome::kDue;
+  if (name == "NotInjected") return fi::Outcome::kNotInjected;
+  throw std::runtime_error("trace: unknown outcome '" + name + "'");
+}
+
+/// Model index by name; -1 for a name no campaign writes (forward
+/// compatibility: such trials still count in overall/window tallies).
+int model_index(const std::string& name) {
+  for (fi::FaultModel model : fi::kAllFaultModels) {
+    if (name == to_string(model)) return static_cast<int>(model);
+  }
+  return -1;
+}
+
+}  // namespace
+
+void accumulate_trace(fi::CampaignResult& result,
+                      const telemetry::TraceContents& contents) {
+  std::string workload;
+  unsigned windows = 0;
+  if (contents.campaign.is_object()) {
+    workload = contents.campaign.string_or("workload", "");
+    windows = static_cast<unsigned>(
+        contents.campaign.number_or("time_windows", 0.0));
+  }
+  if (windows == 0) {
+    for (const telemetry::TrialTrace& trial : contents.trials) {
+      windows = std::max(windows, trial.window + 1);
+    }
+    if (windows == 0) windows = 1;
+  }
+  if (!result.workload.empty() && !workload.empty() &&
+      result.workload != workload) {
+    throw std::runtime_error("trace: refusing to merge traces from '" +
+                             result.workload + "' and '" + workload + "'");
+  }
+  if (result.workload.empty()) result.workload = workload;
+  result.time_windows = std::max(result.time_windows, windows);
+  if (result.by_window.size() < result.time_windows) {
+    result.by_window.resize(result.time_windows);
+  }
+
+  // Mirrors fi::accumulate_trial so trace- and journal-derived tallies can
+  // never disagree by construction, only by data loss.
+  for (const telemetry::TrialTrace& trial : contents.trials) {
+    result.total_seconds += trial.seconds;
+    ++result.attempts;
+    const fi::Outcome outcome = outcome_from_string(trial.outcome);
+    if (outcome == fi::Outcome::kNotInjected) {
+      ++result.not_injected;
+      continue;
+    }
+    result.overall.add(outcome);
+    const int model = model_index(trial.model);
+    if (model >= 0) {
+      result.by_model[static_cast<std::size_t>(model)].add(outcome);
+    }
+    if (trial.window < result.by_window.size()) {
+      result.by_window[trial.window].add(outcome);
+    }
+    if (trial.injected) {
+      result.by_category[trial.category].add(outcome);
+      result.by_frame[trial.frame].add(outcome);
+    }
+  }
+}
+
+fi::CampaignResult aggregate_trace(const telemetry::TraceContents& contents) {
+  fi::CampaignResult result;
+  accumulate_trace(result, contents);
+  return result;
+}
+
+}  // namespace phifi::analysis

@@ -1,0 +1,29 @@
+// Campaign tallies reconstructed from the NDJSON trial trace alone.
+//
+// The trace (src/telemetry/trace.hpp) is the injector's machine-readable
+// primary output; this module folds its trial records back into the same
+// CampaignResult shape the live campaign accumulates, so the Fig. 6
+// PVF-per-time-window table and the Sec. 6 per-portion criticality table
+// can be rebuilt from the trace and cross-checked against journal-derived
+// counts (phifi_parse --from-trace does exactly that).
+#pragma once
+
+#include "core/campaign.hpp"
+#include "telemetry/trace.hpp"
+
+namespace phifi::analysis {
+
+/// Folds the traced trials into CampaignResult tallies, mirroring
+/// fi::accumulate_trial: NotInjected attempts count as retries, outcomes
+/// land in overall / by-model / by-window / by-category / by-frame.
+/// Workload and window count come from the trace's campaign header when
+/// present, else the window count is inferred from the trial records.
+/// Throws std::runtime_error on an outcome string no campaign writes.
+fi::CampaignResult aggregate_trace(const telemetry::TraceContents& contents);
+
+/// Merges another trace into an existing aggregate (multi-batch parses).
+/// Workloads must match; throws on a mismatch.
+void accumulate_trace(fi::CampaignResult& result,
+                      const telemetry::TraceContents& contents);
+
+}  // namespace phifi::analysis

@@ -151,6 +151,12 @@ RunnerConfig parse_config(std::istream& is) {
       if (value == "true") config.resume = true;
       else if (value == "false") config.resume = false;
       else fail(line_number, "resume must be 'true' or 'false'");
+    } else if (key == "trace_file") {
+      config.trace_file = value;
+    } else if (key == "metrics_file") {
+      config.metrics_file = value;
+    } else if (key == "progress_seconds") {
+      config.progress_seconds = parse_double(line_number, value);
     } else if (key == "journal_fsync") {
       if (value == "every-record") {
         config.journal_fsync = fi::JournalFsync::kEveryRecord;
@@ -235,6 +241,15 @@ std::string format_config(const RunnerConfig& config) {
   if (config.resume) os << "resume = true\n";
   if (config.journal_fsync == fi::JournalFsync::kOnClose) {
     os << "journal_fsync = on-close\n";
+  }
+  if (!config.trace_file.empty()) {
+    os << "trace_file = " << config.trace_file << "\n";
+  }
+  if (!config.metrics_file.empty()) {
+    os << "metrics_file = " << config.metrics_file << "\n";
+  }
+  if (config.progress_seconds > 0.0) {
+    os << "progress_seconds = " << config.progress_seconds << "\n";
   }
   os << "trials = " << config.trials << "\n"
      << "policy = " << to_string(config.policy) << "\n"

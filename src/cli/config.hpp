@@ -33,6 +33,11 @@ struct RunnerConfig {
   bool resume = false;       ///< replay journal_file and continue
   fi::JournalFsync journal_fsync = fi::JournalFsync::kEveryRecord;
 
+  // Telemetry (see src/telemetry/, docs/TELEMETRY.md).
+  std::string trace_file;    ///< NDJSON trial trace ("" = no trace)
+  std::string metrics_file;  ///< final metrics JSON snapshot ("" = none)
+  double progress_seconds = 0.0;  ///< live progress interval (0 = off)
+
   // Injection-mode settings.
   std::size_t trials = 1000;
   fi::SelectionPolicy policy = fi::SelectionPolicy::kCarolFi;

@@ -1,6 +1,7 @@
 #include "cli/runner.hpp"
 
 #include <fstream>
+#include <memory>
 #include <ostream>
 #include <stdexcept>
 
@@ -8,10 +9,37 @@
 #include "core/trial_log.hpp"
 #include "report/report.hpp"
 #include "radiation/sensitivity.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/trace.hpp"
 #include "util/table.hpp"
 #include "workloads/registry.hpp"
 
 namespace phifi::cli {
+
+namespace {
+
+/// Exports the golden run's device counters as gauges so the metrics
+/// snapshot carries the arithmetic-intensity context (Sec. 3.2/4.2) next
+/// to the campaign counters it explains.
+void export_golden_counters(telemetry::MetricsRegistry& metrics,
+                            const phi::CounterSnapshot& counters,
+                            double golden_seconds) {
+  metrics.gauge("phi.golden.flops").set(static_cast<double>(counters.flops));
+  metrics.gauge("phi.golden.bytes_read")
+      .set(static_cast<double>(counters.bytes_read));
+  metrics.gauge("phi.golden.bytes_written")
+      .set(static_cast<double>(counters.bytes_written));
+  metrics.gauge("phi.golden.bytes_total")
+      .set(static_cast<double>(counters.bytes_total()));
+  metrics.gauge("phi.golden.arithmetic_intensity")
+      .set(counters.arithmetic_intensity());
+  metrics.gauge("phi.golden.kernel_launches")
+      .set(static_cast<double>(counters.kernel_launches));
+  metrics.gauge("phi.golden.seconds").set(golden_seconds);
+}
+
+}  // namespace
 
 RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
   const fi::WorkloadFactory factory = work::find_workload(config.workload);
@@ -23,16 +51,67 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
   summary.workload = config.workload;
   summary.mode = config.mode;
 
-  fi::TrialSupervisor supervisor(factory, config.supervisor_config());
+  // Telemetry is opt-in: with none of trace_file / metrics_file /
+  // progress_seconds set, no registry pointer reaches the supervisor or
+  // campaign and the hot paths keep their nullptr fast-path (the sec5
+  // bench holds this to ±2% of the untraced trial time).
+  telemetry::MetricsRegistry metrics;
+  const bool telemetry_on = !config.trace_file.empty() ||
+                            !config.metrics_file.empty() ||
+                            config.progress_seconds > 0.0;
+  std::unique_ptr<telemetry::TraceWriter> trace;
+  if (!config.trace_file.empty()) {
+    // A resumed campaign appends: the existing records stay the durable
+    // history of the trials the journal replays.
+    trace = std::make_unique<telemetry::TraceWriter>(
+        config.trace_file, /*truncate=*/!config.resume);
+  }
+
+  fi::SupervisorConfig supervisor_config = config.supervisor_config();
+  if (telemetry_on) supervisor_config.metrics = &metrics;
+  fi::TrialSupervisor supervisor(factory, supervisor_config);
   supervisor.prepare_golden();
+  if (telemetry_on) {
+    export_golden_counters(metrics, supervisor.golden_counters(),
+                           supervisor.golden_seconds());
+  }
 
   if (config.mode == RunMode::kInject) {
-    fi::Campaign campaign(supervisor, config.campaign_config());
-    const fi::CampaignResult result = campaign.run();
+    fi::CampaignConfig campaign_config = config.campaign_config();
+    if (telemetry_on) campaign_config.metrics = &metrics;
+    campaign_config.trace = trace.get();
+
+    std::unique_ptr<telemetry::ProgressEmitter> progress;
+    fi::TrialObserver observer;
+    if (config.progress_seconds > 0.0) {
+      progress = std::make_unique<telemetry::ProgressEmitter>(
+          metrics, out, config.progress_seconds);
+      observer = [&progress](const fi::TrialResult&,
+                             std::span<const std::byte>) {
+        progress->tick();
+      };
+    }
+
+    fi::Campaign campaign(supervisor, campaign_config);
+    const fi::CampaignResult result = campaign.run(observer);
+    if (progress != nullptr) {
+      progress->emit_now();  // the final, complete status line
+      summary.progress_emits = progress->emitted();
+    }
+    if (trace != nullptr) summary.trace_records = trace->records_written();
     summary.outcomes = result.overall;
     summary.resumed_trials = result.resumed_trials;
     summary.interrupted = result.interrupted;
     summary.aborted = result.aborted;
+
+    if (!config.metrics_file.empty()) {
+      std::ofstream metrics_stream(config.metrics_file);
+      if (!metrics_stream) {
+        throw std::runtime_error("cannot open metrics file '" +
+                                 config.metrics_file + "'");
+      }
+      metrics_stream << metrics.snapshot().dump() << "\n";
+    }
 
     if (!config.report_file.empty()) {
       std::ofstream report_stream(config.report_file);
@@ -42,6 +121,8 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
       }
       report::ReportInputs inputs;
       inputs.campaign = &result;
+      inputs.counters = &supervisor.golden_counters();
+      inputs.golden_seconds = supervisor.golden_seconds();
       inputs.algebraic =
           config.workload == "DGEMM" || config.workload == "LUD";
       report_stream << report::render_report(inputs);

@@ -19,6 +19,10 @@ struct RunSummary {
   std::uint64_t resumed_trials = 0;  ///< replayed from the journal
   bool interrupted = false;  ///< stopped by SIGINT/SIGTERM; journal flushed
   bool aborted = false;      ///< circuit breaker tripped
+
+  // Telemetry (see docs/TELEMETRY.md).
+  std::uint64_t trace_records = 0;   ///< NDJSON records written
+  std::uint64_t progress_emits = 0;  ///< live progress lines rendered
 };
 
 /// Runs the configured campaign. Reports to `out`; per-trial logs go to

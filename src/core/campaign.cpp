@@ -12,6 +12,74 @@
 
 namespace phifi::fi {
 
+namespace {
+
+/// Flattens one trial into the string-typed trace record (the telemetry
+/// layer deliberately knows nothing about core enums).
+telemetry::TrialTrace make_trial_trace(const TrialResult& trial,
+                                       std::uint64_t attempt, double ts_ms) {
+  telemetry::TrialTrace t;
+  t.attempt = attempt;
+  t.outcome = std::string(to_string(trial.outcome));
+  t.due_kind = std::string(to_string(trial.due_kind));
+  t.injected = trial.record.injected;
+  t.model = std::string(to_string(trial.record.model));
+  t.site = trial.record.site_name;
+  t.category = trial.record.category;
+  t.frame = trial.record.frame == FrameKind::kWorker ? "worker" : "global";
+  t.worker = trial.record.worker;
+  t.progress_fraction = trial.record.progress_fraction;
+  t.window = trial.window;
+  t.seconds = trial.seconds;
+  t.heartbeats = trial.heartbeats;
+  t.escalated_kill = trial.escalated_kill;
+  t.ts_ms = ts_ms;
+  t.spans.push_back({"fork", 0.0, trial.fork_done_seconds * 1e3});
+  t.spans.push_back(
+      {"run", trial.fork_done_seconds * 1e3, trial.reaped_seconds * 1e3});
+  t.spans.push_back({"classify", trial.reaped_seconds * 1e3,
+                     trial.classified_seconds * 1e3});
+  for (const PhaseRecord& phase : trial.phases) {
+    t.phases.push_back({phase.name, phase.fraction, phase.t_seconds * 1e3});
+  }
+  return t;
+}
+
+/// Feeds one completed attempt into the metrics registry. Replayed
+/// (journal-resumed) trials bump the campaign.* counters — the live
+/// progress view must reflect total campaign state — but stay out of the
+/// latency histogram, which records only this process's observations.
+void feed_metrics(telemetry::MetricsRegistry& metrics,
+                  const TrialResult& trial, bool replayed) {
+  if (trial.outcome == Outcome::kNotInjected) {
+    metrics.counter("campaign.not_injected").inc();
+    return;
+  }
+  metrics.counter("campaign.completed").inc();
+  switch (trial.outcome) {
+    case Outcome::kMasked: metrics.counter("campaign.masked").inc(); break;
+    case Outcome::kSdc: metrics.counter("campaign.sdc").inc(); break;
+    case Outcome::kDue:
+      metrics.counter("campaign.due").inc();
+      metrics
+          .counter("campaign.due." + std::string(to_string(trial.due_kind)))
+          .inc();
+      break;
+    case Outcome::kNotInjected: break;
+  }
+  if (trial.escalated_kill) {
+    metrics.counter("campaign.escalated_kills").inc();
+  }
+  if (!replayed) {
+    metrics
+        .histogram("campaign.trial_latency_ms",
+                   telemetry::default_latency_edges_ms())
+        .observe(trial.seconds * 1e3);
+  }
+}
+
+}  // namespace
+
 void OutcomeTally::add(Outcome outcome) {
   switch (outcome) {
     case Outcome::kMasked: ++masked; break;
@@ -93,6 +161,24 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
   const std::uint64_t fingerprint = campaign_fingerprint(
       config_, result.workload, result.time_windows);
 
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge("campaign.trials_target")
+        .set(static_cast<double>(config_.trials));
+  }
+  if (config_.trace != nullptr) {
+    telemetry::TraceCampaign header;
+    header.workload = result.workload;
+    header.trials = config_.trials;
+    header.seed = config_.seed;
+    header.policy = std::string(to_string(config_.policy));
+    for (FaultModel model : config_.models) {
+      header.models.emplace_back(to_string(model));
+    }
+    header.time_windows = result.time_windows;
+    header.resumed = config_.resume;
+    config_.trace->campaign(header);
+  }
+
   // Durability: replay an existing journal (resume) and/or open a writer.
   std::unique_ptr<CampaignJournalWriter> journal;
   std::size_t completed = 0;
@@ -111,6 +197,11 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
       }
       for (const JournalRecord& record : contents.records) {
         accumulate_trial(result, record.trial);
+        // The resumed trace file already holds these trials; only the
+        // metrics (process-local) need the replay.
+        if (config_.metrics != nullptr) {
+          feed_metrics(*config_.metrics, record.trial, /*replayed=*/true);
+        }
         if (record.trial.outcome != Outcome::kNotInjected) ++completed;
         ++result.attempts;
       }
@@ -167,11 +258,16 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
     // Infrastructure failures (fork/waitpid, not trial DUEs) are retried
     // with exponential backoff; K consecutive ones trip the circuit
     // breaker and abort cleanly with the journal intact.
+    const double trace_ts_ms =
+        config_.trace != nullptr ? config_.trace->now_ms() : 0.0;
     TrialResult trial_result;
     try {
       trial_result = supervisor_->run_trial(trial);
     } catch (const std::exception& error) {
       ++consecutive_failures;
+      if (config_.metrics != nullptr) {
+        config_.metrics->counter("campaign.infra_failures").inc();
+      }
       util::log_warn() << result.workload << ": trial infrastructure failure ("
                        << consecutive_failures << "/"
                        << config_.max_consecutive_failures
@@ -198,6 +294,13 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
       record.trial = trial_result;
       journal->append(record);
     }
+    if (config_.trace != nullptr) {
+      config_.trace->trial(
+          make_trial_trace(trial_result, attempts - 1, trace_ts_ms));
+    }
+    if (config_.metrics != nullptr) {
+      feed_metrics(*config_.metrics, trial_result, /*replayed=*/false);
+    }
     accumulate_trial(result, trial_result);
     if (trial_result.outcome == Outcome::kNotInjected) {
       continue;  // retry with a fresh seed; the model slot is not consumed
@@ -219,6 +322,18 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
   result.attempts = attempts;
 
   if (journal != nullptr) journal->sync();
+  if (config_.trace != nullptr) {
+    telemetry::TraceEnd end;
+    end.completed = completed;
+    end.masked = result.overall.masked;
+    end.sdc = result.overall.sdc;
+    end.due = result.overall.due;
+    end.not_injected = result.not_injected;
+    end.interrupted = result.interrupted;
+    end.aborted = result.aborted;
+    config_.trace->end(end);
+    config_.trace->sync();
+  }
   if (result.interrupted) {
     util::log_warn() << result.workload << ": campaign interrupted after "
                      << completed << "/" << config_.trials

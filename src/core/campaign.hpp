@@ -19,6 +19,8 @@
 
 #include "core/campaign_journal.hpp"
 #include "core/supervisor.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace phifi::fi {
 
@@ -58,6 +60,15 @@ struct CampaignConfig {
   /// Exponential backoff before retrying a failed trial attempt:
   /// initial * 2^n milliseconds, capped at 10 doublings.
   unsigned retry_backoff_initial_ms = 100;
+
+  // ---- telemetry (both optional, not owned, must outlive run()) ----
+
+  /// NDJSON trial tracer: one "trial" record per attempt, bracketed by a
+  /// "campaign" header and an "end" summary. nullptr disables tracing.
+  telemetry::TraceWriter* trace = nullptr;
+  /// Metrics sink: campaign.* counters/gauges plus the trial-latency
+  /// histogram. nullptr disables metric feeding.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 /// Masked/SDC/DUE counts with convenience rates.

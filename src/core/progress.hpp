@@ -14,6 +14,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <string_view>
 #include <utility>
 
 namespace phifi::fi {
@@ -30,6 +31,12 @@ class ProgressTracker {
   /// treat it as a monotone liveness pulse, not an exact counter.
   using PulseHook = std::function<void()>;
 
+  /// Hook invoked when the workload announces a named execution phase via
+  /// enter_phase() (the supervisor forwards it to the shared channel, the
+  /// tracer records it per trial). Receives the phase name and the
+  /// execution-progress fraction at the transition.
+  using PhaseHook = std::function<void(std::string_view, double)>;
+
   void reset(std::uint64_t total_steps) {
     total_.store(total_steps, std::memory_order_relaxed);
     done_.store(0, std::memory_order_relaxed);
@@ -40,6 +47,7 @@ class ProgressTracker {
     pulse_divisions_ = 0;
     pulse_done_.store(0, std::memory_order_relaxed);
     pulse_ = nullptr;
+    phase_hook_ = nullptr;
   }
 
   /// Arms the one-shot injection hook. Call before run(), never during.
@@ -56,6 +64,17 @@ class ProgressTracker {
     pulse_divisions_ = divisions;
     pulse_ = std::move(pulse);
     pulse_done_.store(0, std::memory_order_relaxed);
+  }
+
+  /// Arms the phase hook. Call before run(); no hook means enter_phase()
+  /// is a no-op, so phase annotations cost nothing outside traced trials.
+  void set_phase_hook(PhaseHook hook) { phase_hook_ = std::move(hook); }
+
+  /// Called by the workload at the start of each named execution phase
+  /// (setup prologue, main kernel, epilogue...). Must be called from run()
+  /// on the driving thread, not from inside kernel bodies.
+  void enter_phase(std::string_view name) {
+    if (phase_hook_) phase_hook_(name, fraction());
   }
 
   [[nodiscard]] bool fired() const {
@@ -119,6 +138,7 @@ class ProgressTracker {
   unsigned pulse_divisions_ = 0;
   std::atomic<std::uint64_t> pulse_done_{0};
   PulseHook pulse_;
+  PhaseHook phase_hook_;
 };
 
 }  // namespace phifi::fi

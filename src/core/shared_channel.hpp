@@ -12,10 +12,20 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <string_view>
+#include <vector>
 
 #include "core/flip_engine.hpp"
 
 namespace phifi::fi {
+
+/// One workload phase transition reported by the trial child. Fixed-size
+/// POD so it can live in the shared mapping.
+struct PhaseRecord {
+  char name[24] = {};
+  double fraction = 0.0;   ///< execution progress at the transition
+  double t_seconds = 0.0;  ///< monotonic seconds from child start
+};
 
 class SharedChannel {
  public:
@@ -42,6 +52,11 @@ class SharedChannel {
   /// child from a hung one.
   void beat();
 
+  /// Appends one workload phase transition (telemetry). Silently drops
+  /// transitions past the fixed capacity — phases are a handful per trial
+  /// and a corrupted child looping on enter_phase must not wedge anything.
+  void store_phase(std::string_view name, double fraction, double t_seconds);
+
   // ---- parent side ----
 
   [[nodiscard]] std::uint64_t heartbeat() const;
@@ -51,11 +66,19 @@ class SharedChannel {
   [[nodiscard]] std::span<const std::byte> output() const;
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
+  /// Phase transitions the child reported, in order. Read after reaping.
+  [[nodiscard]] std::vector<PhaseRecord> phases() const;
+
+  /// Fixed capacity of the phase log.
+  static constexpr std::size_t kMaxPhases = 32;
+
  private:
   struct Header {
     std::atomic<std::uint32_t> record_ready;
     std::atomic<std::uint32_t> output_ready;
     std::atomic<std::uint64_t> heartbeat;
+    std::atomic<std::uint32_t> phase_count;
+    PhaseRecord phases[kMaxPhases];
     std::uint64_t output_size;
     InjectionRecord record;
   };

@@ -105,6 +105,9 @@ void TrialSupervisor::prepare_golden() {
     progress.reset(workload->total_steps());
     workload->run(device, progress);
     progress.finish();
+    // Snapshot while the device is still alive: arithmetic intensity of the
+    // fault-free run (Sec. 3.2/4.2) for the report and metrics export.
+    golden_counters_ = device.counters().snapshot();
   }
   golden_seconds_ = seconds_since(start);
   const auto bytes = workload->output_bytes();
@@ -143,6 +146,16 @@ TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
   if (pid == 0) {
     child_main(config);  // never returns
   }
+  const double fork_done = seconds_since(start);
+
+  telemetry::Histogram* poll_hist = nullptr;
+  telemetry::Histogram* beat_hist = nullptr;
+  if (config_.metrics != nullptr) {
+    poll_hist = &config_.metrics->histogram("supervisor.poll_interval_ms",
+                                            telemetry::watchdog_poll_edges_ms());
+    beat_hist = &config_.metrics->histogram(
+        "supervisor.heartbeat_gap_ms", telemetry::default_latency_edges_ms());
+  }
 
   const double deadline = std::max(config_.min_timeout_seconds,
                                    config_.timeout_factor * golden_seconds_);
@@ -160,20 +173,34 @@ TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
   int status = 0;
   DueKind killed_as = DueKind::kNone;
   bool escalated = false;
+  std::uint64_t polls = 0;
   std::uint64_t last_beat = channel_->heartbeat();
   auto last_beat_time = start;
+  auto last_poll_time = start;
   while (true) {
     const pid_t reaped = waitpid_eintr(pid, &status, WNOHANG);
     if (reaped == pid) break;
     if (reaped < 0) {
       throw std::runtime_error("TrialSupervisor: waitpid failed");
     }
+    ++polls;
 
     const auto now = Clock::now();
     const double elapsed = seconds_since(start);
+    if (poll_hist != nullptr) {
+      poll_hist->observe(
+          std::chrono::duration<double, std::milli>(now - last_poll_time)
+              .count());
+    }
+    last_poll_time = now;
     if (heartbeat_on) {
       const std::uint64_t beat = channel_->heartbeat();
       if (beat != last_beat) {
+        if (beat_hist != nullptr) {
+          beat_hist->observe(
+              std::chrono::duration<double, std::milli>(now - last_beat_time)
+                  .count());
+        }
         last_beat = beat;
         last_beat_time = now;
       }
@@ -203,8 +230,12 @@ TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
 
   TrialResult result;
   result.seconds = seconds_since(start);
+  result.fork_done_seconds = fork_done;
+  result.reaped_seconds = result.seconds;
+  result.polls = polls;
   result.heartbeats = channel_->heartbeat();
   result.escalated_kill = escalated;
+  result.phases = channel_->phases();
   if (channel_->record_ready()) result.record = channel_->record();
   result.window = windows_ == 0
                       ? 0
@@ -216,36 +247,38 @@ TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
   if (killed_as != DueKind::kNone) {
     result.outcome = Outcome::kDue;
     result.due_kind = killed_as;
-    return result;
-  }
-  if (WIFSIGNALED(status)) {
+  } else if (WIFSIGNALED(status)) {
     result.outcome = Outcome::kDue;
     result.due_kind =
         WTERMSIG(status) == SIGXCPU ? DueKind::kRlimit : DueKind::kCrash;
-    return result;
-  }
-  if (WIFEXITED(status) && WEXITSTATUS(status) == kChildExitRlimit) {
+  } else if (WIFEXITED(status) && WEXITSTATUS(status) == kChildExitRlimit) {
     result.outcome = Outcome::kDue;
     result.due_kind = DueKind::kRlimit;
-    return result;
-  }
-  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 ||
-      !channel_->output_ready()) {
+  } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 ||
+             !channel_->output_ready()) {
     result.outcome = Outcome::kDue;
     result.due_kind = DueKind::kAbnormalExit;
-    return result;
-  }
-
-  // Clean exit: classify by comparing against the golden copy.
-  if (config != nullptr && !result.record.injected) {
+  } else if (config != nullptr && !result.record.injected) {
+    // Clean exit but the flip never fired: the run finished before the
+    // armed fraction (shouldn't happen with finish()-backstop, but stay
+    // honest if it does).
     result.outcome = Outcome::kNotInjected;
-    return result;
+  } else {
+    // Clean exit: classify by comparing against the golden copy.
+    const auto output = channel_->output();
+    const bool matches =
+        output.size() == golden_.size() &&
+        std::memcmp(output.data(), golden_.data(), golden_.size()) == 0;
+    result.outcome = matches ? Outcome::kMasked : Outcome::kSdc;
   }
-  const auto output = channel_->output();
-  const bool matches =
-      output.size() == golden_.size() &&
-      std::memcmp(output.data(), golden_.data(), golden_.size()) == 0;
-  result.outcome = matches ? Outcome::kMasked : Outcome::kSdc;
+  result.classified_seconds = seconds_since(start);
+
+  if (config_.metrics != nullptr && escalated) {
+    config_.metrics->counter("supervisor.escalated_kills").inc();
+  }
+  if (config_.metrics != nullptr && killed_as != DueKind::kNone) {
+    config_.metrics->counter("supervisor.watchdog_kills").inc();
+  }
   return result;
 }
 
@@ -289,6 +322,14 @@ void TrialSupervisor::child_main(const TrialConfig* config) {
       progress.set_pulse(config_.heartbeat_divisions,
                          [this] { channel_->beat(); });
     }
+    // Forward workload phase transitions to the parent through the shared
+    // channel; timestamps are monotonic seconds from child start so the
+    // tracer can place them inside the trial span.
+    const auto child_start = Clock::now();
+    progress.set_phase_hook(
+        [this, child_start](std::string_view phase, double fraction) {
+          channel_->store_phase(phase, fraction, seconds_since(child_start));
+        });
 
     phi::Device device(config_.device_spec, config_.device_os_threads);
 

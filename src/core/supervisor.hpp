@@ -13,13 +13,16 @@
 #include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "core/flip_engine.hpp"
 #include "core/outcome.hpp"
 #include "core/shared_channel.hpp"
 #include "core/workload_api.hpp"
+#include "phi/counters.hpp"
 #include "phi/device_spec.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace phifi::fi {
 
@@ -68,6 +71,11 @@ struct SupervisorConfig {
   /// is killed *before* the absolute deadline and classified
   /// DueKind::kStall. Requires heartbeat_divisions > 0.
   double stall_timeout_seconds = 0.0;
+  /// Optional metrics sink (not owned; must outlive the supervisor). The
+  /// watchdog feeds supervisor.poll_interval_ms and
+  /// supervisor.heartbeat_gap_ms histograms plus escalation counters.
+  /// nullptr disables all observation at the cost of one branch per poll.
+  telemetry::MetricsRegistry* metrics = nullptr;
 };
 
 struct TrialConfig {
@@ -94,6 +102,20 @@ struct TrialResult {
   std::uint64_t heartbeats = 0;
   /// True when the child ignored SIGTERM and had to be SIGKILLed.
   bool escalated_kill = false;
+
+  // ---- telemetry (traced, not journaled: the journal stays the compact
+  //      durability record, the trace is the observability record) ----
+
+  /// Sub-interval boundaries, seconds from trial start, monotonic:
+  /// fork span = [0, fork_done), child run = [fork_done, reaped),
+  /// classify = [reaped, classified).
+  double fork_done_seconds = 0.0;
+  double reaped_seconds = 0.0;
+  double classified_seconds = 0.0;
+  /// Watchdog poll iterations while the child ran (diagnostics).
+  std::uint64_t polls = 0;
+  /// Workload phase transitions the child reported, in order.
+  std::vector<PhaseRecord> phases;
 };
 
 class TrialSupervisor {
@@ -124,6 +146,12 @@ class TrialSupervisor {
   [[nodiscard]] double golden_seconds() const { return golden_seconds_; }
   [[nodiscard]] std::string_view workload_name() const { return name_; }
 
+  /// Device performance counters of the golden run (arithmetic intensity
+  /// per Sec. 3.2/4.2; feeds the report and the metrics registry).
+  [[nodiscard]] const phi::CounterSnapshot& golden_counters() const {
+    return golden_counters_;
+  }
+
   /// Output bytes of the most recent completed (Masked/SDC) trial; valid
   /// until the next run_trial call.
   [[nodiscard]] std::span<const std::byte> last_output() const;
@@ -135,6 +163,7 @@ class TrialSupervisor {
   WorkloadFactory factory_;
   SupervisorConfig config_;
   std::vector<std::byte> golden_;
+  phi::CounterSnapshot golden_counters_;
   util::Shape shape_;
   ElementType type_ = ElementType::kF32;
   unsigned windows_ = 1;

@@ -19,9 +19,14 @@ struct CounterSnapshot {
   std::uint64_t kernel_launches = 0;
   std::uint64_t logical_threads_run = 0;
 
+  /// Total memory traffic (read + write), the denominator of intensity.
+  [[nodiscard]] std::uint64_t bytes_total() const {
+    return bytes_read + bytes_written;
+  }
+
   /// Flops per byte moved; 0 when no traffic was recorded.
   [[nodiscard]] double arithmetic_intensity() const {
-    const std::uint64_t traffic = bytes_read + bytes_written;
+    const std::uint64_t traffic = bytes_total();
     return traffic == 0 ? 0.0
                         : static_cast<double>(flops) /
                               static_cast<double>(traffic);

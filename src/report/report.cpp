@@ -79,6 +79,31 @@ std::string render_report(const ReportInputs& inputs) {
   }
   os << "\n";
 
+  if (inputs.counters != nullptr && inputs.counters->bytes_total() > 0) {
+    const phi::CounterSnapshot& counters = *inputs.counters;
+    os << "## Workload character (golden run)\n\n"
+       << "| counter | value |\n"
+       << "|---|---|\n"
+       << "| flops | " << counters.flops << " |\n"
+       << "| bytes read | " << counters.bytes_read << " |\n"
+       << "| bytes written | " << counters.bytes_written << " |\n"
+       << "| bytes total | " << counters.bytes_total() << " |\n"
+       << "| arithmetic intensity [flop/B] | "
+       << util::fmt(counters.arithmetic_intensity(), 2) << " |\n"
+       << "| kernel launches | " << counters.kernel_launches << " |\n";
+    if (inputs.golden_seconds > 0.0) {
+      os << "| GFLOP/s | "
+         << util::fmt(static_cast<double>(counters.flops) /
+                          inputs.golden_seconds / 1e9,
+                      2)
+         << " |\n";
+    }
+    os << "\nHigher arithmetic intensity means longer data residency in "
+          "registers and cache relative to memory traffic - the paper's "
+          "Sec. 3.2/4.2 mechanism for why compute-bound codes show "
+          "different FIT rates than memory-bound ones.\n\n";
+  }
+
   if (inputs.beam != nullptr) {
     const radiation::BeamResult& beam = *inputs.beam;
     os << "## Beam experiment\n\n"

@@ -9,6 +9,7 @@
 #include <string>
 
 #include "core/campaign.hpp"
+#include "phi/counters.hpp"
 #include "radiation/beam_campaign.hpp"
 
 namespace phifi::report {
@@ -16,6 +17,11 @@ namespace phifi::report {
 struct ReportInputs {
   const fi::CampaignResult* campaign = nullptr;      ///< required
   const radiation::BeamResult* beam = nullptr;       ///< optional
+  /// Device counters of the fault-free (golden) run: arithmetic intensity
+  /// is the paper's Sec. 3.2/4.2 explainer for cross-workload FIT
+  /// differences. Optional.
+  const phi::CounterSnapshot* counters = nullptr;
+  double golden_seconds = 0.0;  ///< golden run wall time, for GFLOP/s
   bool algebraic = false;  ///< workload class, for mitigation advice
   double trinity_boards = 19000.0;
   /// Checkpoint cost assumption for the interval recommendation, seconds.

@@ -1,0 +1,115 @@
+#include "telemetry/progress.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+namespace phifi::telemetry {
+
+namespace {
+
+std::uint64_t counter_value(const MetricsRegistry& registry,
+                            const std::string& name) {
+  const Counter* counter = registry.find_counter(name);
+  return counter == nullptr ? 0 : counter->value();
+}
+
+std::string fmt1(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.1f", value);
+  return buffer;
+}
+
+std::string fmt_eta(double seconds) {
+  if (!std::isfinite(seconds) || seconds < 0.0) return "?";
+  const auto total = static_cast<std::uint64_t>(seconds + 0.5);
+  char buffer[32];
+  if (total >= 3600) {
+    std::snprintf(buffer, sizeof buffer, "%lluh%02llum",
+                  static_cast<unsigned long long>(total / 3600),
+                  static_cast<unsigned long long>((total % 3600) / 60));
+  } else if (total >= 60) {
+    std::snprintf(buffer, sizeof buffer, "%llum%02llus",
+                  static_cast<unsigned long long>(total / 60),
+                  static_cast<unsigned long long>(total % 60));
+  } else {
+    std::snprintf(buffer, sizeof buffer, "%llus",
+                  static_cast<unsigned long long>(total));
+  }
+  return buffer;
+}
+
+}  // namespace
+
+ProgressEmitter::ProgressEmitter(const MetricsRegistry& registry,
+                                 std::ostream& out, double interval_seconds)
+    : registry_(&registry),
+      out_(&out),
+      interval_seconds_(interval_seconds),
+      start_(Clock::now()),
+      last_emit_(start_),
+      last_sample_(start_) {}
+
+std::string ProgressEmitter::render() const {
+  const std::uint64_t completed =
+      counter_value(*registry_, "campaign.completed");
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      registry_->find_gauge("campaign.trials_target") != nullptr
+          ? registry_->find_gauge("campaign.trials_target")->value()
+          : 0.0);
+  const std::uint64_t masked = counter_value(*registry_, "campaign.masked");
+  const std::uint64_t sdc = counter_value(*registry_, "campaign.sdc");
+  const std::uint64_t due = counter_value(*registry_, "campaign.due");
+  const std::uint64_t total = masked + sdc + due;
+
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start_).count();
+  const double rate =
+      elapsed > 0.0 ? static_cast<double>(completed) / elapsed : 0.0;
+  const double remaining =
+      target > completed ? static_cast<double>(target - completed) : 0.0;
+  const double eta_seconds = rate > 0.0 ? remaining / rate : -1.0;
+
+  const auto percent = [total](std::uint64_t n) {
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(n) /
+                            static_cast<double>(total);
+  };
+
+  std::string line = "[progress] " + std::to_string(completed) + "/" +
+                     std::to_string(target) + " trials, " + fmt1(rate) +
+                     "/s, ETA " + fmt_eta(eta_seconds) + " | masked " +
+                     fmt1(percent(masked)) + "% sdc " + fmt1(percent(sdc)) +
+                     "% due " + fmt1(percent(due)) + "%";
+
+  // DUE-kind breakdown, only for kinds actually seen.
+  static const char* kKinds[] = {"crash", "abnormal-exit", "hang",
+                                 "rlimit", "stall"};
+  std::string kinds;
+  for (const char* kind : kKinds) {
+    const std::uint64_t n =
+        counter_value(*registry_, std::string("campaign.due.") + kind);
+    if (n == 0) continue;
+    if (!kinds.empty()) kinds += " ";
+    kinds += std::string(kind) + ":" + std::to_string(n);
+  }
+  if (!kinds.empty()) line += " (" + kinds + ")";
+  return line;
+}
+
+void ProgressEmitter::tick() {
+  const auto now = Clock::now();
+  if (std::chrono::duration<double>(now - last_emit_).count() <
+      interval_seconds_) {
+    return;
+  }
+  last_emit_ = now;
+  emit_now();
+}
+
+void ProgressEmitter::emit_now() {
+  *out_ << render() << std::endl;  // flush: progress must be visible live
+  ++emitted_;
+}
+
+}  // namespace phifi::telemetry

@@ -1,0 +1,50 @@
+// Live campaign progress: periodic one-line status renders so a
+// 90k-injection run is not a black box while it executes.
+//
+// The emitter samples the metrics registry the campaign loop feeds
+// (campaign.completed / campaign.masked / ... / due.<kind>) and renders
+// throughput, ETA, the outcome split, and the DUE-kind breakdown. It is
+// time-gated: tick() is cheap to call per trial and only renders once per
+// interval, so enabling progress costs nothing measurable.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "telemetry/metrics.hpp"
+
+namespace phifi::telemetry {
+
+class ProgressEmitter {
+ public:
+  /// Renders to `out` at most once per `interval_seconds`.
+  ProgressEmitter(const MetricsRegistry& registry, std::ostream& out,
+                  double interval_seconds = 2.0);
+
+  /// Called per completed trial; renders when the interval has elapsed.
+  void tick();
+
+  /// Renders unconditionally (the final line of a campaign).
+  void emit_now();
+
+  /// One rendered status line, exposed for tests.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::uint64_t emitted() const { return emitted_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const MetricsRegistry* registry_;
+  std::ostream* out_;
+  double interval_seconds_;
+  Clock::time_point start_;
+  Clock::time_point last_emit_;
+  std::uint64_t last_completed_ = 0;
+  Clock::time_point last_sample_;
+  std::uint64_t emitted_ = 0;
+};
+
+}  // namespace phifi::telemetry

@@ -1,0 +1,231 @@
+#include "telemetry/trace.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <stdexcept>
+
+namespace phifi::telemetry {
+
+namespace {
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+TraceWriter::TraceWriter(const std::string& path, bool truncate)
+    : t0_ns_(monotonic_ns()) {
+  const int flags =
+      O_WRONLY | O_CREAT | O_CLOEXEC | (truncate ? O_TRUNC : O_APPEND);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("TraceWriter: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+}
+
+TraceWriter::~TraceWriter() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+double TraceWriter::now_ms() const {
+  return static_cast<double>(monotonic_ns() - t0_ns_) / 1e6;
+}
+
+void TraceWriter::write_line(const util::json::Value& record) {
+  std::string line = record.dump();
+  line += '\n';
+  // One write per record: a crash tears at most the final line, which the
+  // reader drops like the journal drops a torn binary record.
+  const char* data = line.data();
+  std::size_t remaining = line.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd_, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("TraceWriter: write failed: ") +
+                               std::strerror(errno));
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  ++records_;
+}
+
+void TraceWriter::campaign(const TraceCampaign& header) {
+  util::json::Value record = util::json::Value::object();
+  record["type"] = "campaign";
+  record["schema"] = 1;
+  record["workload"] = header.workload;
+  record["trials"] = header.trials;
+  record["seed"] = header.seed;
+  record["policy"] = header.policy;
+  util::json::Value models = util::json::Value::array();
+  for (const std::string& model : header.models) models.push_back(model);
+  record["models"] = std::move(models);
+  record["time_windows"] = header.time_windows;
+  record["resumed"] = header.resumed;
+  write_line(record);
+}
+
+util::json::Value trial_to_json(const TrialTrace& trial) {
+  util::json::Value record = util::json::Value::object();
+  record["type"] = "trial";
+  record["attempt"] = trial.attempt;
+  record["outcome"] = trial.outcome;
+  record["due_kind"] = trial.due_kind;
+  record["injected"] = trial.injected;
+  record["model"] = trial.model;
+  record["site"] = trial.site;
+  record["category"] = trial.category;
+  record["frame"] = trial.frame;
+  record["worker"] = static_cast<std::int64_t>(trial.worker);
+  record["progress_fraction"] = trial.progress_fraction;
+  record["window"] = trial.window;
+  record["seconds"] = trial.seconds;
+  record["heartbeats"] = trial.heartbeats;
+  record["escalated_kill"] = trial.escalated_kill;
+  record["ts_ms"] = trial.ts_ms;
+  util::json::Value spans = util::json::Value::array();
+  for (const TraceSpan& span : trial.spans) {
+    util::json::Value entry = util::json::Value::object();
+    entry["name"] = span.name;
+    entry["t0_ms"] = span.t0_ms;
+    entry["t1_ms"] = span.t1_ms;
+    spans.push_back(std::move(entry));
+  }
+  record["spans"] = std::move(spans);
+  util::json::Value phases = util::json::Value::array();
+  for (const TracePhase& phase : trial.phases) {
+    util::json::Value entry = util::json::Value::object();
+    entry["name"] = phase.name;
+    entry["fraction"] = phase.fraction;
+    entry["t_ms"] = phase.t_ms;
+    phases.push_back(std::move(entry));
+  }
+  record["phases"] = std::move(phases);
+  return record;
+}
+
+TrialTrace trial_from_json(const util::json::Value& record) {
+  TrialTrace trial;
+  trial.attempt =
+      static_cast<std::uint64_t>(record.number_or("attempt", 0.0));
+  trial.outcome = record.string_or("outcome", "");
+  trial.due_kind = record.string_or("due_kind", "none");
+  trial.injected = record.bool_or("injected", false);
+  trial.model = record.string_or("model", "");
+  trial.site = record.string_or("site", "");
+  trial.category = record.string_or("category", "");
+  trial.frame = record.string_or("frame", "global");
+  trial.worker = static_cast<std::int32_t>(record.number_or("worker", -1.0));
+  trial.progress_fraction = record.number_or("progress_fraction", 0.0);
+  trial.window = static_cast<unsigned>(record.number_or("window", 0.0));
+  trial.seconds = record.number_or("seconds", 0.0);
+  trial.heartbeats =
+      static_cast<std::uint64_t>(record.number_or("heartbeats", 0.0));
+  trial.escalated_kill = record.bool_or("escalated_kill", false);
+  trial.ts_ms = record.number_or("ts_ms", 0.0);
+  if (const util::json::Value* spans = record.find("spans");
+      spans != nullptr && spans->is_array()) {
+    for (const util::json::Value& entry : spans->as_array()) {
+      trial.spans.push_back({entry.string_or("name", ""),
+                             entry.number_or("t0_ms", 0.0),
+                             entry.number_or("t1_ms", 0.0)});
+    }
+  }
+  if (const util::json::Value* phases = record.find("phases");
+      phases != nullptr && phases->is_array()) {
+    for (const util::json::Value& entry : phases->as_array()) {
+      trial.phases.push_back({entry.string_or("name", ""),
+                              entry.number_or("fraction", 0.0),
+                              entry.number_or("t_ms", 0.0)});
+    }
+  }
+  return trial;
+}
+
+void TraceWriter::trial(const TrialTrace& trial) {
+  write_line(trial_to_json(trial));
+}
+
+void TraceWriter::end(const TraceEnd& end) {
+  util::json::Value record = util::json::Value::object();
+  record["type"] = "end";
+  record["completed"] = end.completed;
+  record["masked"] = end.masked;
+  record["sdc"] = end.sdc;
+  record["due"] = end.due;
+  record["not_injected"] = end.not_injected;
+  record["interrupted"] = end.interrupted;
+  record["aborted"] = end.aborted;
+  write_line(record);
+}
+
+void TraceWriter::sync() {
+  if (fd_ >= 0) ::fsync(fd_);
+}
+
+TraceContents read_trace(std::istream& is) {
+  TraceContents contents;
+  std::string line;
+  while (true) {
+    const bool got_line = static_cast<bool>(std::getline(is, line));
+    if (!got_line) break;
+    // A line without the trailing newline (getline at EOF) may be a torn
+    // final write; treat unparseable content the same way the journal
+    // treats a checksum-corrupt tail — drop it and everything after.
+    const bool complete = !is.eof();
+    util::json::Value record;
+    bool parsed = false;
+    try {
+      record = util::json::parse(line);
+      parsed = record.is_object();
+    } catch (const std::exception&) {
+      parsed = false;
+    }
+    if (!parsed) {
+      contents.dropped_bytes += line.size() + (complete ? 1 : 0);
+      // Drop the remainder of the stream too: a corrupt middle line means
+      // everything after it is untrustworthy, mirroring journal semantics.
+      std::string rest;
+      while (std::getline(is, rest)) {
+        contents.dropped_bytes += rest.size() + (is.eof() ? 0 : 1);
+      }
+      break;
+    }
+    const std::string type = record.string_or("type", "");
+    if (type == "campaign") {
+      contents.campaign = std::move(record);
+    } else if (type == "trial") {
+      contents.trials.push_back(trial_from_json(record));
+    } else if (type == "end") {
+      contents.end = std::move(record);
+    }
+    // Unknown record types are skipped, not fatal: forward compatibility.
+  }
+  return contents;
+}
+
+TraceContents read_trace_file(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    throw std::runtime_error("read_trace: cannot open '" + path + "'");
+  }
+  return read_trace(stream);
+}
+
+}  // namespace phifi::telemetry

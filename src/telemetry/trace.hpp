@@ -1,0 +1,139 @@
+// Structured trial tracing: one NDJSON record per event, the injector's
+// machine-readable primary output (the FINJ/ZOFI model).
+//
+// A campaign writes, alongside the binary write-ahead journal, a trace
+// whose records carry everything the paper's timing/phase analyses need —
+// when each trial forked, where and when the fault was injected (site,
+// fault model, code portion, execution-time fraction), which workload
+// phases ran, and how the outcome was classified — all with monotonic
+// timestamps relative to campaign and trial start. phifi_parse
+// --from-trace reconstructs the Fig. 6 PVF-per-time-window and Sec. 6
+// per-portion criticality tables from this stream alone.
+//
+// Durability mirrors the journal: records are appended a line at a time;
+// a crash can tear at most the final line, which the reader drops (and
+// reports) instead of failing. The telemetry layer is deliberately
+// decoupled from core types: records are plain strings/numbers, and the
+// campaign does the enum-to-string mapping, so this library depends only
+// on phifi_util.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace phifi::telemetry {
+
+/// One timed sub-interval of a trial ("fork", "run", "classify").
+/// Timestamps are milliseconds from the trial's own start, monotonic.
+struct TraceSpan {
+  std::string name;
+  double t0_ms = 0.0;
+  double t1_ms = 0.0;
+};
+
+/// One workload phase transition observed inside the trial child.
+struct TracePhase {
+  std::string name;
+  double fraction = 0.0;  ///< execution progress when the phase began
+  double t_ms = 0.0;      ///< ms from child start, monotonic
+};
+
+/// Everything traced about one trial attempt.
+struct TrialTrace {
+  std::uint64_t attempt = 0;
+  std::string outcome;       ///< "Masked" / "SDC" / "DUE" / "NotInjected"
+  std::string due_kind;      ///< "none" / "crash" / ...
+  bool injected = false;
+  std::string model;         ///< fault model name
+  std::string site;          ///< corrupted variable
+  std::string category;      ///< code portion (Sec. 6 criticality key)
+  std::string frame;         ///< "global" / "worker"
+  std::int32_t worker = -1;
+  double progress_fraction = 0.0;  ///< time-window fraction (Fig. 6)
+  unsigned window = 0;
+  double seconds = 0.0;
+  std::uint64_t heartbeats = 0;
+  bool escalated_kill = false;
+  double ts_ms = 0.0;  ///< trial start, ms from campaign start (monotonic)
+  std::vector<TraceSpan> spans;
+  std::vector<TracePhase> phases;
+};
+
+/// Campaign-level metadata, the first record of every trace.
+struct TraceCampaign {
+  std::string workload;
+  std::uint64_t trials = 0;
+  std::uint64_t seed = 0;
+  std::string policy;
+  std::vector<std::string> models;
+  unsigned time_windows = 1;
+  bool resumed = false;
+};
+
+/// Campaign-level summary, the final record of a complete trace.
+struct TraceEnd {
+  std::uint64_t completed = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due = 0;
+  std::uint64_t not_injected = 0;
+  bool interrupted = false;
+  bool aborted = false;
+};
+
+/// Appends NDJSON records to a file. Each record is flushed to the OS as
+/// one write, so a crash tears at most the final line.
+class TraceWriter {
+ public:
+  /// `truncate` starts a fresh trace; otherwise appends (resume).
+  explicit TraceWriter(const std::string& path, bool truncate = true);
+  ~TraceWriter();
+
+  TraceWriter(const TraceWriter&) = delete;
+  TraceWriter& operator=(const TraceWriter&) = delete;
+
+  void campaign(const TraceCampaign& header);
+  void trial(const TrialTrace& trial);
+  void end(const TraceEnd& end);
+
+  /// Forces buffered records to disk.
+  void sync();
+
+  [[nodiscard]] std::uint64_t records_written() const { return records_; }
+
+  /// Milliseconds since this writer was created (the campaign clock that
+  /// stamps TrialTrace::ts_ms), monotonic.
+  [[nodiscard]] double now_ms() const;
+
+ private:
+  void write_line(const util::json::Value& record);
+
+  int fd_ = -1;
+  std::uint64_t records_ = 0;
+  std::uint64_t t0_ns_ = 0;
+};
+
+/// Parsed trace: raw JSON values, plus the decoded trial records.
+struct TraceContents {
+  util::json::Value campaign;       ///< null if the trace lacks a header
+  std::vector<TrialTrace> trials;
+  util::json::Value end;            ///< null while a campaign is running
+  /// Bytes of torn/unparseable tail dropped during the load (0 = clean).
+  std::uint64_t dropped_bytes = 0;
+};
+
+/// Loads a trace stream/file. A torn or corrupt tail is dropped and
+/// reported via dropped_bytes; everything before it is returned. Throws
+/// std::runtime_error only if the file cannot be opened.
+TraceContents read_trace(std::istream& is);
+TraceContents read_trace_file(const std::string& path);
+
+/// (De)serialization of single records, exposed for tests and tools.
+util::json::Value trial_to_json(const TrialTrace& trial);
+TrialTrace trial_from_json(const util::json::Value& record);
+
+}  // namespace phifi::telemetry

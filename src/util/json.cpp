@@ -1,0 +1,375 @@
+#include "util/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace phifi::util::json {
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw std::runtime_error(std::string("json: value is not a ") + wanted);
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (const bool* v = std::get_if<bool>(&data_)) return *v;
+  type_error("bool");
+}
+
+double Value::as_double() const {
+  if (const double* v = std::get_if<double>(&data_)) return *v;
+  type_error("number");
+}
+
+std::int64_t Value::as_int() const {
+  return static_cast<std::int64_t>(as_double());
+}
+
+const std::string& Value::as_string() const {
+  if (const std::string* v = std::get_if<std::string>(&data_)) return *v;
+  type_error("string");
+}
+
+const Value::Array& Value::as_array() const {
+  if (const Array* v = std::get_if<Array>(&data_)) return *v;
+  type_error("array");
+}
+
+const Value::Object& Value::as_object() const {
+  if (const Object* v = std::get_if<Object>(&data_)) return *v;
+  type_error("object");
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (is_null()) data_ = Object{};
+  if (Object* v = std::get_if<Object>(&data_)) return (*v)[key];
+  type_error("object");
+}
+
+const Value* Value::find(const std::string& key) const {
+  const Object* v = std::get_if<Object>(&data_);
+  if (v == nullptr) return nullptr;
+  const auto it = v->find(key);
+  return it == v->end() ? nullptr : &it->second;
+}
+
+double Value::number_or(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_number() ? v->as_double() : fallback;
+}
+
+std::string Value::string_or(const std::string& key,
+                             std::string fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_string() ? v->as_string()
+                                        : std::move(fallback);
+}
+
+bool Value::bool_or(const std::string& key, bool fallback) const {
+  const Value* v = find(key);
+  return v != nullptr && v->is_bool() ? v->as_bool() : fallback;
+}
+
+void Value::push_back(Value value) {
+  if (is_null()) data_ = Array{};
+  if (Array* v = std::get_if<Array>(&data_)) {
+    v->push_back(std::move(value));
+    return;
+  }
+  type_error("array");
+}
+
+std::size_t Value::size() const {
+  if (const Array* a = std::get_if<Array>(&data_)) return a->size();
+  if (const Object* o = std::get_if<Object>(&data_)) return o->size();
+  return 0;
+}
+
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  for (const char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void dump_number(std::string& out, double value) {
+  if (!std::isfinite(value)) {
+    out += "null";  // JSON has no NaN/Inf
+    return;
+  }
+  // Integers print without a fractional part (counts, indices); %.17g
+  // round-trips any other double exactly.
+  if (value == static_cast<double>(static_cast<std::int64_t>(value)) &&
+      std::fabs(value) < 9.0e15) {
+    out += std::to_string(static_cast<std::int64_t>(value));
+    return;
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  out += buffer;
+}
+
+void dump_value(std::string& out, const Value& value) {
+  switch (value.type()) {
+    case Value::Type::kNull: out += "null"; return;
+    case Value::Type::kBool: out += value.as_bool() ? "true" : "false"; return;
+    case Value::Type::kNumber: dump_number(out, value.as_double()); return;
+    case Value::Type::kString:
+      out += '"';
+      out += escape(value.as_string());
+      out += '"';
+      return;
+    case Value::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& element : value.as_array()) {
+        if (!first) out += ',';
+        first = false;
+        dump_value(out, element);
+      }
+      out += ']';
+      return;
+    }
+    case Value::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [key, element] : value.as_object()) {
+        if (!first) out += ',';
+        first = false;
+        out += '"';
+        out += escape(key);
+        out += "\":";
+        dump_value(out, element);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value value = parse_value();
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing content after document");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) {
+    throw std::runtime_error("json: " + message + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (consume_literal("true")) return Value(true);
+        fail("bad literal");
+      case 'f':
+        if (consume_literal("false")) return Value(false);
+        fail("bad literal");
+      case 'n':
+        if (consume_literal("null")) return Value(nullptr);
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value::Object object;
+    skip_whitespace();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(object));
+    }
+    while (true) {
+      skip_whitespace();
+      std::string key = parse_string();
+      skip_whitespace();
+      expect(':');
+      object[std::move(key)] = parse_value();
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return Value(std::move(object));
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value::Array array;
+    skip_whitespace();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(array));
+    }
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return Value(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by our own writer; decode them as-is if seen).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xc0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          } else {
+            out += static_cast<char>(0xe0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+            out += static_cast<char>(0x80 | (code & 0x3f));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("bad number");
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    try {
+      std::size_t used = 0;
+      const double value = std::stod(token, &used);
+      if (used != token.size()) throw std::invalid_argument(token);
+      return Value(value);
+    } catch (const std::exception&) {
+      pos_ = start;
+      fail("bad number '" + token + "'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Value::dump() const {
+  std::string out;
+  dump_value(out, *this);
+  return out;
+}
+
+Value parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+}  // namespace phifi::util::json

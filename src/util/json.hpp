@@ -1,0 +1,97 @@
+// Minimal JSON value: build, serialize, parse.
+//
+// The telemetry subsystem's outputs (NDJSON trial traces, metrics
+// snapshots) and phifi_parse's --json mode are machine-readable by design —
+// FINJ and ZOFI both treat per-injection event streams as the injector's
+// primary output. This is a deliberately small, dependency-free JSON
+// module: one variant value type, a writer with correct string escaping,
+// and a strict recursive-descent parser. Not a general-purpose library —
+// no comments, no NaN/Inf (serialized as null, as JSON requires), numbers
+// are doubles (exact for integers up to 2^53, far beyond any campaign).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace phifi::util::json {
+
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<Value>;
+  /// std::map keeps key order deterministic so serialized output is
+  /// byte-stable across runs (the CI schema check diffs it).
+  using Object = std::map<std::string, Value>;
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool value) : data_(value) {}
+  Value(double value) : data_(value) {}
+  Value(int value) : data_(static_cast<double>(value)) {}
+  Value(unsigned value) : data_(static_cast<double>(value)) {}
+  Value(std::int64_t value) : data_(static_cast<double>(value)) {}
+  Value(std::uint64_t value) : data_(static_cast<double>(value)) {}
+  Value(const char* value) : data_(std::string(value)) {}
+  Value(std::string value) : data_(std::move(value)) {}
+  Value(std::string_view value) : data_(std::string(value)) {}
+
+  static Value array() { return Value(Array{}); }
+  static Value object() { return Value(Object{}); }
+  Value(Array value) : data_(std::move(value)) {}
+  Value(Object value) : data_(std::move(value)) {}
+
+  [[nodiscard]] Type type() const {
+    return static_cast<Type>(data_.index());
+  }
+  [[nodiscard]] bool is_null() const { return type() == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type() == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type() == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type() == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type() == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type() == Type::kObject; }
+
+  /// Typed accessors; throw std::runtime_error on a type mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+
+  /// Object access: set (creates the value, converts null to object).
+  Value& operator[](const std::string& key);
+  /// Object lookup: nullptr if this is not an object or the key is absent.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  /// Object lookup with a fallback for absent keys.
+  [[nodiscard]] double number_or(const std::string& key,
+                                 double fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& key,
+                                      std::string fallback) const;
+  [[nodiscard]] bool bool_or(const std::string& key, bool fallback) const;
+
+  /// Array append (converts null to array).
+  void push_back(Value value);
+  [[nodiscard]] std::size_t size() const;
+
+  /// Compact one-line serialization (NDJSON-friendly: no raw newlines).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      data_;
+};
+
+/// Escapes a string for embedding inside JSON quotes.
+std::string escape(std::string_view text);
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+/// Throws std::runtime_error with an offset-tagged message on bad input.
+Value parse(std::string_view text);
+
+}  // namespace phifi::util::json

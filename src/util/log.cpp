@@ -1,14 +1,19 @@
 #include "util/log.hpp"
 
+#include <sys/time.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 
 namespace phifi::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<bool> g_plain{false};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -29,6 +34,8 @@ void set_log_level(LogLevel level) {
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void init_log_from_env() {
+  const char* plain = std::getenv("PHIFI_LOG_PLAIN");
+  set_log_plain(plain != nullptr && std::strcmp(plain, "1") == 0);
   const char* env = std::getenv("PHIFI_LOG");
   if (env == nullptr) return;
   if (std::strcmp(env, "debug") == 0) set_log_level(LogLevel::kDebug);
@@ -38,9 +45,33 @@ void init_log_from_env() {
   else if (std::strcmp(env, "off") == 0) set_log_level(LogLevel::kOff);
 }
 
+void set_log_plain(bool plain) {
+  g_plain.store(plain, std::memory_order_relaxed);
+}
+
+bool log_plain() { return g_plain.load(std::memory_order_relaxed); }
+
 void log_line(LogLevel level, const std::string& message) {
   if (level < log_level() || level == LogLevel::kOff) return;
-  std::fprintf(stderr, "[phifi %s] %s\n", level_name(level), message.c_str());
+  if (log_plain()) {
+    std::fprintf(stderr, "[phifi %s] %s\n", level_name(level),
+                 message.c_str());
+    return;
+  }
+  // ISO-8601 UTC timestamp with milliseconds plus the writer's PID: forked
+  // trial children inherit stderr, so parent and child lines interleave and
+  // the PID is what makes each line attributable. One fprintf keeps the
+  // line-granularity atomicity the header promises.
+  timeval tv{};
+  ::gettimeofday(&tv, nullptr);
+  std::tm tm{};
+  const time_t seconds = tv.tv_sec;
+  ::gmtime_r(&seconds, &tm);
+  char stamp[32];
+  std::strftime(stamp, sizeof stamp, "%Y-%m-%dT%H:%M:%S", &tm);
+  std::fprintf(stderr, "%s.%03ldZ [phifi %s %d] %s\n", stamp,
+               static_cast<long>(tv.tv_usec / 1000), level_name(level),
+               static_cast<int>(::getpid()), message.c_str());
 }
 
 }  // namespace phifi::util

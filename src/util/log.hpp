@@ -17,10 +17,19 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Reads PHIFI_LOG from the environment once and applies it.
+/// Reads PHIFI_LOG and PHIFI_LOG_PLAIN from the environment once and
+/// applies them.
 void init_log_from_env();
 
-/// Writes one formatted line to stderr if `level` passes the threshold.
+/// Plain mode drops the ISO-8601 timestamp + PID prefix (golden-output
+/// tests set PHIFI_LOG_PLAIN=1; interactive campaigns keep the prefix so
+/// interleaved parent/child lines from forked trials stay attributable).
+void set_log_plain(bool plain);
+bool log_plain();
+
+/// Writes one formatted line to stderr if `level` passes the threshold:
+///   2026-08-07T12:34:56.789Z [phifi WARN 4242] message
+/// or, in plain mode: [phifi WARN] message
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include "analysis/trace_analysis.hpp"
 #include "cli/runner.hpp"
+#include "telemetry/trace.hpp"
+#include "util/json.hpp"
 
 namespace phifi::cli {
 namespace {
@@ -128,6 +133,22 @@ TEST(CliConfig, DurabilityKeysSurviveFormatRoundTrip) {
             config.max_consecutive_failures);
 }
 
+TEST(CliConfig, TelemetryKeysParseAndRoundTrip) {
+  const RunnerConfig config = parse(R"(
+trace_file = /tmp/c.ndjson
+metrics_file = /tmp/c.metrics.json
+progress_seconds = 1.5
+)");
+  EXPECT_EQ(config.trace_file, "/tmp/c.ndjson");
+  EXPECT_EQ(config.metrics_file, "/tmp/c.metrics.json");
+  EXPECT_DOUBLE_EQ(config.progress_seconds, 1.5);
+
+  const RunnerConfig reparsed = parse(format_config(config));
+  EXPECT_EQ(reparsed.trace_file, config.trace_file);
+  EXPECT_EQ(reparsed.metrics_file, config.metrics_file);
+  EXPECT_DOUBLE_EQ(reparsed.progress_seconds, config.progress_seconds);
+}
+
 TEST(CliConfig, CommentsAndWhitespaceIgnored) {
   const RunnerConfig config =
       parse("  trials =  5   # inline comment\n\n   \n# whole line\n");
@@ -189,6 +210,63 @@ TEST(CliRunner, RunsSmallInjectionCampaign) {
   EXPECT_EQ(summary.workload, "LUD");
   EXPECT_EQ(summary.outcomes.total(), 15u);
   EXPECT_NE(out.str().find("Injection campaign - LUD"), std::string::npos);
+}
+
+TEST(CliRunner, WritesTraceAndMetricsWhenConfigured) {
+  namespace fs = std::filesystem;
+  const std::string trace_path =
+      ::testing::TempDir() + "phifi_cli_trace.ndjson";
+  const std::string metrics_path =
+      ::testing::TempDir() + "phifi_cli_metrics.json";
+  fs::remove(trace_path);
+  fs::remove(metrics_path);
+
+  RunnerConfig config;
+  config.workload = "LUD";
+  config.trials = 12;
+  config.seed = 9;
+  config.trace_file = trace_path;
+  config.metrics_file = metrics_path;
+  std::ostringstream out;
+  const RunSummary summary = run_from_config(config, out);
+  EXPECT_EQ(summary.outcomes.total(), 12u);
+  EXPECT_GT(summary.trace_records, 0u);
+
+  // The trace reconstructs the campaign tallies (phifi_parse --from-trace).
+  const telemetry::TraceContents contents =
+      telemetry::read_trace_file(trace_path);
+  EXPECT_EQ(contents.dropped_bytes, 0u);
+  EXPECT_EQ(contents.campaign.string_or("workload", ""), "LUD");
+  EXPECT_FALSE(contents.end.is_null());
+  const fi::CampaignResult from_trace = analysis::aggregate_trace(contents);
+  EXPECT_EQ(from_trace.overall.total(), summary.outcomes.total());
+  EXPECT_EQ(from_trace.overall.sdc, summary.outcomes.sdc);
+
+  // The metrics snapshot is valid JSON and carries the campaign counters
+  // plus the golden run's workload-character gauges.
+  std::ifstream metrics_stream(metrics_path);
+  ASSERT_TRUE(metrics_stream);
+  std::stringstream buffer;
+  buffer << metrics_stream.rdbuf();
+  const util::json::Value snap = util::json::parse(buffer.str());
+  const util::json::Value* counters = snap.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->number_or("campaign.completed", -1.0), 12.0);
+  const util::json::Value* gauges = snap.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_GT(gauges->number_or("phi.golden.flops", 0.0), 0.0);
+}
+
+TEST(CliRunner, ProgressEmitterRendersFinalLine) {
+  RunnerConfig config;
+  config.workload = "LUD";
+  config.trials = 8;
+  config.seed = 11;
+  config.progress_seconds = 0.0001;  // effectively every trial
+  std::ostringstream out;
+  const RunSummary summary = run_from_config(config, out);
+  EXPECT_GT(summary.progress_emits, 0u);
+  EXPECT_NE(out.str().find("[progress]"), std::string::npos);
 }
 
 TEST(CliRunner, RunsSmallBeamCampaign) {

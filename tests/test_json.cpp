@@ -1,0 +1,112 @@
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace phifi::util::json {
+namespace {
+
+TEST(Json, BuildAndDumpScalars) {
+  EXPECT_EQ(Value().dump(), "null");
+  EXPECT_EQ(Value(nullptr).dump(), "null");
+  EXPECT_EQ(Value(true).dump(), "true");
+  EXPECT_EQ(Value(false).dump(), "false");
+  EXPECT_EQ(Value(42).dump(), "42");
+  EXPECT_EQ(Value(-7).dump(), "-7");
+  EXPECT_EQ(Value(2.5).dump(), "2.5");
+  EXPECT_EQ(Value("hi").dump(), "\"hi\"");
+}
+
+TEST(Json, IntegersStayExact) {
+  // Campaign counters are uint64 but well below 2^53; their JSON round
+  // trip must be exact and must not grow a ".0" suffix.
+  EXPECT_EQ(Value(std::uint64_t{90000}).dump(), "90000");
+  const Value parsed = parse("123456789012345");
+  EXPECT_EQ(parsed.as_int(), 123456789012345LL);
+}
+
+TEST(Json, NonFiniteSerializesAsNull) {
+  EXPECT_EQ(Value(std::numeric_limits<double>::quiet_NaN()).dump(), "null");
+  EXPECT_EQ(Value(std::numeric_limits<double>::infinity()).dump(), "null");
+}
+
+TEST(Json, StringEscaping) {
+  EXPECT_EQ(Value("a\"b\\c").dump(), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(Value("line\nbreak\ttab").dump(), "\"line\\nbreak\\ttab\"");
+  const Value parsed = parse("\"a\\\"b\\\\c\\n\"");
+  EXPECT_EQ(parsed.as_string(), "a\"b\\c\n");
+}
+
+TEST(Json, ObjectAndArrayRoundTrip) {
+  Value root = Value::object();
+  root["name"] = "trial";
+  root["count"] = 3;
+  Value spans = Value::array();
+  for (int i = 0; i < 3; ++i) {
+    Value span = Value::object();
+    span["t0"] = i * 1.5;
+    spans.push_back(std::move(span));
+  }
+  root["spans"] = std::move(spans);
+
+  const Value reparsed = parse(root.dump());
+  EXPECT_EQ(reparsed.string_or("name", ""), "trial");
+  EXPECT_EQ(reparsed.number_or("count", 0.0), 3.0);
+  const Value* arr = reparsed.find("spans");
+  ASSERT_NE(arr, nullptr);
+  ASSERT_EQ(arr->size(), 3u);
+  EXPECT_DOUBLE_EQ(arr->as_array()[2].number_or("t0", -1.0), 3.0);
+}
+
+TEST(Json, KeyOrderIsDeterministic) {
+  Value a = Value::object();
+  a["zeta"] = 1;
+  a["alpha"] = 2;
+  Value b = Value::object();
+  b["alpha"] = 2;
+  b["zeta"] = 1;
+  EXPECT_EQ(a.dump(), b.dump());  // std::map ordering
+}
+
+TEST(Json, LookupFallbacks) {
+  const Value v = parse(R"({"x": 1, "s": "str", "b": true})");
+  EXPECT_DOUBLE_EQ(v.number_or("x", -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(v.number_or("missing", -1.0), -1.0);
+  EXPECT_EQ(v.string_or("s", "d"), "str");
+  EXPECT_EQ(v.string_or("missing", "d"), "d");
+  EXPECT_TRUE(v.bool_or("b", false));
+  EXPECT_FALSE(v.bool_or("missing", false));
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_THROW(parse(""), std::runtime_error);
+  EXPECT_THROW(parse("{"), std::runtime_error);
+  EXPECT_THROW(parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(parse("{\"a\":1} trailing"), std::runtime_error);
+  EXPECT_THROW(parse("'single'"), std::runtime_error);
+  EXPECT_THROW(parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW(parse("nul"), std::runtime_error);
+}
+
+TEST(Json, TypeMismatchThrows) {
+  const Value v = parse("[1, 2]");
+  EXPECT_THROW((void)v.as_object(), std::runtime_error);
+  EXPECT_THROW((void)v.as_string(), std::runtime_error);
+  EXPECT_NO_THROW((void)v.as_array());
+}
+
+TEST(Json, NestedParse) {
+  const Value v = parse(
+      R"({"outer": {"inner": [{"deep": [1, [2, {"x": null}]]}]}})");
+  const Value* outer = v.find("outer");
+  ASSERT_NE(outer, nullptr);
+  const Value* inner = outer->find("inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->size(), 1u);
+}
+
+}  // namespace
+}  // namespace phifi::util::json

@@ -39,6 +39,31 @@ TEST(Log, EnvInitParsesKnownValues) {
   ::unsetenv("PHIFI_LOG");
 }
 
+TEST(Log, PlainModeRoundTrip) {
+  const bool saved = log_plain();
+  set_log_plain(true);
+  EXPECT_TRUE(log_plain());
+  set_log_plain(false);
+  EXPECT_FALSE(log_plain());
+  set_log_plain(saved);
+}
+
+TEST(Log, EnvInitParsesPlainFlag) {
+  LogLevelGuard guard;
+  const bool saved = log_plain();
+  ::setenv("PHIFI_LOG_PLAIN", "1", 1);
+  init_log_from_env();
+  EXPECT_TRUE(log_plain());
+  // Only the exact value "1" enables plain mode.
+  ::setenv("PHIFI_LOG_PLAIN", "yes", 1);
+  init_log_from_env();
+  EXPECT_FALSE(log_plain());
+  ::unsetenv("PHIFI_LOG_PLAIN");
+  init_log_from_env();
+  EXPECT_FALSE(log_plain());
+  set_log_plain(saved);
+}
+
 TEST(Log, StreamsDoNotCrashAtAnyLevel) {
   LogLevelGuard guard;
   set_log_level(LogLevel::kOff);

@@ -1,0 +1,537 @@
+// Telemetry subsystem tests: metrics registry semantics, NDJSON trace
+// round-trip and torn-tail durability (mirroring test_campaign_journal),
+// and — via a real toy-workload campaign — span ordering/monotonicity plus
+// the acceptance cross-check that --from-trace aggregation agrees with the
+// journal-derived tallies.
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "analysis/trace_analysis.hpp"
+#include "core/campaign.hpp"
+#include "core/campaign_journal.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/trace.hpp"
+#include "tests/toy_workload.hpp"
+
+namespace phifi::telemetry {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "phifi_" + name;
+}
+
+// ---------------------------------------------------------------- metrics
+
+TEST(Histogram, BucketEdgesAreInclusiveUpperBounds) {
+  Histogram hist({1.0, 2.0, 5.0});
+  hist.observe(0.5);   // (−inf, 1]  -> bucket 0
+  hist.observe(1.0);   // edge value lands in its own bucket
+  hist.observe(1.001); // (1, 2]     -> bucket 1
+  hist.observe(2.0);
+  hist.observe(5.0);   // (2, 5]     -> bucket 2
+  hist.observe(7.5);   // > last edge -> overflow bucket
+
+  ASSERT_EQ(hist.bucket_total(), 4u);
+  EXPECT_EQ(hist.bucket_count(0), 2u);
+  EXPECT_EQ(hist.bucket_count(1), 2u);
+  EXPECT_EQ(hist.bucket_count(2), 1u);
+  EXPECT_EQ(hist.bucket_count(3), 1u);
+  EXPECT_EQ(hist.count(), 6u);
+  EXPECT_DOUBLE_EQ(hist.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 5.0 + 7.5);
+  EXPECT_DOUBLE_EQ(hist.mean(), hist.sum() / 6.0);
+}
+
+TEST(Histogram, RejectsDegenerateEdges) {
+  EXPECT_THROW(Histogram({}), std::runtime_error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::runtime_error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::runtime_error);
+}
+
+TEST(Histogram, CanonicalEdgeSetsAreStrictlyAscending) {
+  for (const auto& edges :
+       {default_latency_edges_ms(), watchdog_poll_edges_ms()}) {
+    ASSERT_FALSE(edges.empty());
+    EXPECT_TRUE(std::is_sorted(edges.begin(), edges.end()));
+    EXPECT_EQ(std::adjacent_find(edges.begin(), edges.end()), edges.end());
+  }
+}
+
+TEST(MetricsRegistry, HandlesAreStableAndGetOrCreate) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("a.count");
+  counter.inc();
+  EXPECT_EQ(&registry.counter("a.count"), &counter);
+  EXPECT_EQ(registry.counter("a.count").value(), 1u);
+
+  Histogram& hist = registry.histogram("a.hist", {1.0, 2.0});
+  // Re-request with different edges: first creation wins.
+  Histogram& again = registry.histogram("a.hist", {10.0});
+  EXPECT_EQ(&again, &hist);
+  ASSERT_EQ(again.upper_edges().size(), 2u);
+
+  EXPECT_EQ(registry.find_counter("missing"), nullptr);
+  EXPECT_EQ(registry.find_gauge("missing"), nullptr);
+  EXPECT_EQ(registry.find_histogram("missing"), nullptr);
+  EXPECT_EQ(registry.find_counter("a.count"), &counter);
+}
+
+TEST(MetricsRegistry, SnapshotCarriesAllMetricKinds) {
+  MetricsRegistry registry;
+  registry.counter("trials").inc(3);
+  registry.gauge("target").set(10.0);
+  Histogram& hist = registry.histogram("lat", {1.0, 5.0});
+  hist.observe(0.5);
+  hist.observe(9.0);
+
+  const util::json::Value snap = registry.snapshot();
+  const util::json::Value* counters = snap.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_DOUBLE_EQ(counters->number_or("trials", -1.0), 3.0);
+  const util::json::Value* gauges = snap.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  EXPECT_DOUBLE_EQ(gauges->number_or("target", -1.0), 10.0);
+  const util::json::Value* hists = snap.find("histograms");
+  ASSERT_NE(hists, nullptr);
+  const util::json::Value* lat = hists->find("lat");
+  ASSERT_NE(lat, nullptr);
+  // counts has one entry per edge plus the overflow bucket.
+  ASSERT_EQ(lat->find("upper_edges")->size(), 2u);
+  ASSERT_EQ(lat->find("counts")->size(), 3u);
+  EXPECT_DOUBLE_EQ(lat->number_or("count", -1.0), 2.0);
+  EXPECT_DOUBLE_EQ(lat->number_or("sum", -1.0), 9.5);
+}
+
+// ------------------------------------------------------------------ trace
+
+TrialTrace sample_trace_trial(int i) {
+  TrialTrace trial;
+  trial.attempt = static_cast<std::uint64_t>(i);
+  trial.outcome = i % 3 == 0 ? "Masked" : i % 3 == 1 ? "SDC" : "DUE";
+  trial.due_kind = trial.outcome == "DUE" ? "hang" : "none";
+  trial.injected = true;
+  trial.model = "Double";
+  trial.site = "toy_output";
+  trial.category = "data";
+  trial.frame = i % 2 == 0 ? "global" : "worker";
+  trial.worker = i % 2 == 0 ? -1 : i;
+  trial.progress_fraction = 0.25 + 0.01 * i;
+  trial.window = static_cast<unsigned>(i % 4);
+  trial.seconds = 0.125 * (i + 1);
+  trial.heartbeats = 16u + static_cast<std::uint64_t>(i);
+  trial.escalated_kill = (i % 2) == 1;
+  trial.ts_ms = 10.0 * i;
+  trial.spans = {{"fork", 0.0, 0.5}, {"run", 0.5, 3.5}, {"classify", 3.5, 4.0}};
+  trial.phases = {{"setup", 0.0, 0.1}, {"main", 0.5, 1.7}};
+  return trial;
+}
+
+void expect_trial_trace_eq(const TrialTrace& a, const TrialTrace& b) {
+  EXPECT_EQ(a.attempt, b.attempt);
+  EXPECT_EQ(a.outcome, b.outcome);
+  EXPECT_EQ(a.due_kind, b.due_kind);
+  EXPECT_EQ(a.injected, b.injected);
+  EXPECT_EQ(a.model, b.model);
+  EXPECT_EQ(a.site, b.site);
+  EXPECT_EQ(a.category, b.category);
+  EXPECT_EQ(a.frame, b.frame);
+  EXPECT_EQ(a.worker, b.worker);
+  EXPECT_DOUBLE_EQ(a.progress_fraction, b.progress_fraction);
+  EXPECT_EQ(a.window, b.window);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.heartbeats, b.heartbeats);
+  EXPECT_EQ(a.escalated_kill, b.escalated_kill);
+  EXPECT_DOUBLE_EQ(a.ts_ms, b.ts_ms);
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  for (std::size_t i = 0; i < a.spans.size(); ++i) {
+    EXPECT_EQ(a.spans[i].name, b.spans[i].name);
+    EXPECT_DOUBLE_EQ(a.spans[i].t0_ms, b.spans[i].t0_ms);
+    EXPECT_DOUBLE_EQ(a.spans[i].t1_ms, b.spans[i].t1_ms);
+  }
+  ASSERT_EQ(a.phases.size(), b.phases.size());
+  for (std::size_t i = 0; i < a.phases.size(); ++i) {
+    EXPECT_EQ(a.phases[i].name, b.phases[i].name);
+    EXPECT_DOUBLE_EQ(a.phases[i].fraction, b.phases[i].fraction);
+    EXPECT_DOUBLE_EQ(a.phases[i].t_ms, b.phases[i].t_ms);
+  }
+}
+
+std::string write_sample_trace(const std::string& name, int trials,
+                               bool with_end = true) {
+  const std::string path = temp_path(name);
+  fs::remove(path);
+  TraceWriter writer(path);
+  TraceCampaign header;
+  header.workload = "Toy";
+  header.trials = static_cast<std::uint64_t>(trials);
+  header.seed = 42;
+  header.policy = "carol-fi";
+  header.models = {"Single", "Double"};
+  header.time_windows = 4;
+  writer.campaign(header);
+  for (int i = 0; i < trials; ++i) writer.trial(sample_trace_trial(i));
+  if (with_end) {
+    TraceEnd end;
+    end.completed = static_cast<std::uint64_t>(trials);
+    writer.end(end);
+  }
+  writer.sync();
+  return path;
+}
+
+TEST(Trace, RoundTripsAllRecordKinds) {
+  const std::string path = write_sample_trace("trace_roundtrip.ndjson", 3);
+  const TraceContents contents = read_trace_file(path);
+  EXPECT_EQ(contents.dropped_bytes, 0u);
+  EXPECT_FALSE(contents.campaign.is_null());
+  EXPECT_EQ(contents.campaign.string_or("workload", ""), "Toy");
+  EXPECT_DOUBLE_EQ(contents.campaign.number_or("time_windows", 0.0), 4.0);
+  EXPECT_FALSE(contents.end.is_null());
+  EXPECT_DOUBLE_EQ(contents.end.number_or("completed", 0.0), 3.0);
+  ASSERT_EQ(contents.trials.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    expect_trial_trace_eq(contents.trials[i], sample_trace_trial(i));
+  }
+}
+
+TEST(Trace, WriterCountsRecords) {
+  const std::string path = temp_path("trace_count.ndjson");
+  fs::remove(path);
+  TraceWriter writer(path);
+  EXPECT_EQ(writer.records_written(), 0u);
+  writer.campaign(TraceCampaign{});
+  writer.trial(sample_trace_trial(0));
+  writer.end(TraceEnd{});
+  EXPECT_EQ(writer.records_written(), 3u);
+  EXPECT_GE(writer.now_ms(), 0.0);
+}
+
+TEST(Trace, TornTailIsDroppedNotFatal) {
+  // The torn write of a crash: chop mid-way into the final record. The
+  // reader must drop exactly the torn line and report its size, mirroring
+  // CampaignJournal.TruncatedTailIsDroppedNotFatal.
+  const std::string path =
+      write_sample_trace("trace_torn.ndjson", 3, /*with_end=*/false);
+  fs::resize_file(path, fs::file_size(path) - 5);
+  const TraceContents contents = read_trace_file(path);
+  ASSERT_EQ(contents.trials.size(), 2u);
+  EXPECT_GT(contents.dropped_bytes, 0u);
+  EXPECT_TRUE(contents.end.is_null());
+  expect_trial_trace_eq(contents.trials[1], sample_trace_trial(1));
+}
+
+TEST(Trace, GarbageLineDropsItAndTheRest) {
+  const std::string path = write_sample_trace("trace_garbage.ndjson", 1,
+                                              /*with_end=*/false);
+  {
+    std::ofstream stream(path, std::ios::app | std::ios::binary);
+    stream << "{\"type\": \"trial\", truncated nonsense\n";
+    stream << "{\"type\": \"end\", \"completed\": 1}\n";
+  }
+  const TraceContents contents = read_trace_file(path);
+  // Everything after the corrupt line is untrustworthy: the valid-looking
+  // end record behind it must be dropped too, like the journal does.
+  ASSERT_EQ(contents.trials.size(), 1u);
+  EXPECT_TRUE(contents.end.is_null());
+  EXPECT_GT(contents.dropped_bytes, 0u);
+}
+
+TEST(Trace, AppendModeExtendsExistingTrace) {
+  const std::string path =
+      write_sample_trace("trace_append.ndjson", 1, /*with_end=*/false);
+  {
+    TraceWriter writer(path, /*truncate=*/false);
+    writer.trial(sample_trace_trial(1));
+    writer.end(TraceEnd{});
+  }
+  const TraceContents contents = read_trace_file(path);
+  EXPECT_FALSE(contents.campaign.is_null());
+  ASSERT_EQ(contents.trials.size(), 2u);
+  EXPECT_FALSE(contents.end.is_null());
+}
+
+TEST(Trace, UnknownRecordTypesAreSkippedForForwardCompat) {
+  const std::string path = write_sample_trace("trace_unknown.ndjson", 1);
+  {
+    std::ofstream stream(path, std::ios::app | std::ios::binary);
+    stream << "{\"type\": \"future-extension\", \"x\": 1}\n";
+  }
+  const TraceContents contents = read_trace_file(path);
+  EXPECT_EQ(contents.dropped_bytes, 0u);
+  EXPECT_EQ(contents.trials.size(), 1u);
+}
+
+TEST(Trace, MissingFileThrows) {
+  EXPECT_THROW(read_trace_file(temp_path("trace_missing.ndjson")),
+               std::runtime_error);
+}
+
+// --------------------------------------------------------------- progress
+
+TEST(ProgressEmitter, RenderReflectsRegistryCounts) {
+  MetricsRegistry registry;
+  registry.counter("campaign.completed").inc(10);
+  registry.gauge("campaign.trials_target").set(40.0);
+  registry.counter("campaign.masked").inc(5);
+  registry.counter("campaign.sdc").inc(2);
+  registry.counter("campaign.due").inc(3);
+  registry.counter("campaign.due.hang").inc(2);
+  registry.counter("campaign.due.crash").inc(1);
+
+  std::ostringstream out;
+  ProgressEmitter emitter(registry, out);
+  const std::string line = emitter.render();
+  EXPECT_NE(line.find("10/40 trials"), std::string::npos);
+  EXPECT_NE(line.find("masked 50.0%"), std::string::npos);
+  EXPECT_NE(line.find("sdc 20.0%"), std::string::npos);
+  EXPECT_NE(line.find("due 30.0%"), std::string::npos);
+  EXPECT_NE(line.find("hang:2"), std::string::npos);
+  EXPECT_NE(line.find("crash:1"), std::string::npos);
+}
+
+TEST(ProgressEmitter, TickIsTimeGatedEmitNowIsNot) {
+  MetricsRegistry registry;
+  std::ostringstream out;
+  ProgressEmitter emitter(registry, out, /*interval_seconds=*/3600.0);
+  for (int i = 0; i < 100; ++i) emitter.tick();
+  EXPECT_EQ(emitter.emitted(), 0u);
+  EXPECT_TRUE(out.str().empty());
+
+  emitter.emit_now();
+  EXPECT_EQ(emitter.emitted(), 1u);
+  EXPECT_NE(out.str().find("[progress]"), std::string::npos);
+
+  // A zero interval makes every tick emit.
+  std::ostringstream out2;
+  ProgressEmitter eager(registry, out2, /*interval_seconds=*/0.0);
+  eager.tick();
+  eager.tick();
+  EXPECT_EQ(eager.emitted(), 2u);
+}
+
+// ----------------------------------------------- campaign-driven telemetry
+
+/// Runs a toy campaign with trace + metrics + journal attached and exposes
+/// all three outputs for cross-checking.
+class CampaignTelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    using phifi::testing::ToyWorkload;
+    ToyWorkload::reset_run_counter();
+    trace_path_ = temp_path("telemetry_campaign.ndjson");
+    journal_path_ = temp_path("telemetry_campaign.jnl");
+    fs::remove(trace_path_);
+    fs::remove(journal_path_);
+
+    fi::SupervisorConfig sup_config =
+        phifi::testing::toy_supervisor_config();
+    sup_config.metrics = &metrics_;
+    supervisor_ = std::make_unique<fi::TrialSupervisor>(
+        &phifi::testing::make_toy_normal, sup_config);
+    supervisor_->prepare_golden();
+
+    TraceWriter trace(trace_path_);
+    fi::CampaignConfig config;
+    config.trials = 20;
+    config.seed = 42;
+    config.journal_path = journal_path_;
+    config.journal_fsync = fi::JournalFsync::kOnClose;
+    config.trace = &trace;
+    config.metrics = &metrics_;
+    fi::Campaign campaign(*supervisor_, config);
+    result_ = campaign.run();
+    trace.sync();
+    contents_ = read_trace_file(trace_path_);
+  }
+
+  std::string trace_path_;
+  std::string journal_path_;
+  MetricsRegistry metrics_;
+  std::unique_ptr<fi::TrialSupervisor> supervisor_;
+  fi::CampaignResult result_;
+  TraceContents contents_;
+};
+
+TEST_F(CampaignTelemetryTest, TraceBracketsEveryAttempt) {
+  EXPECT_EQ(contents_.dropped_bytes, 0u);
+  ASSERT_FALSE(contents_.campaign.is_null());
+  EXPECT_EQ(contents_.campaign.string_or("workload", ""), "Toy");
+  EXPECT_DOUBLE_EQ(contents_.campaign.number_or("time_windows", 0.0), 4.0);
+  ASSERT_FALSE(contents_.end.is_null());
+  EXPECT_DOUBLE_EQ(contents_.end.number_or("completed", 0.0),
+                   static_cast<double>(result_.overall.total()));
+  EXPECT_DOUBLE_EQ(contents_.end.number_or("masked", 0.0),
+                   static_cast<double>(result_.overall.masked));
+  EXPECT_DOUBLE_EQ(contents_.end.number_or("sdc", 0.0),
+                   static_cast<double>(result_.overall.sdc));
+  EXPECT_DOUBLE_EQ(contents_.end.number_or("due", 0.0),
+                   static_cast<double>(result_.overall.due));
+  // One trial record per attempt: completed plus NotInjected retries.
+  EXPECT_EQ(contents_.trials.size(), result_.attempts);
+}
+
+TEST_F(CampaignTelemetryTest, SpansAreOrderedAndMonotonic) {
+  ASSERT_FALSE(contents_.trials.empty());
+  double last_ts = -1.0;
+  for (const TrialTrace& trial : contents_.trials) {
+    // Trial start stamps are monotonic on the campaign clock.
+    EXPECT_GE(trial.ts_ms, last_ts);
+    last_ts = trial.ts_ms;
+
+    ASSERT_GE(trial.spans.size(), 3u);
+    EXPECT_EQ(trial.spans.front().name, "fork");
+    EXPECT_EQ(trial.spans.back().name, "classify");
+    double cursor = 0.0;
+    for (const TraceSpan& span : trial.spans) {
+      EXPECT_GE(span.t0_ms, cursor) << span.name;
+      EXPECT_GE(span.t1_ms, span.t0_ms) << span.name;
+      cursor = span.t0_ms;
+    }
+    // Consecutive spans abut: fork ends where run begins, and so on.
+    for (std::size_t i = 1; i < trial.spans.size(); ++i) {
+      EXPECT_GE(trial.spans[i].t0_ms, trial.spans[i - 1].t0_ms);
+    }
+    // Phases from the child are monotonic in both time and progress.
+    double phase_t = -1.0;
+    for (const TracePhase& phase : trial.phases) {
+      EXPECT_GE(phase.t_ms, phase_t);
+      phase_t = phase.t_ms;
+      EXPECT_GE(phase.fraction, 0.0);
+      EXPECT_LE(phase.fraction, 1.0);
+    }
+  }
+}
+
+TEST_F(CampaignTelemetryTest, WorkloadPhasesReachTheTrace) {
+  // The toy workload announces two phases through the shared channel; they
+  // must survive the child->parent->trace path for completed trials.
+  std::size_t with_first = 0;
+  std::size_t with_second = 0;
+  for (const TrialTrace& trial : contents_.trials) {
+    for (const TracePhase& phase : trial.phases) {
+      if (phase.name == "toy-first-half") ++with_first;
+      if (phase.name == "toy-second-half") ++with_second;
+    }
+  }
+  EXPECT_GT(with_first, 0u);
+  EXPECT_GT(with_second, 0u);
+}
+
+TEST_F(CampaignTelemetryTest, TraceAggregationMatchesJournalTallies) {
+  // The acceptance cross-check: --from-trace reconstruction must agree
+  // with the journal-derived counts, table by table.
+  const fi::JournalContents journal = fi::read_journal(journal_path_);
+  fi::CampaignResult from_journal;
+  from_journal.workload = journal.header.workload;
+  from_journal.time_windows = journal.header.time_windows;
+  from_journal.by_window.resize(journal.header.time_windows);
+  for (const fi::JournalRecord& record : journal.records) {
+    fi::accumulate_trial(from_journal, record.trial);
+  }
+
+  const fi::CampaignResult from_trace =
+      analysis::aggregate_trace(contents_);
+
+  EXPECT_EQ(from_trace.workload, from_journal.workload);
+  EXPECT_EQ(from_trace.not_injected, from_journal.not_injected);
+  const auto expect_tally_eq = [](const fi::OutcomeTally& a,
+                                  const fi::OutcomeTally& b,
+                                  const std::string& what) {
+    EXPECT_EQ(a.masked, b.masked) << what;
+    EXPECT_EQ(a.sdc, b.sdc) << what;
+    EXPECT_EQ(a.due, b.due) << what;
+  };
+  expect_tally_eq(from_trace.overall, from_journal.overall, "overall");
+  for (std::size_t i = 0; i < from_trace.by_model.size(); ++i) {
+    expect_tally_eq(from_trace.by_model[i], from_journal.by_model[i],
+                    "model " + std::to_string(i));
+  }
+  ASSERT_EQ(from_trace.by_window.size(), from_journal.by_window.size());
+  for (std::size_t i = 0; i < from_trace.by_window.size(); ++i) {
+    expect_tally_eq(from_trace.by_window[i], from_journal.by_window[i],
+                    "window " + std::to_string(i));
+  }
+  ASSERT_EQ(from_trace.by_category.size(), from_journal.by_category.size());
+  for (const auto& [category, tally] : from_journal.by_category) {
+    ASSERT_TRUE(from_trace.by_category.contains(category)) << category;
+    expect_tally_eq(from_trace.by_category.at(category), tally, category);
+  }
+  for (const auto& [frame, tally] : from_journal.by_frame) {
+    ASSERT_TRUE(from_trace.by_frame.contains(frame)) << frame;
+    expect_tally_eq(from_trace.by_frame.at(frame), tally, frame);
+  }
+
+  // And both agree with the live campaign's own tallies.
+  expect_tally_eq(from_trace.overall, result_.overall, "live overall");
+}
+
+TEST_F(CampaignTelemetryTest, MetricsMatchCampaignResult) {
+  const auto counter = [this](const std::string& name) {
+    const Counter* c = metrics_.find_counter(name);
+    return c == nullptr ? std::uint64_t{0} : c->value();
+  };
+  EXPECT_EQ(counter("campaign.completed"), result_.overall.total());
+  EXPECT_EQ(counter("campaign.masked"), result_.overall.masked);
+  EXPECT_EQ(counter("campaign.sdc"), result_.overall.sdc);
+  EXPECT_EQ(counter("campaign.due"), result_.overall.due);
+  EXPECT_EQ(counter("campaign.not_injected"), result_.not_injected);
+
+  const Gauge* target = metrics_.find_gauge("campaign.trials_target");
+  ASSERT_NE(target, nullptr);
+  EXPECT_DOUBLE_EQ(target->value(), 20.0);
+
+  // Every live (non-replayed) trial lands one latency observation.
+  const Histogram* latency =
+      metrics_.find_histogram("campaign.trial_latency_ms");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->count(), result_.overall.total());
+
+  // The supervisor fed its watchdog histograms through the same registry.
+  const Histogram* poll =
+      metrics_.find_histogram("supervisor.poll_interval_ms");
+  ASSERT_NE(poll, nullptr);
+  EXPECT_GT(poll->count(), 0u);
+}
+
+TEST(TraceAggregation, UnknownOutcomeStringThrows) {
+  TraceContents contents;
+  TrialTrace trial;
+  trial.outcome = "Mangled";
+  contents.trials.push_back(trial);
+  EXPECT_THROW(analysis::aggregate_trace(contents), std::runtime_error);
+}
+
+TEST(TraceAggregation, MergeRejectsWorkloadMismatch) {
+  TraceContents a;
+  a.campaign = util::json::Value::object();
+  a.campaign["workload"] = "Toy";
+  fi::CampaignResult result = analysis::aggregate_trace(a);
+
+  TraceContents b;
+  b.campaign = util::json::Value::object();
+  b.campaign["workload"] = "DGEMM";
+  EXPECT_THROW(analysis::accumulate_trace(result, b), std::runtime_error);
+}
+
+TEST(TraceAggregation, InfersWindowCountWithoutHeader) {
+  TraceContents contents;
+  TrialTrace trial = sample_trace_trial(0);
+  trial.outcome = "Masked";
+  trial.window = 5;
+  contents.trials.push_back(trial);
+  const fi::CampaignResult result = analysis::aggregate_trace(contents);
+  ASSERT_EQ(result.by_window.size(), 6u);
+  EXPECT_EQ(result.by_window[5].masked, 1u);
+}
+
+}  // namespace
+}  // namespace phifi::telemetry

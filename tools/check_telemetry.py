@@ -1,0 +1,234 @@
+#!/usr/bin/env python3
+"""Schema check for phifi telemetry outputs (docs/TELEMETRY.md).
+
+Validates an NDJSON trial trace and/or a metrics snapshot produced by
+phifi_run, and cross-checks them against each other when both are given:
+
+    check_telemetry.py --trace campaign.ndjson --metrics metrics.json
+
+Exits non-zero with a pointed message on the first violation. Stdlib only,
+so CI can run it without installing anything.
+"""
+
+import argparse
+import json
+import sys
+
+OUTCOMES = {"Masked", "SDC", "DUE", "NotInjected"}
+DUE_KINDS = {"none", "crash", "abnormal-exit", "hang", "rlimit", "stall",
+             "infra"}
+
+
+def fail(message):
+    print(f"check_telemetry: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def require(condition, message):
+    if not condition:
+        fail(message)
+
+
+def check_number(record, key, where, minimum=None):
+    require(key in record, f"{where}: missing '{key}'")
+    value = record[key]
+    require(isinstance(value, (int, float)) and not isinstance(value, bool),
+            f"{where}: '{key}' is not a number: {value!r}")
+    if minimum is not None:
+        require(value >= minimum, f"{where}: '{key}' = {value} < {minimum}")
+    return value
+
+
+def check_string(record, key, where, allowed=None):
+    require(key in record, f"{where}: missing '{key}'")
+    value = record[key]
+    require(isinstance(value, str), f"{where}: '{key}' is not a string")
+    if allowed is not None:
+        require(value in allowed,
+                f"{where}: '{key}' = {value!r} not in {sorted(allowed)}")
+    return value
+
+
+def check_trial(record, where, prev_ts):
+    check_number(record, "attempt", where, minimum=0)
+    outcome = check_string(record, "outcome", where, allowed=OUTCOMES)
+    check_string(record, "due_kind", where, allowed=DUE_KINDS)
+    require(isinstance(record.get("injected"), bool),
+            f"{where}: 'injected' is not a bool")
+    if outcome == "NotInjected":
+        require(not record["injected"],
+                f"{where}: NotInjected trial claims injected=true")
+    fraction = check_number(record, "progress_fraction", where)
+    require(0.0 <= fraction <= 1.0,
+            f"{where}: progress_fraction {fraction} outside [0, 1]")
+    check_number(record, "window", where, minimum=0)
+    check_number(record, "seconds", where, minimum=0)
+    ts = check_number(record, "ts_ms", where, minimum=0)
+    require(ts >= prev_ts,
+            f"{where}: ts_ms {ts} went backwards (prev {prev_ts})")
+
+    spans = record.get("spans")
+    require(isinstance(spans, list), f"{where}: 'spans' is not an array")
+    cursor = 0.0
+    for i, span in enumerate(spans):
+        span_where = f"{where} span[{i}]"
+        check_string(span, "name", span_where)
+        t0 = check_number(span, "t0_ms", span_where, minimum=0)
+        t1 = check_number(span, "t1_ms", span_where)
+        require(t1 >= t0, f"{span_where}: t1_ms {t1} < t0_ms {t0}")
+        require(t0 >= cursor,
+                f"{span_where}: t0_ms {t0} overlaps previous span")
+        cursor = t0
+
+    phases = record.get("phases")
+    require(isinstance(phases, list), f"{where}: 'phases' is not an array")
+    phase_t = 0.0
+    for i, phase in enumerate(phases):
+        phase_where = f"{where} phase[{i}]"
+        check_string(phase, "name", phase_where)
+        t = check_number(phase, "t_ms", phase_where, minimum=0)
+        require(t >= phase_t, f"{phase_where}: t_ms {t} went backwards")
+        phase_t = t
+    return ts
+
+
+def check_trace(path):
+    """Returns (trial_count, outcome_counts, end_record_or_None)."""
+    counts = {name: 0 for name in OUTCOMES}
+    header = None
+    segments = 0
+    end = None
+    trials = 0
+    prev_ts = 0.0
+    with open(path, encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            where = f"{path}:{lineno}"
+            line = line.strip()
+            if not line:
+                fail(f"{where}: blank line in NDJSON stream")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(f"{where}: unparseable record: {error}")
+            require(isinstance(record, dict), f"{where}: not an object")
+            kind = check_string(record, "type", where)
+            if kind == "campaign":
+                # A resumed campaign appends a second header (resumed=true)
+                # and restarts the campaign clock; only the first segment
+                # may claim a fresh start.
+                if segments > 0:
+                    require(record.get("resumed") is True,
+                            f"{where}: non-resumed campaign header after "
+                            f"existing records")
+                check_string(record, "workload", where)
+                if header is not None:
+                    require(record["workload"] == header["workload"],
+                            f"{where}: workload changed across resume")
+                check_number(record, "trials", where, minimum=1)
+                check_number(record, "time_windows", where, minimum=1)
+                header = record
+                segments += 1
+                end = None
+                prev_ts = 0.0
+            elif kind == "trial":
+                require(header is not None,
+                        f"{where}: trial before campaign header")
+                require(end is None, f"{where}: trial after end record")
+                prev_ts = check_trial(record, where, prev_ts)
+                counts[record["outcome"]] += 1
+                trials += 1
+            elif kind == "end":
+                require(end is None, f"{where}: duplicate end record")
+                for key in ("completed", "masked", "sdc", "due",
+                            "not_injected"):
+                    check_number(record, key, where, minimum=0)
+                end = record
+            # Unknown types are forward-compatible: skip.
+    require(header is not None, f"{path}: no campaign header record")
+    if end is not None:
+        # The final end record tallies the whole campaign. A single-segment
+        # trace must match it exactly; a resumed trace may fall short of it
+        # by the records a crash tore off before the resume replayed them
+        # from the journal.
+        completed = counts["Masked"] + counts["SDC"] + counts["DUE"]
+        for key, expect in (("completed", completed),
+                            ("masked", counts["Masked"]),
+                            ("sdc", counts["SDC"]),
+                            ("due", counts["DUE"]),
+                            ("not_injected", counts["NotInjected"])):
+            if segments == 1:
+                require(end[key] == expect,
+                        f"{path}: end.{key} = {end[key]} but trial records "
+                        f"tally {expect}")
+            else:
+                require(end[key] >= expect,
+                        f"{path}: end.{key} = {end[key]} < trial-record "
+                        f"tally {expect}")
+    print(f"check_telemetry: trace OK: {path} ({trials} trial records, "
+          f"{segments} segment(s), end={'present' if end else 'absent'})")
+    return trials, counts, end
+
+
+def check_metrics(path):
+    """Returns the counters dict."""
+    with open(path, encoding="utf-8") as stream:
+        try:
+            snapshot = json.load(stream)
+        except json.JSONDecodeError as error:
+            fail(f"{path}: unparseable JSON: {error}")
+    for section in ("counters", "gauges", "histograms"):
+        require(section in snapshot and isinstance(snapshot[section], dict),
+                f"{path}: missing '{section}' object")
+    counters = snapshot["counters"]
+    for name, value in counters.items():
+        require(isinstance(value, (int, float)) and value >= 0,
+                f"{path}: counter '{name}' = {value!r}")
+    for name, hist in snapshot["histograms"].items():
+        where = f"{path}: histogram '{name}'"
+        edges = hist.get("upper_edges")
+        hist_counts = hist.get("counts")
+        require(isinstance(edges, list) and edges, f"{where}: bad edges")
+        require(edges == sorted(edges) and len(set(edges)) == len(edges),
+                f"{where}: edges not strictly ascending")
+        require(isinstance(hist_counts, list)
+                and len(hist_counts) == len(edges) + 1,
+                f"{where}: counts length != edges + overflow")
+        require(sum(hist_counts) == hist.get("count"),
+                f"{where}: bucket counts do not sum to 'count'")
+    completed = counters.get("campaign.completed")
+    if completed is not None:
+        split = sum(counters.get(f"campaign.{k}", 0)
+                    for k in ("masked", "sdc", "due"))
+        require(split == completed,
+                f"{path}: masked+sdc+due = {split} != campaign.completed "
+                f"= {completed}")
+    print(f"check_telemetry: metrics OK: {path} "
+          f"({len(counters)} counters)")
+    return counters
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace", help="NDJSON trial trace to validate")
+    parser.add_argument("--metrics", help="metrics snapshot to validate")
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        parser.error("nothing to check: pass --trace and/or --metrics")
+
+    trace = check_trace(args.trace) if args.trace else None
+    counters = check_metrics(args.metrics) if args.metrics else None
+
+    if trace is not None and counters is not None:
+        _, counts, _ = trace
+        for outcome, counter in (("Masked", "campaign.masked"),
+                                 ("SDC", "campaign.sdc"),
+                                 ("DUE", "campaign.due")):
+            if counter in counters:
+                require(counters[counter] == counts[outcome],
+                        f"{counter} = {counters[counter]} but the trace "
+                        f"tallies {counts[outcome]}")
+        print("check_telemetry: trace and metrics agree")
+
+
+if __name__ == "__main__":
+    main()

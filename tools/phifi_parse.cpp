@@ -5,37 +5,51 @@
 // anything. With --from-journal it reads binary write-ahead journals
 // instead, so a campaign's results can be re-derived from the journal
 // alone (e.g. after a crash, without a CSV log ever having been written).
+// With --from-trace it reads the NDJSON telemetry trace, rebuilding the
+// Fig. 6 PVF-per-time-window and Sec. 6 criticality tables from the
+// observability stream — which must agree with the journal-derived counts
+// for the same campaign. --json renders every table as one JSON document
+// so CI and notebooks can diff results.
 //
-//   $ phifi_parse <log.csv> [more.csv ...]
-//   $ phifi_parse --from-journal <campaign.jnl> [more.jnl ...]
+//   $ phifi_parse [--json] <log.csv> [more.csv ...]
+//   $ phifi_parse [--json] --from-journal <campaign.jnl> [more.jnl ...]
+//   $ phifi_parse [--json] --from-trace <campaign.trace> [more ...]
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "analysis/pvf.hpp"
+#include "analysis/trace_analysis.hpp"
 #include "core/campaign_journal.hpp"
 #include "core/trial_log.hpp"
+#include "telemetry/trace.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
 
+using phifi::util::json::Value;
+
 /// Loads journals and aggregates them through the same accumulate_trial the
 /// live campaign uses. Returns the trial count via `trials`.
-int aggregate_journals(int argc, char** argv, phifi::fi::CampaignResult* result,
+int aggregate_journals(const std::vector<std::string>& files,
+                       phifi::fi::CampaignResult* result,
                        std::size_t* trials) {
   using namespace phifi;
   unsigned windows = 1;
   std::vector<fi::JournalContents> journals;
-  for (int i = 2; i < argc; ++i) {
+  for (const std::string& file : files) {
     try {
-      journals.push_back(fi::read_journal(argv[i]));
+      journals.push_back(fi::read_journal(file));
       if (journals.back().dropped_bytes > 0) {
-        std::cerr << "phifi_parse: " << argv[i] << ": dropped "
+        std::cerr << "phifi_parse: " << file << ": dropped "
                   << journals.back().dropped_bytes
                   << " bytes of torn tail\n";
       }
       windows = std::max(windows, journals.back().header.time_windows);
     } catch (const std::exception& error) {
-      std::cerr << "phifi_parse: " << argv[i] << ": " << error.what() << "\n";
+      std::cerr << "phifi_parse: " << file << ": " << error.what() << "\n";
       return 1;
     }
   }
@@ -59,55 +73,83 @@ int aggregate_journals(int argc, char** argv, phifi::fi::CampaignResult* result,
   return 0;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// Loads NDJSON traces and rebuilds the tallies via analysis::accumulate_trace.
+int aggregate_traces(const std::vector<std::string>& files,
+                     phifi::fi::CampaignResult* result, std::size_t* trials) {
   using namespace phifi;
-  if (argc < 2) {
-    std::cerr << "usage: phifi_parse <log.csv> [more.csv ...]\n"
-              << "       phifi_parse --from-journal <campaign.jnl> [more "
-                 "...]\n";
-    return 2;
-  }
-
-  fi::CampaignResult result;
-  std::size_t trials = 0;
-  const bool from_journal = std::string(argv[1]) == "--from-journal";
-  if (from_journal) {
-    if (argc < 3) {
-      std::cerr << "phifi_parse: --from-journal needs at least one file\n";
-      return 2;
-    }
-    const int status = aggregate_journals(argc, argv, &result, &trials);
-    if (status != 0) return status;
-  } else {
-    std::vector<fi::TrialLogEntry> entries;
-    for (int i = 1; i < argc; ++i) {
-      std::ifstream stream(argv[i]);
-      if (!stream) {
-        std::cerr << "phifi_parse: cannot open '" << argv[i] << "'\n";
-        return 2;
+  for (const std::string& file : files) {
+    try {
+      const telemetry::TraceContents contents =
+          telemetry::read_trace_file(file);
+      if (contents.dropped_bytes > 0) {
+        std::cerr << "phifi_parse: " << file << ": dropped "
+                  << contents.dropped_bytes << " bytes of torn tail\n";
       }
-      try {
-        auto batch = fi::TrialLogReader::read(stream);
-        entries.insert(entries.end(), batch.begin(), batch.end());
-      } catch (const std::exception& error) {
-        std::cerr << "phifi_parse: " << argv[i] << ": " << error.what()
-                  << "\n";
-        return 1;
-      }
+      analysis::accumulate_trace(*result, contents);
+      *trials += contents.trials.size();
+    } catch (const std::exception& error) {
+      std::cerr << "phifi_parse: " << file << ": " << error.what() << "\n";
+      return 1;
     }
-    unsigned windows = 1;
-    for (const auto& entry : entries) {
-      windows = std::max(windows, entry.window + 1);
-    }
-    result = fi::TrialLogReader::aggregate(entries, windows);
-    trials = entries.size();
   }
+  return 0;
+}
 
+Value tally_json(const phifi::fi::OutcomeTally& tally) {
+  Value entry = Value::object();
+  entry["injections"] = tally.total();
+  entry["masked"] = tally.masked;
+  entry["sdc"] = tally.sdc;
+  entry["due"] = tally.due;
+  entry["masked_rate"] = tally.masked_rate();
+  entry["sdc_rate"] = tally.sdc_rate();
+  entry["due_rate"] = tally.due_rate();
+  return entry;
+}
+
+void print_json(const phifi::fi::CampaignResult& result, std::size_t trials,
+                const std::string& source) {
+  using namespace phifi;
+  Value root = Value::object();
+  root["source"] = source;
+  root["workload"] = result.workload;
+  root["trials"] = static_cast<std::uint64_t>(trials);
+  root["not_injected"] = result.not_injected;
+  root["overall"] = tally_json(result.overall);
+  Value by_model = Value::object();
+  for (fi::FaultModel model : fi::kAllFaultModels) {
+    by_model[std::string(to_string(model))] =
+        tally_json(result.by_model[static_cast<std::size_t>(model)]);
+  }
+  root["by_model"] = std::move(by_model);
+  Value by_window = Value::array();
+  for (unsigned w = 0; w < result.time_windows; ++w) {
+    Value entry = tally_json(result.by_window[w]);
+    entry["window"] = w + 1;
+    entry["sdc_pvf"] = analysis::sdc_pvf(result.by_window[w]).point;
+    entry["due_pvf"] = analysis::due_pvf(result.by_window[w]).point;
+    by_window.push_back(std::move(entry));
+  }
+  root["by_window"] = std::move(by_window);
+  Value by_category = Value::object();
+  for (const auto& [category, tally] : result.by_category) {
+    by_category[category] = tally_json(tally);
+  }
+  root["by_category"] = std::move(by_category);
+  Value by_frame = Value::object();
+  for (const auto& [frame, tally] : result.by_frame) {
+    by_frame[frame] = tally_json(tally);
+  }
+  root["by_frame"] = std::move(by_frame);
+  std::cout << root.dump() << "\n";
+}
+
+void print_text(const phifi::fi::CampaignResult& result, std::size_t trials,
+                const std::string& source) {
+  using namespace phifi;
   util::Table outcomes(
       "Aggregated outcomes (" + std::to_string(trials) + " trials" +
-      (from_journal ? ", from journal" : "") +
+      (source == "csv" ? "" : ", from " + source) +
       (result.workload.empty() ? "" : ", " + result.workload) + ")");
   outcomes.set_header({"slice", "injections", "masked", "sdc", "due"});
   auto add_row = [&outcomes](const std::string& label,
@@ -129,5 +171,73 @@ int main(int argc, char** argv) {
     add_row("category " + category, tally);
   }
   outcomes.print_text(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace phifi;
+
+  bool json = false;
+  std::string source = "csv";
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--from-journal") {
+      source = "journal";
+    } else if (arg == "--from-trace") {
+      source = "trace";
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::cerr << "usage: phifi_parse [--json] <log.csv> [more.csv ...]\n"
+              << "       phifi_parse [--json] --from-journal <campaign.jnl> "
+                 "[more ...]\n"
+              << "       phifi_parse [--json] --from-trace <campaign.trace> "
+                 "[more ...]\n";
+    return 2;
+  }
+
+  fi::CampaignResult result;
+  std::size_t trials = 0;
+  if (source == "journal") {
+    const int status = aggregate_journals(files, &result, &trials);
+    if (status != 0) return status;
+  } else if (source == "trace") {
+    const int status = aggregate_traces(files, &result, &trials);
+    if (status != 0) return status;
+  } else {
+    std::vector<fi::TrialLogEntry> entries;
+    for (const std::string& file : files) {
+      std::ifstream stream(file);
+      if (!stream) {
+        std::cerr << "phifi_parse: cannot open '" << file << "'\n";
+        return 2;
+      }
+      try {
+        auto batch = fi::TrialLogReader::read(stream);
+        entries.insert(entries.end(), batch.begin(), batch.end());
+      } catch (const std::exception& error) {
+        std::cerr << "phifi_parse: " << file << ": " << error.what() << "\n";
+        return 1;
+      }
+    }
+    unsigned windows = 1;
+    for (const auto& entry : entries) {
+      windows = std::max(windows, entry.window + 1);
+    }
+    result = fi::TrialLogReader::aggregate(entries, windows);
+    trials = entries.size();
+  }
+
+  if (json) {
+    print_json(result, trials, source);
+  } else {
+    print_text(result, trials, source);
+  }
   return 0;
 }

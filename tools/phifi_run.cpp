@@ -15,6 +15,7 @@
 #include <csignal>
 
 #include <atomic>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 
@@ -44,16 +45,44 @@ int main(int argc, char** argv) {
   }
   if (argc < 2) {
     std::cerr << "usage: phifi_run <config-file> [repetitions] [--resume]\n"
+              << "                 [--trace-out <file>] [--metrics-out "
+                 "<file>] [--progress <seconds>]\n"
               << "       phifi_run --template\n";
     return 2;
   }
 
   int repetitions = 1;
   bool resume = false;
+  std::string trace_out;
+  std::string metrics_out;
+  double progress_seconds = -1.0;  // <0: leave the config file's value
+  const auto flag_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "phifi_run: " << argv[i] << " needs a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--trace-out") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      trace_out = value;
+    } else if (arg == "--metrics-out") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      metrics_out = value;
+    } else if (arg == "--progress") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      progress_seconds = std::atof(value);
+      if (progress_seconds <= 0.0) {
+        std::cerr << "phifi_run: bad --progress interval '" << value << "'\n";
+        return 2;
+      }
     } else {
       repetitions = std::atoi(argv[i]);
       if (repetitions < 1) {
@@ -75,6 +104,9 @@ int main(int argc, char** argv) {
   try {
     cli::RunnerConfig config = cli::parse_config(config_stream);
     if (resume) config.resume = true;
+    if (!trace_out.empty()) config.trace_file = trace_out;
+    if (!metrics_out.empty()) config.metrics_file = metrics_out;
+    if (progress_seconds > 0.0) config.progress_seconds = progress_seconds;
     config.stop_flag = &g_stop;
     if (config.resume && config.journal_file.empty()) {
       std::cerr << "phifi_run: --resume requires 'journal_file' in the "
@@ -83,6 +115,8 @@ int main(int argc, char** argv) {
     }
     const std::string base_log = config.log_file;
     const std::string base_journal = config.journal_file;
+    const std::string base_trace = config.trace_file;
+    const std::string base_metrics = config.metrics_file;
     for (int rep = 0; rep < repetitions; ++rep) {
       if (repetitions > 1) {
         config.seed = config.seed + 0x9e3779b9ULL * (rep + 1);
@@ -91,6 +125,12 @@ int main(int argc, char** argv) {
         }
         if (!base_journal.empty()) {
           config.journal_file = base_journal + "." + std::to_string(rep);
+        }
+        if (!base_trace.empty()) {
+          config.trace_file = base_trace + "." + std::to_string(rep);
+        }
+        if (!base_metrics.empty()) {
+          config.metrics_file = base_metrics + "." + std::to_string(rep);
         }
         std::cout << "--- repetition " << (rep + 1) << "/" << repetitions
                   << " (seed " << config.seed << ") ---\n";
