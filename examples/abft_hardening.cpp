@@ -66,29 +66,29 @@ int main(int argc, char** argv) {
   const Scenario scenarios[] = {
       {"none", [](std::vector<double>&, std::size_t) {}},
       {"single element",
-       [](std::vector<double>& c, std::size_t n) { c[3 * n + 7] += 42.0; }},
+       [](std::vector<double>& c, std::size_t dim) { c[3 * dim + 7] += 42.0; }},
       {"row line",
-       [](std::vector<double>& c, std::size_t n) {
-         for (std::size_t j = 0; j < n; ++j) {
-           c[5 * n + j] += 1.0 + static_cast<double>(j);
+       [](std::vector<double>& c, std::size_t dim) {
+         for (std::size_t j = 0; j < dim; ++j) {
+           c[5 * dim + j] += 1.0 + static_cast<double>(j);
          }
        }},
       {"column line",
-       [](std::vector<double>& c, std::size_t n) {
-         for (std::size_t i = 2; i < n - 2; ++i) c[i * n + 9] -= 3.5;
+       [](std::vector<double>& c, std::size_t dim) {
+         for (std::size_t i = 2; i < dim - 2; ++i) c[i * dim + 9] -= 3.5;
        }},
       {"scattered (pairable)",
-       [](std::vector<double>& c, std::size_t n) {
-         c[1 * n + 2] += 1.0;
-         c[4 * n + 8] += 2.0;
-         c[7 * n + 5] -= 4.0;
+       [](std::vector<double>& c, std::size_t dim) {
+         c[1 * dim + 2] += 1.0;
+         c[4 * dim + 8] += 2.0;
+         c[7 * dim + 5] -= 4.0;
        }},
       {"square block (2x2, symmetric)",
-       [](std::vector<double>& c, std::size_t n) {
-         c[3 * n + 5] += 1.0;
-         c[3 * n + 6] += 2.0;
-         c[4 * n + 5] += 2.0;
-         c[4 * n + 6] += 1.0;
+       [](std::vector<double>& c, std::size_t dim) {
+         c[3 * dim + 5] += 1.0;
+         c[3 * dim + 6] += 2.0;
+         c[4 * dim + 5] += 2.0;
+         c[4 * dim + 6] += 1.0;
        }},
   };
 

@@ -23,7 +23,8 @@ std::vector<CategoryCriticality> criticality_table(
     row.injection_share =
         total_injections == 0
             ? 0.0
-            : static_cast<double>(tally.total()) / total_injections;
+            : static_cast<double>(tally.total()) /
+                  static_cast<double>(total_injections);
     row.error_contribution = row.injection_share * (row.sdc_rate + row.due_rate);
     rows.push_back(std::move(row));
   }

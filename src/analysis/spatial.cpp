@@ -38,11 +38,13 @@ ErrorPattern classify_pattern(std::span<const std::size_t> indices,
 
   const double count = static_cast<double>(indices.size());
   if (spread_dims == 2) {
-    const double box = static_cast<double>(ex) * ey * ez;  // one extent is 1
+    const double box = static_cast<double>(ex) * static_cast<double>(ey) *
+                       static_cast<double>(ez);  // one extent is 1
     return (count / box >= kSquareFillThreshold) ? ErrorPattern::kSquare
                                                  : ErrorPattern::kRandom;
   }
-  const double box = static_cast<double>(ex) * ey * ez;
+  const double box = static_cast<double>(ex) * static_cast<double>(ey) *
+                     static_cast<double>(ez);
   return (count / box >= kCubicFillThreshold) ? ErrorPattern::kCubic
                                               : ErrorPattern::kRandom;
 }

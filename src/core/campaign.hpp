@@ -78,17 +78,18 @@ struct OutcomeTally {
   std::uint64_t due = 0;
 
   [[nodiscard]] std::uint64_t total() const { return masked + sdc + due; }
-  [[nodiscard]] double sdc_rate() const {
-    return total() == 0 ? 0.0 : static_cast<double>(sdc) / total();
-  }
-  [[nodiscard]] double due_rate() const {
-    return total() == 0 ? 0.0 : static_cast<double>(due) / total();
-  }
-  [[nodiscard]] double masked_rate() const {
-    return total() == 0 ? 0.0 : static_cast<double>(masked) / total();
-  }
+  [[nodiscard]] double sdc_rate() const { return rate(sdc); }
+  [[nodiscard]] double due_rate() const { return rate(due); }
+  [[nodiscard]] double masked_rate() const { return rate(masked); }
   void add(Outcome outcome);
   OutcomeTally& operator+=(const OutcomeTally& other);
+
+ private:
+  [[nodiscard]] double rate(std::uint64_t n) const {
+    const std::uint64_t t = total();
+    return t == 0 ? 0.0
+                  : static_cast<double>(n) / static_cast<double>(t);
+  }
 };
 
 struct CampaignResult {

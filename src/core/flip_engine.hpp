@@ -40,6 +40,7 @@ constexpr std::string_view to_string(SelectionPolicy policy) {
 /// Everything CAROL-FI logs about one injection (Sec. 5.1): the variable,
 /// its frame/category, the fault model, what changed, and when it fired.
 /// Fixed-size POD so it can travel through the shared-memory channel.
+// phicheck:shm-pod phifi::fi::InjectionRecord size=152
 struct InjectionRecord {
   bool injected = false;
   bool changed = false;  ///< at least one bit actually differs after the flip

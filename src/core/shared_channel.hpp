@@ -21,10 +21,29 @@ namespace phifi::fi {
 
 /// One workload phase transition reported by the trial child. Fixed-size
 /// POD so it can live in the shared mapping.
+// phicheck:shm-pod phifi::fi::PhaseRecord size=40
 struct PhaseRecord {
   char name[24] = {};
   double fraction = 0.0;   ///< execution progress at the transition
   double t_seconds = 0.0;  ///< monotonic seconds from child start
+};
+
+/// Fixed capacity of the shared phase log.
+inline constexpr std::size_t kShmMaxPhases = 32;
+
+/// Layout of the anonymous shared mapping the supervisor and the forked
+/// trial communicate through. Namespace-scope (not a private nested type)
+/// so the phicheck-generated layout asserts can name it; nothing outside
+/// SharedChannel should touch it.
+// phicheck:shm-pod phifi::fi::ShmHeader size=1464 atomic
+struct ShmHeader {
+  std::atomic<std::uint32_t> record_ready;
+  std::atomic<std::uint32_t> output_ready;
+  std::atomic<std::uint64_t> heartbeat;
+  std::atomic<std::uint32_t> phase_count;
+  PhaseRecord phases[kShmMaxPhases];
+  std::uint64_t output_size;
+  InjectionRecord record;
 };
 
 class SharedChannel {
@@ -70,20 +89,10 @@ class SharedChannel {
   [[nodiscard]] std::vector<PhaseRecord> phases() const;
 
   /// Fixed capacity of the phase log.
-  static constexpr std::size_t kMaxPhases = 32;
+  static constexpr std::size_t kMaxPhases = kShmMaxPhases;
 
  private:
-  struct Header {
-    std::atomic<std::uint32_t> record_ready;
-    std::atomic<std::uint32_t> output_ready;
-    std::atomic<std::uint64_t> heartbeat;
-    std::atomic<std::uint32_t> phase_count;
-    PhaseRecord phases[kMaxPhases];
-    std::uint64_t output_size;
-    InjectionRecord record;
-  };
-
-  Header* header_ = nullptr;
+  ShmHeader* header_ = nullptr;
   std::byte* payload_ = nullptr;
   std::size_t capacity_ = 0;
   std::size_t map_bytes_ = 0;

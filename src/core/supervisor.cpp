@@ -282,6 +282,7 @@ TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
   return result;
 }
 
+// phicheck:fork-child-entry
 void TrialSupervisor::child_main(const TrialConfig* config) {
   // From here on we are in the forked child. The parent was single-threaded
   // at fork time, so heap and libc state are consistent. Exit only through
@@ -291,6 +292,10 @@ void TrialSupervisor::child_main(const TrialConfig* config) {
   // stderr before aborting. That abort IS the result (a DUE), so the noise
   // is dropped unless the operator asked for verbose logs.
   if (util::log_level() > util::LogLevel::kInfo) {
+    // Deliberate stdio before the workload entry: the parent was
+    // single-threaded at fork, and the redirect must land before any
+    // workload code can crash and trigger glibc's stderr spew.
+    // phicheck:allow(fork-safety) reviewed pre-workload stderr redirect
     std::FILE* sink = std::freopen("/dev/null", "w", stderr);
     (void)sink;
   }
@@ -309,6 +314,8 @@ void TrialSupervisor::child_main(const TrialConfig* config) {
                        static_cast<rlim_t>(config_.child_cpu_seconds) + 1};
     ::setrlimit(RLIMIT_CPU, &limit);
   }
+  // phicheck:fork-workload-entry — from here the child runs workload code
+  // (heap, threads, locks are the workload's business; crashes are DUEs).
   try {
     auto workload = factory_();
     workload->setup(config_.input_seed);

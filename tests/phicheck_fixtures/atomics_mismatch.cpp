@@ -1,0 +1,17 @@
+// phicheck fixture: memory_order uses that disagree with the declared
+// policy in fixtures_policy.txt (relaxed load where acquire is declared,
+// an implicit seq_cst store, and an atomic with no policy line at all).
+#include <atomic>
+
+namespace fixture {
+
+std::atomic<int> g_ready{0};
+std::atomic<int> g_undeclared{0};
+
+int peek() { return g_ready.load(std::memory_order_relaxed); }
+
+void mark() { g_ready.store(1); }
+
+void bump() { g_undeclared.fetch_add(1, std::memory_order_relaxed); }
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// phicheck fixture: the disciplined version of everything the other
+// fixtures get wrong — must produce zero findings.
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdint>
+
+namespace fixture_clean {
+
+std::atomic<bool> g_flag{false};
+
+void on_quit(int) { g_flag.store(true, std::memory_order_relaxed); }
+
+int install_clean_handler() {
+  std::signal(SIGTERM, on_quit);
+  return 0;
+}
+
+int run_clean_workload();
+
+// phicheck:shm-pod fixture_clean::GoodRecord size=8
+struct GoodRecord {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+};
+
+// phicheck:fork-child-entry
+void clean_child_entry() {
+  // phicheck:fork-workload-entry
+  run_clean_workload();
+  _exit(0);
+}
+
+void clean_spawn() {
+  const int pid = fork();
+  if (pid == 0) {
+    clean_child_entry();
+  }
+  (void)pid;
+}
+
+}  // namespace fixture_clean

@@ -1,0 +1,37 @@
+// phicheck fixture: post-fork heap and stdio before the workload-entry
+// marker, plus a fork child branch that calls an unannotated function.
+#include <unistd.h>
+
+#include <cstdio>
+
+namespace fixture {
+
+int run_workload();
+
+// phicheck:fork-child-entry
+void child_entry() {
+  std::printf("child up\n");
+  int* scratch = new int[4];
+  delete[] scratch;
+  // phicheck:fork-workload-entry
+  run_workload();
+  _exit(0);
+}
+
+void spawn() {
+  const int pid = fork();
+  if (pid == 0) {
+    child_entry();
+  }
+  (void)pid;
+}
+
+void bad_spawn() {
+  const int pid = fork();
+  if (pid == 0) {
+    run_workload();
+  }
+  (void)pid;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// phicheck fixture: shared-memory structs that violate the POD contract —
+// an allocating member, a raw pointer, and a missing size= pin.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+// phicheck:shm-pod fixture::BadRecord size=16
+struct BadRecord {
+  std::string label;
+  std::uint8_t* bytes;
+  double value = 0.0;
+};
+
+// phicheck:shm-pod fixture::MissingPin
+struct MissingPin {
+  std::uint32_t a = 0;
+};
+
+}  // namespace fixture

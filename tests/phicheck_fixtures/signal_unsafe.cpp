@@ -1,0 +1,28 @@
+// phicheck fixture: a signal handler that reaches non-async-signal-safe
+// calls, directly (malloc) and through a helper (printf). Compiled by
+// nobody; scanned by test_phicheck to pin the checker's diagnostics.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+
+namespace {
+
+int g_count = 0;
+
+void helper() {
+  std::printf("count %d\n", g_count);
+}
+
+void on_signal(int) {
+  ++g_count;
+  helper();
+  void* scratch = malloc(16);
+  (void)scratch;
+}
+
+}  // namespace
+
+int install_handler() {
+  std::signal(SIGINT, on_signal);
+  return g_count;
+}

@@ -59,8 +59,8 @@ TEST_P(WorkloadCampaignTest, SmallCampaignBehavesSanely) {
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, WorkloadCampaignTest,
     ::testing::ValuesIn(work::all_workloads()),
-    [](const ::testing::TestParamInfo<work::WorkloadInfo>& info) {
-      return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<work::WorkloadInfo>& param_info) {
+      return std::string(param_info.param.name);
     });
 
 TEST(BurstInjection, CorruptsConsecutiveElements) {

@@ -210,8 +210,8 @@ TEST_P(GoldenFiniteTest, FloatOutputsHaveNoNansOrInfs) {
 INSTANTIATE_TEST_SUITE_P(
     AllWorkloads, GoldenFiniteTest,
     ::testing::ValuesIn(work::all_workloads()),
-    [](const ::testing::TestParamInfo<work::WorkloadInfo>& info) {
-      return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<work::WorkloadInfo>& param_info) {
+      return std::string(param_info.param.name);
     });
 
 // ---- hamming distance of fault models ----

@@ -135,6 +135,10 @@ TEST(Supervisor, AddressSpaceRlimitIsDueRlimit) {
   ToyWorkload::reset_run_counter();
   auto config = toy_supervisor_config();
   config.child_address_space_mb = 512;
+  // Generous deadline: this test asserts *classification* (rlimit beats
+  // watchdog), and touching 512MB can outlast the default ~0.5s deadline
+  // on a loaded parallel-ctest host, misclassifying the trial as a hang.
+  config.min_timeout_seconds = 10.0;
   TrialSupervisor supervisor(&phifi::testing::make_toy_bloat, config);
   supervisor.prepare_golden();
   TrialConfig trial;

@@ -100,8 +100,8 @@ TEST_P(AllWorkloadsTest, TimeWindowsMatchPaper) {
 
 INSTANTIATE_TEST_SUITE_P(
     Registry, AllWorkloadsTest, ::testing::ValuesIn(all_workloads()),
-    [](const ::testing::TestParamInfo<WorkloadInfo>& info) {
-      return std::string(info.param.name);
+    [](const ::testing::TestParamInfo<WorkloadInfo>& param_info) {
+      return std::string(param_info.param.name);
     });
 
 TEST(Registry, FindsAllSixByName) {

@@ -19,8 +19,23 @@ DUE_KINDS = {"none", "crash", "abnormal-exit", "hang", "rlimit", "stall",
              "infra"}
 
 
+# The NDJSON line currently being validated, so fail() can show the actual
+# offending record instead of leaving the user to fish it out by line number.
+_OFFENDING_LINE = None
+
+
+def set_offending_line(line):
+    global _OFFENDING_LINE
+    _OFFENDING_LINE = line
+
+
 def fail(message):
     print(f"check_telemetry: FAIL: {message}", file=sys.stderr)
+    if _OFFENDING_LINE:
+        shown = _OFFENDING_LINE
+        if len(shown) > 300:
+            shown = shown[:300] + "...[truncated]"
+        print(f"check_telemetry: offending line: {shown}", file=sys.stderr)
     sys.exit(1)
 
 
@@ -104,6 +119,7 @@ def check_trace(path):
         for lineno, line in enumerate(stream, start=1):
             where = f"{path}:{lineno}"
             line = line.strip()
+            set_offending_line(line)
             if not line:
                 fail(f"{where}: blank line in NDJSON stream")
             try:
@@ -144,6 +160,7 @@ def check_trace(path):
                     check_number(record, key, where, minimum=0)
                 end = record
             # Unknown types are forward-compatible: skip.
+    set_offending_line(None)  # whole-file checks below have no single line
     require(header is not None, f"{path}: no campaign header record")
     if end is not None:
         # The final end record tallies the whole campaign. A single-segment

@@ -1,0 +1,215 @@
+// atomics: audits every explicit atomic operation in the scanned roots
+// against the per-variable policies declared in atomics_policy.txt. The
+// telemetry registry and the shared channel lean on a mixed relaxed /
+// release-acquire discipline; this checker makes that discipline a declared,
+// reviewed artifact instead of 60+ call sites of tribal knowledge. An
+// atomic op on a variable with no policy line, an op kind the policy does
+// not declare, or a memory_order outside the declared set are all findings.
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "checks.hpp"
+
+namespace phicheck {
+
+namespace {
+
+const std::set<std::string>& atomic_ops() {
+  static const std::set<std::string> ops = {
+      "store",     "load",      "exchange",  "fetch_add", "fetch_sub",
+      "fetch_or",  "fetch_and", "fetch_xor", "compare_exchange_weak",
+      "compare_exchange_strong",
+  };
+  return ops;
+}
+
+/// compare_exchange_weak/strong collapse to "cas" in the policy file.
+std::string policy_op(const std::string& op) {
+  return op.rfind("compare_exchange", 0) == 0 ? "cas" : op;
+}
+
+struct PolicyEntry {
+  std::string file_suffix;
+  std::string var;
+  std::map<std::string, std::set<std::string>> allowed;  // op -> orders
+};
+
+struct Policy {
+  std::vector<PolicyEntry> entries;
+  std::vector<Finding> parse_findings;
+};
+
+Policy load_policy(const std::string& path) {
+  Policy policy;
+  std::ifstream stream(path);
+  if (!stream) {
+    policy.parse_findings.push_back(
+        {path, 0, "atomics", "cannot open atomics policy file"});
+    return policy;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(stream, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream words(line);
+    PolicyEntry entry;
+    if (!(words >> entry.file_suffix >> entry.var)) continue;  // blank line
+    std::string spec;
+    while (words >> spec) {
+      const std::size_t eq = spec.find('=');
+      if (eq == std::string::npos) {
+        policy.parse_findings.push_back(
+            {path, lineno, "atomics",
+             "bad op spec '" + spec + "' (expected op=order[,order...])"});
+        continue;
+      }
+      const std::string op = spec.substr(0, eq);
+      std::set<std::string>& orders = entry.allowed[op];
+      std::istringstream list(spec.substr(eq + 1));
+      std::string order;
+      while (std::getline(list, order, ',')) orders.insert(order);
+    }
+    if (entry.allowed.empty()) {
+      policy.parse_findings.push_back(
+          {path, lineno, "atomics",
+           "policy line for '" + entry.var + "' declares no operations"});
+      continue;
+    }
+    policy.entries.push_back(std::move(entry));
+  }
+  return policy;
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+const PolicyEntry* find_entry(const Policy& policy, const std::string& file,
+                              const std::string& var) {
+  for (const PolicyEntry& entry : policy.entries) {
+    if (entry.var == var && ends_with(file, entry.file_suffix)) return &entry;
+  }
+  return nullptr;
+}
+
+std::string join(const std::set<std::string>& words) {
+  std::string out;
+  for (const std::string& word : words) {
+    if (!out.empty()) out += ",";
+    out += word;
+  }
+  return out;
+}
+
+/// Name of the object the member op is applied to: handles `var.op(`,
+/// `ptr->op(`, `arr[i].op(`, `obj.field.op(`. Returns "" when the
+/// expression is too complex to attribute (itself a finding: the policy is
+/// per-variable, so ops must be attributable).
+std::string attribute_var(const std::vector<Token>& tokens, std::size_t dot) {
+  std::size_t k = dot;  // token before "." / "->"
+  if (k == 0) return "";
+  --k;
+  if (tokens[k].kind == TokKind::kPunct && tokens[k].text == "]") {
+    int depth = 1;
+    while (k > 0 && depth > 0) {
+      --k;
+      if (tokens[k].text == "]") ++depth;
+      if (tokens[k].text == "[") --depth;
+    }
+    if (k == 0) return "";
+    --k;
+  }
+  return tokens[k].kind == TokKind::kIdent ? tokens[k].text : "";
+}
+
+}  // namespace
+
+std::vector<Finding> check_atomics(const Codebase& cb,
+                                   const std::string& policy_path) {
+  const Policy policy = load_policy(policy_path);
+  std::vector<Finding> findings = policy.parse_findings;
+
+  for (const SourceFile& file : cb.files) {
+    const std::vector<Token>& tokens = file.lexed.tokens;
+    for (std::size_t i = 2; i + 1 < tokens.size(); ++i) {
+      const Token& t = tokens[i];
+      if (t.kind != TokKind::kIdent || atomic_ops().count(t.text) == 0) {
+        continue;
+      }
+      if (tokens[i + 1].text != "(") continue;
+      const Token& before = tokens[i - 1];
+      if (before.kind != TokKind::kPunct ||
+          (before.text != "." && before.text != "->")) {
+        continue;
+      }
+      const int line = t.line;
+      if (file.lexed.allows("atomics", line)) continue;
+      const std::string var = attribute_var(tokens, i - 1);
+      if (var.empty()) {
+        findings.push_back(
+            {file.lexed.path, line, "atomics",
+             "atomic op '" + t.text + "' on an expression the checker cannot "
+             "attribute to a variable; simplify or suppress"});
+        continue;
+      }
+      // Collect memory_order arguments inside this call.
+      std::set<std::string> orders;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+        if (tokens[j].kind == TokKind::kPunct) {
+          if (tokens[j].text == "(") ++depth;
+          if (tokens[j].text == ")" && --depth == 0) break;
+        }
+        if (tokens[j].kind != TokKind::kIdent) continue;
+        const std::string& word = tokens[j].text;
+        if (word.rfind("memory_order_", 0) == 0) {
+          orders.insert(word.substr(13));
+        } else if (word == "memory_order" && j + 2 < tokens.size() &&
+                   tokens[j + 1].text == "::") {
+          orders.insert(tokens[j + 2].text);
+        }
+      }
+      if (orders.empty()) orders.insert("implicit");
+
+      const PolicyEntry* entry = find_entry(policy, file.lexed.path, var);
+      if (entry == nullptr) {
+        findings.push_back(
+            {file.lexed.path, line, "atomics",
+             "atomic op '" + var + "." + t.text + "' has no declared policy; "
+             "add a line for it to atomics_policy.txt"});
+        continue;
+      }
+      const auto op_it = entry->allowed.find(policy_op(t.text));
+      if (op_it == entry->allowed.end()) {
+        findings.push_back(
+            {file.lexed.path, line, "atomics",
+             "op '" + t.text + "' on '" + var + "' is not declared by its "
+             "policy (declared ops: " +
+                 [&] {
+                   std::set<std::string> ops;
+                   for (const auto& [op, _] : entry->allowed) ops.insert(op);
+                   return join(ops);
+                 }() +
+                 ")"});
+        continue;
+      }
+      for (const std::string& order : orders) {
+        if (op_it->second.count(order) == 0) {
+          findings.push_back(
+              {file.lexed.path, line, "atomics",
+               "memory_order '" + order + "' on '" + var + "." + t.text +
+                   "' violates its declared policy (allowed: " +
+                   join(op_it->second) + ")"});
+        }
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace phicheck

@@ -1,0 +1,197 @@
+// signal-safety: walks the call graph reachable from every registered
+// signal handler and flags anything outside the curated async-signal-safe
+// allowlist. A fault-injection supervisor lives and dies by its SIGINT/
+// SIGTERM handlers: one malloc or stdio call in that path and a campaign
+// interrupt can deadlock inside the allocator the injected child just
+// corrupted the parent's view of.
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "checks.hpp"
+
+namespace phicheck {
+
+namespace {
+
+struct Allowlist {
+  std::set<std::string> functions;  // free functions (POSIX safe set + curated)
+  std::set<std::string> methods;    // `.name(` member calls (atomic ops)
+};
+
+Allowlist load_allowlist(const std::string& path) {
+  Allowlist out;
+  std::ifstream stream(path);
+  std::string line;
+  while (std::getline(stream, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream words(line);
+    std::string word;
+    while (words >> word) {
+      if (word[0] == '.') {
+        out.methods.insert(word.substr(1));
+      } else {
+        out.functions.insert(word);
+      }
+    }
+  }
+  return out;
+}
+
+/// Known-unsafe even though defined in this codebase: the logging layer
+/// allocates (ostringstream) and writes via stdio. Listing them here means
+/// the walker flags the *intent* at the first call instead of descending
+/// into implementation details.
+const std::set<std::string>& deny_list() {
+  static const std::set<std::string> deny = {
+      "log_debug", "log_info",  "log_warn", "log_error", "log_line",
+      "LogStream", "malloc",    "calloc",   "realloc",   "free",
+      "printf",    "fprintf",   "snprintf", "sprintf",   "puts",
+      "fputs",     "fopen",     "fclose",   "fflush",    "exit",
+      "make_unique", "make_shared",
+  };
+  return deny;
+}
+
+/// Identifiers whose mere appearance in a handler-reachable body is a
+/// finding (stream objects and lock types are used without call syntax).
+const std::set<std::string>& banned_idents() {
+  static const std::set<std::string> banned = {
+      "cout", "cerr", "clog", "endl", "lock_guard", "unique_lock",
+      "scoped_lock", "mutex", "ostringstream", "stringstream",
+  };
+  return banned;
+}
+
+struct Walker {
+  const Codebase& cb;
+  const Allowlist& allow;
+  std::vector<Finding>& findings;
+  std::set<std::string> visited;
+
+  void walk(const std::string& handler, const SourceFile& file,
+            const FunctionDef& fn, const std::string& chain) {
+    if (!visited.insert(fn.name).second) return;
+    // Banned identifiers anywhere in the body.
+    for (std::size_t i = fn.body_begin + 1; i < fn.body_end; ++i) {
+      const Token& t = file.lexed.tokens[i];
+      if (t.kind == TokKind::kIdent && banned_idents().count(t.text) != 0 &&
+          !file.lexed.allows("signal-safety", t.line)) {
+        findings.push_back(
+            {file.lexed.path, t.line, "signal-safety",
+             "'" + t.text + "' used in code reachable from signal handler '" +
+                 handler + "' (via " + chain + ")"});
+      }
+      if (t.kind == TokKind::kIdent && t.text == "new" &&
+          !file.lexed.allows("signal-safety", t.line)) {
+        findings.push_back({file.lexed.path, t.line, "signal-safety",
+                            "heap allocation ('new') reachable from signal "
+                            "handler '" + handler + "' (via " + chain + ")"});
+      }
+    }
+    for (const CallSite& call : fn.calls) {
+      if (call.member) {
+        if (allow.methods.count(call.name) != 0) continue;
+      } else {
+        if (allow.functions.count(call.name) != 0) continue;
+      }
+      if (deny_list().count(call.name) != 0) {
+        if (!file.lexed.allows("signal-safety", call.line)) {
+          findings.push_back(
+              {file.lexed.path, call.line, "signal-safety",
+               "call to '" + call.name +
+                   "' is not async-signal-safe; reachable from signal "
+                   "handler '" + handler + "' (via " + chain + ")"});
+        }
+        continue;
+      }
+      const SourceFile* callee_file = nullptr;
+      const FunctionDef* callee = cb.find_function(call.name, &callee_file);
+      if (callee != nullptr) {
+        walk(handler, *callee_file, *callee, chain + " -> " + call.name);
+        continue;
+      }
+      if (!file.lexed.allows("signal-safety", call.line)) {
+        findings.push_back(
+            {file.lexed.path, call.line, "signal-safety",
+             std::string(call.member ? "member call '." : "call to '") +
+                 call.name +
+                 "' is not on the async-signal-safe allowlist; reachable "
+                 "from signal handler '" + handler + "' (via " + chain + ")"});
+      }
+    }
+  }
+};
+
+/// Handler names registered in `file` via signal()/std::signal() second
+/// argument or sa_handler/sa_sigaction assignment.
+std::vector<std::string> find_handlers(const SourceFile& file) {
+  std::vector<std::string> handlers;
+  const std::vector<Token>& tokens = file.lexed.tokens;
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokKind::kIdent && t.text == "signal" &&
+        tokens[i + 1].text == "(") {
+      // Second top-level argument.
+      int depth = 0;
+      for (std::size_t j = i + 1; j < tokens.size(); ++j) {
+        const Token& u = tokens[j];
+        if (u.kind != TokKind::kPunct) continue;
+        if (u.text == "(") ++depth;
+        if (u.text == ")") {
+          if (--depth == 0) break;
+        }
+        if (u.text == "," && depth == 1) {
+          std::size_t a = j + 1;
+          // Skip qualification (std::, ::).
+          while (a + 1 < tokens.size() && tokens[a + 1].text == "::") a += 2;
+          if (a < tokens.size() && tokens[a].kind == TokKind::kIdent &&
+              tokens[a].text != "SIG_DFL" && tokens[a].text != "SIG_IGN" &&
+              tokens[a].text != "nullptr") {
+            handlers.push_back(tokens[a].text);
+          }
+          break;
+        }
+      }
+    }
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "sa_handler" || t.text == "sa_sigaction") &&
+        tokens[i + 1].text == "=" && i + 2 < tokens.size()) {
+      std::size_t a = i + 2;
+      while (a + 1 < tokens.size() && tokens[a + 1].text == "::") a += 2;
+      if (tokens[a].kind == TokKind::kIdent && tokens[a].text != "SIG_DFL" &&
+          tokens[a].text != "SIG_IGN") {
+        handlers.push_back(tokens[a].text);
+      }
+    }
+  }
+  return handlers;
+}
+
+}  // namespace
+
+std::vector<Finding> check_signal_safety(const Codebase& cb,
+                                         const std::string& allowlist_path) {
+  std::vector<Finding> findings;
+  const Allowlist allow = load_allowlist(allowlist_path);
+  for (const SourceFile& file : cb.files) {
+    for (const std::string& handler : find_handlers(file)) {
+      const SourceFile* def_file = nullptr;
+      const FunctionDef* def = cb.find_function(handler, &def_file);
+      if (def == nullptr) {
+        findings.push_back(
+            {file.lexed.path, 0, "signal-safety",
+             "signal handler '" + handler +
+                 "' is registered here but its definition was not found in "
+                 "the scanned roots"});
+        continue;
+      }
+      Walker walker{cb, allow, findings, {}};
+      walker.walk(handler, *def_file, *def, handler);
+    }
+  }
+  return findings;
+}
+
+}  // namespace phicheck

@@ -1,0 +1,39 @@
+// The four phicheck checkers (docs/STATIC_ANALYSIS.md):
+//   signal-safety    calls reachable from registered signal handlers must be
+//                    on the async-signal-safe allowlist
+//   fork-safety      no heap / stdio / locking between fork() and the
+//                    phicheck:fork-workload-entry marker in the child
+//   shm-pod          structs crossing the shared-memory channel are POD with
+//                    pinned sizes; emits the generated static_assert header
+//   atomics          every explicit memory_order use matches the per-variable
+//                    policy declared in atomics_policy.txt
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace phicheck {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string checker;
+  std::string message;
+};
+
+std::vector<Finding> check_signal_safety(const Codebase& cb,
+                                         const std::string& allowlist_path);
+
+std::vector<Finding> check_fork_safety(const Codebase& cb);
+
+/// When `emit_path` is non-empty and the checker finds no violations, writes
+/// the generated shm_layout_asserts header there ("-" for stdout).
+std::vector<Finding> check_shm_pod(const Codebase& cb,
+                                   const std::string& emit_path);
+
+std::vector<Finding> check_atomics(const Codebase& cb,
+                                   const std::string& policy_path);
+
+}  // namespace phicheck

@@ -1,0 +1,162 @@
+#include "lexer.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace phicheck {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Records any `phicheck:<directive> args` found inside a comment body.
+void scan_comment(const std::string& body, int line, LexedFile& out) {
+  const std::string key = "phicheck:";
+  std::size_t at = body.find(key);
+  if (at == std::string::npos) return;
+  std::size_t i = at + key.size();
+  Annotation ann;
+  ann.line = line;
+  while (i < body.size() && !std::isspace(static_cast<unsigned char>(body[i]))) {
+    ann.directive += body[i++];
+  }
+  while (i < body.size() && std::isspace(static_cast<unsigned char>(body[i]))) {
+    ++i;
+  }
+  std::size_t end = body.find('\n', i);
+  if (end == std::string::npos) end = body.size();
+  ann.args = body.substr(i, end - i);
+  while (!ann.args.empty() &&
+         std::isspace(static_cast<unsigned char>(ann.args.back()))) {
+    ann.args.pop_back();
+  }
+  out.annotations.push_back(std::move(ann));
+}
+
+}  // namespace
+
+bool LexedFile::allows(const std::string& checker, int line) const {
+  const std::string want = "allow(" + checker + ")";
+  for (const Annotation& ann : annotations) {
+    if (ann.directive == want && (ann.line == line || ann.line == line - 1)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+LexedFile lex(std::string path, const std::string& text) {
+  LexedFile out;
+  out.path = std::move(path);
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  const auto peek = [&](std::size_t ahead) -> char {
+    return i + ahead < n ? text[i + ahead] : '\0';
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && peek(1) == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      scan_comment(text.substr(i + 2, end - i - 2), line, out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && peek(1) == '*') {
+      std::size_t end = text.find("*/", i + 2);
+      if (end == std::string::npos) end = n;
+      const std::string body = text.substr(i + 2, end - i - 2);
+      scan_comment(body, line, out);
+      for (char b : body) {
+        if (b == '\n') ++line;
+      }
+      i = end == n ? n : end + 2;
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t d = i + 2;
+      std::string delim;
+      while (d < n && text[d] != '(') delim += text[d++];
+      const std::string closer = ")" + delim + "\"";
+      std::size_t end = text.find(closer, d);
+      if (end == std::string::npos) end = n;
+      const int start_line = line;
+      for (std::size_t k = i; k < end && k < n; ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      out.tokens.push_back({TokKind::kString, "<raw>", start_line});
+      i = end == n ? n : end + closer.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      out.tokens.push_back(
+          {quote == '"' ? TokKind::kString : TokKind::kChar,
+           text.substr(i, j + 1 - i), line});
+      i = j + 1;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       (text[j] == '\'' && j + 1 < n && ident_char(text[j + 1])))) {
+        ++j;
+      }
+      out.tokens.push_back({TokKind::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Punctuation; fuse the two-char tokens the checkers care about.
+    if (c == ':' && peek(1) == ':') {
+      out.tokens.push_back({TokKind::kPunct, "::", line});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && peek(1) == '>') {
+      out.tokens.push_back({TokKind::kPunct, "->", line});
+      i += 2;
+      continue;
+    }
+    if (c == '=' && peek(1) == '=') {
+      out.tokens.push_back({TokKind::kPunct, "==", line});
+      i += 2;
+      continue;
+    }
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace phicheck

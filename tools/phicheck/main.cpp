@@ -1,0 +1,125 @@
+// phicheck: the project's static analyzer (docs/STATIC_ANALYSIS.md).
+//
+//   phicheck --root src --root tools
+//            --allowlist tools/phicheck/signal_allowlist.txt
+//            --policy tools/phicheck/atomics_policy.txt
+//            [--check signal,fork,shm,atomics]
+//            [--emit-shm-asserts <path|->]
+//
+// Exit 0: clean. Exit 1: findings (printed as `file:line: [checker] msg`).
+// Exit 2: usage / configuration error.
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: phicheck --root <dir> [--root <dir>...]\n"
+         "                [--check signal,fork,shm,atomics]\n"
+         "                [--allowlist <signal_allowlist.txt>]\n"
+         "                [--policy <atomics_policy.txt>]\n"
+         "                [--emit-shm-asserts <path|->]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace phicheck;
+  std::vector<std::string> roots;
+  std::vector<std::string> checks = {"signal", "fork", "shm", "atomics"};
+  std::string allowlist;
+  std::string policy;
+  std::string emit_shm;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--root") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      roots.emplace_back(v);
+    } else if (arg == "--check") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      checks.clear();
+      std::istringstream list(v);
+      std::string item;
+      while (std::getline(list, item, ',')) checks.push_back(item);
+    } else if (arg == "--allowlist") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      allowlist = v;
+    } else if (arg == "--policy") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      policy = v;
+    } else if (arg == "--emit-shm-asserts") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      emit_shm = v;
+    } else {
+      std::cerr << "phicheck: unknown argument '" << arg << "'\n";
+      return usage();
+    }
+  }
+  if (roots.empty()) return usage();
+  const auto enabled = [&](const std::string& name) {
+    return std::find(checks.begin(), checks.end(), name) != checks.end();
+  };
+  if (enabled("signal") && allowlist.empty()) {
+    std::cerr << "phicheck: the signal checker needs --allowlist\n";
+    return 2;
+  }
+  if (enabled("atomics") && policy.empty()) {
+    std::cerr << "phicheck: the atomics checker needs --policy\n";
+    return 2;
+  }
+
+  const Codebase cb = load_codebase(roots);
+  if (cb.files.empty()) {
+    std::cerr << "phicheck: no C++ sources found under the given roots\n";
+    return 2;
+  }
+
+  std::vector<Finding> findings;
+  const auto append = [&findings](std::vector<Finding> more) {
+    findings.insert(findings.end(), more.begin(), more.end());
+  };
+  if (enabled("signal")) append(check_signal_safety(cb, allowlist));
+  if (enabled("fork")) append(check_fork_safety(cb));
+  if (enabled("shm")) append(check_shm_pod(cb, emit_shm));
+  if (enabled("atomics")) append(check_atomics(cb, policy));
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.message < b.message;
+            });
+  findings.erase(std::unique(findings.begin(), findings.end(),
+                             [](const Finding& a, const Finding& b) {
+                               return a.file == b.file && a.line == b.line &&
+                                      a.message == b.message;
+                             }),
+                 findings.end());
+  for (const Finding& f : findings) {
+    std::cout << f.file << ":" << f.line << ": [" << f.checker << "] "
+              << f.message << "\n";
+  }
+  if (findings.empty()) {
+    std::cerr << "phicheck: OK (" << cb.files.size() << " files scanned)\n";
+    return 0;
+  }
+  std::cerr << "phicheck: " << findings.size() << " finding(s) across "
+            << cb.files.size() << " files scanned\n";
+  return 1;
+}

@@ -1,0 +1,319 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace phicheck {
+
+namespace {
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "for",    "while",  "switch",        "return",
+      "sizeof", "catch",  "alignof", "decltype",     "static_assert",
+      "throw",  "new",    "delete", "co_return",     "assert",
+  };
+  return kw;
+}
+
+bool is_stop_token(const Token& t) {
+  if (t.kind == TokKind::kString || t.kind == TokKind::kNumber) return true;
+  if (t.kind == TokKind::kPunct) {
+    const std::string& p = t.text;
+    return p == ";" || p == "}" || p == "{" || p == "=" || p == "(" ||
+           p == "[" || p == "]";
+  }
+  if (t.kind == TokKind::kIdent) {
+    return t.text == "struct" || t.text == "class" || t.text == "union" ||
+           t.text == "enum" || t.text == "namespace" || t.text == "return" ||
+           t.text == "do" || t.text == "else" || t.text == "extern";
+  }
+  return false;
+}
+
+/// Walks back from tokens[open] == "{" looking for the ")" that closes a
+/// parameter list; handles constructor init lists by hopping over
+/// `: member(init), member(init)` groups. Returns the function name, or ""
+/// when this brace is not a function body.
+std::string function_name_before(const std::vector<Token>& tokens,
+                                 std::size_t open) {
+  std::size_t k = open;
+  int steps = 0;
+  while (k > 0 && ++steps < 64) {
+    --k;
+    const Token& t = tokens[k];
+    if (t.kind == TokKind::kPunct && t.text == ")") {
+      // Match back to "(".
+      int depth = 1;
+      std::size_t p = k;
+      while (p > 0 && depth > 0) {
+        --p;
+        if (tokens[p].kind == TokKind::kPunct) {
+          if (tokens[p].text == ")") ++depth;
+          if (tokens[p].text == "(") --depth;
+        }
+      }
+      if (depth != 0 || p == 0) return "";
+      const Token& before = tokens[p - 1];
+      if (before.kind != TokKind::kIdent) return "";  // lambda, operator, cast
+      if (control_keywords().count(before.text) != 0 || before.text == "if" ||
+          before.text == "for" || before.text == "while" ||
+          before.text == "switch" || before.text == "catch") {
+        return "";
+      }
+      // Constructor init list: `Name(args) : member_(x) {` — the ")" we
+      // found belongs to `member_(x)`; hop over the group and keep looking.
+      if (p >= 2 && tokens[p - 2].kind == TokKind::kPunct &&
+          (tokens[p - 2].text == ":" || tokens[p - 2].text == ",")) {
+        k = p - 2;
+        continue;
+      }
+      std::string name = before.text;
+      if (p >= 2 && tokens[p - 2].kind == TokKind::kPunct &&
+          tokens[p - 2].text == "~") {
+        name = "~" + name;
+      }
+      return name;
+    }
+    if (is_stop_token(t)) return "";
+    // Otherwise: trailing qualifiers (const, noexcept, override, ...),
+    // trailing return types, template closers — keep walking.
+  }
+  return "";
+}
+
+void extract_calls(const std::vector<Token>& tokens, FunctionDef& fn) {
+  for (std::size_t i = fn.body_begin + 1; i + 1 < fn.body_end; ++i) {
+    const Token& t = tokens[i];
+    const Token& next = tokens[i + 1];
+    if (next.kind != TokKind::kPunct || next.text != "(") continue;
+    if (t.kind == TokKind::kIdent) {
+      if (control_keywords().count(t.text) != 0) continue;
+      const Token& prev = tokens[i - 1];
+      const bool member = prev.kind == TokKind::kPunct &&
+                          (prev.text == "." || prev.text == "->");
+      if (!member && prev.kind == TokKind::kIdent) continue;  // declaration
+      if (!member && prev.kind == TokKind::kPunct && prev.text == ">") {
+        continue;  // `Type<T> name(` declaration
+      }
+      fn.calls.push_back({t.text, member, t.line, i});
+    } else if (t.kind == TokKind::kPunct && t.text == ">") {
+      // Templated call `name<T...>(...)`: find the matching "<".
+      int depth = 1;
+      std::size_t p = i;
+      while (p > fn.body_begin && depth > 0) {
+        --p;
+        if (tokens[p].kind == TokKind::kPunct) {
+          if (tokens[p].text == ">") ++depth;
+          if (tokens[p].text == "<") --depth;
+        }
+      }
+      if (depth != 0 || p <= fn.body_begin) continue;
+      const Token& callee = tokens[p - 1];
+      if (callee.kind != TokKind::kIdent ||
+          control_keywords().count(callee.text) != 0) {
+        continue;
+      }
+      const Token& prev = tokens[p - 2];
+      const bool member = prev.kind == TokKind::kPunct &&
+                          (prev.text == "." || prev.text == "->");
+      if (!member && prev.kind == TokKind::kIdent) continue;  // declaration
+      fn.calls.push_back({callee.text, member, callee.line, p - 1});
+    }
+  }
+}
+
+void extract_members(const std::vector<Token>& tokens, StructDef& s) {
+  std::size_t i = s.body_begin + 1;
+  while (i < s.body_end) {
+    const Token& t = tokens[i];
+    // Access specifiers.
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "public" || t.text == "protected" || t.text == "private") &&
+        i + 1 < s.body_end && tokens[i + 1].text == ":") {
+      i += 2;
+      continue;
+    }
+    // Collect one declaration run up to ";" at this depth.
+    std::size_t j = i;
+    int depth = 0;
+    bool has_paren = false;
+    while (j < s.body_end) {
+      const Token& u = tokens[j];
+      if (u.kind == TokKind::kPunct) {
+        if (u.text == "{" || u.text == "(") {
+          ++depth;
+          if (u.text == "(") has_paren = true;
+        } else if (u.text == "}" || u.text == ")") {
+          --depth;
+        } else if (u.text == ";" && depth == 0) {
+          break;
+        }
+      }
+      ++j;
+    }
+    if (j >= s.body_end) break;
+    const std::size_t stmt_end = j;  // index of ";"
+    const Token& first = tokens[i];
+    const bool skip =
+        has_paren || first.kind != TokKind::kIdent ||
+        first.text == "static" || first.text == "using" ||
+        first.text == "typedef" || first.text == "friend" ||
+        first.text == "template" || first.text == "struct" ||
+        first.text == "class" || first.text == "enum";
+    if (!skip && stmt_end > i) {
+      // Declarator: `...type... name ;` or `...type... name [ N ] ;` or
+      // with `= init` before the ";".
+      std::size_t decl_end = stmt_end;
+      for (std::size_t k = i; k < stmt_end; ++k) {
+        if (tokens[k].kind == TokKind::kPunct && tokens[k].text == "=") {
+          decl_end = k;
+          break;
+        }
+      }
+      StructMember m;
+      std::size_t name_at = decl_end;  // will move to the member name
+      std::size_t back = decl_end - 1;
+      if (tokens[back].kind == TokKind::kPunct && tokens[back].text == "]") {
+        m.is_array = true;
+        while (back > i && tokens[back].text != "[") --back;
+        --back;  // ident before "["
+      }
+      if (tokens[back].kind == TokKind::kIdent) {
+        m.name = tokens[back].text;
+        m.line = tokens[back].line;
+        name_at = back;
+        std::ostringstream type;
+        for (std::size_t k = i; k < name_at; ++k) {
+          if (k > i) type << " ";
+          type << tokens[k].text;
+          if (tokens[k].kind == TokKind::kIdent && tokens[k].text == "atomic") {
+            m.is_atomic = true;
+          }
+          if (tokens[k].kind == TokKind::kPunct && tokens[k].text == "*") {
+            m.is_pointer = true;
+          }
+        }
+        m.type_text = type.str();
+        if (!m.type_text.empty()) s.members.push_back(std::move(m));
+      }
+    }
+    i = stmt_end + 1;
+  }
+}
+
+}  // namespace
+
+std::size_t match_brace(const std::vector<Token>& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct) continue;
+    if (tokens[i].text == "{") ++depth;
+    if (tokens[i].text == "}") {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+SourceFile model_file(std::string path, const std::string& text) {
+  SourceFile out;
+  out.lexed = lex(std::move(path), text);
+  const std::vector<Token>& tokens = out.lexed.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind == TokKind::kPunct && t.text == "{") {
+      const std::string name = function_name_before(tokens, i);
+      if (!name.empty()) {
+        FunctionDef fn;
+        fn.name = name;
+        fn.line = t.line;
+        fn.body_begin = i;
+        fn.body_end = match_brace(tokens, i);
+        extract_calls(tokens, fn);
+        out.functions.push_back(std::move(fn));
+      }
+    }
+    if (t.kind == TokKind::kIdent && (t.text == "struct" || t.text == "class") &&
+        i + 1 < tokens.size() && tokens[i + 1].kind == TokKind::kIdent) {
+      // Find "{" (definition) or ";" (forward declaration) ahead.
+      std::size_t j = i + 2;
+      while (j < tokens.size() && tokens[j].text != "{" &&
+             tokens[j].text != ";") {
+        ++j;
+      }
+      if (j < tokens.size() && tokens[j].text == "{") {
+        StructDef s;
+        s.name = tokens[i + 1].text;
+        s.line = tokens[i + 1].line;
+        s.body_begin = j;
+        s.body_end = match_brace(tokens, j);
+        extract_members(tokens, s);
+        out.structs.push_back(std::move(s));
+      }
+    }
+  }
+  return out;
+}
+
+Codebase load_codebase(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  Codebase cb;
+  std::vector<fs::path> paths;
+  for (const std::string& root : roots) {
+    if (!fs::exists(root)) continue;
+    if (fs::is_regular_file(root)) {
+      paths.emplace_back(root);
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& path : paths) {
+    std::ifstream stream(path);
+    std::ostringstream text;
+    text << stream.rdbuf();
+    cb.files.push_back(model_file(path.generic_string(), text.str()));
+  }
+  for (const SourceFile& file : cb.files) {
+    const std::vector<Token>& tokens = file.lexed.tokens;
+    for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+      if (tokens[i].kind == TokKind::kIdent && tokens[i].text == "enum") {
+        std::size_t j = i + 1;
+        if (tokens[j].kind == TokKind::kIdent &&
+            (tokens[j].text == "class" || tokens[j].text == "struct")) {
+          ++j;
+        }
+        if (j < tokens.size() && tokens[j].kind == TokKind::kIdent) {
+          cb.enums.emplace(tokens[j].text, tokens[j].line);
+        }
+      }
+    }
+  }
+  return cb;
+}
+
+const FunctionDef* Codebase::find_function(const std::string& name,
+                                           const SourceFile** file) const {
+  for (const SourceFile& f : files) {
+    for (const FunctionDef& fn : f.functions) {
+      if (fn.name == name) {
+        if (file != nullptr) *file = &f;
+        return &fn;
+      }
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace phicheck

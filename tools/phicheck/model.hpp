@@ -1,0 +1,78 @@
+// Source model phicheck's checkers share: files, function definitions,
+// struct definitions with parsed members, call sites, and the call graph.
+// All extraction is heuristic token-pattern matching — deliberate for a
+// dependency-free in-tree tool — and the fixture tests under
+// tests/phicheck_fixtures/ pin the behaviour the checkers rely on.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace phicheck {
+
+/// A call site inside a function body. `name` is the unqualified callee
+/// (`util::log_info` -> "log_info"); `member` is true for `x.f()` / `x->f()`.
+struct CallSite {
+  std::string name;
+  bool member = false;
+  int line = 0;
+  std::size_t token_index = 0;
+};
+
+struct FunctionDef {
+  std::string name;        ///< unqualified
+  int line = 0;            ///< line of the body's opening brace
+  std::size_t body_begin = 0;  ///< token index of '{'
+  std::size_t body_end = 0;    ///< token index of matching '}'
+  std::vector<CallSite> calls;
+};
+
+struct StructMember {
+  std::string type_text;   ///< joined type tokens, e.g. "std::atomic<std::uint32_t>"
+  std::string name;
+  bool is_array = false;
+  bool is_atomic = false;
+  bool is_pointer = false;
+  int line = 0;
+};
+
+struct StructDef {
+  std::string name;        ///< unqualified tag name
+  int line = 0;
+  std::size_t body_begin = 0;
+  std::size_t body_end = 0;
+  std::vector<StructMember> members;
+};
+
+struct SourceFile {
+  LexedFile lexed;
+  std::vector<FunctionDef> functions;
+  std::vector<StructDef> structs;
+};
+
+struct Codebase {
+  std::vector<SourceFile> files;
+  /// All enum tag names seen anywhere (enum / enum class) — the shm checker
+  /// treats them as POD-safe member types.
+  std::map<std::string, int> enums;
+
+  /// First definition of `name` across all files, or nullptr.
+  [[nodiscard]] const FunctionDef* find_function(const std::string& name,
+                                                 const SourceFile** file) const;
+};
+
+/// Lexes and models one already-read file.
+SourceFile model_file(std::string path, const std::string& text);
+
+/// Recursively loads every .cpp/.hpp/.h/.cc under each root.
+Codebase load_codebase(const std::vector<std::string>& roots);
+
+/// Token index of the brace matching tokens[open] (which must be "{");
+/// returns tokens.size() when unbalanced.
+std::size_t match_brace(const std::vector<Token>& tokens, std::size_t open);
+
+}  // namespace phicheck
