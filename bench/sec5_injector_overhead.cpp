@@ -16,18 +16,31 @@
 // stay within noise of the pre-telemetry injector) vs. enabled (NDJSON
 // trace + metrics registry + watchdog histograms), so every observability
 // claim ships with its measured price.
+//
+// The fourth table measures multi-worker scheduler scaling: campaign
+// throughput (trials/s) at --jobs 1/2/4/8 with a group-commit (kBatch)
+// journal, telemetry off and on. Trial children are genuinely concurrent
+// forks, so speedup tracks the host's core count — on a 4-core host jobs=4
+// should reach >= 3x the jobs=1 throughput; on a 1-core container it stays
+// near 1x by construction. The table also lands in BENCH_parallel.json so
+// the perf trajectory is recorded run over run.
 #include <sys/resource.h>
 
 #include <unistd.h>
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
+#include <thread>
+#include <vector>
 
 #include "bench/bench_common.hpp"
+#include "core/campaign_journal.hpp"
 #include "core/progress.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
+#include "util/json.hpp"
 
 namespace {
 
@@ -100,6 +113,53 @@ double campaign_ms_per_trial(const phifi::work::WorkloadInfo& info,
       static_cast<double>(trials);
   if (telemetry) ::unlink(trace_path);
   return ms;
+}
+
+/// Campaign throughput (trials per wall-clock second) with `jobs` workers
+/// in flight and a group-commit journal, telemetry off or on.
+double parallel_trials_per_sec(const phifi::work::WorkloadInfo& info,
+                               unsigned jobs, bool telemetry,
+                               std::size_t trials, std::uint64_t seed) {
+  using namespace phifi;
+  using Clock = std::chrono::steady_clock;
+
+  telemetry::MetricsRegistry metrics;
+  std::unique_ptr<telemetry::TraceWriter> trace;
+  char trace_path[] = "/tmp/phifi_sec5_ptrace_XXXXXX";
+  if (telemetry) {
+    const int fd = ::mkstemp(trace_path);
+    if (fd >= 0) ::close(fd);
+    trace = std::make_unique<telemetry::TraceWriter>(trace_path);
+  }
+  char journal_path[] = "/tmp/phifi_sec5_pjournal_XXXXXX";
+  {
+    const int fd = ::mkstemp(journal_path);
+    if (fd >= 0) ::close(fd);
+  }
+
+  fi::SupervisorConfig sup_config = bench::bench_supervisor_config();
+  if (telemetry) sup_config.metrics = &metrics;
+  fi::TrialSupervisor supervisor(info.factory, sup_config);
+  supervisor.prepare_golden();
+
+  fi::CampaignConfig config = bench::bench_campaign_config(seed);
+  config.trials = trials;
+  config.jobs = jobs;
+  config.journal_path = journal_path;
+  config.journal_fsync = fi::JournalFsync::kBatch;
+  if (telemetry) {
+    config.metrics = &metrics;
+    config.trace = trace.get();
+  }
+  fi::Campaign campaign(supervisor, config);
+
+  const auto start = Clock::now();
+  (void)campaign.run();
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  ::unlink(journal_path);
+  if (telemetry) ::unlink(trace_path);
+  return seconds > 0.0 ? static_cast<double>(trials) / seconds : 0.0;
 }
 
 }  // namespace
@@ -190,5 +250,57 @@ int main() {
                    util::fmt(on_ms, 2), util::fmt_percent(overhead)});
   }
   bench::print_table(telem);
+
+  // Parallel scheduler scaling: one representative workload, --jobs sweep.
+  // Speedup is relative to jobs=1 within the same telemetry setting.
+  const unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+  util::Table scaling("Parallel scheduler scaling (kBatch journal, " +
+                      std::to_string(cores) + " host cores)");
+  scaling.set_header({"jobs", "trials/s (telemetry off)", "speedup",
+                      "trials/s (telemetry on)", "speedup"});
+  const auto& scale_info = work::all_workloads().front();
+  const std::size_t kScalingTrials = bench::env_size("PHIFI_TRIALS", 48);
+  constexpr unsigned kJobsSweep[] = {1, 2, 4, 8};
+
+  util::json::Value points = util::json::Value::array();
+  double base_off = 0.0;
+  double base_on = 0.0;
+  for (const unsigned jobs : kJobsSweep) {
+    const double off = parallel_trials_per_sec(
+        scale_info, jobs, /*telemetry=*/false, kScalingTrials, /*seed=*/888);
+    const double on = parallel_trials_per_sec(
+        scale_info, jobs, /*telemetry=*/true, kScalingTrials, /*seed=*/888);
+    if (jobs == 1) {
+      base_off = off;
+      base_on = on;
+    }
+    const double speedup_off = base_off > 0.0 ? off / base_off : 0.0;
+    const double speedup_on = base_on > 0.0 ? on / base_on : 0.0;
+    scaling.add_row({std::to_string(jobs), util::fmt(off, 1),
+                     util::fmt(speedup_off, 2) + "x", util::fmt(on, 1),
+                     util::fmt(speedup_on, 2) + "x"});
+
+    util::json::Value point = util::json::Value::object();
+    point["jobs"] = jobs;
+    point["trials_per_sec_telemetry_off"] = off;
+    point["trials_per_sec_telemetry_on"] = on;
+    point["speedup_telemetry_off"] = speedup_off;
+    point["speedup_telemetry_on"] = speedup_on;
+    points.push_back(std::move(point));
+  }
+  bench::print_table(scaling);
+
+  util::json::Value bench_point = util::json::Value::object();
+  bench_point["bench"] = "sec5_parallel_scaling";
+  bench_point["workload"] = scale_info.name;
+  bench_point["trials"] = static_cast<std::uint64_t>(kScalingTrials);
+  bench_point["host_cores"] = cores;
+  bench_point["journal_fsync"] = "batch";
+  bench_point["points"] = std::move(points);
+  {
+    std::ofstream out("BENCH_parallel.json", std::ios::trunc);
+    out << bench_point.dump() << "\n";
+  }
+  std::cout << "wrote BENCH_parallel.json\n";
   return 0;
 }

@@ -52,9 +52,30 @@ void accumulate_trace(fi::CampaignResult& result,
     result.by_window.resize(result.time_windows);
   }
 
+  // Order-independent aggregation: multi-worker campaigns commit records
+  // in attempt order, but a resumed trace can repeat an attempt (traced,
+  // then lost from the journal's torn tail, then re-run). Sort by attempt
+  // and keep the LAST record of each — the re-run is the one the journal
+  // agrees with.
+  std::vector<telemetry::TrialTrace> trials = contents.trials;
+  std::stable_sort(trials.begin(), trials.end(),
+                   [](const telemetry::TrialTrace& a,
+                      const telemetry::TrialTrace& b) {
+                     return a.attempt < b.attempt;
+                   });
+  std::vector<telemetry::TrialTrace> unique;
+  unique.reserve(trials.size());
+  for (telemetry::TrialTrace& trial : trials) {
+    if (!unique.empty() && unique.back().attempt == trial.attempt) {
+      unique.back() = std::move(trial);
+    } else {
+      unique.push_back(std::move(trial));
+    }
+  }
+
   // Mirrors fi::accumulate_trial so trace- and journal-derived tallies can
   // never disagree by construction, only by data loss.
-  for (const telemetry::TrialTrace& trial : contents.trials) {
+  for (const telemetry::TrialTrace& trial : unique) {
     result.total_seconds += trial.seconds;
     ++result.attempts;
     const fi::Outcome outcome = outcome_from_string(trial.outcome);

@@ -97,9 +97,11 @@ fi::CampaignConfig RunnerConfig::campaign_config() const {
   config.models = models;
   config.earliest_fraction = earliest_fraction;
   config.latest_fraction = latest_fraction;
+  config.jobs = jobs;
   config.journal_path = journal_file;
   config.resume = resume;
   config.journal_fsync = journal_fsync;
+  config.journal_batch = journal_batch;
   config.stop_flag = stop_flag;
   config.max_consecutive_failures = max_consecutive_failures;
   return config;
@@ -162,11 +164,24 @@ RunnerConfig parse_config(std::istream& is) {
         config.journal_fsync = fi::JournalFsync::kEveryRecord;
       } else if (value == "on-close") {
         config.journal_fsync = fi::JournalFsync::kOnClose;
+      } else if (value == "batch") {
+        config.journal_fsync = fi::JournalFsync::kBatch;
       } else {
-        fail(line_number, "journal_fsync must be 'every-record' or 'on-close'");
+        fail(line_number,
+             "journal_fsync must be 'every-record', 'on-close', or 'batch'");
       }
+    } else if (key == "journal_batch_records") {
+      config.journal_batch.max_records = parse_u64(line_number, value);
+      if (config.journal_batch.max_records == 0) {
+        fail(line_number, "journal_batch_records must be at least 1");
+      }
+    } else if (key == "journal_batch_ms") {
+      config.journal_batch.max_delay_ms = parse_double(line_number, value);
     } else if (key == "trials") {
       config.trials = parse_u64(line_number, value);
+    } else if (key == "jobs") {
+      config.jobs = static_cast<unsigned>(parse_u64(line_number, value));
+      if (config.jobs == 0) fail(line_number, "jobs must be at least 1");
     } else if (key == "policy") {
       config.policy = parse_policy(line_number, value);
     } else if (key == "models") {
@@ -241,6 +256,11 @@ std::string format_config(const RunnerConfig& config) {
   if (config.resume) os << "resume = true\n";
   if (config.journal_fsync == fi::JournalFsync::kOnClose) {
     os << "journal_fsync = on-close\n";
+  } else if (config.journal_fsync == fi::JournalFsync::kBatch) {
+    os << "journal_fsync = batch\n"
+       << "journal_batch_records = " << config.journal_batch.max_records
+       << "\n"
+       << "journal_batch_ms = " << config.journal_batch.max_delay_ms << "\n";
   }
   if (!config.trace_file.empty()) {
     os << "trace_file = " << config.trace_file << "\n";
@@ -252,6 +272,7 @@ std::string format_config(const RunnerConfig& config) {
     os << "progress_seconds = " << config.progress_seconds << "\n";
   }
   os << "trials = " << config.trials << "\n"
+     << "jobs = " << config.jobs << "\n"
      << "policy = " << to_string(config.policy) << "\n"
      << "models = ";
   for (std::size_t i = 0; i < config.models.size(); ++i) {

@@ -32,6 +32,7 @@ struct RunnerConfig {
   std::string journal_file;  ///< per-trial journal ("" = no journal)
   bool resume = false;       ///< replay journal_file and continue
   fi::JournalFsync journal_fsync = fi::JournalFsync::kEveryRecord;
+  fi::JournalBatchPolicy journal_batch;  ///< group-commit knobs (kBatch)
 
   // Telemetry (see src/telemetry/, docs/TELEMETRY.md).
   std::string trace_file;    ///< NDJSON trial trace ("" = no trace)
@@ -40,6 +41,7 @@ struct RunnerConfig {
 
   // Injection-mode settings.
   std::size_t trials = 1000;
+  unsigned jobs = 1;  ///< forked trials in flight (--jobs / `jobs = N`)
   fi::SelectionPolicy policy = fi::SelectionPolicy::kCarolFi;
   std::vector<fi::FaultModel> models{
       fi::FaultModel::kSingle, fi::FaultModel::kDouble,

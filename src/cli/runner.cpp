@@ -142,6 +142,9 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
     util::Table table("Injection campaign - " + config.workload);
     table.set_header({"metric", "value"});
     table.add_row({"trials", std::to_string(result.overall.total())});
+    if (config.jobs > 1) {
+      table.add_row({"jobs", std::to_string(config.jobs)});
+    }
     table.add_row({"masked",
                    util::fmt_percent(result.overall.masked_rate())});
     table.add_row({"sdc", util::fmt_percent(result.overall.sdc_rate())});

@@ -1,9 +1,13 @@
 #include "core/campaign.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <optional>
+#include <set>
 #include <stdexcept>
 #include <thread>
 
@@ -17,7 +21,8 @@ namespace {
 /// Flattens one trial into the string-typed trace record (the telemetry
 /// layer deliberately knows nothing about core enums).
 telemetry::TrialTrace make_trial_trace(const TrialResult& trial,
-                                       std::uint64_t attempt, double ts_ms) {
+                                       std::uint64_t attempt, double ts_ms,
+                                       unsigned slot) {
   telemetry::TrialTrace t;
   t.attempt = attempt;
   t.outcome = std::string(to_string(trial.outcome));
@@ -28,6 +33,7 @@ telemetry::TrialTrace make_trial_trace(const TrialResult& trial,
   t.category = trial.record.category;
   t.frame = trial.record.frame == FrameKind::kWorker ? "worker" : "global";
   t.worker = trial.record.worker;
+  t.slot = slot;
   t.progress_fraction = trial.record.progress_fraction;
   t.window = trial.window;
   t.seconds = trial.seconds;
@@ -78,6 +84,19 @@ void feed_metrics(telemetry::MetricsRegistry& metrics,
   }
 }
 
+/// A reaped trial waiting for its turn at the commit point. Completions
+/// arrive in whatever order the workers finish; they are buffered here and
+/// committed (journal, trace, tallies, observer) strictly in attempt-index
+/// order so any jobs value yields bit-identical campaign state.
+struct PendingTrial {
+  TrialResult trial;
+  double ts_ms = 0.0;
+  unsigned slot = 0;
+  /// Output snapshot for the observer, captured at reap time because the
+  /// slot's shm channel may be reused before this attempt commits.
+  std::vector<std::byte> output;
+};
+
 }  // namespace
 
 void OutcomeTally::add(Outcome outcome) {
@@ -118,6 +137,16 @@ void accumulate_trial(CampaignResult& result, const TrialResult& trial) {
   result.trials.push_back(trial);
 }
 
+std::uint64_t trial_seed_for(std::uint64_t campaign_seed,
+                             std::uint64_t attempt_index) {
+  // SplitMix64 whitening of the (seed, index) pair: adjacent indices give
+  // statistically independent trial seeds, and any worker can compute any
+  // attempt's seed without a shared draw cursor.
+  util::SplitMix64 mix(campaign_seed ^
+                       (0x9e3779b97f4a7c15ULL * (attempt_index + 1)));
+  return mix.next();
+}
+
 std::uint64_t campaign_fingerprint(const CampaignConfig& config,
                                    std::string_view workload,
                                    unsigned time_windows) {
@@ -147,11 +176,19 @@ std::uint64_t campaign_fingerprint(const CampaignConfig& config,
   mix(bits);
   mix(config.trials);
   mix(time_windows);
+  // Seed-scheme version: v2 = counter-indexed seeds + attempt-index model
+  // cycling. Journals from the old sequential-draw scheme must not resume
+  // into this one (the continuation would use different randomness).
+  // config_.jobs is deliberately NOT mixed: any jobs value may resume any
+  // journal.
+  mix(2);
   return hash;
 }
 
 CampaignResult Campaign::run(const TrialObserver& observer) {
   assert(!config_.models.empty());
+  using Clock = std::chrono::steady_clock;
+  const unsigned jobs = std::max(1u, config_.jobs);
   CampaignResult result;
   result.workload = supervisor_->workload_name();
   result.time_windows = supervisor_->time_windows();
@@ -164,6 +201,7 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
   if (config_.metrics != nullptr) {
     config_.metrics->gauge("campaign.trials_target")
         .set(static_cast<double>(config_.trials));
+    config_.metrics->gauge("campaign.workers_active").set(0.0);
   }
   if (config_.trace != nullptr) {
     telemetry::TraceCampaign header;
@@ -176,6 +214,7 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
     }
     header.time_windows = result.time_windows;
     header.resumed = config_.resume;
+    header.jobs = jobs;
     config_.trace->campaign(header);
   }
 
@@ -195,7 +234,28 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
                          << contents.dropped_bytes
                          << " bytes of torn tail on resume";
       }
-      for (const JournalRecord& record : contents.records) {
+      // Replay in attempt-index order, dropping duplicates: the commit
+      // point writes indices contiguously, so after sorting the records
+      // must read 0,1,2,... — a repeated index is a duplicate to skip, a
+      // gap means everything after it must be re-run.
+      std::vector<JournalRecord> records = contents.records;
+      std::stable_sort(records.begin(), records.end(),
+                       [](const JournalRecord& a, const JournalRecord& b) {
+                         return a.attempt_index < b.attempt_index;
+                       });
+      std::uint64_t expected = 0;
+      for (const JournalRecord& record : records) {
+        if (record.attempt_index < expected) {
+          util::log_warn() << result.workload
+                           << ": journal duplicate of attempt "
+                           << record.attempt_index << " skipped on resume";
+          continue;
+        }
+        if (record.attempt_index > expected) {
+          util::log_warn() << result.workload << ": journal gap at attempt "
+                           << expected << "; re-running from there";
+          break;
+        }
         accumulate_trial(result, record.trial);
         // The resumed trace file already holds these trials; only the
         // metrics (process-local) need the replay.
@@ -203,123 +263,222 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
           feed_metrics(*config_.metrics, record.trial, /*replayed=*/true);
         }
         if (record.trial.outcome != Outcome::kNotInjected) ++completed;
-        ++result.attempts;
+        ++expected;
       }
+      result.attempts = expected;
       result.resumed_trials = completed;
       util::log_info() << result.workload << ": resumed " << completed << "/"
                        << config_.trials << " trials from '"
                        << config_.journal_path << "'";
       journal = std::make_unique<CampaignJournalWriter>(
-          config_.journal_path, contents.valid_bytes, config_.journal_fsync);
+          config_.journal_path, contents.valid_bytes, config_.journal_fsync,
+          config_.journal_batch);
     } else {
       JournalHeader header;
       header.fingerprint = fingerprint;
       header.time_windows = result.time_windows;
       header.workload = result.workload;
       journal = std::make_unique<CampaignJournalWriter>(
-          config_.journal_path, header, config_.journal_fsync);
+          config_.journal_path, header, config_.journal_fsync,
+          config_.journal_batch);
     }
   }
 
-  // Trial seeds are drawn sequentially from the campaign seed, one per
-  // attempt; replaying `attempts` draws realigns a resumed stream so the
-  // continuation is bit-identical to an uninterrupted campaign.
-  util::Rng seed_stream(config_.seed);
-  for (std::uint64_t i = 0; i < result.attempts; ++i) seed_stream.next();
-
-  const std::size_t retry_budget =
+  // ---- multi-worker scheduler ----
+  //
+  // Attempt indices are the campaign's single source of truth: index i's
+  // seed is trial_seed_for(seed, i) and its fault model is models[i % M],
+  // both independent of execution order. Up to `jobs` attempts run in
+  // flight; completions land in `pending` and commit strictly in index
+  // order, so --jobs 8, --jobs 1, and any resume agree bit-for-bit.
+  // Attempts launched past the finish line (the scheduler cannot know in
+  // advance which attempt completes the campaign) are killed uncommitted.
+  supervisor_->ensure_slots(jobs);
+  const std::uint64_t retry_budget =
       config_.trials * (1 + config_.max_retry_factor);
-  std::size_t attempts = static_cast<std::size_t>(result.attempts);
+  std::uint64_t next_index = result.attempts;   // next fresh attempt
+  std::uint64_t commit_index = result.attempts; // next index to commit
+  std::set<std::uint64_t> retry_queue;  // infra-failed indices, smallest first
+  std::map<std::uint64_t, PendingTrial> pending;
+  // Per-slot (attempt index, launch timestamp) of the in-flight trial.
+  std::vector<std::optional<std::pair<std::uint64_t, double>>> inflight(jobs);
   std::size_t consecutive_failures = 0;
-  // The seed draw for the current attempt; held across infrastructure
-  // retries so a failed attempt never consumes a second draw (which would
-  // desynchronize the stream a resume replays).
-  bool seed_pending = false;
-  std::uint64_t pending_seed = 0;
+  bool draining = false;  // stop requested: no new launches, commit the rest
+  auto backoff_until = Clock::now();
 
-  while (completed < config_.trials && attempts < retry_budget) {
-    if (config_.stop_flag != nullptr &&
+  while (true) {
+    // (1) Commit every buffered completion that is next in index order.
+    while (completed < config_.trials) {
+      const auto it = pending.find(commit_index);
+      if (it == pending.end()) break;
+      PendingTrial ready = std::move(it->second);
+      pending.erase(it);
+      // Journal first (write-ahead of the in-memory tallies), then tally.
+      if (journal != nullptr) {
+        JournalRecord record;
+        record.attempt_index = commit_index;
+        record.trial = ready.trial;
+        journal->append(record);
+      }
+      if (config_.trace != nullptr) {
+        config_.trace->trial(make_trial_trace(ready.trial, commit_index,
+                                              ready.ts_ms, ready.slot));
+      }
+      if (config_.metrics != nullptr) {
+        feed_metrics(*config_.metrics, ready.trial, /*replayed=*/false);
+      }
+      accumulate_trial(result, ready.trial);
+      ++commit_index;
+      if (ready.trial.outcome == Outcome::kNotInjected) continue;
+      ++completed;
+      if (observer) {
+        const bool has_output = ready.trial.outcome == Outcome::kMasked ||
+                                ready.trial.outcome == Outcome::kSdc;
+        observer(ready.trial, has_output ? std::span<const std::byte>(
+                                               ready.output)
+                                         : std::span<const std::byte>{});
+      }
+      if (completed % 500 == 0) {
+        util::log_info() << result.workload << ": " << completed << "/"
+                         << config_.trials << " trials";
+      }
+    }
+    if (completed >= config_.trials) break;
+
+    // (2) Cooperative stop: finish what is in flight, commit it, return.
+    if (!draining && config_.stop_flag != nullptr &&
         config_.stop_flag->load(std::memory_order_relaxed)) {
       result.interrupted = true;
-      break;
+      draining = true;
     }
 
-    if (!seed_pending) {
-      pending_seed = seed_stream.next();
-      seed_pending = true;
-    }
-    TrialConfig trial;
-    trial.trial_seed = pending_seed;
-    trial.model = config_.models[completed % config_.models.size()];
-    trial.policy = config_.policy;
-    trial.earliest_fraction = config_.earliest_fraction;
-    trial.latest_fraction = config_.latest_fraction;
+    // (3) Launch into free slots: infra-failed retries first (they reuse
+    // their original index and therefore their original seed), then fresh
+    // indices up to the retry budget.
+    if (!draining && !result.aborted && Clock::now() >= backoff_until) {
+      while (supervisor_->active_slots() < jobs) {
+        const bool from_retry = !retry_queue.empty();
+        std::uint64_t index = 0;
+        if (from_retry) {
+          index = *retry_queue.begin();
+        } else if (next_index < retry_budget) {
+          index = next_index;
+        } else {
+          break;  // attempt budget exhausted
+        }
+        unsigned slot = 0;
+        while (slot < jobs && supervisor_->slot_active(slot)) ++slot;
+        assert(slot < jobs);
 
-    // Infrastructure failures (fork/waitpid, not trial DUEs) are retried
-    // with exponential backoff; K consecutive ones trip the circuit
-    // breaker and abort cleanly with the journal intact.
-    const double trace_ts_ms =
-        config_.trace != nullptr ? config_.trace->now_ms() : 0.0;
-    TrialResult trial_result;
-    try {
-      trial_result = supervisor_->run_trial(trial);
-    } catch (const std::exception& error) {
-      ++consecutive_failures;
+        TrialConfig trial;
+        trial.trial_seed = trial_seed_for(config_.seed, index);
+        trial.model = config_.models[index % config_.models.size()];
+        trial.policy = config_.policy;
+        trial.earliest_fraction = config_.earliest_fraction;
+        trial.latest_fraction = config_.latest_fraction;
+
+        const double ts_ms =
+            config_.trace != nullptr ? config_.trace->now_ms() : 0.0;
+        try {
+          supervisor_->start_trial(slot, trial);
+        } catch (const std::exception& error) {
+          // Infrastructure failure (fork, not a trial outcome): back off
+          // exponentially and retry the same index; K consecutive ones
+          // trip the circuit breaker. One completion anywhere resets the
+          // count, so a transient stretch does not accumulate forever —
+          // while a genuinely wedged host still trips it even with other
+          // slots busy.
+          ++consecutive_failures;
+          if (config_.metrics != nullptr) {
+            config_.metrics->counter("campaign.infra_failures").inc();
+          }
+          util::log_warn() << result.workload
+                           << ": trial infrastructure failure ("
+                           << consecutive_failures << "/"
+                           << config_.max_consecutive_failures
+                           << "): " << error.what();
+          retry_queue.insert(index);
+          if (!from_retry) ++next_index;
+          if (consecutive_failures >= config_.max_consecutive_failures) {
+            result.aborted = true;
+          } else {
+            const unsigned doublings = static_cast<unsigned>(
+                std::min<std::size_t>(consecutive_failures - 1, 10));
+            backoff_until =
+                Clock::now() +
+                std::chrono::milliseconds(
+                    static_cast<std::uint64_t>(
+                        config_.retry_backoff_initial_ms)
+                    << doublings);
+          }
+          break;
+        }
+        if (from_retry) {
+          retry_queue.erase(retry_queue.begin());
+        } else {
+          ++next_index;
+        }
+        inflight[slot] = {{index, ts_ms}};
+      }
       if (config_.metrics != nullptr) {
-        config_.metrics->counter("campaign.infra_failures").inc();
+        config_.metrics->gauge("campaign.workers_active")
+            .set(static_cast<double>(supervisor_->active_slots()));
       }
-      util::log_warn() << result.workload << ": trial infrastructure failure ("
-                       << consecutive_failures << "/"
-                       << config_.max_consecutive_failures
-                       << "): " << error.what();
-      if (consecutive_failures >= config_.max_consecutive_failures) {
-        result.aborted = true;
-        break;
+    }
+
+    // (4) Nothing in flight: either the campaign is winding down (drain,
+    // abort, budget exhausted) or every launch is gated on backoff.
+    if (supervisor_->active_slots() == 0) {
+      if (draining || result.aborted) break;
+      if (retry_queue.empty() && next_index >= retry_budget) break;
+      const auto now = Clock::now();
+      if (now < backoff_until) {
+        // Sleep in small steps so a stop request stays responsive.
+        std::this_thread::sleep_for(
+            std::min(std::chrono::duration_cast<std::chrono::milliseconds>(
+                         backoff_until - now),
+                     std::chrono::milliseconds(10)));
       }
-      const unsigned doublings = static_cast<unsigned>(
-          std::min<std::size_t>(consecutive_failures - 1, 10));
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          static_cast<std::uint64_t>(config_.retry_backoff_initial_ms)
-          << doublings));
-      continue;  // same attempt: the held seed draw is reused, not redrawn
+      continue;
+    }
+
+    // (5) Reap: buffer completions for the commit point; any completion
+    // proves the fork machinery works again.
+    std::vector<SlotCompletion> done = supervisor_->poll_slots();
+    if (done.empty()) {
+      std::this_thread::sleep_for(supervisor_->next_poll_delay());
+      continue;
     }
     consecutive_failures = 0;
-    seed_pending = false;
-    ++attempts;
-
-    // Journal first (write-ahead of the in-memory tallies), then tally.
-    if (journal != nullptr) {
-      JournalRecord record;
-      record.attempt_index = attempts - 1;
-      record.trial = trial_result;
-      journal->append(record);
-    }
-    if (config_.trace != nullptr) {
-      config_.trace->trial(
-          make_trial_trace(trial_result, attempts - 1, trace_ts_ms));
+    for (SlotCompletion& completion : done) {
+      assert(inflight[completion.slot].has_value());
+      const auto [index, ts_ms] = *inflight[completion.slot];
+      inflight[completion.slot].reset();
+      PendingTrial entry;
+      entry.trial = std::move(completion.result);
+      entry.ts_ms = ts_ms;
+      entry.slot = completion.slot;
+      if (observer && (entry.trial.outcome == Outcome::kMasked ||
+                       entry.trial.outcome == Outcome::kSdc)) {
+        const auto output = supervisor_->slot_output(completion.slot);
+        entry.output.assign(output.begin(), output.end());
+      }
+      pending.emplace(index, std::move(entry));
     }
     if (config_.metrics != nullptr) {
-      feed_metrics(*config_.metrics, trial_result, /*replayed=*/false);
-    }
-    accumulate_trial(result, trial_result);
-    if (trial_result.outcome == Outcome::kNotInjected) {
-      continue;  // retry with a fresh seed; the model slot is not consumed
-    }
-    ++completed;
-
-    if (observer) {
-      const bool has_output = trial_result.outcome == Outcome::kMasked ||
-                              trial_result.outcome == Outcome::kSdc;
-      observer(trial_result, has_output ? supervisor_->last_output()
-                                        : std::span<const std::byte>{});
-    }
-
-    if (completed % 500 == 0) {
-      util::log_info() << result.workload << ": " << completed << "/"
-                       << config_.trials << " trials";
+      config_.metrics->gauge("campaign.workers_active")
+          .set(static_cast<double>(supervisor_->active_slots()));
     }
   }
-  result.attempts = attempts;
+  result.attempts = commit_index;
+
+  // Cancel speculative attempts past the finish line (and anything still
+  // in flight on abort): killed, never journaled, so the commit boundary
+  // is identical for every jobs value.
+  supervisor_->kill_active_slots();
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge("campaign.workers_active").set(0.0);
+  }
 
   if (journal != nullptr) journal->sync();
   if (config_.trace != nullptr) {
@@ -344,7 +503,7 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
                      << " consecutive infrastructure failures";
   } else if (completed < config_.trials) {
     util::log_warn() << result.workload << ": campaign stopped after "
-                     << attempts << " attempts with only " << completed
+                     << result.attempts << " attempts with only " << completed
                      << " injected trials";
   }
   return result;

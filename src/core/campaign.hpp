@@ -37,18 +37,28 @@ struct CampaignConfig {
   double latest_fraction = 0.99;
   std::size_t max_retry_factor = 3;  ///< retries allowed = factor * trials
 
+  /// Worker slots: up to this many forked trials in flight at once
+  /// (1 = classic sequential campaign). Trial seeds are indexed by attempt
+  /// counter and completions commit in attempt order, so any jobs value —
+  /// and any resume — produces bit-identical tallies. Not part of the
+  /// journal fingerprint: a campaign may be resumed with a different jobs.
+  unsigned jobs = 1;
+
   // ---- durability / supervision ----
 
   /// Write-ahead journal path ("" = no journal). Every trial attempt is
   /// appended as it completes, so a killed campaign can be resumed.
   std::string journal_path;
   /// Resume from an existing journal at journal_path: replay its records
-  /// into the tallies, skip the already-consumed seed draws, and continue.
-  /// Trial seeds derive from (campaign seed, attempt index), so a resumed
-  /// campaign is bit-identical to an uninterrupted one. Rejected (throws)
-  /// if the journal's config fingerprint does not match.
+  /// into the tallies (in attempt-index order, duplicates dropped) and
+  /// continue from the next unseen attempt index. Trial seeds derive from
+  /// (campaign seed, attempt index), so a resumed campaign is bit-identical
+  /// to an uninterrupted one. Rejected (throws) if the journal's config
+  /// fingerprint does not match.
   bool resume = false;
   JournalFsync journal_fsync = JournalFsync::kEveryRecord;
+  /// Group-commit knobs, used only with JournalFsync::kBatch.
+  JournalBatchPolicy journal_batch;
   /// Cooperative stop: checked between trials. When it becomes true the
   /// in-flight trial finishes, the journal is flushed, and run() returns
   /// with result.interrupted set. Wire SIGINT/SIGTERM handlers to this.
@@ -111,8 +121,8 @@ struct CampaignResult {
   /// need joint distributions read this).
   std::vector<TrialResult> trials;
 
-  /// Seed draws consumed (completed + NotInjected attempts); resume skips
-  /// this many draws to realign the seed stream.
+  /// Attempt indices committed (completed + NotInjected attempts); resume
+  /// continues issuing indices from here.
   std::uint64_t attempts = 0;
   /// Trials replayed from a journal rather than executed this run.
   std::uint64_t resumed_trials = 0;
@@ -124,6 +134,13 @@ struct CampaignResult {
 /// Used by the live campaign loop, journal replay, and phifi_parse so the
 /// three can never disagree on aggregation.
 void accumulate_trial(CampaignResult& result, const TrialResult& trial);
+
+/// The seed for attempt `attempt_index` of a campaign: a SplitMix64 whiten
+/// of campaign_seed ⊕ f(attempt_index). Counter-indexed (not a sequential
+/// draw stream) so N in-flight workers, resumes, and infrastructure retries
+/// all agree on every attempt's randomness with no shared draw cursor.
+std::uint64_t trial_seed_for(std::uint64_t campaign_seed,
+                             std::uint64_t attempt_index);
 
 /// Fingerprint of everything a resume must agree on: workload, seed,
 /// policy, fault models, injection window, trial count, time windows.

@@ -191,8 +191,11 @@ std::uint32_t journal_crc32(const void* data, std::size_t size) {
 
 CampaignJournalWriter::CampaignJournalWriter(const std::string& path,
                                              const JournalHeader& header,
-                                             JournalFsync fsync_policy)
-    : fsync_(fsync_policy) {
+                                             JournalFsync fsync_policy,
+                                             JournalBatchPolicy batch)
+    : fsync_(fsync_policy),
+      batch_(batch),
+      last_sync_(std::chrono::steady_clock::now()) {
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd_ < 0) {
     throw std::runtime_error("journal: cannot create '" + path +
@@ -206,8 +209,11 @@ CampaignJournalWriter::CampaignJournalWriter(const std::string& path,
 
 CampaignJournalWriter::CampaignJournalWriter(const std::string& path,
                                              std::uint64_t valid_bytes,
-                                             JournalFsync fsync_policy)
-    : fsync_(fsync_policy) {
+                                             JournalFsync fsync_policy,
+                                             JournalBatchPolicy batch)
+    : fsync_(fsync_policy),
+      batch_(batch),
+      last_sync_(std::chrono::steady_clock::now()) {
   fd_ = ::open(path.c_str(), O_WRONLY, 0644);
   if (fd_ < 0) {
     throw std::runtime_error("journal: cannot reopen '" + path +
@@ -247,12 +253,24 @@ void CampaignJournalWriter::write_all(const void* data, std::size_t size) {
 void CampaignJournalWriter::append(const JournalRecord& record) {
   const auto framed = frame(serialize_record(record));
   write_all(framed.data(), framed.size());
-  if (fsync_ == JournalFsync::kEveryRecord) ::fsync(fd_);
   ++written_;
+  if (fsync_ == JournalFsync::kEveryRecord) {
+    ::fsync(fd_);
+  } else if (fsync_ == JournalFsync::kBatch) {
+    ++unsynced_;
+    const double since_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - last_sync_)
+                                .count();
+    if (unsynced_ >= batch_.max_records || since_ms >= batch_.max_delay_ms) {
+      sync();
+    }
+  }
 }
 
 void CampaignJournalWriter::sync() {
   if (fd_ >= 0) ::fsync(fd_);
+  unsynced_ = 0;
+  last_sync_ = std::chrono::steady_clock::now();
 }
 
 JournalContents read_journal(const std::string& path) {

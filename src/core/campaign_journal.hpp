@@ -20,6 +20,7 @@
 //     record payload: u64 attempt_index + the flattened TrialResult
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -32,6 +33,18 @@ namespace phifi::fi {
 enum class JournalFsync {
   kEveryRecord,  ///< fsync after each append; survives power loss
   kOnClose,      ///< fsync only on sync()/close; survives process death
+  /// Group commit: fsync once every K records or T ms, whichever comes
+  /// first (see JournalBatchPolicy), plus on sync()/close. Power loss can
+  /// cost at most the unsynced batch; process death costs nothing (the
+  /// records are already in the page cache). This keeps N parallel workers
+  /// from serializing behind one fsync per trial.
+  kBatch,
+};
+
+/// Group-commit knobs for JournalFsync::kBatch.
+struct JournalBatchPolicy {
+  std::uint64_t max_records = 64;  ///< fsync after this many appends
+  double max_delay_ms = 50.0;      ///< ... or this long since the last fsync
 };
 
 struct JournalHeader {
@@ -41,7 +54,7 @@ struct JournalHeader {
 };
 
 /// One journaled trial attempt. NotInjected attempts are journaled too:
-/// they consume a seed draw, and resume must replay the seed stream
+/// they consume an attempt index, and resume must account for every index
 /// exactly for the continued campaign to be bit-identical.
 struct JournalRecord {
   std::uint64_t attempt_index = 0;
@@ -62,13 +75,15 @@ class CampaignJournalWriter {
   /// Starts a fresh journal at `path` (truncating any existing file) and
   /// writes the header. Throws std::runtime_error on I/O failure.
   CampaignJournalWriter(const std::string& path, const JournalHeader& header,
-                        JournalFsync fsync_policy);
+                        JournalFsync fsync_policy,
+                        JournalBatchPolicy batch = {});
 
   /// Reopens an existing (already loaded and fingerprint-checked) journal
   /// for appending. Truncates to `valid_bytes` first, dropping any torn
   /// tail a crash left behind.
   CampaignJournalWriter(const std::string& path, std::uint64_t valid_bytes,
-                        JournalFsync fsync_policy);
+                        JournalFsync fsync_policy,
+                        JournalBatchPolicy batch = {});
 
   ~CampaignJournalWriter();
 
@@ -82,13 +97,18 @@ class CampaignJournalWriter {
   void sync();
 
   [[nodiscard]] std::uint64_t written() const { return written_; }
+  /// Records appended since the last fsync (kBatch diagnostics/tests).
+  [[nodiscard]] std::uint64_t unsynced() const { return unsynced_; }
 
  private:
   void write_all(const void* data, std::size_t size);
 
   int fd_ = -1;
   JournalFsync fsync_ = JournalFsync::kEveryRecord;
+  JournalBatchPolicy batch_;
   std::uint64_t written_ = 0;
+  std::uint64_t unsynced_ = 0;
+  std::chrono::steady_clock::time_point last_sync_{};
 };
 
 /// Loads a journal. A truncated or checksum-corrupt tail is dropped (and

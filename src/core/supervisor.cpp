@@ -92,7 +92,11 @@ TrialSupervisor::TrialSupervisor(WorkloadFactory factory,
   assert(factory_ != nullptr);
 }
 
-TrialSupervisor::~TrialSupervisor() = default;
+TrialSupervisor::~TrialSupervisor() {
+  // Never leave orphaned trial children behind: a campaign that throws
+  // mid-flight still reaps on unwind.
+  kill_active_slots();
+}
 
 void TrialSupervisor::prepare_golden() {
   auto workload = factory_();
@@ -116,10 +120,23 @@ void TrialSupervisor::prepare_golden() {
   type_ = workload->output_type();
   windows_ = workload->time_windows();
   name_ = workload->name();
-  channel_ = std::make_unique<SharedChannel>(golden_.size());
   prepared_ = true;
+  ensure_slots(1);
   util::log_info() << name_ << ": golden run " << golden_seconds_ << "s, "
                    << golden_.size() << " output bytes";
+}
+
+void TrialSupervisor::ensure_slots(unsigned count) {
+  assert(prepared_ && "call prepare_golden() first");
+  while (slots_.size() < count) {
+    Slot slot;
+    slot.channel = std::make_unique<SharedChannel>(golden_.size());
+    slots_.push_back(std::move(slot));
+  }
+}
+
+bool TrialSupervisor::slot_active(unsigned slot) const {
+  return slot < slots_.size() && slots_[slot].active;
 }
 
 TrialResult TrialSupervisor::run_trial(const TrialConfig& config) {
@@ -133,30 +150,92 @@ TrialResult TrialSupervisor::run_clean_trial() {
 }
 
 std::span<const std::byte> TrialSupervisor::last_output() const {
-  return channel_->output();
+  return slot_output(0);
+}
+
+std::span<const std::byte> TrialSupervisor::slot_output(unsigned slot) const {
+  assert(slot < slots_.size());
+  return slots_[slot].channel->output();
 }
 
 TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
-  channel_->reset();
+  assert(active_count_ == 0 &&
+         "synchronous run_trial cannot overlap in-flight slots");
+  launch(0, config);
+  while (true) {
+    std::vector<SlotCompletion> done = poll_slots();
+    if (!done.empty()) return std::move(done.front().result);
+    std::this_thread::sleep_for(next_poll_delay());
+  }
+}
+
+void TrialSupervisor::launch(unsigned slot_index, const TrialConfig* config) {
+  assert(slot_index < slots_.size());
+  Slot& slot = slots_[slot_index];
+  assert(!slot.active && "slot already has a child in flight");
+  slot.channel->reset();
+  SharedChannel* channel = slot.channel.get();
   const auto start = Clock::now();
   const pid_t pid = ::fork();
   if (pid < 0) {
     throw std::runtime_error("TrialSupervisor: fork failed");
   }
   if (pid == 0) {
-    child_main(config);  // never returns
+    child_main(config, channel);  // never returns
   }
-  const double fork_done = seconds_since(start);
+  slot.pid = pid;
+  slot.active = true;
+  slot.injected = config != nullptr;
+  slot.start = start;
+  slot.fork_done = seconds_since(start);
+  slot.polls = 0;
+  slot.last_beat = slot.channel->heartbeat();
+  slot.last_beat_time = start;
+  slot.last_poll_time = start;
+  ++active_count_;
+}
 
+void TrialSupervisor::start_trial(unsigned slot, const TrialConfig& config) {
+  launch(slot, &config);
+}
+
+std::vector<SlotCompletion> TrialSupervisor::poll_slots() {
+  std::vector<SlotCompletion> done;
+  // Reap pass: a single EINTR-safe wait loop picks up every child that has
+  // exited, whichever slot it ran in.
+  while (active_count_ > 0) {
+    int status = 0;
+    const pid_t reaped = waitpid_eintr(-1, &status, WNOHANG);
+    if (reaped == 0) break;
+    if (reaped < 0) {
+      throw std::runtime_error("TrialSupervisor: waitpid failed");
+    }
+    bool matched = false;
+    for (unsigned i = 0; i < slots_.size(); ++i) {
+      Slot& slot = slots_[i];
+      if (slot.active && slot.pid == reaped) {
+        done.push_back({i, finalize_slot(slot, status, DueKind::kNone,
+                                         /*escalated=*/false)});
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      util::log_warn() << "TrialSupervisor: reaped unknown child pid "
+                       << reaped;
+    }
+  }
+
+  // Watchdog pass over the slots still running: deadline, heartbeat
+  // extension, stall detection, escalation.
   telemetry::Histogram* poll_hist = nullptr;
   telemetry::Histogram* beat_hist = nullptr;
-  if (config_.metrics != nullptr) {
-    poll_hist = &config_.metrics->histogram("supervisor.poll_interval_ms",
-                                            telemetry::watchdog_poll_edges_ms());
+  if (config_.metrics != nullptr && active_count_ > 0) {
+    poll_hist = &config_.metrics->histogram(
+        "supervisor.poll_interval_ms", telemetry::watchdog_poll_edges_ms());
     beat_hist = &config_.metrics->histogram(
         "supervisor.heartbeat_gap_ms", telemetry::default_latency_edges_ms());
   }
-
   const double deadline = std::max(config_.min_timeout_seconds,
                                    config_.timeout_factor * golden_seconds_);
   const bool heartbeat_on = config_.heartbeat_divisions > 0;
@@ -170,44 +249,34 @@ TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
                                      ? config_.stall_timeout_seconds
                                      : deadline;
 
-  int status = 0;
-  DueKind killed_as = DueKind::kNone;
-  bool escalated = false;
-  std::uint64_t polls = 0;
-  std::uint64_t last_beat = channel_->heartbeat();
-  auto last_beat_time = start;
-  auto last_poll_time = start;
-  while (true) {
-    const pid_t reaped = waitpid_eintr(pid, &status, WNOHANG);
-    if (reaped == pid) break;
-    if (reaped < 0) {
-      throw std::runtime_error("TrialSupervisor: waitpid failed");
-    }
-    ++polls;
-
+  for (unsigned i = 0; i < slots_.size(); ++i) {
+    Slot& slot = slots_[i];
+    if (!slot.active) continue;
+    ++slot.polls;
     const auto now = Clock::now();
-    const double elapsed = seconds_since(start);
+    const double elapsed = seconds_since(slot.start);
     if (poll_hist != nullptr) {
       poll_hist->observe(
-          std::chrono::duration<double, std::milli>(now - last_poll_time)
+          std::chrono::duration<double, std::milli>(now - slot.last_poll_time)
               .count());
     }
-    last_poll_time = now;
+    slot.last_poll_time = now;
     if (heartbeat_on) {
-      const std::uint64_t beat = channel_->heartbeat();
-      if (beat != last_beat) {
+      const std::uint64_t beat = slot.channel->heartbeat();
+      if (beat != slot.last_beat) {
         if (beat_hist != nullptr) {
-          beat_hist->observe(
-              std::chrono::duration<double, std::milli>(now - last_beat_time)
-                  .count());
+          beat_hist->observe(std::chrono::duration<double, std::milli>(
+                                 now - slot.last_beat_time)
+                                 .count());
         }
-        last_beat = beat;
-        last_beat_time = now;
+        slot.last_beat = beat;
+        slot.last_beat_time = now;
       }
     }
     const double beat_gap =
-        std::chrono::duration<double>(now - last_beat_time).count();
+        std::chrono::duration<double>(now - slot.last_beat_time).count();
 
+    DueKind killed_as = DueKind::kNone;
     if (heartbeat_on && config_.stall_timeout_seconds > 0.0 &&
         beat_gap > config_.stall_timeout_seconds) {
       killed_as = DueKind::kStall;
@@ -217,26 +286,54 @@ TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
       if (!alive) killed_as = DueKind::kHang;
     }
     if (killed_as != DueKind::kNone) {
-      escalated =
-          kill_with_escalation(pid, config_.kill_grace_seconds, &status);
-      break;
+      int status = 0;
+      const bool escalated =
+          kill_with_escalation(slot.pid, config_.kill_grace_seconds, &status);
+      done.push_back({i, finalize_slot(slot, status, killed_as, escalated)});
     }
-
-    std::this_thread::sleep_for(
-        config_.poll == WatchdogPoll::kAdaptive
-            ? adaptive_poll_interval(elapsed, golden_seconds_)
-            : std::chrono::microseconds(200));
   }
+  return done;
+}
 
+std::chrono::microseconds TrialSupervisor::next_poll_delay() const {
+  if (config_.poll != WatchdogPoll::kAdaptive) {
+    return std::chrono::microseconds(200);
+  }
+  auto delay = std::chrono::microseconds(20000);
+  bool any = false;
+  for (const Slot& slot : slots_) {
+    if (!slot.active) continue;
+    any = true;
+    delay = std::min(delay, adaptive_poll_interval(seconds_since(slot.start),
+                                                   golden_seconds_));
+  }
+  return any ? delay : std::chrono::microseconds(200);
+}
+
+void TrialSupervisor::kill_active_slots() {
+  for (Slot& slot : slots_) {
+    if (!slot.active) continue;
+    ::kill(slot.pid, SIGKILL);
+    int status = 0;
+    (void)waitpid_eintr(slot.pid, &status, 0);
+    slot.active = false;
+    slot.pid = -1;
+    --active_count_;
+  }
+}
+
+TrialResult TrialSupervisor::finalize_slot(Slot& slot, int status,
+                                           DueKind killed_as,
+                                           bool escalated) {
   TrialResult result;
-  result.seconds = seconds_since(start);
-  result.fork_done_seconds = fork_done;
+  result.seconds = seconds_since(slot.start);
+  result.fork_done_seconds = slot.fork_done;
   result.reaped_seconds = result.seconds;
-  result.polls = polls;
-  result.heartbeats = channel_->heartbeat();
+  result.polls = slot.polls;
+  result.heartbeats = slot.channel->heartbeat();
   result.escalated_kill = escalated;
-  result.phases = channel_->phases();
-  if (channel_->record_ready()) result.record = channel_->record();
+  result.phases = slot.channel->phases();
+  if (slot.channel->record_ready()) result.record = slot.channel->record();
   result.window = windows_ == 0
                       ? 0
                       : std::min(windows_ - 1,
@@ -255,23 +352,27 @@ TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
     result.outcome = Outcome::kDue;
     result.due_kind = DueKind::kRlimit;
   } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 ||
-             !channel_->output_ready()) {
+             !slot.channel->output_ready()) {
     result.outcome = Outcome::kDue;
     result.due_kind = DueKind::kAbnormalExit;
-  } else if (config != nullptr && !result.record.injected) {
+  } else if (slot.injected && !result.record.injected) {
     // Clean exit but the flip never fired: the run finished before the
     // armed fraction (shouldn't happen with finish()-backstop, but stay
     // honest if it does).
     result.outcome = Outcome::kNotInjected;
   } else {
     // Clean exit: classify by comparing against the golden copy.
-    const auto output = channel_->output();
+    const auto output = slot.channel->output();
     const bool matches =
         output.size() == golden_.size() &&
         std::memcmp(output.data(), golden_.data(), golden_.size()) == 0;
     result.outcome = matches ? Outcome::kMasked : Outcome::kSdc;
   }
-  result.classified_seconds = seconds_since(start);
+  result.classified_seconds = seconds_since(slot.start);
+
+  slot.active = false;
+  slot.pid = -1;
+  --active_count_;
 
   if (config_.metrics != nullptr && escalated) {
     config_.metrics->counter("supervisor.escalated_kills").inc();
@@ -283,7 +384,8 @@ TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
 }
 
 // phicheck:fork-child-entry
-void TrialSupervisor::child_main(const TrialConfig* config) {
+void TrialSupervisor::child_main(const TrialConfig* config,
+                                 SharedChannel* channel) {
   // From here on we are in the forked child. The parent was single-threaded
   // at fork time, so heap and libc state are consistent. Exit only through
   // _exit() so the parent's atexit handlers and buffers are not replayed.
@@ -327,15 +429,15 @@ void TrialSupervisor::child_main(const TrialConfig* config) {
     progress.reset(workload->total_steps());
     if (config_.heartbeat_divisions > 0) {
       progress.set_pulse(config_.heartbeat_divisions,
-                         [this] { channel_->beat(); });
+                         [channel] { channel->beat(); });
     }
     // Forward workload phase transitions to the parent through the shared
     // channel; timestamps are monotonic seconds from child start so the
     // tracer can place them inside the trial span.
     const auto child_start = Clock::now();
     progress.set_phase_hook(
-        [this, child_start](std::string_view phase, double fraction) {
-          channel_->store_phase(phase, fraction, seconds_since(child_start));
+        [channel, child_start](std::string_view phase, double fraction) {
+          channel->store_phase(phase, fraction, seconds_since(child_start));
         });
 
     phi::Device device(config_.device_spec, config_.device_os_threads);
@@ -350,24 +452,24 @@ void TrialSupervisor::child_main(const TrialConfig* config) {
       // The hook runs on whichever worker thread crosses the target, like
       // the Flip-script running while the stopped program's state sits in
       // memory. Selection and fault bits come from the trial seed alone.
-      progress.arm(target, [this, config, &engine, &rng](double at) {
+      progress.arm(target, [channel, config, &engine, &rng](double at) {
         // Publish a provisional record first: if the flip crashes the
         // program within microseconds, the parent still learns the model.
         InjectionRecord provisional;
         provisional.injected = true;
         provisional.model = config->model;
         provisional.progress_fraction = at;
-        channel_->store_record(provisional);
+        channel->store_record(provisional);
         const InjectionRecord record =
             engine.inject(config->model, rng, at, config->burst_elements);
-        channel_->store_record(record);
+        channel->store_record(record);
       });
     }
 
     workload->run(device, progress);
     progress.finish();
 
-    channel_->store_output(workload->output_bytes());
+    channel->store_output(workload->output_bytes());
   } catch (const std::bad_alloc&) {
     ::_exit(kChildExitRlimit);
   } catch (...) {

@@ -7,8 +7,14 @@
 // kills it past the deadline, and classifies the outcome — Masked (output
 // bit-identical to the golden copy), SDC (mismatch), or DUE (crash /
 // abnormal exit / hang).
+//
+// Trials run in *slots*: each slot owns its own SharedChannel shm segment
+// and watchdog state, so a multi-worker campaign can keep several forked
+// children in flight at once (start_trial/poll_slots), while the classic
+// one-at-a-time API (run_trial) drives slot 0 synchronously.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -118,6 +124,13 @@ struct TrialResult {
   std::vector<PhaseRecord> phases;
 };
 
+/// One trial that finished (exited, crashed, or was killed) during a
+/// poll_slots() pass, classified and ready to hand back.
+struct SlotCompletion {
+  unsigned slot = 0;
+  TrialResult result;
+};
+
 class TrialSupervisor {
  public:
   TrialSupervisor(WorkloadFactory factory, SupervisorConfig config = {});
@@ -133,11 +146,46 @@ class TrialSupervisor {
   void prepare_golden();
 
   /// Runs one injected trial in a forked child and classifies the outcome.
+  /// Synchronous convenience over slot 0; must not be mixed with in-flight
+  /// async slots.
   TrialResult run_trial(const TrialConfig& config);
 
   /// Runs a fault-free trial through the same fork/channel machinery;
   /// used for self-checks and injector-overhead measurement.
   TrialResult run_clean_trial();
+
+  // ---- multi-slot (parallel campaign) API ----
+
+  /// Grows the slot pool to `count` slots, each with its own shm channel
+  /// sized for the golden output. Requires prepare_golden() first; never
+  /// shrinks, and never reallocates the channel of an active slot.
+  void ensure_slots(unsigned count);
+
+  [[nodiscard]] unsigned slot_count() const {
+    return static_cast<unsigned>(slots_.size());
+  }
+  [[nodiscard]] bool slot_active(unsigned slot) const;
+  /// Number of slots with a forked child currently in flight.
+  [[nodiscard]] unsigned active_slots() const { return active_count_; }
+
+  /// Forks one injected trial into a free slot. Throws std::runtime_error
+  /// on fork failure (the slot stays free; the attempt can be retried).
+  void start_trial(unsigned slot, const TrialConfig& config);
+
+  /// One scheduler pass: reaps any exited children with a single
+  /// EINTR-safe waitpid(-1) loop, then runs the watchdog (deadline, stall,
+  /// heartbeat extension, SIGTERM→SIGKILL escalation) over the slots still
+  /// running. Returns every trial that completed this pass, classified.
+  std::vector<SlotCompletion> poll_slots();
+
+  /// Suggested sleep before the next poll_slots() call: the tightest
+  /// adaptive (or fixed) poll interval across the active slots.
+  [[nodiscard]] std::chrono::microseconds next_poll_delay() const;
+
+  /// SIGKILLs and reaps every active slot without classifying — used to
+  /// cancel speculative attempts past the campaign's finish line and to
+  /// tear down on abort.
+  void kill_active_slots();
 
   [[nodiscard]] std::span<const std::byte> golden() const { return golden_; }
   [[nodiscard]] util::Shape output_shape() const { return shape_; }
@@ -152,13 +200,39 @@ class TrialSupervisor {
     return golden_counters_;
   }
 
-  /// Output bytes of the most recent completed (Masked/SDC) trial; valid
-  /// until the next run_trial call.
+  /// Output bytes of the most recent completed (Masked/SDC) trial in slot
+  /// 0; valid until the next trial starts there.
   [[nodiscard]] std::span<const std::byte> last_output() const;
 
+  /// Output bytes of the given slot's last completed trial; valid until
+  /// the slot is reused.
+  [[nodiscard]] std::span<const std::byte> slot_output(unsigned slot) const;
+
  private:
+  using Clock = std::chrono::steady_clock;
+
+  /// Per-slot watchdog state. The channel is allocated once and reused
+  /// across the trials scheduled into the slot.
+  struct Slot {
+    std::unique_ptr<SharedChannel> channel;
+    pid_t pid = -1;
+    bool active = false;
+    bool injected = false;  ///< launched with an injection config
+    Clock::time_point start{};
+    Clock::time_point last_beat_time{};
+    Clock::time_point last_poll_time{};
+    std::uint64_t last_beat = 0;
+    std::uint64_t polls = 0;
+    double fork_done = 0.0;
+  };
+
   TrialResult run_child(const TrialConfig* config);
-  [[noreturn]] void child_main(const TrialConfig* config);
+  void launch(unsigned slot, const TrialConfig* config);
+  /// Reaps + classifies a finished child and frees the slot.
+  TrialResult finalize_slot(Slot& slot, int status, DueKind killed_as,
+                            bool escalated);
+  [[noreturn]] void child_main(const TrialConfig* config,
+                               SharedChannel* channel);
 
   WorkloadFactory factory_;
   SupervisorConfig config_;
@@ -169,7 +243,8 @@ class TrialSupervisor {
   unsigned windows_ = 1;
   double golden_seconds_ = 0.0;
   std::string name_;
-  std::unique_ptr<SharedChannel> channel_;
+  std::vector<Slot> slots_;
+  unsigned active_count_ = 0;
   bool prepared_ = false;
 };
 

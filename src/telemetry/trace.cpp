@@ -78,6 +78,7 @@ void TraceWriter::campaign(const TraceCampaign& header) {
   record["models"] = std::move(models);
   record["time_windows"] = header.time_windows;
   record["resumed"] = header.resumed;
+  record["jobs"] = header.jobs;
   write_line(record);
 }
 
@@ -93,6 +94,7 @@ util::json::Value trial_to_json(const TrialTrace& trial) {
   record["category"] = trial.category;
   record["frame"] = trial.frame;
   record["worker"] = static_cast<std::int64_t>(trial.worker);
+  record["slot"] = trial.slot;
   record["progress_fraction"] = trial.progress_fraction;
   record["window"] = trial.window;
   record["seconds"] = trial.seconds;
@@ -132,6 +134,7 @@ TrialTrace trial_from_json(const util::json::Value& record) {
   trial.category = record.string_or("category", "");
   trial.frame = record.string_or("frame", "global");
   trial.worker = static_cast<std::int32_t>(record.number_or("worker", -1.0));
+  trial.slot = static_cast<unsigned>(record.number_or("slot", 0.0));
   trial.progress_fraction = record.number_or("progress_fraction", 0.0);
   trial.window = static_cast<unsigned>(record.number_or("window", 0.0));
   trial.seconds = record.number_or("seconds", 0.0);

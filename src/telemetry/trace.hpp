@@ -52,7 +52,9 @@ struct TrialTrace {
   std::string site;          ///< corrupted variable
   std::string category;      ///< code portion (Sec. 6 criticality key)
   std::string frame;         ///< "global" / "worker"
-  std::int32_t worker = -1;
+  std::int32_t worker = -1;  ///< injection frame's device worker, not a slot
+  /// Scheduler slot the trial ran in (0 in single-worker campaigns).
+  unsigned slot = 0;
   double progress_fraction = 0.0;  ///< time-window fraction (Fig. 6)
   unsigned window = 0;
   double seconds = 0.0;
@@ -72,6 +74,10 @@ struct TraceCampaign {
   std::vector<std::string> models;
   unsigned time_windows = 1;
   bool resumed = false;
+  /// Worker slots the campaign scheduled trials into (--jobs). With more
+  /// than one, trial ts_ms values may be non-monotonic: records commit in
+  /// attempt order, not launch order.
+  unsigned jobs = 1;
 };
 
 /// Campaign-level summary, the final record of a complete trace.

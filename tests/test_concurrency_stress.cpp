@@ -15,6 +15,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -150,6 +151,69 @@ TEST(ConcurrencyStressTest, SharedChannelHeartbeatAndPhaseLog) {
 
   const auto phases = channel.phases();
   EXPECT_EQ(phases.size(), static_cast<std::size_t>(kIters / 1000));
+}
+
+TEST(ConcurrencyStressTest, ParallelSlotChannels) {
+  // The multi-worker scheduler gives every slot its own SharedChannel; the
+  // parent polls all of them from one thread while N children write. Model
+  // that here with one writer thread per channel and a single polling
+  // reader, so TSan checks the per-slot publication orderings exactly as
+  // the parallel campaign exercises them — no fork involved.
+  constexpr int kSlots = 4;
+  std::vector<std::unique_ptr<phifi::fi::SharedChannel>> channels;
+  channels.reserve(kSlots);
+  for (int s = 0; s < kSlots; ++s) {
+    channels.push_back(std::make_unique<phifi::fi::SharedChannel>(64));
+    channels.back()->reset();
+  }
+
+  std::atomic<int> writers_done{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kSlots);
+  for (int s = 0; s < kSlots; ++s) {
+    writers.emplace_back([&channels, &writers_done, s] {
+      auto& channel = *channels[static_cast<std::size_t>(s)];
+      phifi::fi::InjectionRecord record{};
+      record.site_index = static_cast<unsigned>(s);
+      channel.store_record(record);
+      for (int i = 0; i < kIters; ++i) {
+        channel.beat();
+        if (i % 1000 == 0) {
+          channel.store_phase("phase", static_cast<double>(i) / kIters, 0.0);
+        }
+      }
+      const std::byte fill{static_cast<unsigned char>(0x40 + s)};
+      std::vector<std::byte> bytes(32, fill);
+      channel.store_output(bytes);
+      writers_done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  // One reader sweeps every slot per pass, like poll_slots().
+  std::vector<std::uint64_t> last_beat(kSlots, 0);
+  while (writers_done.load(std::memory_order_acquire) < kSlots) {
+    for (int s = 0; s < kSlots; ++s) {
+      auto& channel = *channels[static_cast<std::size_t>(s)];
+      const std::uint64_t beat = channel.heartbeat();
+      EXPECT_GE(beat, last_beat[static_cast<std::size_t>(s)]);
+      last_beat[static_cast<std::size_t>(s)] = beat;
+      (void)channel.record_ready();
+      (void)channel.phases();
+    }
+    std::this_thread::yield();
+  }
+  for (auto& th : writers) th.join();
+
+  // Slot isolation: every channel holds exactly its own writer's data.
+  for (int s = 0; s < kSlots; ++s) {
+    auto& channel = *channels[static_cast<std::size_t>(s)];
+    EXPECT_TRUE(channel.output_ready());
+    EXPECT_EQ(channel.heartbeat(), static_cast<std::uint64_t>(kIters));
+    EXPECT_EQ(channel.record().site_index, static_cast<unsigned>(s));
+    const auto out = channel.output();
+    ASSERT_EQ(out.size(), 32u);
+    EXPECT_EQ(out[0], std::byte{static_cast<unsigned char>(0x40 + s)});
+  }
 }
 
 TEST(ConcurrencyStressTest, ProgressTrackerConcurrentTicks) {

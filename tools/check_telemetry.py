@@ -64,7 +64,7 @@ def check_string(record, key, where, allowed=None):
     return value
 
 
-def check_trial(record, where, prev_ts):
+def check_trial(record, where, prev_ts, jobs):
     check_number(record, "attempt", where, minimum=0)
     outcome = check_string(record, "outcome", where, allowed=OUTCOMES)
     check_string(record, "due_kind", where, allowed=DUE_KINDS)
@@ -79,8 +79,13 @@ def check_trial(record, where, prev_ts):
     check_number(record, "window", where, minimum=0)
     check_number(record, "seconds", where, minimum=0)
     ts = check_number(record, "ts_ms", where, minimum=0)
-    require(ts >= prev_ts,
-            f"{where}: ts_ms {ts} went backwards (prev {prev_ts})")
+    # ts_ms stamps the trial's *launch*; records commit in attempt order.
+    # Single-worker campaigns launch in commit order, so the stream is
+    # monotonic; with jobs > 1 an infra-retried attempt can relaunch after
+    # later attempts launched, so only non-negativity holds there.
+    if jobs <= 1:
+        require(ts >= prev_ts,
+                f"{where}: ts_ms {ts} went backwards (prev {prev_ts})")
 
     spans = record.get("spans")
     require(isinstance(spans, list), f"{where}: 'spans' is not an array")
@@ -115,6 +120,7 @@ def check_trace(path):
     end = None
     trials = 0
     prev_ts = 0.0
+    jobs = 1
     with open(path, encoding="utf-8") as stream:
         for lineno, line in enumerate(stream, start=1):
             where = f"{path}:{lineno}"
@@ -146,11 +152,14 @@ def check_trace(path):
                 segments += 1
                 end = None
                 prev_ts = 0.0
+                jobs = record.get("jobs", 1)
+                require(isinstance(jobs, int) and jobs >= 1,
+                        f"{where}: 'jobs' = {jobs!r} is not a positive int")
             elif kind == "trial":
                 require(header is not None,
                         f"{where}: trial before campaign header")
                 require(end is None, f"{where}: trial after end record")
-                prev_ts = check_trial(record, where, prev_ts)
+                prev_ts = check_trial(record, where, prev_ts, jobs)
                 counts[record["outcome"]] += 1
                 trials += 1
             elif kind == "end":

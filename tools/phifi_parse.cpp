@@ -14,6 +14,7 @@
 //   $ phifi_parse [--json] <log.csv> [more.csv ...]
 //   $ phifi_parse [--json] --from-journal <campaign.jnl> [more.jnl ...]
 //   $ phifi_parse [--json] --from-trace <campaign.trace> [more ...]
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -65,7 +66,25 @@ int aggregate_journals(const std::vector<std::string>& files,
       return 1;
     }
     result->workload = journal.header.workload;
-    for (const fi::JournalRecord& record : journal.records) {
+    // Within one journal, sort by attempt index and drop duplicates (a
+    // resumed campaign can re-append an attempt whose first write survived
+    // a torn tail) so the tallies are order-independent. Across files no
+    // dedup applies: separate journals are separate campaigns.
+    std::vector<fi::JournalRecord> records = journal.records;
+    std::stable_sort(records.begin(), records.end(),
+                     [](const fi::JournalRecord& a,
+                        const fi::JournalRecord& b) {
+                       return a.attempt_index < b.attempt_index;
+                     });
+    const fi::JournalRecord* previous = nullptr;
+    for (const fi::JournalRecord& record : records) {
+      if (previous != nullptr &&
+          previous->attempt_index == record.attempt_index) {
+        std::cerr << "phifi_parse: skipping duplicate of attempt "
+                  << record.attempt_index << "\n";
+        continue;
+      }
+      previous = &record;
       fi::accumulate_trial(*result, record.trial);
       ++*trials;
     }

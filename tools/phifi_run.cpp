@@ -45,14 +45,16 @@ int main(int argc, char** argv) {
   }
   if (argc < 2) {
     std::cerr << "usage: phifi_run <config-file> [repetitions] [--resume]\n"
-              << "                 [--trace-out <file>] [--metrics-out "
-                 "<file>] [--progress <seconds>]\n"
+              << "                 [--jobs <n>] [--trace-out <file>] "
+                 "[--metrics-out <file>]\n"
+              << "                 [--progress <seconds>]\n"
               << "       phifi_run --template\n";
     return 2;
   }
 
   int repetitions = 1;
   bool resume = false;
+  int jobs = 0;  // 0: leave the config file's value
   std::string trace_out;
   std::string metrics_out;
   double progress_seconds = -1.0;  // <0: leave the config file's value
@@ -67,6 +69,14 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--jobs") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      jobs = std::atoi(value);
+      if (jobs < 1) {
+        std::cerr << "phifi_run: bad --jobs count '" << value << "'\n";
+        return 2;
+      }
     } else if (arg == "--trace-out") {
       const char* value = flag_value(i);
       if (value == nullptr) return 2;
@@ -104,6 +114,7 @@ int main(int argc, char** argv) {
   try {
     cli::RunnerConfig config = cli::parse_config(config_stream);
     if (resume) config.resume = true;
+    if (jobs > 0) config.jobs = static_cast<unsigned>(jobs);
     if (!trace_out.empty()) config.trace_file = trace_out;
     if (!metrics_out.empty()) config.metrics_file = metrics_out;
     if (progress_seconds > 0.0) config.progress_seconds = progress_seconds;
