@@ -17,7 +17,12 @@
 // trace + metrics registry + watchdog histograms), so every observability
 // claim ships with its measured price.
 //
-// The fourth table measures multi-worker scheduler scaling: campaign
+// The fourth table measures the observatory's cost the same way: trials
+// with the streaming estimator + an always-evaluated (never-firing)
+// sequential stop rule vs. the nullptr fast path, emitted to
+// BENCH_observatory.json.
+//
+// The fifth table measures multi-worker scheduler scaling: campaign
 // throughput (trials/s) at --jobs 1/2/4/8 with a group-commit (kBatch)
 // journal, telemetry off and on. Trial children are genuinely concurrent
 // forks, so speedup tracks the host's core count — on a 4-core host jobs=4
@@ -38,6 +43,7 @@
 #include "bench/bench_common.hpp"
 #include "core/campaign_journal.hpp"
 #include "core/progress.hpp"
+#include "telemetry/estimator.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/json.hpp"
@@ -113,6 +119,36 @@ double campaign_ms_per_trial(const phifi::work::WorkloadInfo& info,
       static_cast<double>(trials);
   if (telemetry) ::unlink(trace_path);
   return ms;
+}
+
+/// Wall-clock milliseconds per trial with the observatory attached: the
+/// streaming CampaignEstimator fed from the commit path plus a sequential
+/// stop rule armed with an epsilon so small it never fires — so every
+/// committed trial pays the per-commit Wilson evaluation, the worst case.
+double estimator_ms_per_trial(const phifi::work::WorkloadInfo& info,
+                              bool estimator_on, std::size_t trials,
+                              std::uint64_t seed) {
+  using namespace phifi;
+  using Clock = std::chrono::steady_clock;
+
+  telemetry::CampaignEstimator estimator;
+  fi::SupervisorConfig sup_config = bench::bench_supervisor_config();
+  fi::TrialSupervisor supervisor(info.factory, sup_config);
+  supervisor.prepare_golden();
+
+  fi::CampaignConfig config = bench::bench_campaign_config(seed);
+  config.trials = trials;
+  if (estimator_on) {
+    config.estimator = &estimator;
+    config.stop_ci_width = 1e-9;  // evaluated every commit, never reached
+  }
+  fi::Campaign campaign(supervisor, config);
+
+  const auto start = Clock::now();
+  (void)campaign.run();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+             .count() /
+         static_cast<double>(trials);
 }
 
 /// Campaign throughput (trials per wall-clock second) with `jobs` workers
@@ -250,6 +286,41 @@ int main() {
                    util::fmt(on_ms, 2), util::fmt_percent(overhead)});
   }
   bench::print_table(telem);
+
+  // Observatory overhead: the streaming estimator plus a per-commit stop
+  // check that never fires. Like the telemetry table, the "off" column is
+  // the nullptr fast path. Lands in BENCH_observatory.json.
+  util::Table observatory(
+      "Observatory overhead per trial (estimator + stop rule)");
+  observatory.set_header({"benchmark", "estimator off [ms]",
+                          "estimator on [ms]", "overhead"});
+  util::json::Value observatory_points = util::json::Value::array();
+  for (const auto& info : work::all_workloads()) {
+    const double off_ms = estimator_ms_per_trial(
+        info, /*estimator_on=*/false, kTelemetryTrials, /*seed=*/777);
+    const double on_ms = estimator_ms_per_trial(
+        info, /*estimator_on=*/true, kTelemetryTrials, /*seed=*/777);
+    const double overhead = off_ms > 0.0 ? on_ms / off_ms - 1.0 : 0.0;
+    observatory.add_row({std::string(info.name), util::fmt(off_ms, 2),
+                         util::fmt(on_ms, 2), util::fmt_percent(overhead)});
+
+    util::json::Value point = util::json::Value::object();
+    point["workload"] = info.name;
+    point["ms_per_trial_estimator_off"] = off_ms;
+    point["ms_per_trial_estimator_on"] = on_ms;
+    point["overhead_fraction"] = overhead;
+    observatory_points.push_back(std::move(point));
+  }
+  bench::print_table(observatory);
+  {
+    util::json::Value doc = util::json::Value::object();
+    doc["bench"] = "sec5_observatory_overhead";
+    doc["trials"] = static_cast<std::uint64_t>(kTelemetryTrials);
+    doc["points"] = std::move(observatory_points);
+    std::ofstream out("BENCH_observatory.json", std::ios::trunc);
+    out << doc.dump() << "\n";
+  }
+  std::cout << "wrote BENCH_observatory.json\n";
 
   // Parallel scheduler scaling: one representative workload, --jobs sweep.
   // Speedup is relative to jobs=1 within the same telemetry setting.

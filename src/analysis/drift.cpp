@@ -1,0 +1,101 @@
+#include "analysis/drift.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <tuple>
+
+#include "util/statistics.hpp"
+
+namespace phifi::analysis {
+
+namespace {
+
+using CellKey = std::tuple<std::string, unsigned, std::string>;
+
+DriftEntry compare_slice(const std::string& slice, std::uint64_t base_events,
+                         std::uint64_t base_trials, std::uint64_t cur_events,
+                         std::uint64_t cur_trials, double alpha) {
+  DriftEntry entry;
+  entry.slice = slice;
+  entry.baseline_events = base_events;
+  entry.baseline_trials = base_trials;
+  entry.current_events = cur_events;
+  entry.current_trials = cur_trials;
+  entry.baseline_rate =
+      base_trials == 0 ? 0.0
+                       : static_cast<double>(base_events) /
+                             static_cast<double>(base_trials);
+  entry.current_rate =
+      cur_trials == 0 ? 0.0
+                      : static_cast<double>(cur_events) /
+                            static_cast<double>(cur_trials);
+  // Signed so "current minus baseline": positive z = rate went up.
+  const util::TwoProportionTest test =
+      util::two_proportion_z_test(cur_events, cur_trials, base_events,
+                                  base_trials);
+  entry.z = test.z;
+  entry.p_value = test.p_value;
+  entry.significant = entry.p_value < alpha;
+  return entry;
+}
+
+}  // namespace
+
+DriftReport compute_drift(const telemetry::HistoryRecord& baseline,
+                          const telemetry::HistoryRecord& current,
+                          double alpha) {
+  if (!baseline.workload.empty() && !current.workload.empty() &&
+      baseline.workload != current.workload) {
+    throw std::runtime_error("drift: refusing to compare workloads '" +
+                             baseline.workload + "' and '" +
+                             current.workload + "'");
+  }
+  DriftReport report;
+  report.workload =
+      baseline.workload.empty() ? current.workload : baseline.workload;
+  report.alpha = alpha;
+
+  const std::uint64_t base_n = baseline.completed;
+  const std::uint64_t cur_n = current.completed;
+  report.entries.push_back(
+      compare_slice("sdc", baseline.sdc, base_n, current.sdc, cur_n, alpha));
+  report.entries.push_back(
+      compare_slice("due", baseline.due, base_n, current.due, cur_n, alpha));
+
+  std::map<CellKey, const telemetry::HistoryCell*> base_cells;
+  for (const telemetry::HistoryCell& cell : baseline.cells) {
+    base_cells[{cell.model, cell.window, cell.category}] = &cell;
+  }
+  std::map<CellKey, const telemetry::HistoryCell*> cur_cells;
+  for (const telemetry::HistoryCell& cell : current.cells) {
+    cur_cells[{cell.model, cell.window, cell.category}] = &cell;
+  }
+  const auto cell_name = [](const CellKey& key) {
+    return std::get<0>(key) + "/w" + std::to_string(std::get<1>(key)) + "/" +
+           std::get<2>(key);
+  };
+  for (const auto& [key, base] : base_cells) {
+    const auto it = cur_cells.find(key);
+    if (it == cur_cells.end()) {
+      report.unmatched_cells.push_back(cell_name(key) + " (baseline only)");
+      continue;
+    }
+    const telemetry::HistoryCell* cur = it->second;
+    const std::uint64_t base_total = base->masked + base->sdc + base->due;
+    const std::uint64_t cur_total = cur->masked + cur->sdc + cur->due;
+    report.entries.push_back(compare_slice(cell_name(key) + " sdc",
+                                           base->sdc, base_total, cur->sdc,
+                                           cur_total, alpha));
+  }
+  for (const auto& [key, cur] : cur_cells) {
+    if (base_cells.find(key) == base_cells.end()) {
+      report.unmatched_cells.push_back(cell_name(key) + " (current only)");
+    }
+  }
+  for (const DriftEntry& entry : report.entries) {
+    if (entry.significant) report.any_significant = true;
+  }
+  return report;
+}
+
+}  // namespace phifi::analysis

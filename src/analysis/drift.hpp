@@ -1,0 +1,53 @@
+// Cross-campaign reliability drift: did this build's PVF move versus the
+// baseline?
+//
+// Two --history ledger records are compared with pooled two-proportion
+// z-tests — overall SDC and DUE proportions plus every (fault model ×
+// time window × code portion) cell present in both — and each slice is
+// flagged when its two-sided p-value clears the significance level. Two
+// same-seed campaigns produce bit-identical tallies (z = 0 everywhere), so
+// CI runs the drift gate between its jobs=1 and jobs=2 smoke campaigns as
+// a determinism check, and between builds as a reliability-regression
+// gate, the statistical counterpart of a perf gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "telemetry/history.hpp"
+
+namespace phifi::analysis {
+
+/// One compared slice (overall proportion or one cell).
+struct DriftEntry {
+  std::string slice;  ///< "sdc", "due", or "Model/w2/category sdc"
+  std::uint64_t baseline_events = 0;
+  std::uint64_t baseline_trials = 0;
+  std::uint64_t current_events = 0;
+  std::uint64_t current_trials = 0;
+  double baseline_rate = 0.0;
+  double current_rate = 0.0;
+  double z = 0.0;        ///< signed: positive = current rate is higher
+  double p_value = 1.0;  ///< two-sided
+  bool significant = false;
+};
+
+struct DriftReport {
+  std::string workload;
+  double alpha = 0.05;
+  std::vector<DriftEntry> entries;
+  /// Cells present in only one record (skipped, listed for transparency —
+  /// a vanished cell can itself be a regression signal).
+  std::vector<std::string> unmatched_cells;
+  bool any_significant = false;
+};
+
+/// Compares two ledger records. Throws std::runtime_error when the records
+/// describe different workloads (a drift verdict would be meaningless).
+/// `alpha` is the two-sided significance level per slice; no multiple-
+/// comparison correction is applied (see docs/OBSERVATORY.md).
+DriftReport compute_drift(const telemetry::HistoryRecord& baseline,
+                          const telemetry::HistoryRecord& current,
+                          double alpha = 0.05);
+
+}  // namespace phifi::analysis

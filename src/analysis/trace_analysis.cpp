@@ -84,6 +84,9 @@ void accumulate_trace(fi::CampaignResult& result,
       continue;
     }
     result.overall.add(outcome);
+    if (outcome == fi::Outcome::kDue) {
+      ++result.due_kinds[trial.due_kind];
+    }
     const int model = model_index(trial.model);
     if (model >= 0) {
       result.by_model[static_cast<std::size_t>(model)].add(outcome);

@@ -104,6 +104,7 @@ fi::CampaignConfig RunnerConfig::campaign_config() const {
   config.journal_batch = journal_batch;
   config.stop_flag = stop_flag;
   config.max_consecutive_failures = max_consecutive_failures;
+  config.stop_ci_width = stop_ci_width;
   return config;
 }
 
@@ -157,6 +158,15 @@ RunnerConfig parse_config(std::istream& is) {
       config.trace_file = value;
     } else if (key == "metrics_file") {
       config.metrics_file = value;
+    } else if (key == "metrics_format") {
+      if (value == "json") config.metrics_format = MetricsFormat::kJson;
+      else if (value == "openmetrics") {
+        config.metrics_format = MetricsFormat::kOpenMetrics;
+      } else {
+        fail(line_number, "metrics_format must be 'json' or 'openmetrics'");
+      }
+    } else if (key == "history_file") {
+      config.history_file = value;
     } else if (key == "progress_seconds") {
       config.progress_seconds = parse_double(line_number, value);
     } else if (key == "journal_fsync") {
@@ -182,6 +192,12 @@ RunnerConfig parse_config(std::istream& is) {
     } else if (key == "jobs") {
       config.jobs = static_cast<unsigned>(parse_u64(line_number, value));
       if (config.jobs == 0) fail(line_number, "jobs must be at least 1");
+    } else if (key == "stop_ci_width") {
+      config.stop_ci_width = parse_double(line_number, value);
+      if (config.stop_ci_width < 0.0 || config.stop_ci_width >= 0.5) {
+        fail(line_number,
+             "stop_ci_width must be in [0, 0.5) (a proportion half-width)");
+      }
     } else if (key == "policy") {
       config.policy = parse_policy(line_number, value);
     } else if (key == "models") {
@@ -268,12 +284,21 @@ std::string format_config(const RunnerConfig& config) {
   if (!config.metrics_file.empty()) {
     os << "metrics_file = " << config.metrics_file << "\n";
   }
+  if (config.metrics_format == MetricsFormat::kOpenMetrics) {
+    os << "metrics_format = openmetrics\n";
+  }
+  if (!config.history_file.empty()) {
+    os << "history_file = " << config.history_file << "\n";
+  }
   if (config.progress_seconds > 0.0) {
     os << "progress_seconds = " << config.progress_seconds << "\n";
   }
   os << "trials = " << config.trials << "\n"
-     << "jobs = " << config.jobs << "\n"
-     << "policy = " << to_string(config.policy) << "\n"
+     << "jobs = " << config.jobs << "\n";
+  if (config.stop_ci_width > 0.0) {
+    os << "stop_ci_width = " << config.stop_ci_width << "\n";
+  }
+  os << "policy = " << to_string(config.policy) << "\n"
      << "models = ";
   for (std::size_t i = 0; i < config.models.size(); ++i) {
     if (i) os << " + ";

@@ -21,6 +21,10 @@ namespace phifi::cli {
 
 enum class RunMode { kInject, kBeam };
 
+/// How --metrics-out is rendered: the JSON registry snapshot, or the
+/// Prometheus/OpenMetrics text exposition (textfile-collector scrapeable).
+enum class MetricsFormat { kJson, kOpenMetrics };
+
 struct RunnerConfig {
   RunMode mode = RunMode::kInject;
   std::string workload = "DGEMM";
@@ -34,14 +38,22 @@ struct RunnerConfig {
   fi::JournalFsync journal_fsync = fi::JournalFsync::kEveryRecord;
   fi::JournalBatchPolicy journal_batch;  ///< group-commit knobs (kBatch)
 
-  // Telemetry (see src/telemetry/, docs/TELEMETRY.md).
+  // Telemetry (see src/telemetry/, docs/TELEMETRY.md, docs/OBSERVATORY.md).
   std::string trace_file;    ///< NDJSON trial trace ("" = no trace)
-  std::string metrics_file;  ///< final metrics JSON snapshot ("" = none)
+  std::string metrics_file;  ///< final metrics snapshot ("" = none)
+  MetricsFormat metrics_format = MetricsFormat::kJson;
   double progress_seconds = 0.0;  ///< live progress interval (0 = off)
+  /// Longitudinal ledger: append one campaign-summary NDJSON record per
+  /// completed campaign ("" = off). phifi_parse --drift compares two.
+  std::string history_file;
 
   // Injection-mode settings.
   std::size_t trials = 1000;
   unsigned jobs = 1;  ///< forked trials in flight (--jobs / `jobs = N`)
+  /// Sequential stopping epsilon: end the campaign once the SDC-proportion
+  /// Wilson CI half-width is <= this (proportion scale; 0.005 = ±0.5
+  /// percentage points; 0 = run the full trial count).
+  double stop_ci_width = 0.0;
   fi::SelectionPolicy policy = fi::SelectionPolicy::kCarolFi;
   std::vector<fi::FaultModel> models{
       fi::FaultModel::kSingle, fi::FaultModel::kDouble,

@@ -1,5 +1,6 @@
 #include "cli/runner.hpp"
 
+#include <chrono>
 #include <fstream>
 #include <memory>
 #include <ostream>
@@ -9,6 +10,8 @@
 #include "core/trial_log.hpp"
 #include "report/report.hpp"
 #include "radiation/sensitivity.hpp"
+#include "telemetry/estimator.hpp"
+#include "telemetry/history.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/trace.hpp"
@@ -81,11 +84,23 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
     if (telemetry_on) campaign_config.metrics = &metrics;
     campaign_config.trace = trace.get();
 
+    // The streaming estimator feeds the progress line, the exported
+    // est.* gauges, and the history ledger's per-cell intervals; the
+    // --stop-ci-width rule itself lives in the campaign (tally-based) and
+    // works with or without it.
+    std::unique_ptr<telemetry::CampaignEstimator> estimator;
+    if (telemetry_on || !config.history_file.empty() ||
+        config.stop_ci_width > 0.0) {
+      estimator = std::make_unique<telemetry::CampaignEstimator>();
+      campaign_config.estimator = estimator.get();
+    }
+
     std::unique_ptr<telemetry::ProgressEmitter> progress;
     fi::TrialObserver observer;
     if (config.progress_seconds > 0.0) {
       progress = std::make_unique<telemetry::ProgressEmitter>(
           metrics, out, config.progress_seconds);
+      progress->set_estimator(estimator.get(), config.stop_ci_width);
       observer = [&progress](const fi::TrialResult&,
                              std::span<const std::byte>) {
         progress->tick();
@@ -93,7 +108,12 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
     }
 
     fi::Campaign campaign(supervisor, campaign_config);
+    const auto campaign_start = std::chrono::steady_clock::now();
     const fi::CampaignResult result = campaign.run(observer);
+    const double elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      campaign_start)
+            .count();
     if (progress != nullptr) {
       progress->emit_now();  // the final, complete status line
       summary.progress_emits = progress->emitted();
@@ -103,14 +123,66 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
     summary.resumed_trials = result.resumed_trials;
     summary.interrupted = result.interrupted;
     summary.aborted = result.aborted;
+    summary.stopped_early = result.stopped_early;
 
     if (!config.metrics_file.empty()) {
+      if (estimator != nullptr) estimator->publish(metrics);
       std::ofstream metrics_stream(config.metrics_file);
       if (!metrics_stream) {
         throw std::runtime_error("cannot open metrics file '" +
                                  config.metrics_file + "'");
       }
-      metrics_stream << metrics.snapshot().dump() << "\n";
+      if (config.metrics_format == MetricsFormat::kOpenMetrics) {
+        metrics_stream << metrics.render_openmetrics();
+      } else {
+        metrics_stream << metrics.snapshot().dump() << "\n";
+      }
+    }
+
+    if (!config.history_file.empty()) {
+      telemetry::HistoryRecord record;
+      record.workload = result.workload;
+      record.fingerprint = fi::campaign_fingerprint(
+          campaign_config, result.workload, result.time_windows);
+      record.git_revision = telemetry::git_describe();
+      record.seed = config.seed;
+      record.jobs = config.jobs;
+      record.trials_target = config.trials;
+      record.completed = result.overall.total();
+      record.masked = result.overall.masked;
+      record.sdc = result.overall.sdc;
+      record.due = result.overall.due;
+      record.not_injected = result.not_injected;
+      record.stopped_early = result.stopped_early;
+      record.interrupted = result.interrupted;
+      record.aborted = result.aborted;
+      record.elapsed_seconds = elapsed_seconds;
+      record.trials_per_sec =
+          elapsed_seconds > 0.0
+              ? static_cast<double>(result.overall.total()) / elapsed_seconds
+              : 0.0;
+      const util::Interval sdc_ci = estimator->sdc_interval();
+      const util::Interval due_ci = estimator->due_interval();
+      record.sdc_rate = sdc_ci.point;
+      record.sdc_ci_lo = sdc_ci.lo;
+      record.sdc_ci_hi = sdc_ci.hi;
+      record.due_rate = due_ci.point;
+      record.due_ci_lo = due_ci.lo;
+      record.due_ci_hi = due_ci.hi;
+      for (const telemetry::CellEstimate& cell : estimator->cells()) {
+        telemetry::HistoryCell entry;
+        entry.model = cell.key.model;
+        entry.window = cell.key.window;
+        entry.category = cell.key.category;
+        entry.masked = cell.counts.masked;
+        entry.sdc = cell.counts.sdc;
+        entry.due = cell.counts.due;
+        entry.sdc_rate = cell.sdc.point;
+        entry.sdc_ci_lo = cell.sdc.lo;
+        entry.sdc_ci_hi = cell.sdc.hi;
+        record.cells.push_back(std::move(entry));
+      }
+      telemetry::append_history(config.history_file, record);
     }
 
     if (!config.report_file.empty()) {
@@ -154,6 +226,16 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
     if (result.resumed_trials > 0) {
       table.add_row({"resumed from journal",
                      std::to_string(result.resumed_trials)});
+    }
+    if (estimator != nullptr && estimator->total() > 0) {
+      const util::Interval sdc_ci = estimator->sdc_interval();
+      table.add_row({"sdc 95% CI (Wilson)",
+                     util::fmt_interval(100.0 * sdc_ci.point,
+                                        100.0 * sdc_ci.lo,
+                                        100.0 * sdc_ci.hi, 2) + " %"});
+    }
+    if (result.stopped_early) {
+      table.add_row({"status", "stopped early (precision target reached)"});
     }
     if (result.interrupted) table.add_row({"status", "interrupted"});
     if (result.aborted) table.add_row({"status", "aborted (circuit breaker)"});

@@ -19,6 +19,7 @@ struct RunSummary {
   std::uint64_t resumed_trials = 0;  ///< replayed from the journal
   bool interrupted = false;  ///< stopped by SIGINT/SIGTERM; journal flushed
   bool aborted = false;      ///< circuit breaker tripped
+  bool stopped_early = false;  ///< --stop-ci-width precision target reached
 
   // Telemetry (see docs/TELEMETRY.md).
   std::uint64_t trace_records = 0;   ///< NDJSON records written

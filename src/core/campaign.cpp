@@ -13,6 +13,7 @@
 
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/statistics.hpp"
 
 namespace phifi::fi {
 
@@ -84,6 +85,35 @@ void feed_metrics(telemetry::MetricsRegistry& metrics,
   }
 }
 
+/// Feeds one committed injected trial into the streaming estimator, in the
+/// commit point's deterministic attempt order (replayed trials included,
+/// so estimator state is identical across resumes and jobs values).
+void feed_estimator(telemetry::CampaignEstimator& estimator,
+                    const TrialResult& trial) {
+  auto outcome = telemetry::EstimatorOutcome::kMasked;
+  switch (trial.outcome) {
+    case Outcome::kMasked: outcome = telemetry::EstimatorOutcome::kMasked; break;
+    case Outcome::kSdc: outcome = telemetry::EstimatorOutcome::kSdc; break;
+    case Outcome::kDue: outcome = telemetry::EstimatorOutcome::kDue; break;
+    case Outcome::kNotInjected: return;
+  }
+  estimator.record(outcome, std::string(to_string(trial.record.model)),
+                   trial.window, trial.record.category,
+                   trial.record.injected);
+}
+
+/// The sequential stop rule, evaluated only at attempt-order commit
+/// boundaries: true once the Wilson 95% CI half-width of the overall SDC
+/// proportion is at or under the configured epsilon.
+bool ci_stop_reached(const CampaignConfig& config,
+                     const OutcomeTally& overall) {
+  if (config.stop_ci_width <= 0.0) return false;
+  const std::uint64_t n = overall.total();
+  if (n == 0) return false;
+  return util::wilson_interval(overall.sdc, n).half_width() <=
+         config.stop_ci_width;
+}
+
 /// A reaped trial waiting for its turn at the commit point. Completions
 /// arrive in whatever order the workers finish; they are buffered here and
 /// committed (journal, trace, tallies, observer) strictly in attempt-index
@@ -122,6 +152,9 @@ void accumulate_trial(CampaignResult& result, const TrialResult& trial) {
     return;
   }
   result.overall.add(trial.outcome);
+  if (trial.outcome == Outcome::kDue) {
+    ++result.due_kinds[std::string(to_string(trial.due_kind))];
+  }
   result.by_model[static_cast<std::size_t>(trial.record.model)].add(
       trial.outcome);
   if (trial.window < result.by_window.size()) {
@@ -176,12 +209,17 @@ std::uint64_t campaign_fingerprint(const CampaignConfig& config,
   mix(bits);
   mix(config.trials);
   mix(time_windows);
-  // Seed-scheme version: v2 = counter-indexed seeds + attempt-index model
-  // cycling. Journals from the old sequential-draw scheme must not resume
-  // into this one (the continuation would use different randomness).
+  // Sequential stopping is campaign shape: a resume must halt at the same
+  // attempt the uninterrupted run would have, so the epsilon (0.0 =
+  // disabled) is part of the identity.
+  std::memcpy(&bits, &config.stop_ci_width, sizeof(bits));
+  mix(bits);
+  // Scheme version: v2 = counter-indexed seeds + attempt-index model
+  // cycling; v3 = v2 + stop_ci_width in the fingerprint. Journals from
+  // older schemes must not resume into this one.
   // config_.jobs is deliberately NOT mixed: any jobs value may resume any
   // journal.
-  mix(2);
+  mix(3);
   return hash;
 }
 
@@ -258,12 +296,22 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
         }
         accumulate_trial(result, record.trial);
         // The resumed trace file already holds these trials; only the
-        // metrics (process-local) need the replay.
+        // metrics and estimator (process-local) need the replay.
         if (config_.metrics != nullptr) {
           feed_metrics(*config_.metrics, record.trial, /*replayed=*/true);
         }
+        if (config_.estimator != nullptr) {
+          feed_estimator(*config_.estimator, record.trial);
+        }
         if (record.trial.outcome != Outcome::kNotInjected) ++completed;
         ++expected;
+        // Replay walks the same commit boundaries the original run did, so
+        // the stop rule fires at the identical attempt (stop_ci_width is
+        // fingerprinted: the journal cannot carry a different epsilon).
+        if (ci_stop_reached(config_, result.overall)) {
+          result.stopped_early = true;
+          break;
+        }
       }
       result.attempts = expected;
       result.resumed_trials = completed;
@@ -328,6 +376,9 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
         feed_metrics(*config_.metrics, ready.trial, /*replayed=*/false);
       }
       accumulate_trial(result, ready.trial);
+      if (config_.estimator != nullptr) {
+        feed_estimator(*config_.estimator, ready.trial);
+      }
       ++commit_index;
       if (ready.trial.outcome == Outcome::kNotInjected) continue;
       ++completed;
@@ -342,8 +393,16 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
         util::log_info() << result.workload << ": " << completed << "/"
                          << config_.trials << " trials";
       }
+      // Sequential stop, checked only here — the deterministic commit
+      // boundary — never on raw completion order. Buffered completions
+      // past this attempt stay uncommitted (killed below), exactly like
+      // finish-line overshoot, so every jobs value stops identically.
+      if (ci_stop_reached(config_, result.overall)) {
+        result.stopped_early = true;
+        break;
+      }
     }
-    if (completed >= config_.trials) break;
+    if (result.stopped_early || completed >= config_.trials) break;
 
     // (2) Cooperative stop: finish what is in flight, commit it, return.
     if (!draining && config_.stop_flag != nullptr &&
@@ -490,10 +549,18 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
     end.not_injected = result.not_injected;
     end.interrupted = result.interrupted;
     end.aborted = result.aborted;
+    end.stopped_early = result.stopped_early;
+    end.elapsed_ms = config_.trace->now_ms();
+    end.due_kinds = result.due_kinds;
     config_.trace->end(end);
     config_.trace->sync();
   }
-  if (result.interrupted) {
+  if (result.stopped_early) {
+    util::log_info() << result.workload << ": precision target reached ("
+                     << "SDC CI half-width <= " << config_.stop_ci_width
+                     << ") after " << completed << "/" << config_.trials
+                     << " trials; stopping early";
+  } else if (result.interrupted) {
     util::log_warn() << result.workload << ": campaign interrupted after "
                      << completed << "/" << config_.trials
                      << " trials; journal flushed";

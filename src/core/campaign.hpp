@@ -19,6 +19,7 @@
 
 #include "core/campaign_journal.hpp"
 #include "core/supervisor.hpp"
+#include "telemetry/estimator.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -43,6 +44,18 @@ struct CampaignConfig {
   /// and any resume — produces bit-identical tallies. Not part of the
   /// journal fingerprint: a campaign may be resumed with a different jobs.
   unsigned jobs = 1;
+
+  /// Sequential stopping: when > 0, the campaign ends early at the first
+  /// attempt-order commit boundary where the Wilson CI half-width (95%) of
+  /// the overall SDC proportion is <= this value. Evaluated only at the
+  /// deterministic commit point — never on raw completion order — so
+  /// --jobs 1 and --jobs N stop at the identical attempt with bit-identical
+  /// tallies; in-flight attempts past the stop are killed uncommitted, like
+  /// finish-line overshoot. Part of the journal fingerprint (a resume must
+  /// stop where the original would have) and re-evaluated during replay.
+  /// This is an engineering stop rule, not a hypothesis test: see
+  /// docs/OBSERVATORY.md on repeated peeking.
+  double stop_ci_width = 0.0;
 
   // ---- durability / supervision ----
 
@@ -79,6 +92,11 @@ struct CampaignConfig {
   /// Metrics sink: campaign.* counters/gauges plus the trial-latency
   /// histogram. nullptr disables metric feeding.
   telemetry::MetricsRegistry* metrics = nullptr;
+  /// Streaming proportion estimator, fed at the deterministic commit point
+  /// (replayed trials included, so its state survives resume). nullptr
+  /// disables feeding; the --stop-ci-width rule works either way (it reads
+  /// the tallies directly).
+  telemetry::CampaignEstimator* estimator = nullptr;
 };
 
 /// Masked/SDC/DUE counts with convenience rates.
@@ -114,6 +132,9 @@ struct CampaignResult {
   /// Keyed by frame kind name ("global"/"worker").
   std::map<std::string, OutcomeTally> by_frame;
   std::uint64_t not_injected = 0;
+  /// DUE breakdown keyed by kind name ("crash", "hang", ...); kinds never
+  /// seen are absent. Sums to overall.due.
+  std::map<std::string, std::uint64_t> due_kinds;
   double total_seconds = 0.0;
   unsigned time_windows = 1;
 
@@ -128,6 +149,8 @@ struct CampaignResult {
   std::uint64_t resumed_trials = 0;
   bool interrupted = false;  ///< stop_flag fired before completion
   bool aborted = false;      ///< circuit breaker tripped
+  /// stop_ci_width precision target reached before the trial count.
+  bool stopped_early = false;
 };
 
 /// Folds one completed (injected or NotInjected) trial into the tallies.
@@ -143,7 +166,8 @@ std::uint64_t trial_seed_for(std::uint64_t campaign_seed,
                              std::uint64_t attempt_index);
 
 /// Fingerprint of everything a resume must agree on: workload, seed,
-/// policy, fault models, injection window, trial count, time windows.
+/// policy, fault models, injection window, trial count, time windows, and
+/// the sequential-stopping epsilon (stop_ci_width).
 std::uint64_t campaign_fingerprint(const CampaignConfig& config,
                                    std::string_view workload,
                                    unsigned time_windows);

@@ -1,0 +1,195 @@
+#include "telemetry/history.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace phifi::telemetry {
+
+namespace {
+
+/// Fingerprints are full 64-bit hashes; JSON numbers are doubles and lose
+/// integer precision above 2^53, so the fingerprint travels as hex text.
+std::string fingerprint_to_hex(std::uint64_t fingerprint) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(fingerprint));
+  return buffer;
+}
+
+std::uint64_t fingerprint_from_hex(const std::string& text) {
+  if (text.empty()) return 0;
+  try {
+    return std::stoull(text, nullptr, 16);
+  } catch (const std::exception&) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+util::json::Value history_to_json(const HistoryRecord& record) {
+  util::json::Value value = util::json::Value::object();
+  value["type"] = "campaign_summary";
+  value["schema"] = 1;
+  value["workload"] = record.workload;
+  value["fingerprint"] = fingerprint_to_hex(record.fingerprint);
+  value["git_revision"] = record.git_revision;
+  value["seed"] = record.seed;
+  value["jobs"] = record.jobs;
+  value["trials_target"] = record.trials_target;
+  value["completed"] = record.completed;
+  value["masked"] = record.masked;
+  value["sdc"] = record.sdc;
+  value["due"] = record.due;
+  value["not_injected"] = record.not_injected;
+  value["stopped_early"] = record.stopped_early;
+  value["interrupted"] = record.interrupted;
+  value["aborted"] = record.aborted;
+  value["elapsed_seconds"] = record.elapsed_seconds;
+  value["trials_per_sec"] = record.trials_per_sec;
+  value["sdc_rate"] = record.sdc_rate;
+  value["sdc_ci_lo"] = record.sdc_ci_lo;
+  value["sdc_ci_hi"] = record.sdc_ci_hi;
+  value["due_rate"] = record.due_rate;
+  value["due_ci_lo"] = record.due_ci_lo;
+  value["due_ci_hi"] = record.due_ci_hi;
+  util::json::Value cells = util::json::Value::array();
+  for (const HistoryCell& cell : record.cells) {
+    util::json::Value entry = util::json::Value::object();
+    entry["model"] = cell.model;
+    entry["window"] = cell.window;
+    entry["category"] = cell.category;
+    entry["masked"] = cell.masked;
+    entry["sdc"] = cell.sdc;
+    entry["due"] = cell.due;
+    entry["sdc_rate"] = cell.sdc_rate;
+    entry["sdc_ci_lo"] = cell.sdc_ci_lo;
+    entry["sdc_ci_hi"] = cell.sdc_ci_hi;
+    cells.push_back(std::move(entry));
+  }
+  value["cells"] = std::move(cells);
+  return value;
+}
+
+HistoryRecord history_from_json(const util::json::Value& value) {
+  HistoryRecord record;
+  record.workload = value.string_or("workload", "");
+  record.fingerprint = fingerprint_from_hex(value.string_or("fingerprint", ""));
+  record.git_revision = value.string_or("git_revision", "");
+  record.seed = static_cast<std::uint64_t>(value.number_or("seed", 0.0));
+  record.jobs = static_cast<unsigned>(value.number_or("jobs", 1.0));
+  record.trials_target =
+      static_cast<std::uint64_t>(value.number_or("trials_target", 0.0));
+  record.completed =
+      static_cast<std::uint64_t>(value.number_or("completed", 0.0));
+  record.masked = static_cast<std::uint64_t>(value.number_or("masked", 0.0));
+  record.sdc = static_cast<std::uint64_t>(value.number_or("sdc", 0.0));
+  record.due = static_cast<std::uint64_t>(value.number_or("due", 0.0));
+  record.not_injected =
+      static_cast<std::uint64_t>(value.number_or("not_injected", 0.0));
+  record.stopped_early = value.bool_or("stopped_early", false);
+  record.interrupted = value.bool_or("interrupted", false);
+  record.aborted = value.bool_or("aborted", false);
+  record.elapsed_seconds = value.number_or("elapsed_seconds", 0.0);
+  record.trials_per_sec = value.number_or("trials_per_sec", 0.0);
+  record.sdc_rate = value.number_or("sdc_rate", 0.0);
+  record.sdc_ci_lo = value.number_or("sdc_ci_lo", 0.0);
+  record.sdc_ci_hi = value.number_or("sdc_ci_hi", 0.0);
+  record.due_rate = value.number_or("due_rate", 0.0);
+  record.due_ci_lo = value.number_or("due_ci_lo", 0.0);
+  record.due_ci_hi = value.number_or("due_ci_hi", 0.0);
+  if (const util::json::Value* cells = value.find("cells");
+      cells != nullptr && cells->is_array()) {
+    for (const util::json::Value& entry : cells->as_array()) {
+      HistoryCell cell;
+      cell.model = entry.string_or("model", "");
+      cell.window = static_cast<unsigned>(entry.number_or("window", 0.0));
+      cell.category = entry.string_or("category", "");
+      cell.masked =
+          static_cast<std::uint64_t>(entry.number_or("masked", 0.0));
+      cell.sdc = static_cast<std::uint64_t>(entry.number_or("sdc", 0.0));
+      cell.due = static_cast<std::uint64_t>(entry.number_or("due", 0.0));
+      cell.sdc_rate = entry.number_or("sdc_rate", 0.0);
+      cell.sdc_ci_lo = entry.number_or("sdc_ci_lo", 0.0);
+      cell.sdc_ci_hi = entry.number_or("sdc_ci_hi", 0.0);
+      record.cells.push_back(std::move(cell));
+    }
+  }
+  return record;
+}
+
+void append_history(const std::string& path, const HistoryRecord& record) {
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("append_history: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  std::string line = history_to_json(record).dump();
+  line += '\n';
+  const char* data = line.data();
+  std::size_t remaining = line.size();
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      throw std::runtime_error(std::string("append_history: write failed: ") +
+                               std::strerror(saved));
+    }
+    data += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+}
+
+std::vector<HistoryRecord> read_history_file(const std::string& path) {
+  std::ifstream stream(path, std::ios::binary);
+  if (!stream) {
+    throw std::runtime_error("read_history: cannot open '" + path + "'");
+  }
+  std::vector<HistoryRecord> records;
+  std::string line;
+  while (std::getline(stream, line)) {
+    if (line.empty()) continue;
+    util::json::Value value;
+    try {
+      value = util::json::parse(line);
+    } catch (const std::exception&) {
+      break;  // torn tail: keep everything before it, like the trace reader
+    }
+    if (!value.is_object()) break;
+    // Unknown record types are skipped (forward compatibility).
+    if (value.string_or("type", "campaign_summary") != "campaign_summary") {
+      continue;
+    }
+    records.push_back(history_from_json(value));
+  }
+  return records;
+}
+
+std::string git_describe() {
+  // popen (not raw fork): this runs once per campaign from the runner,
+  // never from the supervisor's fork-child path.
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "";
+  char buffer[128] = {};
+  std::string out;
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) out += buffer;
+  const int status = ::pclose(pipe);
+  if (status != 0) return "";
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
+  }
+  return out;
+}
+
+}  // namespace phifi::telemetry

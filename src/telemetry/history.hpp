@@ -1,0 +1,80 @@
+// Longitudinal campaign ledger: one NDJSON record appended per completed
+// campaign, so reliability can be tracked *across* builds the way the
+// telemetry trace tracks it within one run.
+//
+// Each record carries the campaign's identity (workload, config
+// fingerprint, git describe of the injector build), its outcome tallies,
+// the per-cell estimates with confidence intervals, and throughput.
+// phifi_parse --drift compares two such records with per-cell
+// two-proportion z-tests — the CI reliability-regression gate.
+//
+// Durability follows the trace: one write(2) per record, append-only, so
+// the reader can drop a torn tail without losing history.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace phifi::telemetry {
+
+/// One estimation cell's tallies and SDC interval as persisted. Rates are
+/// proportions in [0,1] (multiply by 100 for the paper's PVF percent).
+struct HistoryCell {
+  std::string model;
+  unsigned window = 0;
+  std::string category;
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due = 0;
+  double sdc_rate = 0.0;
+  double sdc_ci_lo = 0.0;
+  double sdc_ci_hi = 0.0;
+};
+
+/// One campaign summary appended to the --history ledger.
+struct HistoryRecord {
+  std::string workload;
+  std::uint64_t fingerprint = 0;  ///< campaign_fingerprint of the config
+  std::string git_revision;       ///< `git describe` of the build ("" = n/a)
+  std::uint64_t seed = 0;
+  unsigned jobs = 1;
+  std::uint64_t trials_target = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due = 0;
+  std::uint64_t not_injected = 0;
+  bool stopped_early = false;  ///< --stop-ci-width fired
+  bool interrupted = false;
+  bool aborted = false;
+  double elapsed_seconds = 0.0;
+  double trials_per_sec = 0.0;
+  double sdc_rate = 0.0;
+  double sdc_ci_lo = 0.0;
+  double sdc_ci_hi = 0.0;
+  double due_rate = 0.0;
+  double due_ci_lo = 0.0;
+  double due_ci_hi = 0.0;
+  std::vector<HistoryCell> cells;
+};
+
+util::json::Value history_to_json(const HistoryRecord& record);
+HistoryRecord history_from_json(const util::json::Value& record);
+
+/// Appends one record to the NDJSON ledger at `path` (created if absent).
+/// One write(2) per record; throws std::runtime_error on I/O failure.
+void append_history(const std::string& path, const HistoryRecord& record);
+
+/// Loads a ledger. A torn or unparseable tail is dropped (records before
+/// it are returned); throws only if the file cannot be opened.
+std::vector<HistoryRecord> read_history_file(const std::string& path);
+
+/// `git describe --always --dirty` of the current working tree, or "" when
+/// git is unavailable or the tree is not a repository. Runs a child
+/// process; call once per campaign, never on a hot path.
+std::string git_describe();
+
+}  // namespace phifi::telemetry

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <cstdio>
 #include <stdexcept>
 
 namespace phifi::telemetry {
@@ -102,6 +104,71 @@ util::json::Value MetricsRegistry::snapshot() const {
   root["gauges"] = std::move(gauges);
   root["histograms"] = std::move(histograms);
   return root;
+}
+
+namespace {
+
+/// `phifi_` + the name with every non-[a-zA-Z0-9_] byte replaced by `_`
+/// (dots and dashes in the registry's dotted names are not legal in the
+/// exposition format). The prefix guarantees a legal first character.
+std::string openmetrics_name(const std::string& name) {
+  std::string out = "phifi_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string openmetrics_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0.0 ? "+Inf" : "-Inf";
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+void render_family(std::string& out, const std::string& name,
+                   const std::string& type, const std::string& help) {
+  out += "# HELP " + name + " " + help + "\n";
+  out += "# TYPE " + name + " " + type + "\n";
+}
+
+}  // namespace
+
+std::string MetricsRegistry::render_openmetrics() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    const std::string om = openmetrics_name(name) + "_total";
+    render_family(out, om, "counter", "phifi counter " + name);
+    out += om + " " + std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    const std::string om = openmetrics_name(name);
+    render_family(out, om, "gauge", "phifi gauge " + name);
+    out += om + " " + openmetrics_number(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    const std::string om = openmetrics_name(name);
+    render_family(out, om, "histogram", "phifi histogram " + name);
+    // The exposition format wants cumulative buckets; the registry stores
+    // disjoint per-bucket counts.
+    std::uint64_t cumulative = 0;
+    const std::vector<double>& edges = histogram->upper_edges();
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      cumulative += histogram->bucket_count(i);
+      out += om + "_bucket{le=\"" + openmetrics_number(edges[i]) + "\"} " +
+             std::to_string(cumulative) + "\n";
+    }
+    cumulative += histogram->bucket_count(edges.size());  // overflow bucket
+    out += om + "_bucket{le=\"+Inf\"} " + std::to_string(cumulative) + "\n";
+    out += om + "_sum " + openmetrics_number(histogram->sum()) + "\n";
+    out += om + "_count " + std::to_string(histogram->count()) + "\n";
+  }
+  out += "# EOF\n";
+  return out;
 }
 
 std::vector<double> default_latency_edges_ms() {

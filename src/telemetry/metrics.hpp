@@ -109,6 +109,15 @@ class MetricsRegistry {
   ///                          "count": n, "sum": s, "mean": m}, ...}}
   [[nodiscard]] util::json::Value snapshot() const;
 
+  /// Prometheus / OpenMetrics text exposition of the same state, suitable
+  /// for the node-exporter textfile collector. Names are prefixed with
+  /// `phifi_` and sanitized (every non-[a-zA-Z0-9_] becomes `_`); counters
+  /// get the `_total` suffix; histograms render *cumulative* `_bucket`
+  /// series with `le` labels (the internal per-bucket counts are
+  /// disjoint), plus `_sum` and `_count`. Each family carries `# HELP` and
+  /// `# TYPE` lines and the document ends with `# EOF`.
+  [[nodiscard]] std::string render_openmetrics() const;
+
  private:
   mutable std::mutex mutex_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;

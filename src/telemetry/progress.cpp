@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <ostream>
 
+#include "telemetry/estimator.hpp"
+
 namespace phifi::telemetry {
 
 namespace {
@@ -21,7 +23,8 @@ std::string fmt1(double value) {
 }
 
 std::string fmt_eta(double seconds) {
-  if (!std::isfinite(seconds) || seconds < 0.0) return "?";
+  // "--": not computable yet (no throughput sample), the cold-start case.
+  if (!std::isfinite(seconds) || seconds < 0.0) return "--";
   const auto total = static_cast<std::uint64_t>(seconds + 0.5);
   char buffer[32];
   if (total >= 3600) {
@@ -49,6 +52,12 @@ ProgressEmitter::ProgressEmitter(const MetricsRegistry& registry,
       start_(Clock::now()),
       last_emit_(start_),
       last_sample_(start_) {}
+
+void ProgressEmitter::set_estimator(const CampaignEstimator* estimator,
+                                    double target_half_width) {
+  estimator_ = estimator;
+  target_half_width_ = target_half_width;
+}
 
 std::string ProgressEmitter::render() const {
   const std::uint64_t completed =
@@ -78,9 +87,36 @@ std::string ProgressEmitter::render() const {
 
   std::string line = "[progress] " + std::to_string(completed) + "/" +
                      std::to_string(target) + " trials, " + fmt1(rate) +
-                     "/s, ETA " + fmt_eta(eta_seconds) + " | masked " +
-                     fmt1(percent(masked)) + "% sdc " + fmt1(percent(sdc)) +
-                     "% due " + fmt1(percent(due)) + "%";
+                     "/s, ETA " + fmt_eta(eta_seconds);
+  if (completed == 0 || total == 0) {
+    // Cold start: nothing completed yet (or the registry has no campaign
+    // counters at all) — an all-zero outcome split would be misleading.
+    return line + " | waiting for first completed trial";
+  }
+  line += " | masked " + fmt1(percent(masked)) + "% sdc " +
+          fmt1(percent(sdc)) + "% due " + fmt1(percent(due)) + "%";
+
+  // Live estimate: SDC proportion with its Wilson half-width, and — when
+  // chasing a target precision — the projected trials/time to reach it.
+  if (estimator_ != nullptr && estimator_->total() > 0) {
+    const util::Interval sdc_ci = estimator_->sdc_interval();
+    line += " | sdc " + fmt1(100.0 * sdc_ci.point) + "% ±" +
+            fmt1(100.0 * sdc_ci.half_width());
+    if (target_half_width_ > 0.0) {
+      const std::uint64_t more =
+          estimator_->trials_to_half_width(target_half_width_);
+      line += " | ETA to ±" + fmt1(100.0 * target_half_width_) + "%: ";
+      if (more == 0) {
+        line += "reached";
+      } else {
+        line += std::to_string(more) + " trials";
+        if (rate > 0.0) {
+          line +=
+              " (~" + fmt_eta(static_cast<double>(more) / rate) + ")";
+        }
+      }
+    }
+  }
 
   // DUE-kind breakdown, only for kinds actually seen.
   static const char* kKinds[] = {"crash", "abnormal-exit", "hang",

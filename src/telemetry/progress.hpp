@@ -17,11 +17,22 @@
 
 namespace phifi::telemetry {
 
+class CampaignEstimator;
+
 class ProgressEmitter {
  public:
   /// Renders to `out` at most once per `interval_seconds`.
   ProgressEmitter(const MetricsRegistry& registry, std::ostream& out,
                   double interval_seconds = 2.0);
+
+  /// Attaches the campaign's estimator (not owned, must outlive the
+  /// emitter). When set, every line carries the live SDC estimate with
+  /// its Wilson half-width (`sdc 18.1% ±0.8`); with a positive
+  /// `target_half_width` (the --stop-ci-width EPS, a proportion) the line
+  /// also projects the trials and time to reach it
+  /// ("ETA to ±0.5%: 1234 trials (~3m20s)").
+  void set_estimator(const CampaignEstimator* estimator,
+                     double target_half_width = 0.0);
 
   /// Called per completed trial; renders when the interval has elapsed.
   void tick();
@@ -38,6 +49,8 @@ class ProgressEmitter {
   using Clock = std::chrono::steady_clock;
 
   const MetricsRegistry* registry_;
+  const CampaignEstimator* estimator_ = nullptr;
+  double target_half_width_ = 0.0;
   std::ostream* out_;
   double interval_seconds_;
   Clock::time_point start_;

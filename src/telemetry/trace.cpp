@@ -175,6 +175,13 @@ void TraceWriter::end(const TraceEnd& end) {
   record["not_injected"] = end.not_injected;
   record["interrupted"] = end.interrupted;
   record["aborted"] = end.aborted;
+  record["stopped_early"] = end.stopped_early;
+  record["elapsed_ms"] = end.elapsed_ms;
+  util::json::Value kinds = util::json::Value::object();
+  for (const auto& [kind, count] : end.due_kinds) {
+    if (count > 0) kinds[kind] = count;
+  }
+  record["due_kinds"] = std::move(kinds);
   write_line(record);
 }
 

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -89,6 +90,14 @@ struct TraceEnd {
   std::uint64_t not_injected = 0;
   bool interrupted = false;
   bool aborted = false;
+  /// Sequential stopping (--stop-ci-width) ended the campaign before the
+  /// configured trial count.
+  bool stopped_early = false;
+  /// Wall-clock ms from campaign (trace-writer) start to the end record.
+  double elapsed_ms = 0.0;
+  /// DUE breakdown by kind ("crash", "hang", ...), counting this run's
+  /// segment like the tallies above. Kinds with zero count are omitted.
+  std::map<std::string, std::uint64_t> due_kinds;
 };
 
 /// Appends NDJSON records to a file. Each record is flushed to the OS as

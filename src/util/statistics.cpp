@@ -134,6 +134,27 @@ double normal_cdf(double x) {
   return 0.5 * std::erfc(-x / std::numbers::sqrt2);
 }
 
+TwoProportionTest two_proportion_z_test(std::uint64_t successes1,
+                                        std::uint64_t trials1,
+                                        std::uint64_t successes2,
+                                        std::uint64_t trials2) {
+  TwoProportionTest test;
+  if (trials1 == 0 || trials2 == 0) return test;  // no evidence either way
+  const double n1 = static_cast<double>(trials1);
+  const double n2 = static_cast<double>(trials2);
+  const double p1 = static_cast<double>(successes1) / n1;
+  const double p2 = static_cast<double>(successes2) / n2;
+  const double pooled =
+      (static_cast<double>(successes1) + static_cast<double>(successes2)) /
+      (n1 + n2);
+  const double variance = pooled * (1.0 - pooled) * (1.0 / n1 + 1.0 / n2);
+  // Pooled proportion of 0 or 1 forces p1 == p2: identical rates, z = 0.
+  if (variance <= 0.0) return test;
+  test.z = (p1 - p2) / std::sqrt(variance);
+  test.p_value = 2.0 * (1.0 - normal_cdf(std::abs(test.z)));
+  return test;
+}
+
 double chi_squared_statistic(std::span<const std::uint64_t> observed,
                              std::span<const double> expected) {
   assert(observed.size() == expected.size());

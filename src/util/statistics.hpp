@@ -67,6 +67,20 @@ Interval poisson_interval(std::uint64_t count, double confidence = 0.95);
 /// Standard normal CDF.
 double normal_cdf(double x);
 
+/// Pooled two-proportion z-test (did the SDC rate move between two
+/// campaigns?). z is signed (positive when sample 1's rate is higher);
+/// p_value is two-sided. Degenerate inputs (an empty sample, or a pooled
+/// proportion of exactly 0 or 1, which forces equal rates) return
+/// {z = 0, p_value = 1}.
+struct TwoProportionTest {
+  double z = 0.0;
+  double p_value = 1.0;
+};
+TwoProportionTest two_proportion_z_test(std::uint64_t successes1,
+                                        std::uint64_t trials1,
+                                        std::uint64_t successes2,
+                                        std::uint64_t trials2);
+
 /// Pearson chi-squared test statistic for observed vs expected counts.
 /// Returns the statistic; degrees of freedom are bins-1.
 double chi_squared_statistic(std::span<const std::uint64_t> observed,

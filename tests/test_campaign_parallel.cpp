@@ -237,6 +237,88 @@ TEST(CampaignParallel, SlotOutputsStayIsolated) {
   }
 }
 
+TEST(CampaignParallel, StopCiWidthHaltsEveryJobsCountAtTheSameAttempt) {
+  // The sequential stop rule is evaluated only at attempt-order commit
+  // boundaries, so jobs=1 and jobs=4 must stop at the identical attempt
+  // with bit-identical tallies — workers past the stopping attempt are
+  // speculative and never committed.
+  CampaignConfig base = parallel_campaign(1, "");
+  base.trials = 40;
+  base.stop_ci_width = 0.2;  // fires around n=10..21 for any outcome mix
+  const CampaignResult sequential = run_campaign(base);
+  ASSERT_TRUE(sequential.stopped_early);
+  ASSERT_LT(sequential.overall.total(), 40u);
+  ASSERT_GT(sequential.overall.total(), 0u);
+
+  CampaignConfig wide = base;
+  wide.jobs = 4;
+  const CampaignResult parallel = run_campaign(wide);
+  EXPECT_TRUE(parallel.stopped_early);
+  expect_same_campaign(sequential, parallel);
+}
+
+TEST(CampaignParallel, StopCiWidthSurvivesSigkillAndResume) {
+  const std::string journal = temp_path("parallel_ci_kill.jnl");
+  fs::remove(journal);
+
+  // Reference: sequential, uninterrupted, stopping on precision.
+  CampaignConfig reference = parallel_campaign(1, "");
+  reference.trials = 40;
+  reference.stop_ci_width = 0.2;
+  const CampaignResult expected = run_campaign(reference);
+  ASSERT_TRUE(expected.stopped_early);
+
+  // SIGKILL a 4-worker journaled run before the stop point; the resumed
+  // campaign must replay, re-arm the stop rule, and land on the reference.
+  CampaignConfig config = parallel_campaign(4, journal);
+  config.trials = 40;
+  config.stop_ci_width = 0.2;
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ToyWorkload::reset_run_counter();
+    TrialSupervisor supervisor(&phifi::testing::make_toy_normal,
+                               toy_supervisor_config());
+    supervisor.prepare_golden();
+    Campaign campaign(supervisor, config);
+    int committed = 0;
+    campaign.run([&committed](const TrialResult&,
+                              std::span<const std::byte>) {
+      if (++committed == 3) ::kill(::getpid(), SIGKILL);
+    });
+    ::_exit(42);  // not reached: the kill lands inside run()
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(WTERMSIG(status), SIGKILL);
+
+  CampaignConfig resume_config = parallel_campaign(2, journal);
+  resume_config.trials = 40;
+  resume_config.stop_ci_width = 0.2;
+  resume_config.resume = true;
+  const CampaignResult resumed = run_campaign(resume_config);
+  EXPECT_TRUE(resumed.stopped_early);
+  EXPECT_FALSE(resumed.interrupted);
+  expect_same_campaign(expected, resumed);
+}
+
+TEST(CampaignParallel, StopCiWidthIsFingerprinted) {
+  // A journal written under one epsilon must not resume under another:
+  // the stop rule is part of the campaign's identity.
+  CampaignConfig a = parallel_campaign(1, "");
+  CampaignConfig b = a;
+  b.stop_ci_width = 0.2;
+  ToyWorkload::reset_run_counter();
+  TrialSupervisor supervisor(&phifi::testing::make_toy_normal,
+                             toy_supervisor_config());
+  supervisor.prepare_golden();
+  EXPECT_NE(campaign_fingerprint(a, supervisor.workload_name(),
+                                 supervisor.time_windows()),
+            campaign_fingerprint(b, supervisor.workload_name(),
+                                 supervisor.time_windows()));
+}
+
 TEST(CampaignParallel, IndexedSeedsAreOrderIndependent) {
   // The counter-indexed seed derivation is the determinism linchpin: it
   // must be a pure function of (campaign seed, attempt index).

@@ -149,6 +149,29 @@ progress_seconds = 1.5
   EXPECT_DOUBLE_EQ(reparsed.progress_seconds, config.progress_seconds);
 }
 
+TEST(CliConfig, ObservatoryKeysParseAndRoundTrip) {
+  const RunnerConfig config = parse(R"(
+metrics_format = openmetrics
+history_file = /tmp/c.history.ndjson
+stop_ci_width = 0.005
+)");
+  EXPECT_EQ(config.metrics_format, MetricsFormat::kOpenMetrics);
+  EXPECT_EQ(config.history_file, "/tmp/c.history.ndjson");
+  EXPECT_DOUBLE_EQ(config.stop_ci_width, 0.005);
+
+  const RunnerConfig reparsed = parse(format_config(config));
+  EXPECT_EQ(reparsed.metrics_format, config.metrics_format);
+  EXPECT_EQ(reparsed.history_file, config.history_file);
+  EXPECT_DOUBLE_EQ(reparsed.stop_ci_width, config.stop_ci_width);
+}
+
+TEST(CliConfig, BadObservatoryValuesAreErrors) {
+  EXPECT_THROW(parse("metrics_format = xml\n"), std::runtime_error);
+  EXPECT_THROW(parse("stop_ci_width = -0.1\n"), std::runtime_error);
+  EXPECT_THROW(parse("stop_ci_width = 0.5\n"), std::runtime_error);
+  EXPECT_THROW(parse("stop_ci_width = half\n"), std::runtime_error);
+}
+
 TEST(CliConfig, CommentsAndWhitespaceIgnored) {
   const RunnerConfig config =
       parse("  trials =  5   # inline comment\n\n   \n# whole line\n");

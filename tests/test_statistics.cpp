@@ -134,6 +134,32 @@ TEST(PoissonInterval, ZeroCountHasPositiveUpperBound) {
   EXPECT_GT(ci.hi, 0.5);
 }
 
+TEST(TwoProportionZTest, KnownValue) {
+  // 20/100 vs 40/100: pooled p = 0.3, se = sqrt(0.3*0.7*(2/100)),
+  // z = (0.2-0.4)/se ~ -3.086 (sample 1's rate is lower).
+  const TwoProportionTest test = two_proportion_z_test(20, 100, 40, 100);
+  EXPECT_NEAR(test.z, -3.0861, 1e-3);
+  EXPECT_NEAR(test.p_value, 2.0 * normal_cdf(-3.0861), 1e-4);
+  EXPECT_LT(test.p_value, 0.01);
+}
+
+TEST(TwoProportionZTest, EqualRatesAreZeroSignal) {
+  const TwoProportionTest test = two_proportion_z_test(25, 100, 25, 100);
+  EXPECT_DOUBLE_EQ(test.z, 0.0);
+  EXPECT_DOUBLE_EQ(test.p_value, 1.0);
+}
+
+TEST(TwoProportionZTest, DegenerateInputsAreNeutral) {
+  // An empty sample, or a pooled proportion of exactly 0 or 1, carries no
+  // evidence of a difference: z = 0, p = 1 (never NaN).
+  for (const TwoProportionTest test :
+       {two_proportion_z_test(0, 0, 5, 10), two_proportion_z_test(0, 10, 0, 10),
+        two_proportion_z_test(10, 10, 10, 10)}) {
+    EXPECT_DOUBLE_EQ(test.z, 0.0);
+    EXPECT_DOUBLE_EQ(test.p_value, 1.0);
+  }
+}
+
 TEST(ChiSquared, ZeroWhenMatching) {
   const std::vector<std::uint64_t> obs = {10, 20, 30};
   const std::vector<double> exp = {10.0, 20.0, 30.0};

@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -17,9 +18,11 @@
 #include "analysis/trace_analysis.hpp"
 #include "core/campaign.hpp"
 #include "core/campaign_journal.hpp"
+#include "telemetry/estimator.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/trace.hpp"
 #include "tests/toy_workload.hpp"
+#include "util/statistics.hpp"
 
 namespace phifi::telemetry {
 namespace {
@@ -298,6 +301,60 @@ TEST(ProgressEmitter, RenderReflectsRegistryCounts) {
   EXPECT_NE(line.find("crash:1"), std::string::npos);
 }
 
+TEST(ProgressEmitter, ColdStartRendersPlaceholdersNotAnEmptySplit) {
+  // Before the first completed trial there is no throughput sample and no
+  // outcome mix: the line must say so instead of "ETA ?" + an all-zero
+  // split that looks like a real measurement.
+  MetricsRegistry registry;
+  registry.gauge("campaign.trials_target").set(40.0);
+  std::ostringstream out;
+  ProgressEmitter emitter(registry, out);
+  const std::string line = emitter.render();
+  EXPECT_NE(line.find("0/40 trials"), std::string::npos);
+  EXPECT_NE(line.find("0.0/s"), std::string::npos);
+  EXPECT_NE(line.find("ETA --"), std::string::npos);
+  EXPECT_NE(line.find("waiting for first completed trial"),
+            std::string::npos);
+  EXPECT_EQ(line.find("masked"), std::string::npos);
+  EXPECT_EQ(line.find("?"), std::string::npos);
+}
+
+TEST(ProgressEmitter, EstimatorLineShowsCiAndPrecisionEta) {
+  MetricsRegistry registry;
+  registry.counter("campaign.completed").inc(10);
+  registry.gauge("campaign.trials_target").set(40.0);
+  registry.counter("campaign.masked").inc(8);
+  registry.counter("campaign.sdc").inc(2);
+
+  CampaignEstimator estimator;
+  for (int i = 0; i < 8; ++i) {
+    estimator.record(EstimatorOutcome::kMasked, "Single", 0, "data", true);
+  }
+  for (int i = 0; i < 2; ++i) {
+    estimator.record(EstimatorOutcome::kSdc, "Single", 0, "data", true);
+  }
+
+  std::ostringstream out;
+  ProgressEmitter emitter(registry, out);
+  emitter.set_estimator(&estimator, /*target_half_width=*/0.005);
+  const std::string line = emitter.render();
+  // The CI-annotated split renders the Wilson point and half-width for
+  // 2/10 in percent (one decimal, matching the rest of the line).
+  const util::Interval ci = util::wilson_interval(2, 10);
+  char expected[64];
+  std::snprintf(expected, sizeof expected, "| sdc %.1f%% ±%.1f",
+                100.0 * ci.point, 100.0 * ci.half_width());
+  EXPECT_NE(line.find(expected), std::string::npos);
+  EXPECT_NE(line.find("ETA to ±0.5%:"), std::string::npos);
+  EXPECT_NE(line.find("trials"), std::string::npos);
+
+  // Once the target is met the ETA collapses to "reached".
+  ProgressEmitter coarse(registry, out);
+  coarse.set_estimator(&estimator, /*target_half_width=*/0.3);
+  EXPECT_NE(coarse.render().find("ETA to ±30.0%: reached"),
+            std::string::npos);
+}
+
 TEST(ProgressEmitter, TickIsTimeGatedEmitNowIsNot) {
   MetricsRegistry registry;
   std::ostringstream out;
@@ -375,6 +432,19 @@ TEST_F(CampaignTelemetryTest, TraceBracketsEveryAttempt) {
                    static_cast<double>(result_.overall.sdc));
   EXPECT_DOUBLE_EQ(contents_.end.number_or("due", 0.0),
                    static_cast<double>(result_.overall.due));
+  // The enriched end record: wall-clock, early-stop flag, DUE-kind split.
+  EXPECT_FALSE(contents_.end.bool_or("stopped_early", true));
+  EXPECT_GT(contents_.end.number_or("elapsed_ms", -1.0), 0.0);
+  const util::json::Value* due_kinds = contents_.end.find("due_kinds");
+  ASSERT_NE(due_kinds, nullptr);
+  double due_kind_sum = 0.0;
+  for (const auto& [kind, count] : due_kinds->as_object()) {
+    EXPECT_EQ(static_cast<std::uint64_t>(count.as_double()),
+              result_.due_kinds.at(kind))
+        << kind;
+    due_kind_sum += count.as_double();
+  }
+  EXPECT_DOUBLE_EQ(due_kind_sum, static_cast<double>(result_.overall.due));
   // One trial record per attempt: completed plus NotInjected retries.
   EXPECT_EQ(contents_.trials.size(), result_.attempts);
 }

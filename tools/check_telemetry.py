@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
-"""Schema check for phifi telemetry outputs (docs/TELEMETRY.md).
+"""Schema check for phifi telemetry outputs (docs/TELEMETRY.md,
+docs/OBSERVATORY.md).
 
-Validates an NDJSON trial trace and/or a metrics snapshot produced by
-phifi_run, and cross-checks them against each other when both are given:
+Validates an NDJSON trial trace, a metrics snapshot (JSON or OpenMetrics
+text), and/or a --history campaign ledger produced by phifi_run, and
+cross-checks them against each other when several are given:
 
     check_telemetry.py --trace campaign.ndjson --metrics metrics.json
+    check_telemetry.py --metrics metrics.json --openmetrics metrics.om
+    check_telemetry.py --history reliability.ndjson
 
 Exits non-zero with a pointed message on the first violation. Stdlib only,
 so CI can run it without installing anything.
@@ -167,6 +171,21 @@ def check_trace(path):
                 for key in ("completed", "masked", "sdc", "due",
                             "not_injected"):
                     check_number(record, key, where, minimum=0)
+                check_number(record, "elapsed_ms", where, minimum=0)
+                require(isinstance(record.get("stopped_early"), bool),
+                        f"{where}: 'stopped_early' is not a bool")
+                due_kinds = record.get("due_kinds")
+                require(isinstance(due_kinds, dict),
+                        f"{where}: 'due_kinds' is not an object")
+                for kind_name, count in due_kinds.items():
+                    require(kind_name in DUE_KINDS and kind_name != "none",
+                            f"{where}: unknown due_kind {kind_name!r}")
+                    require(isinstance(count, int) and count > 0,
+                            f"{where}: due_kinds[{kind_name!r}] = {count!r} "
+                            f"(zero-count kinds are omitted)")
+                require(sum(due_kinds.values()) == record["due"],
+                        f"{where}: due_kinds sum {sum(due_kinds.values())} "
+                        f"!= due {record['due']}")
                 end = record
             # Unknown types are forward-compatible: skip.
     set_offending_line(None)  # whole-file checks below have no single line
@@ -233,16 +252,192 @@ def check_metrics(path):
     return counters
 
 
+def openmetrics_name(name):
+    """The C++ renderer's sanitization: phifi_ prefix, [^A-Za-z0-9_] -> _."""
+    return "phifi_" + "".join(
+        c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def parse_openmetrics(path):
+    """Returns (samples dict name->float, types dict family->kind)."""
+    samples = {}
+    types = {}
+    helps = set()
+    lines = open(path, encoding="utf-8").read().splitlines()
+    require(lines and lines[-1] == "# EOF",
+            f"{path}: missing '# EOF' terminator")
+    for lineno, line in enumerate(lines[:-1], start=1):
+        where = f"{path}:{lineno}"
+        set_offending_line(line)
+        if line.startswith("# TYPE "):
+            _, _, family, kind = line.split(" ", 3)
+            require(kind in ("counter", "gauge", "histogram"),
+                    f"{where}: unknown metric type {kind!r}")
+            require(family not in types, f"{where}: duplicate # TYPE")
+            types[family] = kind
+            continue
+        if line.startswith("# HELP "):
+            helps.add(line.split(" ", 3)[2])
+            continue
+        require(not line.startswith("#"), f"{where}: stray comment line")
+        name, _, value = line.rpartition(" ")
+        require(name and not name.endswith(" "), f"{where}: bad sample line")
+        try:
+            samples[name] = float(value)
+        except ValueError:
+            fail(f"{where}: sample value {value!r} is not a number")
+        base = name.split("{", 1)[0]
+        require(base.startswith("phifi_"),
+                f"{where}: sample {base!r} lacks the phifi_ prefix")
+    set_offending_line(None)
+    for family in types:
+        require(family in helps, f"{path}: {family} has # TYPE but no # HELP")
+    return samples, types
+
+
+def check_openmetrics(path, snapshot_path=None):
+    samples, types = parse_openmetrics(path)
+    for name in samples:
+        base = name.split("{", 1)[0]
+        family = base
+        for suffix in ("_bucket", "_sum", "_count"):
+            if base.endswith(suffix) and base[:-len(suffix)] in types:
+                family = base[:-len(suffix)]
+        require(family in types, f"{path}: sample {name!r} has no # TYPE")
+
+    # Histogram invariants: cumulative non-decreasing buckets, +Inf last
+    # and equal to _count.
+    for family, kind in types.items():
+        if kind != "histogram":
+            continue
+        buckets = [(name, value) for name, value in samples.items()
+                   if name.startswith(f"{family}_bucket{{")]
+        require(buckets, f"{path}: histogram {family} has no buckets")
+        require(buckets[-1][0] == f'{family}_bucket{{le="+Inf"}}',
+                f"{path}: {family}: last bucket is not le=\"+Inf\"")
+        previous = 0.0
+        for name, value in buckets:
+            require(value >= previous,
+                    f"{path}: {family}: cumulative bucket {name} decreased")
+            previous = value
+        require(buckets[-1][1] == samples.get(f"{family}_count"),
+                f"{path}: {family}: +Inf bucket != _count")
+
+    if snapshot_path is not None:
+        with open(snapshot_path, encoding="utf-8") as stream:
+            snapshot = json.load(stream)
+        for name, value in snapshot["counters"].items():
+            om = openmetrics_name(name) + "_total"
+            require(samples.get(om) == value,
+                    f"{om} = {samples.get(om)} but JSON counter "
+                    f"{name!r} = {value}")
+        for name, value in snapshot["gauges"].items():
+            om = openmetrics_name(name)
+            require(samples.get(om) == value,
+                    f"{om} = {samples.get(om)} but JSON gauge "
+                    f"{name!r} = {value}")
+        for name, hist in snapshot["histograms"].items():
+            family = openmetrics_name(name)
+            cumulative = [value for key, value in samples.items()
+                          if key.startswith(f"{family}_bucket{{")]
+            disjoint = [b - a for a, b in
+                        zip([0.0] + cumulative[:-1], cumulative)]
+            require(disjoint == hist["counts"],
+                    f"{family}: de-cumulated buckets {disjoint} != JSON "
+                    f"counts {hist['counts']}")
+            require(samples.get(f"{family}_count") == hist["count"],
+                    f"{family}_count != JSON count")
+        print("check_telemetry: openmetrics and metrics snapshot agree")
+    print(f"check_telemetry: openmetrics OK: {path} "
+          f"({len(samples)} samples, {len(types)} families)")
+
+
+HISTORY_COUNTS = ("completed", "masked", "sdc", "due", "not_injected",
+                  "trials_target", "seed", "jobs")
+HISTORY_RATES = ("sdc_rate", "sdc_ci_lo", "sdc_ci_hi",
+                 "due_rate", "due_ci_lo", "due_ci_hi")
+
+
+def check_history(path):
+    """Returns the list of campaign_summary records."""
+    records = []
+    with open(path, encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            where = f"{path}:{lineno}"
+            line = line.strip()
+            set_offending_line(line)
+            if not line:
+                fail(f"{where}: blank line in NDJSON ledger")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(f"{where}: unparseable record: {error}")
+            if record.get("type") != "campaign_summary":
+                continue  # forward compatibility
+            check_string(record, "workload", where)
+            fingerprint = check_string(record, "fingerprint", where)
+            require(len(fingerprint) == 16
+                    and all(c in "0123456789abcdef" for c in fingerprint),
+                    f"{where}: fingerprint {fingerprint!r} is not 16 hex "
+                    f"digits")
+            for key in HISTORY_COUNTS:
+                check_number(record, key, where, minimum=0)
+            split = (record["masked"] + record["sdc"] + record["due"])
+            require(split == record["completed"],
+                    f"{where}: masked+sdc+due = {split} != completed = "
+                    f"{record['completed']}")
+            for key in ("stopped_early", "interrupted", "aborted"):
+                require(isinstance(record.get(key), bool),
+                        f"{where}: '{key}' is not a bool")
+            check_number(record, "elapsed_seconds", where, minimum=0)
+            check_number(record, "trials_per_sec", where, minimum=0)
+            for key in HISTORY_RATES:
+                value = check_number(record, key, where, minimum=0)
+                require(value <= 1.0,
+                        f"{where}: '{key}' = {value} outside [0, 1]")
+            require(record["sdc_ci_lo"] <= record["sdc_rate"]
+                    <= record["sdc_ci_hi"],
+                    f"{where}: sdc interval does not bracket sdc_rate")
+            cells = record.get("cells")
+            require(isinstance(cells, list), f"{where}: 'cells' not a list")
+            for i, cell in enumerate(cells):
+                cell_where = f"{where} cell[{i}]"
+                check_string(cell, "model", cell_where)
+                check_string(cell, "category", cell_where)
+                check_number(cell, "window", cell_where, minimum=0)
+                total = sum(check_number(cell, key, cell_where, minimum=0)
+                            for key in ("masked", "sdc", "due"))
+                require(total > 0, f"{cell_where}: empty cell persisted")
+                rate = check_number(cell, "sdc_rate", cell_where, minimum=0)
+                require(rate <= 1.0,
+                        f"{cell_where}: sdc_rate {rate} outside [0, 1]")
+            records.append(record)
+    set_offending_line(None)
+    require(records, f"{path}: no campaign_summary records")
+    print(f"check_telemetry: history OK: {path} ({len(records)} campaign "
+          f"record(s))")
+    return records
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace", help="NDJSON trial trace to validate")
-    parser.add_argument("--metrics", help="metrics snapshot to validate")
+    parser.add_argument("--metrics", help="JSON metrics snapshot to validate")
+    parser.add_argument("--openmetrics",
+                        help="OpenMetrics text exposition to validate "
+                             "(cross-checked against --metrics when given)")
+    parser.add_argument("--history",
+                        help="--history campaign ledger to validate")
     args = parser.parse_args()
-    if not args.trace and not args.metrics:
-        parser.error("nothing to check: pass --trace and/or --metrics")
+    if not any((args.trace, args.metrics, args.openmetrics, args.history)):
+        parser.error("nothing to check: pass --trace, --metrics, "
+                     "--openmetrics and/or --history")
 
     trace = check_trace(args.trace) if args.trace else None
     counters = check_metrics(args.metrics) if args.metrics else None
+    if args.openmetrics:
+        check_openmetrics(args.openmetrics, snapshot_path=args.metrics)
+    history = check_history(args.history) if args.history else None
 
     if trace is not None and counters is not None:
         _, counts, _ = trace
@@ -254,6 +449,15 @@ def main():
                         f"{counter} = {counters[counter]} but the trace "
                         f"tallies {counts[outcome]}")
         print("check_telemetry: trace and metrics agree")
+    if trace is not None and history is not None:
+        _, counts, _ = trace
+        latest = history[-1]
+        for outcome, key in (("Masked", "masked"), ("SDC", "sdc"),
+                             ("DUE", "due")):
+            require(latest[key] == counts[outcome],
+                    f"history.{key} = {latest[key]} but the trace tallies "
+                    f"{counts[outcome]}")
+        print("check_telemetry: trace and history agree")
 
 
 if __name__ == "__main__":

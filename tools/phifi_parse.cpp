@@ -11,19 +11,29 @@
 // for the same campaign. --json renders every table as one JSON document
 // so CI and notebooks can diff results.
 //
+// With --drift it compares the latest record of two --history ledgers with
+// per-cell two-proportion z-tests and exits 3 when any slice moved
+// significantly — the CI reliability-regression gate.
+//
 //   $ phifi_parse [--json] <log.csv> [more.csv ...]
 //   $ phifi_parse [--json] --from-journal <campaign.jnl> [more.jnl ...]
 //   $ phifi_parse [--json] --from-trace <campaign.trace> [more ...]
+//   $ phifi_parse [--json] --drift <baseline.ndjson> <current.ndjson>
+//                 [--alpha <a>]
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "analysis/drift.hpp"
 #include "analysis/pvf.hpp"
 #include "analysis/trace_analysis.hpp"
 #include "core/campaign_journal.hpp"
 #include "core/trial_log.hpp"
+#include "telemetry/history.hpp"
 #include "telemetry/trace.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -192,6 +202,105 @@ void print_text(const phifi::fi::CampaignResult& result, std::size_t trials,
   outcomes.print_text(std::cout);
 }
 
+std::string fmt_double(double value, int decimals) {
+  char buffer[48];
+  std::snprintf(buffer, sizeof buffer, "%.*f", decimals, value);
+  return buffer;
+}
+
+/// Loads the *latest* record of a --history ledger (the record the most
+/// recent campaign appended).
+int load_latest_history(const std::string& file,
+                        phifi::telemetry::HistoryRecord* record) {
+  using namespace phifi;
+  try {
+    const std::vector<telemetry::HistoryRecord> records =
+        telemetry::read_history_file(file);
+    if (records.empty()) {
+      std::cerr << "phifi_parse: " << file << ": no campaign records\n";
+      return 1;
+    }
+    *record = records.back();
+  } catch (const std::exception& error) {
+    std::cerr << "phifi_parse: " << file << ": " << error.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+/// --drift: exit 0 = statistically quiet, 3 = significant movement.
+int run_drift(const std::string& baseline_file,
+              const std::string& current_file, double alpha, bool json) {
+  using namespace phifi;
+  telemetry::HistoryRecord baseline;
+  telemetry::HistoryRecord current;
+  if (load_latest_history(baseline_file, &baseline) != 0) return 1;
+  if (load_latest_history(current_file, &current) != 0) return 1;
+
+  analysis::DriftReport report;
+  try {
+    report = analysis::compute_drift(baseline, current, alpha);
+  } catch (const std::exception& error) {
+    std::cerr << "phifi_parse: " << error.what() << "\n";
+    return 1;
+  }
+
+  if (json) {
+    Value root = Value::object();
+    root["workload"] = report.workload;
+    root["alpha"] = report.alpha;
+    root["baseline_revision"] = baseline.git_revision;
+    root["current_revision"] = current.git_revision;
+    root["any_significant"] = report.any_significant;
+    Value entries = Value::array();
+    for (const analysis::DriftEntry& entry : report.entries) {
+      Value row = Value::object();
+      row["slice"] = entry.slice;
+      row["baseline_events"] = entry.baseline_events;
+      row["baseline_trials"] = entry.baseline_trials;
+      row["current_events"] = entry.current_events;
+      row["current_trials"] = entry.current_trials;
+      row["baseline_rate"] = entry.baseline_rate;
+      row["current_rate"] = entry.current_rate;
+      row["z"] = entry.z;
+      row["p_value"] = entry.p_value;
+      row["significant"] = entry.significant;
+      entries.push_back(std::move(row));
+    }
+    root["entries"] = std::move(entries);
+    Value unmatched = Value::array();
+    for (const std::string& cell : report.unmatched_cells) {
+      unmatched.push_back(cell);
+    }
+    root["unmatched_cells"] = std::move(unmatched);
+    std::cout << root.dump() << "\n";
+  } else {
+    util::Table table("PVF drift - " + report.workload + " (alpha " +
+                      fmt_double(report.alpha, 3) + ")");
+    table.set_header(
+        {"slice", "baseline", "current", "z", "p-value", "verdict"});
+    for (const analysis::DriftEntry& entry : report.entries) {
+      table.add_row({entry.slice,
+                     util::fmt_percent(entry.baseline_rate) + " (" +
+                         std::to_string(entry.baseline_events) + "/" +
+                         std::to_string(entry.baseline_trials) + ")",
+                     util::fmt_percent(entry.current_rate) + " (" +
+                         std::to_string(entry.current_events) + "/" +
+                         std::to_string(entry.current_trials) + ")",
+                     fmt_double(entry.z, 2), fmt_double(entry.p_value, 4),
+                     entry.significant ? "DRIFT" : "ok"});
+    }
+    table.print_text(std::cout);
+    for (const std::string& cell : report.unmatched_cells) {
+      std::cout << "note: cell " << cell << " not compared\n";
+    }
+    std::cout << (report.any_significant
+                      ? "verdict: significant PVF movement detected\n"
+                      : "verdict: no significant movement\n");
+  }
+  return report.any_significant ? 3 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,6 +308,7 @@ int main(int argc, char** argv) {
 
   bool json = false;
   std::string source = "csv";
+  double alpha = 0.05;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -208,17 +318,36 @@ int main(int argc, char** argv) {
       source = "journal";
     } else if (arg == "--from-trace") {
       source = "trace";
+    } else if (arg == "--drift") {
+      source = "drift";
+    } else if (arg == "--alpha") {
+      if (i + 1 >= argc) {
+        std::cerr << "phifi_parse: --alpha needs a value\n";
+        return 2;
+      }
+      alpha = std::atof(argv[++i]);
+      if (alpha <= 0.0 || alpha >= 1.0) {
+        std::cerr << "phifi_parse: --alpha must be in (0, 1)\n";
+        return 2;
+      }
     } else {
       files.push_back(arg);
     }
   }
-  if (files.empty()) {
+  if (files.empty() || (source == "drift" && files.size() != 2)) {
     std::cerr << "usage: phifi_parse [--json] <log.csv> [more.csv ...]\n"
               << "       phifi_parse [--json] --from-journal <campaign.jnl> "
                  "[more ...]\n"
               << "       phifi_parse [--json] --from-trace <campaign.trace> "
-                 "[more ...]\n";
+                 "[more ...]\n"
+              << "       phifi_parse [--json] --drift <baseline.ndjson> "
+                 "<current.ndjson> [--alpha <a>]\n"
+              << "--drift compares the latest campaign record of two "
+                 "--history ledgers;\nexit 3 = significant PVF movement\n";
     return 2;
+  }
+  if (source == "drift") {
+    return run_drift(files[0], files[1], alpha, json);
   }
 
   fi::CampaignResult result;

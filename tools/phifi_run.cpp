@@ -47,8 +47,16 @@ int main(int argc, char** argv) {
     std::cerr << "usage: phifi_run <config-file> [repetitions] [--resume]\n"
               << "                 [--jobs <n>] [--trace-out <file>] "
                  "[--metrics-out <file>]\n"
-              << "                 [--progress <seconds>]\n"
-              << "       phifi_run --template\n";
+              << "                 [--metrics-format json|openmetrics]\n"
+              << "                 [--progress <seconds>] "
+                 "[--stop-ci-width <eps>]\n"
+              << "                 [--history <file>]\n"
+              << "       phifi_run --template\n"
+              << "  --stop-ci-width  stop once the SDC-proportion 95% CI\n"
+              << "                   half-width is <= eps (e.g. 0.005)\n"
+              << "  --history        append a campaign summary record to\n"
+              << "                   this NDJSON ledger (phifi_parse "
+                 "--drift)\n";
     return 2;
   }
 
@@ -57,7 +65,10 @@ int main(int argc, char** argv) {
   int jobs = 0;  // 0: leave the config file's value
   std::string trace_out;
   std::string metrics_out;
+  std::string metrics_format;
+  std::string history_out;
   double progress_seconds = -1.0;  // <0: leave the config file's value
+  double stop_ci_width = -1.0;     // <0: leave the config file's value
   const auto flag_value = [&](int& i) -> const char* {
     if (i + 1 >= argc) {
       std::cerr << "phifi_run: " << argv[i] << " needs a value\n";
@@ -85,6 +96,28 @@ int main(int argc, char** argv) {
       const char* value = flag_value(i);
       if (value == nullptr) return 2;
       metrics_out = value;
+    } else if (arg == "--metrics-format") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      metrics_format = value;
+      if (metrics_format != "json" && metrics_format != "openmetrics") {
+        std::cerr << "phifi_run: --metrics-format must be 'json' or "
+                     "'openmetrics'\n";
+        return 2;
+      }
+    } else if (arg == "--history") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      history_out = value;
+    } else if (arg == "--stop-ci-width") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      stop_ci_width = std::atof(value);
+      if (stop_ci_width <= 0.0 || stop_ci_width >= 0.5) {
+        std::cerr << "phifi_run: bad --stop-ci-width '" << value
+                  << "' (need a proportion in (0, 0.5))\n";
+        return 2;
+      }
     } else if (arg == "--progress") {
       const char* value = flag_value(i);
       if (value == nullptr) return 2;
@@ -117,6 +150,13 @@ int main(int argc, char** argv) {
     if (jobs > 0) config.jobs = static_cast<unsigned>(jobs);
     if (!trace_out.empty()) config.trace_file = trace_out;
     if (!metrics_out.empty()) config.metrics_file = metrics_out;
+    if (metrics_format == "json") {
+      config.metrics_format = cli::MetricsFormat::kJson;
+    } else if (metrics_format == "openmetrics") {
+      config.metrics_format = cli::MetricsFormat::kOpenMetrics;
+    }
+    if (!history_out.empty()) config.history_file = history_out;
+    if (stop_ci_width > 0.0) config.stop_ci_width = stop_ci_width;
     if (progress_seconds > 0.0) config.progress_seconds = progress_seconds;
     config.stop_flag = &g_stop;
     if (config.resume && config.journal_file.empty()) {
