@@ -244,6 +244,25 @@ RunnerConfig parse_config(std::istream& is) {
       config.stall_timeout_seconds = parse_double(line_number, value);
     } else if (key == "max_consecutive_failures") {
       config.max_consecutive_failures = parse_u64(line_number, value);
+    } else if (key == "fabric_listen") {
+      config.fabric_listen = value;
+    } else if (key == "fabric_connect") {
+      config.fabric_connect = value;
+    } else if (key == "fabric_shard") {
+      config.fabric_shard = value;
+    } else if (key == "fabric_ledger") {
+      config.fabric_ledger = value;
+    } else if (key == "fabric_lease_size") {
+      config.fabric_lease_size = parse_u64(line_number, value);
+      if (config.fabric_lease_size == 0) {
+        fail(line_number, "fabric_lease_size must be at least 1");
+      }
+    } else if (key == "fabric_heartbeat_seconds") {
+      config.fabric_heartbeat_seconds = parse_double(line_number, value);
+    } else if (key == "fabric_lease_timeout_seconds") {
+      config.fabric_lease_timeout_seconds = parse_double(line_number, value);
+    } else if (key == "fabric_reconnect_ms") {
+      config.fabric_reconnect_ms = parse_double(line_number, value);
     } else {
       fail(line_number, "unknown key '" + key + "'");
     }
@@ -252,6 +271,15 @@ RunnerConfig parse_config(std::istream& is) {
       config.earliest_fraction >= config.latest_fraction) {
     throw std::runtime_error(
         "config: injection window must satisfy 0 <= earliest < latest <= 1");
+  }
+  if (!config.fabric_listen.empty() && !config.fabric_connect.empty()) {
+    throw std::runtime_error(
+        "config: fabric_listen (coordinator) and fabric_connect (worker) "
+        "are mutually exclusive");
+  }
+  if (!config.fabric_connect.empty() && config.fabric_shard.empty()) {
+    throw std::runtime_error(
+        "config: a fabric worker needs fabric_shard (its shard journal)");
   }
   return config;
 }
@@ -326,6 +354,32 @@ std::string format_config(const RunnerConfig& config) {
      << "stall_timeout_seconds = " << config.stall_timeout_seconds << "\n"
      << "max_consecutive_failures = " << config.max_consecutive_failures
      << "\n";
+  if (!config.fabric_listen.empty()) {
+    os << "fabric_listen = " << config.fabric_listen << "\n";
+  }
+  if (!config.fabric_connect.empty()) {
+    os << "fabric_connect = " << config.fabric_connect << "\n";
+  }
+  if (!config.fabric_shard.empty()) {
+    os << "fabric_shard = " << config.fabric_shard << "\n";
+  }
+  if (!config.fabric_ledger.empty()) {
+    os << "fabric_ledger = " << config.fabric_ledger << "\n";
+  }
+  if (config.fabric_lease_size != 32) {
+    os << "fabric_lease_size = " << config.fabric_lease_size << "\n";
+  }
+  if (config.fabric_heartbeat_seconds != 1.0) {
+    os << "fabric_heartbeat_seconds = " << config.fabric_heartbeat_seconds
+       << "\n";
+  }
+  if (config.fabric_lease_timeout_seconds != 5.0) {
+    os << "fabric_lease_timeout_seconds = "
+       << config.fabric_lease_timeout_seconds << "\n";
+  }
+  if (config.fabric_reconnect_ms != 200.0) {
+    os << "fabric_reconnect_ms = " << config.fabric_reconnect_ms << "\n";
+  }
   return os.str();
 }
 

@@ -82,6 +82,18 @@ struct RunnerConfig {
   // Campaign failure handling.
   std::size_t max_consecutive_failures = 5;
 
+  // Fabric: shard one campaign across worker processes (docs/FABRIC.md).
+  // Role comes from which address is set: fabric_listen makes this process
+  // the coordinator, fabric_connect a worker. Both set is an error.
+  std::string fabric_listen;   ///< coordinator listen address
+  std::string fabric_connect;  ///< worker: coordinator address
+  std::string fabric_shard;    ///< worker: shard journal path (required)
+  std::string fabric_ledger;   ///< coordinator: lease ledger ("" = memory)
+  std::uint64_t fabric_lease_size = 32;
+  double fabric_heartbeat_seconds = 1.0;
+  double fabric_lease_timeout_seconds = 5.0;
+  double fabric_reconnect_ms = 200.0;
+
   /// Cooperative shutdown flag (not a config-file key): wired by phifi_run
   /// to its SIGINT/SIGTERM handlers.
   const std::atomic<bool>* stop_flag = nullptr;

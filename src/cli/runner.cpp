@@ -8,6 +8,9 @@
 
 #include "analysis/pvf.hpp"
 #include "core/trial_log.hpp"
+#include "fabric/coordinator.hpp"
+#include "fabric/options.hpp"
+#include "fabric/worker.hpp"
 #include "report/report.hpp"
 #include "radiation/sensitivity.hpp"
 #include "telemetry/estimator.hpp"
@@ -40,6 +43,122 @@ void export_golden_counters(telemetry::MetricsRegistry& metrics,
   metrics.gauge("phi.golden.kernel_launches")
       .set(static_cast<double>(counters.kernel_launches));
   metrics.gauge("phi.golden.seconds").set(golden_seconds);
+}
+
+/// Renders the final metrics snapshot, shared by the plain and fabric
+/// paths.
+void write_metrics_file(const RunnerConfig& config,
+                        telemetry::MetricsRegistry& metrics) {
+  if (config.metrics_file.empty()) return;
+  std::ofstream metrics_stream(config.metrics_file);
+  if (!metrics_stream) {
+    throw std::runtime_error("cannot open metrics file '" +
+                             config.metrics_file + "'");
+  }
+  if (config.metrics_format == MetricsFormat::kOpenMetrics) {
+    metrics_stream << metrics.render_openmetrics();
+  } else {
+    metrics_stream << metrics.snapshot().dump() << "\n";
+  }
+}
+
+/// Fabric dispatch: this process is one role of a sharded campaign — a
+/// coordinator leasing ranges, or a worker executing them into its shard
+/// journal. Tallies are assembled later by phifi_merge, not here.
+RunSummary run_fabric(const RunnerConfig& config,
+                      fi::TrialSupervisor& supervisor,
+                      telemetry::MetricsRegistry& metrics, bool telemetry_on,
+                      telemetry::TraceWriter* trace, std::ostream& out) {
+  RunSummary summary;
+  summary.workload = config.workload;
+  summary.mode = config.mode;
+  summary.fabric = true;
+
+  fi::CampaignConfig campaign_config = config.campaign_config();
+  if (telemetry_on) campaign_config.metrics = &metrics;
+  const std::uint64_t fingerprint = fi::campaign_fingerprint(
+      campaign_config, supervisor.workload_name(),
+      supervisor.time_windows());
+
+  fabric::FabricOptions options;
+  options.address = config.fabric_listen.empty() ? config.fabric_connect
+                                                 : config.fabric_listen;
+  options.ledger_path = config.fabric_ledger;
+  options.shard_path = config.fabric_shard;
+  options.lease_size = config.fabric_lease_size;
+  options.heartbeat_seconds = config.fabric_heartbeat_seconds;
+  options.lease_timeout_seconds = config.fabric_lease_timeout_seconds;
+  options.reconnect_initial_ms = config.fabric_reconnect_ms;
+
+  if (trace != nullptr) {
+    telemetry::TraceCampaign header;
+    header.workload = config.workload;
+    header.trials = config.trials;
+    header.seed = config.seed;
+    header.policy = std::string(to_string(config.policy));
+    for (fi::FaultModel model : config.models) {
+      header.models.emplace_back(to_string(model));
+    }
+    header.time_windows = supervisor.time_windows();
+    header.jobs = config.jobs;
+    trace->campaign(header);
+  }
+
+  util::Table table("Fabric - " + config.workload);
+  table.set_header({"metric", "value"});
+  if (!config.fabric_listen.empty()) {
+    std::unique_ptr<telemetry::ProgressEmitter> progress;
+    if (config.progress_seconds > 0.0) {
+      progress = std::make_unique<telemetry::ProgressEmitter>(
+          metrics, out, config.progress_seconds);
+    }
+    const fabric::CoordinatorResult result = fabric::run_coordinator(
+        campaign_config, fingerprint, options,
+        telemetry_on ? &metrics : nullptr, trace, progress.get(), out);
+    if (progress != nullptr) summary.progress_emits = progress->emitted();
+    summary.interrupted = result.interrupted;
+    summary.stopped_early = result.stopped_early;
+    summary.fabric_workers = result.workers_seen;
+    summary.fabric_leases = result.leases_granted;
+    summary.fabric_reclaimed = result.leases_reclaimed;
+    table.add_row({"role", "coordinator"});
+    table.add_row({"status", result.complete
+                                 ? (result.stopped_early
+                                        ? "stopped early (CI target)"
+                                        : "complete")
+                                 : (result.interrupted ? "interrupted"
+                                                       : "incomplete")});
+    table.add_row({"injected (done prefix)",
+                   std::to_string(result.completed)});
+    table.add_row({"workers seen", std::to_string(result.workers_seen)});
+    table.add_row({"leases granted", std::to_string(result.leases_granted)});
+    table.add_row({"leases reclaimed",
+                   std::to_string(result.leases_reclaimed)});
+  } else {
+    const fabric::WorkerResult result = fabric::run_worker(
+        supervisor, campaign_config, fingerprint, options,
+        telemetry_on ? &metrics : nullptr, trace, out);
+    if (result.rejected) {
+      throw std::runtime_error("fabric: coordinator rejected this worker: " +
+                               result.reject_reason);
+    }
+    summary.interrupted = result.interrupted;
+    summary.aborted = result.aborted;
+    summary.fabric_leases = result.leases_done;
+    table.add_row({"role", "worker " + std::to_string(result.worker_id)});
+    table.add_row({"status", result.complete
+                                 ? "campaign complete"
+                                 : (result.interrupted ? "interrupted"
+                                                       : "stopped")});
+    table.add_row({"leases done", std::to_string(result.leases_done)});
+    table.add_row({"attempts executed", std::to_string(result.executed)});
+    table.add_row({"shard", options.shard_path});
+  }
+  table.print_text(out);
+
+  if (trace != nullptr) summary.trace_records = trace->records_written();
+  write_metrics_file(config, metrics);
+  return summary;
 }
 
 }  // namespace
@@ -77,6 +196,12 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
   if (telemetry_on) {
     export_golden_counters(metrics, supervisor.golden_counters(),
                            supervisor.golden_seconds());
+  }
+
+  if (config.mode == RunMode::kInject &&
+      (!config.fabric_listen.empty() || !config.fabric_connect.empty())) {
+    return run_fabric(config, supervisor, metrics, telemetry_on,
+                      trace.get(), out);
   }
 
   if (config.mode == RunMode::kInject) {
@@ -127,16 +252,7 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
 
     if (!config.metrics_file.empty()) {
       if (estimator != nullptr) estimator->publish(metrics);
-      std::ofstream metrics_stream(config.metrics_file);
-      if (!metrics_stream) {
-        throw std::runtime_error("cannot open metrics file '" +
-                                 config.metrics_file + "'");
-      }
-      if (config.metrics_format == MetricsFormat::kOpenMetrics) {
-        metrics_stream << metrics.render_openmetrics();
-      } else {
-        metrics_stream << metrics.snapshot().dump() << "\n";
-      }
+      write_metrics_file(config, metrics);
     }
 
     if (!config.history_file.empty()) {

@@ -24,6 +24,13 @@ struct RunSummary {
   // Telemetry (see docs/TELEMETRY.md).
   std::uint64_t trace_records = 0;   ///< NDJSON records written
   std::uint64_t progress_emits = 0;  ///< live progress lines rendered
+
+  // Fabric roles (docs/FABRIC.md). `fabric` marks a coordinator/worker
+  // run; outcome tallies then live in the shard journals, not here.
+  bool fabric = false;
+  std::uint64_t fabric_workers = 0;   ///< coordinator: distinct workers seen
+  std::uint64_t fabric_leases = 0;    ///< granted (coord) / done (worker)
+  std::uint64_t fabric_reclaimed = 0; ///< coordinator: leases reclaimed
 };
 
 /// Runs the configured campaign. Reports to `out`; per-trial logs go to

@@ -102,18 +102,6 @@ void feed_estimator(telemetry::CampaignEstimator& estimator,
                    trial.record.injected);
 }
 
-/// The sequential stop rule, evaluated only at attempt-order commit
-/// boundaries: true once the Wilson 95% CI half-width of the overall SDC
-/// proportion is at or under the configured epsilon.
-bool ci_stop_reached(const CampaignConfig& config,
-                     const OutcomeTally& overall) {
-  if (config.stop_ci_width <= 0.0) return false;
-  const std::uint64_t n = overall.total();
-  if (n == 0) return false;
-  return util::wilson_interval(overall.sdc, n).half_width() <=
-         config.stop_ci_width;
-}
-
 /// A reaped trial waiting for its turn at the commit point. Completions
 /// arrive in whatever order the workers finish; they are buffered here and
 /// committed (journal, trace, tallies, observer) strictly in attempt-index
@@ -128,6 +116,15 @@ struct PendingTrial {
 };
 
 }  // namespace
+
+bool campaign_ci_stop_reached(const CampaignConfig& config,
+                              const OutcomeTally& overall) {
+  if (config.stop_ci_width <= 0.0) return false;
+  const std::uint64_t n = overall.total();
+  if (n == 0) return false;
+  return util::wilson_interval(overall.sdc, n).half_width() <=
+         config.stop_ci_width;
+}
 
 void OutcomeTally::add(Outcome outcome) {
   switch (outcome) {
@@ -308,7 +305,7 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
         // Replay walks the same commit boundaries the original run did, so
         // the stop rule fires at the identical attempt (stop_ci_width is
         // fingerprinted: the journal cannot carry a different epsilon).
-        if (ci_stop_reached(config_, result.overall)) {
+        if (campaign_ci_stop_reached(config_, result.overall)) {
           result.stopped_early = true;
           break;
         }
@@ -397,7 +394,7 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
       // boundary — never on raw completion order. Buffered completions
       // past this attempt stay uncommitted (killed below), exactly like
       // finish-line overshoot, so every jobs value stops identically.
-      if (ci_stop_reached(config_, result.overall)) {
+      if (campaign_ci_stop_reached(config_, result.overall)) {
         result.stopped_early = true;
         break;
       }
@@ -572,6 +569,178 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
     util::log_warn() << result.workload << ": campaign stopped after "
                      << result.attempts << " attempts with only " << completed
                      << " injected trials";
+  }
+  return result;
+}
+
+RangeResult Campaign::run_range(std::uint64_t begin, std::uint64_t end,
+                                const RangeHooks& hooks) {
+  assert(!config_.models.empty());
+  using Clock = std::chrono::steady_clock;
+  const unsigned jobs = std::max(1u, config_.jobs);
+  RangeResult result;
+  if (begin >= end) return result;
+
+  // Same scheduler shape as run(): counter-indexed seeds, reorder-buffer
+  // commit, infra retries with backoff and a circuit breaker — but the
+  // finish line is simply `end` and durability belongs to on_commit. No
+  // stop rule here: a lease is executed to completion and the campaign
+  // boundary (trial count or --stop-ci-width) is re-derived at merge time,
+  // where it lands on the identical attempt a --jobs 1 run would.
+  supervisor_->ensure_slots(jobs);
+  std::uint64_t next_index = begin;
+  std::uint64_t commit_index = begin;
+  std::set<std::uint64_t> retry_queue;
+  std::map<std::uint64_t, PendingTrial> pending;
+  std::vector<std::optional<std::pair<std::uint64_t, double>>> inflight(jobs);
+  std::size_t consecutive_failures = 0;
+  auto backoff_until = Clock::now();
+
+  while (true) {
+    // (1) Commit buffered completions that are next in index order.
+    while (commit_index < end) {
+      const auto it = pending.find(commit_index);
+      if (it == pending.end()) break;
+      PendingTrial ready = std::move(it->second);
+      pending.erase(it);
+      if (hooks.on_commit) {
+        JournalRecord record;
+        record.attempt_index = commit_index;
+        record.trial = ready.trial;
+        hooks.on_commit(record);
+      }
+      if (config_.trace != nullptr) {
+        config_.trace->trial(make_trial_trace(ready.trial, commit_index,
+                                              ready.ts_ms, ready.slot));
+      }
+      if (config_.metrics != nullptr) {
+        feed_metrics(*config_.metrics, ready.trial, /*replayed=*/false);
+      }
+      ++commit_index;
+      ++result.committed;
+      if (ready.trial.outcome != Outcome::kNotInjected) ++result.injected;
+    }
+    if (commit_index >= end) break;
+
+    // (2) Cancellation: a revoked lease or a stop request abandons the
+    // range immediately — committed records stand, in-flight children are
+    // killed below, and overlap with whoever re-executes the range dedups
+    // at merge (counter-indexed seeds make the re-execution identical).
+    if (config_.stop_flag != nullptr &&
+        config_.stop_flag->load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      break;
+    }
+    if (hooks.on_tick && !hooks.on_tick()) {
+      result.cancelled = true;
+      break;
+    }
+
+    // (3) Launch into free slots: retries first (same index, same seed),
+    // then fresh indices up to the end of the range.
+    if (!result.aborted && Clock::now() >= backoff_until) {
+      while (supervisor_->active_slots() < jobs) {
+        const bool from_retry = !retry_queue.empty();
+        std::uint64_t index = 0;
+        if (from_retry) {
+          index = *retry_queue.begin();
+        } else if (next_index < end) {
+          index = next_index;
+        } else {
+          break;  // every index is committed, pending, or in flight
+        }
+        unsigned slot = 0;
+        while (slot < jobs && supervisor_->slot_active(slot)) ++slot;
+        assert(slot < jobs);
+
+        TrialConfig trial;
+        trial.trial_seed = trial_seed_for(config_.seed, index);
+        trial.model = config_.models[index % config_.models.size()];
+        trial.policy = config_.policy;
+        trial.earliest_fraction = config_.earliest_fraction;
+        trial.latest_fraction = config_.latest_fraction;
+
+        const double ts_ms =
+            config_.trace != nullptr ? config_.trace->now_ms() : 0.0;
+        try {
+          supervisor_->start_trial(slot, trial);
+        } catch (const std::exception& error) {
+          ++consecutive_failures;
+          if (config_.metrics != nullptr) {
+            config_.metrics->counter("campaign.infra_failures").inc();
+          }
+          util::log_warn() << "range [" << begin << "," << end
+                           << "): trial infrastructure failure ("
+                           << consecutive_failures << "/"
+                           << config_.max_consecutive_failures
+                           << "): " << error.what();
+          retry_queue.insert(index);
+          if (!from_retry) ++next_index;
+          if (consecutive_failures >= config_.max_consecutive_failures) {
+            result.aborted = true;
+          } else {
+            const unsigned doublings = static_cast<unsigned>(
+                std::min<std::size_t>(consecutive_failures - 1, 10));
+            backoff_until =
+                Clock::now() +
+                std::chrono::milliseconds(
+                    static_cast<std::uint64_t>(
+                        config_.retry_backoff_initial_ms)
+                    << doublings);
+          }
+          break;
+        }
+        if (from_retry) {
+          retry_queue.erase(retry_queue.begin());
+        } else {
+          ++next_index;
+        }
+        inflight[slot] = {{index, ts_ms}};
+      }
+      if (config_.metrics != nullptr) {
+        config_.metrics->gauge("campaign.workers_active")
+            .set(static_cast<double>(supervisor_->active_slots()));
+      }
+    }
+
+    // (4) Nothing in flight: abort, wait out a retry backoff, or loop back
+    // to the commit point (everything left must be buffered in `pending`).
+    if (supervisor_->active_slots() == 0) {
+      if (result.aborted) break;
+      const auto now = Clock::now();
+      if (now < backoff_until) {
+        std::this_thread::sleep_for(
+            std::min(std::chrono::duration_cast<std::chrono::milliseconds>(
+                         backoff_until - now),
+                     std::chrono::milliseconds(10)));
+      }
+      continue;
+    }
+
+    // (5) Reap: buffer completions for the commit point.
+    std::vector<SlotCompletion> done = supervisor_->poll_slots();
+    if (done.empty()) {
+      std::this_thread::sleep_for(supervisor_->next_poll_delay());
+      continue;
+    }
+    consecutive_failures = 0;
+    for (SlotCompletion& completion : done) {
+      assert(inflight[completion.slot].has_value());
+      const auto [index, ts_ms] = *inflight[completion.slot];
+      inflight[completion.slot].reset();
+      PendingTrial entry;
+      entry.trial = std::move(completion.result);
+      entry.ts_ms = ts_ms;
+      entry.slot = completion.slot;
+      pending.emplace(index, std::move(entry));
+    }
+  }
+
+  // Kill in-flight attempts past a cancel/abort uncommitted, exactly like
+  // run() kills finish-line overshoot.
+  supervisor_->kill_active_slots();
+  if (config_.metrics != nullptr) {
+    config_.metrics->gauge("campaign.workers_active").set(0.0);
   }
   return result;
 }

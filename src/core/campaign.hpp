@@ -172,10 +172,39 @@ std::uint64_t campaign_fingerprint(const CampaignConfig& config,
                                    std::string_view workload,
                                    unsigned time_windows);
 
+/// The sequential stop rule (--stop-ci-width), evaluated only at
+/// attempt-order commit boundaries: true once the Wilson 95% CI half-width
+/// of the overall SDC proportion is at or under the configured epsilon.
+/// Shared by the live scheduler, journal replay, and the fabric shard
+/// merge so the three can never disagree on where a campaign ends.
+bool campaign_ci_stop_reached(const CampaignConfig& config,
+                              const OutcomeTally& overall);
+
 /// Observer invoked after every trial; `output` is non-empty only for
 /// completed (Masked/SDC) trials and is valid for the duration of the call.
 using TrialObserver =
     std::function<void(const TrialResult&, std::span<const std::byte>)>;
+
+/// Control hooks for run_range(), the fabric worker's lease executor.
+struct RangeHooks {
+  /// Invoked for every committed attempt, strictly in index order. The
+  /// fabric worker appends the record to its shard journal here; run_range
+  /// itself never touches config.journal_path.
+  std::function<void(const JournalRecord&)> on_commit;
+  /// Invoked once per scheduler iteration (poll pace, sub-millisecond to
+  /// tens of ms). Return false to cancel the range: in-flight children are
+  /// killed uncommitted, already-committed records stand. The fabric
+  /// worker pumps its coordinator socket and sends heartbeats from here,
+  /// keeping all network I/O off the per-trial hot path.
+  std::function<bool()> on_tick;
+};
+
+struct RangeResult {
+  std::uint64_t committed = 0;  ///< records committed by this call
+  std::uint64_t injected = 0;   ///< of which were injected trials
+  bool cancelled = false;  ///< on_tick returned false or stop_flag fired
+  bool aborted = false;    ///< circuit breaker tripped
+};
 
 class Campaign {
  public:
@@ -184,6 +213,16 @@ class Campaign {
 
   /// Runs the campaign. The supervisor must already have a golden copy.
   CampaignResult run(const TrialObserver& observer = nullptr);
+
+  /// Executes exactly attempt indices [begin, end) with the same slot
+  /// scheduler, in-order commit point, retry/backoff, and circuit breaker
+  /// as run() — but no finish line, stop rule, or journal: the caller (a
+  /// fabric worker executing a lease) owns durability via hooks.on_commit
+  /// and the campaign-level boundary is decided at merge time. Seeds are
+  /// counter-indexed, so the records this produces are bit-identical to
+  /// the same indices of a --jobs 1 run, whatever process executes them.
+  RangeResult run_range(std::uint64_t begin, std::uint64_t end,
+                        const RangeHooks& hooks);
 
  private:
   TrialSupervisor* supervisor_;

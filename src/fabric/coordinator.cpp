@@ -1,0 +1,564 @@
+#include "fabric/coordinator.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fabric/lease.hpp"
+#include "fabric/protocol.hpp"
+#include "util/log.hpp"
+#include "util/statistics.hpp"
+
+namespace phifi::fabric {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Per-connection coordinator state. worker == 0 until the HELLO arrives.
+struct WorkerConn {
+  std::unique_ptr<Connection> link;
+  std::uint64_t worker = 0;
+  /// Asked for a lease while none was grantable; served on next reclaim.
+  bool hungry = false;
+  // Last cumulative per-lease counts reported (heartbeat/done), so the
+  // aggregate campaign counters advance by deltas, never double-counting.
+  std::uint64_t last_injected = 0;
+  std::uint64_t last_masked = 0;
+  std::uint64_t last_sdc = 0;
+  std::uint64_t last_due = 0;
+};
+
+struct LoopState {
+  const fi::CampaignConfig* config = nullptr;
+  std::uint64_t fingerprint = 0;
+  const FabricOptions* options = nullptr;
+  LeaseTable* table = nullptr;
+  LeaseLedgerWriter* ledger = nullptr;
+  telemetry::MetricsRegistry* metrics = nullptr;
+  telemetry::TraceWriter* trace = nullptr;
+  CoordinatorResult* result = nullptr;
+  std::vector<std::unique_ptr<WorkerConn>>* conns = nullptr;
+  std::uint64_t next_worker_id = 1;
+};
+
+double trace_now_ms(const LoopState& state) {
+  return state.trace != nullptr ? state.trace->now_ms() : 0.0;
+}
+
+void trace_fabric(const LoopState& state, const std::string& kind,
+                  std::uint64_t worker, const Lease* lease,
+                  std::uint64_t injected = 0) {
+  if (state.trace == nullptr) return;
+  telemetry::TraceFabricEvent event;
+  event.kind = kind;
+  event.worker = worker;
+  if (lease != nullptr) {
+    event.lease = lease->id;
+    event.begin = lease->begin;
+    event.end = lease->end;
+  }
+  event.injected = injected;
+  event.ts_ms = trace_now_ms(state);
+  state.trace->fabric(event);
+}
+
+/// Folds a worker's cumulative per-lease counts into the campaign-wide
+/// counters by delta, updating the connection's high-water marks.
+void feed_aggregate(LoopState& state, WorkerConn& conn, const Message& msg) {
+  if (state.metrics == nullptr) return;
+  const auto delta = [](std::uint64_t now, std::uint64_t& last) {
+    const std::uint64_t d = now > last ? now - last : 0;
+    last = std::max(last, now);
+    return d;
+  };
+  state.metrics->counter("campaign.completed")
+      .inc(delta(msg.injected, conn.last_injected));
+  state.metrics->counter("campaign.masked")
+      .inc(delta(msg.masked, conn.last_masked));
+  state.metrics->counter("campaign.sdc").inc(delta(msg.sdc, conn.last_sdc));
+  state.metrics->counter("campaign.due").inc(delta(msg.due, conn.last_due));
+}
+
+void reset_lease_counts(WorkerConn& conn) {
+  conn.last_injected = 0;
+  conn.last_masked = 0;
+  conn.last_sdc = 0;
+  conn.last_due = 0;
+}
+
+Clock::time_point lease_deadline(const LoopState& state) {
+  return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(
+                                state.options->lease_timeout_seconds));
+}
+
+void ledger_append(LoopState& state, LedgerKind kind, const Lease& lease,
+                   std::uint64_t injected = 0, std::uint64_t sdc = 0) {
+  if (state.ledger == nullptr) return;
+  LedgerRecord record;
+  record.kind = kind;
+  record.lease = lease.id;
+  record.begin = lease.begin;
+  record.end = lease.end;
+  record.injected = injected;
+  record.sdc = sdc;
+  state.ledger->append(record);
+}
+
+/// Grants the next available range to `conn` (ledger first, then wire).
+/// Returns false when nothing is grantable right now.
+bool try_grant(LoopState& state, WorkerConn& conn) {
+  std::optional<Lease> lease =
+      state.table->grant(conn.worker, lease_deadline(state));
+  if (!lease.has_value()) return false;
+  // Durability before announcement: a coordinator killed between these
+  // two lines restarts with the range orphaned, and either the worker
+  // re-claims it via HELLO (if the grant did reach the wire) or the
+  // deadline reclaims it. Killed before the append, the grant simply
+  // never happened.
+  ledger_append(state, LedgerKind::kGrant, *lease);
+  Message grant;
+  grant.type = MsgType::kLeaseGrant;
+  grant.worker = conn.worker;
+  grant.lease = lease->id;
+  grant.begin = lease->begin;
+  grant.end = lease->end;
+  conn.link->send(grant);
+  conn.hungry = false;
+  reset_lease_counts(conn);
+  ++state.result->leases_granted;
+  if (state.metrics != nullptr) {
+    state.metrics->counter("fabric.leases_granted").inc();
+  }
+  trace_fabric(state, "lease_grant", conn.worker, &*lease);
+  return true;
+}
+
+/// The campaign-completion criterion: the contiguous done prefix covers
+/// the trial count, or (with --stop-ci-width) its SDC CI is tight enough.
+/// Evaluated at lease granularity; the merge truncates at the exact
+/// boundary, so a lease-level overshoot here is harmless.
+bool campaign_done(const LoopState& state, bool* stopped_early) {
+  const std::uint64_t injected = state.table->prefix_injected();
+  if (injected >= state.table->trials()) return true;
+  if (state.config->stop_ci_width > 0.0 && injected > 0 &&
+      util::wilson_interval(state.table->prefix_sdc(), injected)
+              .half_width() <= state.config->stop_ci_width) {
+    *stopped_early = true;
+    return true;
+  }
+  return false;
+}
+
+void handle_hello(LoopState& state, WorkerConn& conn, const Message& msg) {
+  if (msg.fingerprint != state.fingerprint) {
+    Message reject;
+    reject.type = MsgType::kReject;
+    reject.text = "campaign fingerprint mismatch: worker has " +
+                  std::to_string(msg.fingerprint) + ", coordinator expects " +
+                  std::to_string(state.fingerprint) +
+                  " (different config/workload/seed?)";
+    conn.link->send(reject);
+    conn.link->close();
+    return;
+  }
+  // A reconnecting worker keeps its id unless another live connection
+  // already holds it (then it gets a fresh one — ids only matter for
+  // lease ownership bookkeeping, not for determinism).
+  std::uint64_t id = msg.worker;
+  if (id != 0) {
+    for (const auto& other : *state.conns) {
+      if (other.get() != &conn && other->worker == id &&
+          other->link->alive()) {
+        id = 0;
+        break;
+      }
+    }
+  }
+  if (id == 0) {
+    id = state.next_worker_id++;
+    ++state.result->workers_seen;
+  }
+  conn.worker = id;
+  trace_fabric(state, "worker_join", id, nullptr);
+  util::log_debug() << "fabric: coordinator welcomed worker " << id
+                    << (msg.lease != 0
+                            ? " (claims lease " + std::to_string(msg.lease) +
+                                  ")"
+                            : std::string());
+
+  Message welcome;
+  welcome.type = MsgType::kWelcome;
+  welcome.worker = id;
+  conn.link->send(welcome);
+
+  // A HELLO can carry a lease claim: the worker was executing it when the
+  // link (or the coordinator) died. Re-adopt if it is still outstanding;
+  // otherwise tell the worker to drop it (it was reclaimed meanwhile).
+  if (msg.lease != 0) {
+    if (state.table->adopt(msg.lease, id, lease_deadline(state))) {
+      Message grant;
+      grant.type = MsgType::kLeaseGrant;
+      grant.worker = id;
+      grant.lease = msg.lease;
+      grant.begin = msg.begin;
+      grant.end = msg.end;
+      conn.link->send(grant);
+      reset_lease_counts(conn);
+      Lease lease{msg.lease, msg.begin, msg.end, id, {}};
+      trace_fabric(state, "lease_adopt", id, &lease);
+    } else {
+      Message revoke;
+      revoke.type = MsgType::kLeaseRevoke;
+      revoke.worker = id;
+      revoke.lease = msg.lease;
+      conn.link->send(revoke);
+    }
+  }
+}
+
+void handle_message(LoopState& state, WorkerConn& conn, const Message& msg) {
+  switch (msg.type) {
+    case MsgType::kHello:
+      handle_hello(state, conn, msg);
+      break;
+    case MsgType::kLeaseRequest: {
+      bool stopped_early = false;
+      if (campaign_done(state, &stopped_early)) {
+        Message shutdown;
+        shutdown.type = MsgType::kShutdown;
+        conn.link->send(shutdown);
+        break;
+      }
+      if (!try_grant(state, conn)) {
+        if (state.table->outstanding() > 0) {
+          // Nothing grantable now, but outstanding leases may yet be
+          // reclaimed — hold the request and serve it then.
+          conn.hungry = true;
+        } else {
+          // Fresh space exhausted, nothing outstanding, campaign not
+          // complete: the retry budget ran out. Send the worker home.
+          Message shutdown;
+          shutdown.type = MsgType::kShutdown;
+          conn.link->send(shutdown);
+        }
+      }
+      break;
+    }
+    case MsgType::kHeartbeat:
+      // A stale heartbeat (lease already reclaimed) is ignored: the
+      // worker learns via the revoke already sent, or at reconnect.
+      if (state.table->heartbeat(msg.lease, lease_deadline(state))) {
+        feed_aggregate(state, conn, msg);
+      }
+      break;
+    case MsgType::kLeaseDone: {
+      Lease lease{msg.lease, msg.begin, msg.end, conn.worker, {}};
+      if (state.table->complete(msg.lease, msg.injected, msg.sdc)) {
+        ledger_append(state, LedgerKind::kDone, lease, msg.injected,
+                      msg.sdc);
+        feed_aggregate(state, conn, msg);
+        trace_fabric(state, "lease_done", conn.worker, &lease, msg.injected);
+        util::log_debug() << "fabric: lease " << msg.lease << " done by "
+                          << conn.worker << ", prefix "
+                          << state.table->prefix_injected() << "/"
+                          << state.table->trials();
+      }
+      // Stale done (range reclaimed and re-executed elsewhere): drop it;
+      // the merge dedups any overlap in the shards.
+      break;
+    }
+    case MsgType::kGoodbye:
+      trace_fabric(state, "worker_leave", conn.worker, nullptr);
+      conn.link->close();
+      break;
+    default:
+      util::log_warn() << "fabric: coordinator ignoring unexpected "
+                       << to_string(msg.type) << " from worker "
+                       << conn.worker;
+      break;
+  }
+}
+
+/// Deadline sweep: reclaim expired leases, revoke them on any live link,
+/// and feed reclaimed ranges to hungry workers.
+void sweep_expired(LoopState& state) {
+  const std::vector<Lease> expired = state.table->expire(Clock::now());
+  for (const Lease& lease : expired) {
+    ledger_append(state, LedgerKind::kReclaim, lease);
+    ++state.result->leases_reclaimed;
+    if (state.metrics != nullptr) {
+      state.metrics->counter("fabric.leases_reclaimed").inc();
+    }
+    trace_fabric(state, "lease_reclaim", lease.worker, &lease);
+    util::log_warn() << "fabric: lease " << lease.id << " ["
+                     << lease.begin << ", " << lease.end
+                     << ") reclaimed from worker " << lease.worker
+                     << " (heartbeat deadline missed)";
+    for (auto& conn : *state.conns) {
+      if (conn->worker == lease.worker && conn->link->alive()) {
+        Message revoke;
+        revoke.type = MsgType::kLeaseRevoke;
+        revoke.worker = conn->worker;
+        revoke.lease = lease.id;
+        conn->link->send(revoke);
+      }
+    }
+  }
+  if (!expired.empty()) {
+    for (auto& conn : *state.conns) {
+      if (conn->hungry && conn->link->alive() && conn->worker != 0) {
+        try_grant(state, *conn);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
+                                  std::uint64_t fingerprint,
+                                  const FabricOptions& options,
+                                  telemetry::MetricsRegistry* metrics,
+                                  telemetry::TraceWriter* trace,
+                                  telemetry::ProgressEmitter* progress,
+                                  std::ostream& out) {
+  const std::uint64_t budget = static_cast<std::uint64_t>(
+      campaign.trials * (1 + campaign.max_retry_factor));
+  LeaseTable table(campaign.trials, budget, options.lease_size);
+
+  // Ledger resume: replay an existing ledger so outstanding leases are
+  // re-adoptable by their reconnecting workers (or expire and re-lease).
+  std::unique_ptr<LeaseLedgerWriter> ledger;
+  if (!options.ledger_path.empty()) {
+    if (::access(options.ledger_path.c_str(), F_OK) == 0) {
+      // read_ledger throws on an unreadable/headerless file — that is an
+      // error here (the file exists but is not a ledger), not a fresh
+      // start: silently truncating a mystery file would destroy evidence.
+      const LedgerContents contents = read_ledger(options.ledger_path);
+      if (contents.fingerprint != fingerprint) {
+        throw std::runtime_error(
+            "fabric: lease ledger '" + options.ledger_path +
+            "' belongs to a different campaign (fingerprint mismatch)");
+      }
+      // Restored leases get a full timeout of grace so their workers can
+      // reconnect and re-adopt before the deadline sweep re-leases them.
+      const auto grace = Clock::now() +
+                         std::chrono::duration_cast<Clock::duration>(
+                             std::chrono::duration<double>(
+                                 options.lease_timeout_seconds));
+      for (const LedgerRecord& record : contents.records) {
+        switch (record.kind) {
+          case LedgerKind::kGrant:
+            table.restore_grant(record.lease, record.begin, record.end,
+                                grace);
+            break;
+          case LedgerKind::kDone:
+            table.restore_done(record.lease, record.injected, record.sdc);
+            break;
+          case LedgerKind::kReclaim:
+            table.restore_reclaim(record.lease);
+            break;
+        }
+      }
+      ledger = std::make_unique<LeaseLedgerWriter>(options.ledger_path,
+                                                   contents.valid_bytes);
+      out << "[fabric] coordinator resumed ledger '" << options.ledger_path
+          << "': " << contents.records.size() << " records, "
+          << table.outstanding() << " leases outstanding";
+      if (contents.dropped_bytes > 0) {
+        out << " (dropped " << contents.dropped_bytes << " torn bytes)";
+      }
+      out << "\n";
+    } else {
+      ledger = std::make_unique<LeaseLedgerWriter>(
+          options.ledger_path, fingerprint, campaign.trials);
+    }
+  }
+
+  CoordinatorResult result;
+  std::vector<std::unique_ptr<WorkerConn>> conns;
+  LoopState state;
+  state.config = &campaign;
+  state.fingerprint = fingerprint;
+  state.options = &options;
+  state.table = &table;
+  state.ledger = ledger.get();
+  state.metrics = metrics;
+  state.trace = trace;
+  state.result = &result;
+  state.conns = &conns;
+
+  const Address address = parse_address(options.address);
+  const int listen_fd = listen_on(address);
+  out << "[fabric] coordinator listening on " << options.address << " ("
+      << campaign.trials << " trials, lease size " << options.lease_size
+      << ")\n";
+
+  if (metrics != nullptr) {
+    metrics->gauge("campaign.trials_target")
+        .set(static_cast<double>(campaign.trials));
+  }
+
+  while (true) {
+    if (campaign.stop_flag != nullptr &&
+        campaign.stop_flag->load(std::memory_order_relaxed)) {
+      result.interrupted = true;
+      break;
+    }
+    bool stopped_early = false;
+    if (campaign_done(state, &stopped_early)) {
+      result.complete = true;
+      result.stopped_early = stopped_early;
+      break;
+    }
+
+    sweep_expired(state);
+
+    // Drop closed connections (keep the vector small; worker state that
+    // matters — the leases — lives in the table, keyed by worker id).
+    conns.erase(std::remove_if(conns.begin(), conns.end(),
+                               [&state](const auto& conn) {
+                                 if (conn->link->alive()) return false;
+                                 if (conn->worker != 0) {
+                                   trace_fabric(state, "worker_leave",
+                                                conn->worker, nullptr);
+                                 }
+                                 return true;
+                               }),
+                conns.end());
+
+    std::uint64_t live = 0;
+    for (const auto& conn : conns) {
+      if (conn->worker != 0) ++live;
+    }
+    if (metrics != nullptr) {
+      metrics->gauge("fabric.workers_live").set(static_cast<double>(live));
+      metrics->gauge("fabric.leases_outstanding")
+          .set(static_cast<double>(table.outstanding()));
+    }
+    if (progress != nullptr) progress->tick();
+
+    std::vector<pollfd> fds;
+    fds.push_back({listen_fd, POLLIN, 0});
+    for (const auto& conn : conns) {
+      fds.push_back({conn->link->fd(), POLLIN, 0});
+    }
+    const int n = ::poll(fds.data(), fds.size(), 100);
+    if (n < 0 && errno != EINTR) {
+      throw std::runtime_error("fabric: coordinator poll failed");
+    }
+    if (n <= 0) continue;
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      while (true) {
+        const int fd = accept_on(listen_fd);
+        if (fd < 0) break;
+        auto conn = std::make_unique<WorkerConn>();
+        conn->link = std::make_unique<Connection>(fd);
+        conns.push_back(std::move(conn));
+      }
+    }
+    for (std::size_t i = 0; i < conns.size(); ++i) {
+      // fds[1 + i] only covers connections that existed before poll();
+      // newly accepted ones are pumped next iteration.
+      if (1 + i >= fds.size()) break;
+      if ((fds[1 + i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
+        continue;
+      }
+      WorkerConn& conn = *conns[i];
+      conn.link->pump();  // EOF just marks the link dead; leases keep
+                          // their deadline (quick reconnects re-adopt)
+      Message msg;
+      try {
+        // Pop past EOF too: a worker's parting frames (kGoodbye, a final
+        // kLeaseDone) are buffered even though pump() closed the link.
+        while (conn.link->next(&msg)) {
+          handle_message(state, conn, msg);
+        }
+      } catch (const std::runtime_error& error) {
+        util::log_warn() << "fabric: dropping worker " << conn.worker
+                         << " connection: " << error.what();
+        conn.link->close();
+      }
+    }
+  }
+
+  // Wind-down: tell everyone still connected to go home — then WAIT for
+  // each worker to hang up (kGoodbye or EOF) instead of closing right
+  // away. Closing with a worker's frame still unread in our receive queue
+  // resets the stream and the kernel discards the queued kShutdown; the
+  // worker would see a bare disconnect and reconnect forever against an
+  // address that no longer exists. The grace loop keeps handling inbound
+  // frames (a crossed kLeaseDone still reaches the ledger; a crossed
+  // kLeaseRequest gets the kShutdown retransmitted by handle_message).
+  ::close(listen_fd);
+  if (address.is_unix) ::unlink(address.path.c_str());
+  Message shutdown;
+  shutdown.type = MsgType::kShutdown;
+  for (auto& conn : conns) {
+    if (conn->link->alive()) {
+      util::log_debug() << "fabric: coordinator sending shutdown to worker "
+                        << conn->worker;
+      conn->link->send(shutdown);
+    }
+  }
+  const auto grace_end = Clock::now() + std::chrono::seconds(2);
+  while (Clock::now() < grace_end) {
+    std::vector<pollfd> fds;
+    for (const auto& conn : conns) {
+      if (conn->link->alive()) {
+        fds.push_back({conn->link->fd(), POLLIN, 0});
+      }
+    }
+    if (fds.empty()) break;  // every worker has hung up
+    ::poll(fds.data(), fds.size(), 50);
+    for (auto& conn : conns) {
+      if (!conn->link->alive()) continue;
+      conn->link->pump();
+      Message msg;
+      try {
+        while (conn->link->next(&msg)) handle_message(state, *conn, msg);
+      } catch (const std::runtime_error&) {
+        conn->link->close();
+      }
+    }
+  }
+  for (auto& conn : conns) {
+    if (conn->link->alive()) {
+      util::log_warn() << "fabric: worker " << conn->worker
+                       << " did not hang up within the shutdown grace "
+                          "period; closing anyway";
+      conn->link->close();
+    }
+  }
+
+  result.completed = table.prefix_injected();
+  if (metrics != nullptr) {
+    metrics->gauge("fabric.workers_live").set(0.0);
+    metrics->gauge("fabric.leases_outstanding")
+        .set(static_cast<double>(table.outstanding()));
+  }
+  if (progress != nullptr) progress->emit_now();
+  out << "[fabric] coordinator done: "
+      << (result.complete
+              ? (result.stopped_early ? "stopped early (CI target)"
+                                      : "complete")
+              : (result.interrupted ? "interrupted" : "incomplete"))
+      << ", " << result.completed << " injected in prefix, "
+      << result.leases_granted << " leases granted, "
+      << result.leases_reclaimed << " reclaimed\n";
+  return result;
+}
+
+}  // namespace phifi::fabric

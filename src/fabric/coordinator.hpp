@@ -1,0 +1,50 @@
+// Campaign fabric coordinator: leases attempt-index ranges to workers,
+// reclaims them on stall/crash/partition, and survives its own crashes
+// via the lease ledger. See docs/FABRIC.md for the protocol and the
+// failure matrix.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+
+#include "core/campaign.hpp"
+#include "fabric/options.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/trace.hpp"
+
+namespace phifi::fabric {
+
+struct CoordinatorResult {
+  /// The contiguous done prefix reached the trial count (or the
+  /// --stop-ci-width boundary at lease granularity).
+  bool complete = false;
+  bool interrupted = false;   ///< stop_flag fired
+  bool stopped_early = false; ///< completion came from the stop rule
+  std::uint64_t workers_seen = 0;
+  std::uint64_t leases_granted = 0;
+  std::uint64_t leases_reclaimed = 0;
+  /// Injected completions in the contiguous done prefix. May exceed the
+  /// trial count (the final lease runs to completion); the merge truncates
+  /// at the exact boundary.
+  std::uint64_t completed = 0;
+};
+
+/// Runs the coordinator event loop until the campaign completes, the work
+/// space is exhausted, or `campaign.stop_flag` fires. Single-threaded:
+/// one poll() loop owns the listener, every worker connection, lease
+/// deadlines, the ledger, and the progress/metrics feeds.
+///
+/// `fingerprint` is the campaign fingerprint workers must match — derive
+/// it with campaign_fingerprint() from a prepared supervisor so the
+/// coordinator validates against exactly what a worker computes.
+CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
+                                  std::uint64_t fingerprint,
+                                  const FabricOptions& options,
+                                  telemetry::MetricsRegistry* metrics,
+                                  telemetry::TraceWriter* trace,
+                                  telemetry::ProgressEmitter* progress,
+                                  std::ostream& out);
+
+}  // namespace phifi::fabric

@@ -1,0 +1,329 @@
+#include "fabric/lease.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/campaign_journal.hpp"  // journal_crc32
+
+namespace phifi::fabric {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'H', 'I', 'F', 'I', 'L', 'L', '1'};
+constexpr std::size_t kRecordPayload = 1 + 5 * 8;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* data) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(const std::uint8_t* data) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(data[i]) << (8 * i);
+  }
+  return value;
+}
+
+void write_all(int fd, const void* data, std::size_t size,
+               const char* what) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, bytes, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("lease ledger: ") + what + ": " +
+                               std::strerror(errno));
+    }
+    bytes += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+/// Appends one `u32 size | payload | u32 crc` frame.
+void write_frame(int fd, const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 8);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  put_u32(frame, fi::journal_crc32(payload.data(), payload.size()));
+  write_all(fd, frame.data(), frame.size(), "write");
+}
+
+}  // namespace
+
+// ---- LeaseTable ----
+
+LeaseTable::LeaseTable(std::uint64_t trials, std::uint64_t budget,
+                       std::uint64_t lease_size)
+    : trials_(trials),
+      budget_(budget),
+      lease_size_(std::max<std::uint64_t>(1, lease_size)) {}
+
+std::optional<Lease> LeaseTable::grant(std::uint64_t worker,
+                                       Clock::time_point deadline) {
+  Lease lease;
+  if (!pending_.empty()) {
+    const auto it = pending_.begin();
+    lease.begin = it->first;
+    lease.end = it->second;
+    pending_.erase(it);
+  } else if (next_fresh_ < budget_) {
+    lease.begin = next_fresh_;
+    lease.end = std::min(budget_, next_fresh_ + lease_size_);
+    next_fresh_ = lease.end;
+  } else {
+    return std::nullopt;
+  }
+  lease.id = next_id_++;
+  lease.worker = worker;
+  lease.deadline = deadline;
+  active_.emplace(lease.id, lease);
+  return lease;
+}
+
+bool LeaseTable::adopt(std::uint64_t lease_id, std::uint64_t worker,
+                       Clock::time_point deadline) {
+  const auto it = active_.find(lease_id);
+  if (it == active_.end()) return false;
+  it->second.worker = worker;
+  it->second.deadline = deadline;
+  return true;
+}
+
+bool LeaseTable::heartbeat(std::uint64_t lease_id,
+                           Clock::time_point deadline) {
+  const auto it = active_.find(lease_id);
+  if (it == active_.end()) return false;
+  it->second.deadline = deadline;
+  return true;
+}
+
+bool LeaseTable::complete(std::uint64_t lease_id, std::uint64_t injected,
+                          std::uint64_t sdc) {
+  const auto it = active_.find(lease_id);
+  if (it == active_.end()) return false;
+  done_[it->second.begin] = {it->second.end, injected, sdc};
+  active_.erase(it);
+  return true;
+}
+
+std::vector<Lease> LeaseTable::expire(Clock::time_point now) {
+  std::vector<Lease> expired;
+  for (auto it = active_.begin(); it != active_.end();) {
+    if (it->second.deadline <= now) {
+      expired.push_back(it->second);
+      pending_.emplace(it->second.begin, it->second.end);
+      it = active_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return expired;
+}
+
+std::vector<Lease> LeaseTable::leases_of(std::uint64_t worker) const {
+  std::vector<Lease> leases;
+  for (const auto& [id, lease] : active_) {
+    if (lease.worker == worker) leases.push_back(lease);
+  }
+  return leases;
+}
+
+std::uint64_t LeaseTable::prefix_injected() const {
+  std::uint64_t frontier = 0;
+  std::uint64_t injected = 0;
+  for (const auto& [begin, range] : done_) {
+    if (begin != frontier) break;
+    injected += range.injected;
+    frontier = range.end;
+  }
+  return injected;
+}
+
+std::uint64_t LeaseTable::prefix_sdc() const {
+  std::uint64_t frontier = 0;
+  std::uint64_t sdc = 0;
+  for (const auto& [begin, range] : done_) {
+    if (begin != frontier) break;
+    sdc += range.sdc;
+    frontier = range.end;
+  }
+  return sdc;
+}
+
+bool LeaseTable::exhausted() const {
+  return pending_.empty() && next_fresh_ >= budget_;
+}
+
+void LeaseTable::restore_grant(std::uint64_t id, std::uint64_t begin,
+                               std::uint64_t end,
+                               Clock::time_point deadline) {
+  Lease lease;
+  lease.id = id;
+  lease.begin = begin;
+  lease.end = end;
+  lease.worker = 0;  // orphaned until its worker reconnects
+  lease.deadline = deadline;
+  active_.emplace(id, lease);
+  next_id_ = std::max(next_id_, id + 1);
+  next_fresh_ = std::max(next_fresh_, end);
+  // A re-grant of a previously reclaimed range consumes the pending entry.
+  pending_.erase(begin);
+}
+
+void LeaseTable::restore_done(std::uint64_t id, std::uint64_t injected,
+                              std::uint64_t sdc) {
+  complete(id, injected, sdc);
+}
+
+void LeaseTable::restore_reclaim(std::uint64_t id) {
+  const auto it = active_.find(id);
+  if (it == active_.end()) return;
+  pending_.emplace(it->second.begin, it->second.end);
+  active_.erase(it);
+}
+
+// ---- ledger ----
+
+LedgerContents read_ledger(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw std::runtime_error("lease ledger: cannot open '" + path +
+                             "': " + std::strerror(errno));
+  }
+  std::vector<std::uint8_t> data;
+  std::uint8_t chunk[4096];
+  while (true) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      throw std::runtime_error("lease ledger: read '" + path +
+                               "': " + std::strerror(saved));
+    }
+    if (n == 0) break;
+    data.insert(data.end(), chunk, chunk + n);
+  }
+  ::close(fd);
+
+  LedgerContents contents;
+  std::size_t offset = sizeof(kMagic);
+  if (data.size() < offset ||
+      std::memcmp(data.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("lease ledger: '" + path +
+                             "' is not a lease ledger (bad magic)");
+  }
+  // Header frame.
+  const auto try_frame =
+      [&](std::vector<std::uint8_t>* payload) -> bool {
+    if (data.size() < offset + 8) return false;
+    const std::uint32_t size = get_u32(data.data() + offset);
+    if (size > (1u << 20) || data.size() < offset + 8 + size) return false;
+    const std::uint8_t* body = data.data() + offset + 4;
+    if (get_u32(body + size) != fi::journal_crc32(body, size)) return false;
+    payload->assign(body, body + size);
+    offset += 8 + size;
+    return true;
+  };
+  std::vector<std::uint8_t> payload;
+  if (!try_frame(&payload) || payload.size() != 16) {
+    throw std::runtime_error("lease ledger: '" + path +
+                             "' has a missing or corrupt header");
+  }
+  contents.fingerprint = get_u64(payload.data());
+  contents.trials = get_u64(payload.data() + 8);
+  contents.valid_bytes = offset;
+
+  while (try_frame(&payload)) {
+    if (payload.size() != kRecordPayload) break;  // corrupt: drop the tail
+    LedgerRecord record;
+    record.kind = static_cast<LedgerKind>(payload[0]);
+    record.lease = get_u64(payload.data() + 1);
+    record.begin = get_u64(payload.data() + 9);
+    record.end = get_u64(payload.data() + 17);
+    record.injected = get_u64(payload.data() + 25);
+    record.sdc = get_u64(payload.data() + 33);
+    contents.records.push_back(record);
+    contents.valid_bytes = offset;
+  }
+  contents.dropped_bytes = data.size() - contents.valid_bytes;
+  return contents;
+}
+
+LeaseLedgerWriter::LeaseLedgerWriter(const std::string& path,
+                                     std::uint64_t fingerprint,
+                                     std::uint64_t trials) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+               0644);
+  if (fd_ < 0) {
+    throw std::runtime_error("lease ledger: cannot create '" + path +
+                             "': " + std::strerror(errno));
+  }
+  write_all(fd_, kMagic, sizeof(kMagic), "write magic");
+  std::vector<std::uint8_t> payload;
+  put_u64(payload, fingerprint);
+  put_u64(payload, trials);
+  write_frame(fd_, payload);
+  ::fsync(fd_);
+}
+
+LeaseLedgerWriter::LeaseLedgerWriter(const std::string& path,
+                                     std::uint64_t valid_bytes) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (fd_ < 0) {
+    throw std::runtime_error("lease ledger: cannot reopen '" + path +
+                             "': " + std::strerror(errno));
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0 ||
+      ::lseek(fd_, 0, SEEK_END) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("lease ledger: cannot truncate '" + path +
+                             "': " + std::strerror(saved));
+  }
+}
+
+LeaseLedgerWriter::~LeaseLedgerWriter() {
+  if (fd_ >= 0) {
+    ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+void LeaseLedgerWriter::append(const LedgerRecord& record) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(kRecordPayload);
+  payload.push_back(static_cast<std::uint8_t>(record.kind));
+  put_u64(payload, record.lease);
+  put_u64(payload, record.begin);
+  put_u64(payload, record.end);
+  put_u64(payload, record.injected);
+  put_u64(payload, record.sdc);
+  write_frame(fd_, payload);
+  ::fsync(fd_);
+}
+
+}  // namespace phifi::fabric

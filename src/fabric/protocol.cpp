@@ -1,0 +1,363 @@
+#include "fabric/protocol.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+#include "core/campaign_journal.hpp"  // journal_crc32: one CRC in the repo
+
+namespace phifi::fabric {
+
+namespace {
+
+/// Guards against a desynchronized stream asking us to buffer gigabytes:
+/// real frames are ~100 bytes plus a short reject reason.
+constexpr std::uint32_t kMaxFrame = 1 << 16;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((value >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* data) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+  }
+  return value;
+}
+
+std::uint64_t get_u64(const std::uint8_t* data) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(data[i]) << (8 * i);
+  }
+  return value;
+}
+
+void make_nonblocking_cloexec(int fd) {
+  ::fcntl(fd, F_SETFL, ::fcntl(fd, F_GETFL, 0) | O_NONBLOCK);
+  ::fcntl(fd, F_SETFD, ::fcntl(fd, F_GETFD, 0) | FD_CLOEXEC);
+}
+
+}  // namespace
+
+std::string_view to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "hello";
+    case MsgType::kWelcome: return "welcome";
+    case MsgType::kReject: return "reject";
+    case MsgType::kLeaseRequest: return "lease-request";
+    case MsgType::kLeaseGrant: return "lease-grant";
+    case MsgType::kLeaseRevoke: return "lease-revoke";
+    case MsgType::kLeaseDone: return "lease-done";
+    case MsgType::kHeartbeat: return "heartbeat";
+    case MsgType::kShutdown: return "shutdown";
+    case MsgType::kGoodbye: return "goodbye";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_message(const Message& message) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(96 + message.text.size());
+  payload.push_back(static_cast<std::uint8_t>(message.type));
+  put_u64(payload, message.worker);
+  put_u64(payload, message.fingerprint);
+  put_u64(payload, message.lease);
+  put_u64(payload, message.begin);
+  put_u64(payload, message.end);
+  put_u64(payload, message.progress);
+  put_u64(payload, message.injected);
+  put_u64(payload, message.masked);
+  put_u64(payload, message.sdc);
+  put_u64(payload, message.due);
+  put_u32(payload, static_cast<std::uint32_t>(message.text.size()));
+  payload.insert(payload.end(), message.text.begin(), message.text.end());
+
+  std::vector<std::uint8_t> frame;
+  frame.reserve(payload.size() + 8);
+  put_u32(frame, static_cast<std::uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  put_u32(frame, fi::journal_crc32(payload.data(), payload.size()));
+  return frame;
+}
+
+bool decode_message(std::vector<std::uint8_t>& buffer, Message* out) {
+  if (buffer.size() < 4) return false;
+  const std::uint32_t size = get_u32(buffer.data());
+  if (size < 85 || size > kMaxFrame) {
+    throw std::runtime_error("fabric: corrupt frame (size " +
+                             std::to_string(size) + ")");
+  }
+  if (buffer.size() < 4 + static_cast<std::size_t>(size) + 4) return false;
+  const std::uint8_t* payload = buffer.data() + 4;
+  const std::uint32_t crc = get_u32(payload + size);
+  if (crc != fi::journal_crc32(payload, size)) {
+    throw std::runtime_error("fabric: corrupt frame (bad checksum)");
+  }
+  Message message;
+  message.type = static_cast<MsgType>(payload[0]);
+  message.worker = get_u64(payload + 1);
+  message.fingerprint = get_u64(payload + 9);
+  message.lease = get_u64(payload + 17);
+  message.begin = get_u64(payload + 25);
+  message.end = get_u64(payload + 33);
+  message.progress = get_u64(payload + 41);
+  message.injected = get_u64(payload + 49);
+  message.masked = get_u64(payload + 57);
+  message.sdc = get_u64(payload + 65);
+  message.due = get_u64(payload + 73);
+  const std::uint32_t text_len = get_u32(payload + 81);
+  if (85 + static_cast<std::size_t>(text_len) != size) {
+    throw std::runtime_error("fabric: corrupt frame (bad text length)");
+  }
+  message.text.assign(reinterpret_cast<const char*>(payload + 85), text_len);
+  buffer.erase(buffer.begin(),
+               buffer.begin() + 4 + static_cast<std::size_t>(size) + 4);
+  *out = std::move(message);
+  return true;
+}
+
+Address parse_address(const std::string& spec) {
+  Address address;
+  if (spec.rfind("unix:", 0) == 0) {
+    address.is_unix = true;
+    address.path = spec.substr(5);
+    if (address.path.empty()) {
+      throw std::runtime_error("fabric: empty unix socket path in '" + spec +
+                               "'");
+    }
+    if (address.path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      throw std::runtime_error("fabric: unix socket path too long in '" +
+                               spec + "'");
+    }
+    return address;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    address.is_unix = false;
+    const std::string rest = spec.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 >= rest.size()) {
+      throw std::runtime_error("fabric: expected tcp:host:port, got '" +
+                               spec + "'");
+    }
+    address.host = rest.substr(0, colon);
+    const std::string port = rest.substr(colon + 1);
+    char* end = nullptr;
+    const long value = std::strtol(port.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || value <= 0 || value > 65535) {
+      throw std::runtime_error("fabric: bad port '" + port + "' in '" +
+                               spec + "'");
+    }
+    address.port = static_cast<std::uint16_t>(value);
+    return address;
+  }
+  throw std::runtime_error(
+      "fabric: address must be unix:PATH or tcp:HOST:PORT, got '" + spec +
+      "'");
+}
+
+int listen_on(const Address& address) {
+  int fd = -1;
+  if (address.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error(std::string("fabric: socket: ") +
+                               std::strerror(errno));
+    }
+    // A previous coordinator's stale socket file would make bind fail; a
+    // restarted coordinator must be able to re-bind its address.
+    ::unlink(address.path.c_str());
+    sockaddr_un sa{};
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, address.path.c_str(),
+                 sizeof(sa.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      const int saved = errno;
+      ::close(fd);
+      throw std::runtime_error("fabric: bind '" + address.path +
+                               "': " + std::strerror(saved));
+    }
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      throw std::runtime_error(std::string("fabric: socket: ") +
+                               std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in sa{};
+    sa.sin_family = AF_INET;
+    sa.sin_port = htons(address.port);
+    if (::inet_pton(AF_INET, address.host.c_str(), &sa.sin_addr) != 1) {
+      ::close(fd);
+      throw std::runtime_error("fabric: bad listen host '" + address.host +
+                               "' (use a numeric address)");
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+      const int saved = errno;
+      ::close(fd);
+      throw std::runtime_error("fabric: bind " + address.host + ":" +
+                               std::to_string(address.port) + ": " +
+                               std::strerror(saved));
+    }
+  }
+  if (::listen(fd, 64) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("fabric: listen: ") +
+                             std::strerror(saved));
+  }
+  make_nonblocking_cloexec(fd);
+  return fd;
+}
+
+int connect_to(const Address& address, int timeout_ms) {
+  int fd = -1;
+  sockaddr_storage storage{};
+  socklen_t len = 0;
+  if (address.is_unix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    auto* sa = reinterpret_cast<sockaddr_un*>(&storage);
+    sa->sun_family = AF_UNIX;
+    std::strncpy(sa->sun_path, address.path.c_str(),
+                 sizeof(sa->sun_path) - 1);
+    len = sizeof(sockaddr_un);
+  } else {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    auto* sa = reinterpret_cast<sockaddr_in*>(&storage);
+    sa->sin_family = AF_INET;
+    sa->sin_port = htons(address.port);
+    if (::inet_pton(AF_INET, address.host.c_str(), &sa->sin_addr) != 1) {
+      // Fall back to a resolver for names like "localhost".
+      addrinfo hints{};
+      hints.ai_family = AF_INET;
+      hints.ai_socktype = SOCK_STREAM;
+      addrinfo* info = nullptr;
+      if (::getaddrinfo(address.host.c_str(),
+                        std::to_string(address.port).c_str(), &hints,
+                        &info) != 0 ||
+          info == nullptr) {
+        if (fd >= 0) ::close(fd);
+        return -1;
+      }
+      std::memcpy(&storage, info->ai_addr, info->ai_addrlen);
+      ::freeaddrinfo(info);
+    }
+    len = sizeof(sockaddr_in);
+  }
+  if (fd < 0) return -1;
+  make_nonblocking_cloexec(fd);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&storage), len) == 0) {
+    return fd;
+  }
+  if (errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  // Nonblocking connect in flight: wait bounded, then check SO_ERROR.
+  pollfd waiter{fd, POLLOUT, 0};
+  const int ready = ::poll(&waiter, 1, timeout_ms);
+  if (ready <= 0) {
+    ::close(fd);
+    return -1;
+  }
+  int error = 0;
+  socklen_t error_len = sizeof(error);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &error, &error_len) < 0 ||
+      error != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int accept_on(int listen_fd) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return -1;
+  make_nonblocking_cloexec(fd);
+  return fd;
+}
+
+Connection::Connection(int fd) : fd_(fd) {}
+
+Connection::~Connection() { close(); }
+
+void Connection::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Connection::send(const Message& message) {
+  if (fd_ < 0) return false;
+  const std::vector<std::uint8_t> frame = encode_message(message);
+  const std::uint8_t* data = frame.data();
+  std::size_t remaining = frame.size();
+  while (remaining > 0) {
+    const ssize_t n = ::send(fd_, data, remaining, MSG_NOSIGNAL);
+    if (n > 0) {
+      data += n;
+      remaining -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Frames are tiny; a full send buffer means the peer stopped
+      // draining. Wait briefly rather than dropping the message.
+      pollfd waiter{fd_, POLLOUT, 0};
+      if (::poll(&waiter, 1, 1000) > 0) continue;
+    }
+    // A failed send usually means the peer hung up — but frames it sent
+    // before closing (a coordinator's kShutdown racing our request) may
+    // still be readable. Salvage them into inbound_ so next() can pop
+    // them after the link is down; closing blind would lose them.
+    pump();
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool Connection::pump() {
+  if (fd_ < 0) return false;
+  while (true) {
+    std::uint8_t chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n > 0) {
+      inbound_.insert(inbound_.end(), chunk, chunk + n);
+      continue;
+    }
+    if (n == 0) {
+      close();
+      return false;  // EOF
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    close();
+    return false;
+  }
+}
+
+bool Connection::next(Message* out) { return decode_message(inbound_, out); }
+
+}  // namespace phifi::fabric

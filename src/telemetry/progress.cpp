@@ -88,6 +88,22 @@ std::string ProgressEmitter::render() const {
   std::string line = "[progress] " + std::to_string(completed) + "/" +
                      std::to_string(target) + " trials, " + fmt1(rate) +
                      "/s, ETA " + fmt_eta(eta_seconds);
+
+  // Fabric (coordinator) view: the campaign.completed counter is fed the
+  // aggregate of every worker's reports, so the rate and ETA above are
+  // already fabric-wide trials/s — this just makes the fan-out visible.
+  const Gauge* workers_live = registry_->find_gauge("fabric.workers_live");
+  if (workers_live != nullptr) {
+    const Gauge* leased = registry_->find_gauge("fabric.leases_outstanding");
+    line += " | workers: " +
+            std::to_string(
+                static_cast<std::uint64_t>(workers_live->value())) +
+            " live / " +
+            std::to_string(static_cast<std::uint64_t>(
+                leased != nullptr ? leased->value() : 0.0)) +
+            " leased";
+  }
+
   if (completed == 0 || total == 0) {
     // Cold start: nothing completed yet (or the registry has no campaign
     // counters at all) — an all-zero outcome split would be misleading.

@@ -165,6 +165,19 @@ void TraceWriter::trial(const TrialTrace& trial) {
   write_line(trial_to_json(trial));
 }
 
+void TraceWriter::fabric(const TraceFabricEvent& event) {
+  util::json::Value record = util::json::Value::object();
+  record["type"] = "fabric";
+  record["kind"] = event.kind;
+  record["worker"] = event.worker;
+  record["lease"] = event.lease;
+  record["begin"] = event.begin;
+  record["end"] = event.end;
+  record["injected"] = event.injected;
+  record["ts_ms"] = event.ts_ms;
+  write_line(record);
+}
+
 void TraceWriter::end(const TraceEnd& end) {
   util::json::Value record = util::json::Value::object();
   record["type"] = "end";
@@ -222,6 +235,8 @@ TraceContents read_trace(std::istream& is) {
       contents.campaign = std::move(record);
     } else if (type == "trial") {
       contents.trials.push_back(trial_from_json(record));
+    } else if (type == "fabric") {
+      contents.fabric.push_back(std::move(record));
     } else if (type == "end") {
       contents.end = std::move(record);
     }

@@ -81,6 +81,21 @@ struct TraceCampaign {
   unsigned jobs = 1;
 };
 
+/// One fabric (coordinator) event: worker membership or a lease
+/// transition. String-typed kind, like every other trace field, so the
+/// telemetry layer stays decoupled from fabric types. Kinds:
+/// "worker_join", "worker_leave", "lease_grant", "lease_adopt",
+/// "lease_done", "lease_reclaim".
+struct TraceFabricEvent {
+  std::string kind;
+  std::uint64_t worker = 0;
+  std::uint64_t lease = 0;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;     ///< lease range end (exclusive)
+  std::uint64_t injected = 0;
+  double ts_ms = 0.0;  ///< ms from campaign start, monotonic
+};
+
 /// Campaign-level summary, the final record of a complete trace.
 struct TraceEnd {
   std::uint64_t completed = 0;
@@ -113,6 +128,7 @@ class TraceWriter {
 
   void campaign(const TraceCampaign& header);
   void trial(const TrialTrace& trial);
+  void fabric(const TraceFabricEvent& event);
   void end(const TraceEnd& end);
 
   /// Forces buffered records to disk.
@@ -136,6 +152,8 @@ class TraceWriter {
 struct TraceContents {
   util::json::Value campaign;       ///< null if the trace lacks a header
   std::vector<TrialTrace> trials;
+  /// Fabric (coordinator) event records, as raw JSON, in stream order.
+  std::vector<util::json::Value> fabric;
   util::json::Value end;            ///< null while a campaign is running
   /// Bytes of torn/unparseable tail dropped during the load (0 = clean).
   std::uint64_t dropped_bytes = 0;

@@ -301,6 +301,25 @@ TEST(ProgressEmitter, RenderReflectsRegistryCounts) {
   EXPECT_NE(line.find("crash:1"), std::string::npos);
 }
 
+TEST(ProgressEmitter, FabricViewAppearsOnlyWhenWorkersGaugeExists) {
+  MetricsRegistry registry;
+  registry.counter("campaign.completed").inc(10);
+  registry.gauge("campaign.trials_target").set(40.0);
+  registry.counter("campaign.masked").inc(10);
+
+  std::ostringstream out;
+  ProgressEmitter emitter(registry, out);
+  // A plain (non-fabric) campaign never mentions workers.
+  EXPECT_EQ(emitter.render().find("workers:"), std::string::npos);
+
+  // A fabric coordinator publishes the gauges; the line shows the fan-out
+  // next to the (already aggregate) rate.
+  registry.gauge("fabric.workers_live").set(3.0);
+  registry.gauge("fabric.leases_outstanding").set(5.0);
+  const std::string line = emitter.render();
+  EXPECT_NE(line.find("workers: 3 live / 5 leased"), std::string::npos);
+}
+
 TEST(ProgressEmitter, ColdStartRendersPlaceholdersNotAnEmptySplit) {
   // Before the first completed trial there is no throughput sample and no
   // outcome mix: the line must say so instead of "ETA ?" + an all-zero

@@ -21,6 +21,8 @@ import sys
 OUTCOMES = {"Masked", "SDC", "DUE", "NotInjected"}
 DUE_KINDS = {"none", "crash", "abnormal-exit", "hang", "rlimit", "stall",
              "infra"}
+FABRIC_KINDS = {"worker_join", "worker_leave", "lease_grant", "lease_adopt",
+                "lease_done", "lease_reclaim"}
 
 
 # The NDJSON line currently being validated, so fail() can show the actual
@@ -116,9 +118,32 @@ def check_trial(record, where, prev_ts, jobs):
     return ts
 
 
+def check_fabric(record, where):
+    """Returns the event kind. Fabric records are the coordinator's lease
+    lifecycle log (docs/FABRIC.md); lease-less kinds (worker_join/leave)
+    carry zeroed range fields."""
+    kind = check_string(record, "kind", where, allowed=FABRIC_KINDS)
+    check_number(record, "worker", where, minimum=0)
+    check_number(record, "lease", where, minimum=0)
+    begin = check_number(record, "begin", where, minimum=0)
+    end = check_number(record, "end", where, minimum=0)
+    require(end >= begin, f"{where}: lease end {end} < begin {begin}")
+    injected = check_number(record, "injected", where, minimum=0)
+    require(injected <= end - begin,
+            f"{where}: injected {injected} exceeds lease width "
+            f"{end - begin}")
+    check_number(record, "ts_ms", where, minimum=0)
+    if kind in ("lease_grant", "lease_adopt", "lease_done", "lease_reclaim"):
+        require(record["lease"] >= 1, f"{where}: {kind} without a lease id")
+        require(end > begin, f"{where}: {kind} with an empty range")
+    return kind
+
+
 def check_trace(path):
-    """Returns (trial_count, outcome_counts, end_record_or_None)."""
+    """Returns (trial_count, outcome_counts, end_record_or_None,
+    fabric_kind_counts)."""
     counts = {name: 0 for name in OUTCOMES}
+    fabric_counts = {name: 0 for name in FABRIC_KINDS}
     header = None
     segments = 0
     end = None
@@ -166,6 +191,8 @@ def check_trace(path):
                 prev_ts = check_trial(record, where, prev_ts, jobs)
                 counts[record["outcome"]] += 1
                 trials += 1
+            elif kind == "fabric":
+                fabric_counts[check_fabric(record, where)] += 1
             elif kind == "end":
                 require(end is None, f"{where}: duplicate end record")
                 for key in ("completed", "masked", "sdc", "due",
@@ -189,7 +216,17 @@ def check_trace(path):
                 end = record
             # Unknown types are forward-compatible: skip.
     set_offending_line(None)  # whole-file checks below have no single line
-    require(header is not None, f"{path}: no campaign header record")
+    fabric_total = sum(fabric_counts.values())
+    # A fabric coordinator's trace is pure lease lifecycle — no campaign
+    # header, no trial records. Anything else must lead with a header.
+    require(header is not None or (fabric_total > 0 and trials == 0),
+            f"{path}: no campaign header record")
+    if fabric_total > 0:
+        require(fabric_counts["lease_grant"] + fabric_counts["lease_adopt"]
+                >= fabric_counts["lease_done"],
+                f"{path}: more lease_done events than grants + adoptions")
+        require(fabric_counts["worker_join"] >= 1,
+                f"{path}: fabric events without any worker_join")
     if end is not None:
         # The final end record tallies the whole campaign. A single-segment
         # trace must match it exactly; a resumed trace may fall short of it
@@ -210,8 +247,9 @@ def check_trace(path):
                         f"{path}: end.{key} = {end[key]} < trial-record "
                         f"tally {expect}")
     print(f"check_telemetry: trace OK: {path} ({trials} trial records, "
-          f"{segments} segment(s), end={'present' if end else 'absent'})")
-    return trials, counts, end
+          f"{fabric_total} fabric records, {segments} segment(s), "
+          f"end={'present' if end else 'absent'})")
+    return trials, counts, end, fabric_counts
 
 
 def check_metrics(path):
@@ -440,17 +478,27 @@ def main():
     history = check_history(args.history) if args.history else None
 
     if trace is not None and counters is not None:
-        _, counts, _ = trace
+        trial_count, counts, _, fabric_counts = trace
+        # A coordinator's campaign.* counters aggregate worker lease
+        # reports; its trace has no trial records to tally them against.
         for outcome, counter in (("Masked", "campaign.masked"),
                                  ("SDC", "campaign.sdc"),
                                  ("DUE", "campaign.due")):
-            if counter in counters:
+            if counter in counters and trial_count > 0:
                 require(counters[counter] == counts[outcome],
                         f"{counter} = {counters[counter]} but the trace "
                         f"tallies {counts[outcome]}")
+        # The coordinator increments these counters at the same sites it
+        # traces the matching lifecycle event, so a same-run pair must agree.
+        for kind, counter in (("lease_grant", "fabric.leases_granted"),
+                              ("lease_reclaim", "fabric.leases_reclaimed")):
+            if counter in counters:
+                require(counters[counter] == fabric_counts[kind],
+                        f"{counter} = {counters[counter]} but the trace "
+                        f"has {fabric_counts[kind]} {kind} events")
         print("check_telemetry: trace and metrics agree")
     if trace is not None and history is not None:
-        _, counts, _ = trace
+        _, counts, _, _ = trace
         latest = history[-1]
         for outcome, key in (("Masked", "masked"), ("SDC", "sdc"),
                              ("DUE", "due")):

@@ -15,6 +15,7 @@
 #include <csignal>
 
 #include <atomic>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -51,12 +52,23 @@ int main(int argc, char** argv) {
               << "                 [--progress <seconds>] "
                  "[--stop-ci-width <eps>]\n"
               << "                 [--history <file>]\n"
+              << "                 [--coordinator <addr> "
+                 "[--lease-ledger <file>]\n"
+              << "                  [--lease-size <n>] "
+                 "[--lease-timeout <sec>]]\n"
+              << "                 [--connect <addr> "
+                 "--shard-journal <file>]\n"
               << "       phifi_run --template\n"
               << "  --stop-ci-width  stop once the SDC-proportion 95% CI\n"
               << "                   half-width is <= eps (e.g. 0.005)\n"
               << "  --history        append a campaign summary record to\n"
               << "                   this NDJSON ledger (phifi_parse "
-                 "--drift)\n";
+                 "--drift)\n"
+              << "  --coordinator    run the fabric coordinator on this\n"
+              << "                   address (unix:/path or tcp:host:port)\n"
+              << "  --connect        run a fabric worker against that\n"
+              << "                   coordinator (needs --shard-journal);\n"
+              << "                   merge shards with phifi_merge\n";
     return 2;
   }
 
@@ -67,6 +79,12 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string metrics_format;
   std::string history_out;
+  std::string coordinator_addr;
+  std::string connect_addr;
+  std::string shard_journal;
+  std::string lease_ledger;
+  long lease_size = 0;            // 0: leave the config file's value
+  double lease_timeout = -1.0;    // <0: leave the config file's value
   double progress_seconds = -1.0;  // <0: leave the config file's value
   double stop_ci_width = -1.0;     // <0: leave the config file's value
   const auto flag_value = [&](int& i) -> const char* {
@@ -109,6 +127,38 @@ int main(int argc, char** argv) {
       const char* value = flag_value(i);
       if (value == nullptr) return 2;
       history_out = value;
+    } else if (arg == "--coordinator") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      coordinator_addr = value;
+    } else if (arg == "--connect") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      connect_addr = value;
+    } else if (arg == "--shard-journal") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      shard_journal = value;
+    } else if (arg == "--lease-ledger") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      lease_ledger = value;
+    } else if (arg == "--lease-size") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      lease_size = std::atol(value);
+      if (lease_size < 1) {
+        std::cerr << "phifi_run: bad --lease-size '" << value << "'\n";
+        return 2;
+      }
+    } else if (arg == "--lease-timeout") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      lease_timeout = std::atof(value);
+      if (lease_timeout <= 0.0) {
+        std::cerr << "phifi_run: bad --lease-timeout '" << value << "'\n";
+        return 2;
+      }
     } else if (arg == "--stop-ci-width") {
       const char* value = flag_value(i);
       if (value == nullptr) return 2;
@@ -158,11 +208,39 @@ int main(int argc, char** argv) {
     if (!history_out.empty()) config.history_file = history_out;
     if (stop_ci_width > 0.0) config.stop_ci_width = stop_ci_width;
     if (progress_seconds > 0.0) config.progress_seconds = progress_seconds;
+    if (!coordinator_addr.empty()) config.fabric_listen = coordinator_addr;
+    if (!connect_addr.empty()) config.fabric_connect = connect_addr;
+    if (!shard_journal.empty()) config.fabric_shard = shard_journal;
+    if (!lease_ledger.empty()) config.fabric_ledger = lease_ledger;
+    if (lease_size > 0) {
+      config.fabric_lease_size = static_cast<std::uint64_t>(lease_size);
+    }
+    if (lease_timeout > 0.0) {
+      config.fabric_lease_timeout_seconds = lease_timeout;
+    }
     config.stop_flag = &g_stop;
     if (config.resume && config.journal_file.empty()) {
       std::cerr << "phifi_run: --resume requires 'journal_file' in the "
                    "config\n";
       return 2;
+    }
+    const bool fabric_role =
+        !config.fabric_listen.empty() || !config.fabric_connect.empty();
+    if (fabric_role) {
+      if (!config.fabric_listen.empty() && !config.fabric_connect.empty()) {
+        std::cerr << "phifi_run: --coordinator and --connect are mutually "
+                     "exclusive\n";
+        return 2;
+      }
+      if (!config.fabric_connect.empty() && config.fabric_shard.empty()) {
+        std::cerr << "phifi_run: --connect requires --shard-journal\n";
+        return 2;
+      }
+      if (repetitions > 1) {
+        std::cerr << "phifi_run: repetitions and fabric roles do not mix "
+                     "(run one campaign per fabric)\n";
+        return 2;
+      }
     }
     const std::string base_log = config.log_file;
     const std::string base_journal = config.journal_file;
