@@ -263,6 +263,13 @@ RunnerConfig parse_config(std::istream& is) {
       config.fabric_lease_timeout_seconds = parse_double(line_number, value);
     } else if (key == "fabric_reconnect_ms") {
       config.fabric_reconnect_ms = parse_double(line_number, value);
+    } else if (key == "fabric_serve_metrics") {
+      config.fabric_serve_metrics = value;
+    } else if (key == "fabric_stats_seconds") {
+      config.fabric_stats_seconds = parse_double(line_number, value);
+      if (config.fabric_stats_seconds < 0.0) {
+        fail(line_number, "fabric_stats_seconds must be >= 0 (0 = off)");
+      }
     } else {
       fail(line_number, "unknown key '" + key + "'");
     }
@@ -280,6 +287,11 @@ RunnerConfig parse_config(std::istream& is) {
   if (!config.fabric_connect.empty() && config.fabric_shard.empty()) {
     throw std::runtime_error(
         "config: a fabric worker needs fabric_shard (its shard journal)");
+  }
+  if (!config.fabric_serve_metrics.empty() && config.fabric_listen.empty()) {
+    throw std::runtime_error(
+        "config: fabric_serve_metrics requires fabric_listen (the "
+        "coordinator serves the scrape endpoint)");
   }
   return config;
 }
@@ -379,6 +391,12 @@ std::string format_config(const RunnerConfig& config) {
   }
   if (config.fabric_reconnect_ms != 200.0) {
     os << "fabric_reconnect_ms = " << config.fabric_reconnect_ms << "\n";
+  }
+  if (!config.fabric_serve_metrics.empty()) {
+    os << "fabric_serve_metrics = " << config.fabric_serve_metrics << "\n";
+  }
+  if (config.fabric_stats_seconds != 1.0) {
+    os << "fabric_stats_seconds = " << config.fabric_stats_seconds << "\n";
   }
   return os.str();
 }

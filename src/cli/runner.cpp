@@ -7,8 +7,10 @@
 #include <stdexcept>
 
 #include "analysis/pvf.hpp"
+#include "core/campaign_journal.hpp"
 #include "core/trial_log.hpp"
 #include "fabric/coordinator.hpp"
+#include "fabric/lease.hpp"
 #include "fabric/options.hpp"
 #include "fabric/worker.hpp"
 #include "report/report.hpp"
@@ -74,8 +76,14 @@ RunSummary run_fabric(const RunnerConfig& config,
   summary.mode = config.mode;
   summary.fabric = true;
 
+  // The scrape endpoint and the history ledger both need live registry /
+  // estimator state even when no --metrics-out file was asked for.
+  const bool fabric_telemetry = telemetry_on ||
+                                !config.fabric_serve_metrics.empty() ||
+                                !config.history_file.empty();
+
   fi::CampaignConfig campaign_config = config.campaign_config();
-  if (telemetry_on) campaign_config.metrics = &metrics;
+  if (fabric_telemetry) campaign_config.metrics = &metrics;
   const std::uint64_t fingerprint = fi::campaign_fingerprint(
       campaign_config, supervisor.workload_name(),
       supervisor.time_windows());
@@ -89,38 +97,119 @@ RunSummary run_fabric(const RunnerConfig& config,
   options.heartbeat_seconds = config.fabric_heartbeat_seconds;
   options.lease_timeout_seconds = config.fabric_lease_timeout_seconds;
   options.reconnect_initial_ms = config.fabric_reconnect_ms;
-
-  if (trace != nullptr) {
-    telemetry::TraceCampaign header;
-    header.workload = config.workload;
-    header.trials = config.trials;
-    header.seed = config.seed;
-    header.policy = std::string(to_string(config.policy));
-    for (fi::FaultModel model : config.models) {
-      header.models.emplace_back(to_string(model));
-    }
-    header.time_windows = supervisor.time_windows();
-    header.jobs = config.jobs;
-    trace->campaign(header);
-  }
+  options.stats_interval_seconds = config.fabric_stats_seconds;
+  options.serve_metrics = config.fabric_serve_metrics;
 
   util::Table table("Fabric - " + config.workload);
   table.set_header({"metric", "value"});
   if (!config.fabric_listen.empty()) {
+    // Resolve the campaign run id before the trace header is written so
+    // every trace record (header included) carries it. A resumed ledger
+    // keeps its original id — the continued campaign is the same run.
+    if (options.run_id == 0 && !options.ledger_path.empty()) {
+      try {
+        options.run_id = fabric::read_ledger(options.ledger_path).run_id;
+      } catch (const std::runtime_error&) {
+        // Missing or unreadable ledger: the coordinator proper will
+        // open/report it; for id purposes this is a fresh campaign.
+      }
+    }
+    if (options.run_id == 0) options.run_id = telemetry::generate_run_id();
+    if (trace != nullptr) {
+      trace->set_run_id(telemetry::run_id_to_hex(options.run_id));
+      telemetry::TraceCampaign header;
+      header.workload = config.workload;
+      header.trials = config.trials;
+      header.seed = config.seed;
+      header.policy = std::string(to_string(config.policy));
+      for (fi::FaultModel model : config.models) {
+        header.models.emplace_back(to_string(model));
+      }
+      header.time_windows = supervisor.time_windows();
+      header.jobs = config.jobs;
+      trace->campaign(header);
+    }
+
+    // The coordinator's estimator is fed the exact fleet stream (per-
+    // attempt LeaseDone details in attempt order), so its intervals are
+    // bit-identical to a --jobs 1 run of the same campaign.
+    std::unique_ptr<telemetry::CampaignEstimator> estimator;
+    if (fabric_telemetry) {
+      estimator = std::make_unique<telemetry::CampaignEstimator>();
+    }
     std::unique_ptr<telemetry::ProgressEmitter> progress;
     if (config.progress_seconds > 0.0) {
       progress = std::make_unique<telemetry::ProgressEmitter>(
           metrics, out, config.progress_seconds);
+      progress->set_estimator(estimator.get(), config.stop_ci_width);
     }
+    const auto fabric_start = std::chrono::steady_clock::now();
     const fabric::CoordinatorResult result = fabric::run_coordinator(
         campaign_config, fingerprint, options,
-        telemetry_on ? &metrics : nullptr, trace, progress.get(), out);
+        fabric_telemetry ? &metrics : nullptr, trace, estimator.get(),
+        progress.get(), out);
+    const double elapsed_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      fabric_start)
+            .count();
     if (progress != nullptr) summary.progress_emits = progress->emitted();
     summary.interrupted = result.interrupted;
     summary.stopped_early = result.stopped_early;
     summary.fabric_workers = result.workers_seen;
     summary.fabric_leases = result.leases_granted;
     summary.fabric_reclaimed = result.leases_reclaimed;
+    if (estimator != nullptr && !config.metrics_file.empty()) {
+      estimator->publish(metrics);
+    }
+
+    if (!config.history_file.empty()) {
+      telemetry::HistoryRecord record;
+      record.workload = supervisor.workload_name();
+      record.fingerprint = fingerprint;
+      record.git_revision = telemetry::git_describe();
+      record.run_id = telemetry::run_id_to_hex(result.run_id);
+      record.seed = config.seed;
+      record.jobs = config.jobs;
+      record.trials_target = config.trials;
+      record.completed = result.fleet_completed;
+      record.masked = result.fleet_masked;
+      record.sdc = result.fleet_sdc;
+      record.due = result.fleet_due;
+      record.not_injected = result.fleet_not_injected;
+      record.stopped_early =
+          result.stopped_early || result.fleet_stopped_early;
+      record.interrupted = result.interrupted;
+      record.elapsed_seconds = elapsed_seconds;
+      record.trials_per_sec =
+          elapsed_seconds > 0.0
+              ? static_cast<double>(result.fleet_completed) / elapsed_seconds
+              : 0.0;
+      if (estimator != nullptr) {
+        const util::Interval sdc_ci = estimator->sdc_interval();
+        const util::Interval due_ci = estimator->due_interval();
+        record.sdc_rate = sdc_ci.point;
+        record.sdc_ci_lo = sdc_ci.lo;
+        record.sdc_ci_hi = sdc_ci.hi;
+        record.due_rate = due_ci.point;
+        record.due_ci_lo = due_ci.lo;
+        record.due_ci_hi = due_ci.hi;
+        for (const telemetry::CellEstimate& cell : estimator->cells()) {
+          telemetry::HistoryCell entry;
+          entry.model = cell.key.model;
+          entry.window = cell.key.window;
+          entry.category = cell.key.category;
+          entry.masked = cell.counts.masked;
+          entry.sdc = cell.counts.sdc;
+          entry.due = cell.counts.due;
+          entry.sdc_rate = cell.sdc.point;
+          entry.sdc_ci_lo = cell.sdc.lo;
+          entry.sdc_ci_hi = cell.sdc.hi;
+          record.cells.push_back(std::move(entry));
+        }
+      }
+      telemetry::append_history(config.history_file, record);
+    }
+
     table.add_row({"role", "coordinator"});
     table.add_row({"status", result.complete
                                  ? (result.stopped_early
@@ -128,8 +217,16 @@ RunSummary run_fabric(const RunnerConfig& config,
                                         : "complete")
                                  : (result.interrupted ? "interrupted"
                                                        : "incomplete")});
+    table.add_row({"run id", telemetry::run_id_to_hex(result.run_id)});
     table.add_row({"injected (done prefix)",
                    std::to_string(result.completed)});
+    if (result.fleet_boundary) {
+      table.add_row({"fleet tally (exact)",
+                     std::to_string(result.fleet_completed) + " = " +
+                         std::to_string(result.fleet_masked) + " masked / " +
+                         std::to_string(result.fleet_sdc) + " sdc / " +
+                         std::to_string(result.fleet_due) + " due"});
+    }
     table.add_row({"workers seen", std::to_string(result.workers_seen)});
     table.add_row({"leases granted", std::to_string(result.leases_granted)});
     table.add_row({"leases reclaimed",
@@ -137,7 +234,7 @@ RunSummary run_fabric(const RunnerConfig& config,
   } else {
     const fabric::WorkerResult result = fabric::run_worker(
         supervisor, campaign_config, fingerprint, options,
-        telemetry_on ? &metrics : nullptr, trace, out);
+        fabric_telemetry ? &metrics : nullptr, trace, out);
     if (result.rejected) {
       throw std::runtime_error("fabric: coordinator rejected this worker: " +
                                result.reject_reason);
@@ -146,6 +243,9 @@ RunSummary run_fabric(const RunnerConfig& config,
     summary.aborted = result.aborted;
     summary.fabric_leases = result.leases_done;
     table.add_row({"role", "worker " + std::to_string(result.worker_id)});
+    if (result.run_id != 0) {
+      table.add_row({"run id", telemetry::run_id_to_hex(result.run_id)});
+    }
     table.add_row({"status", result.complete
                                  ? "campaign complete"
                                  : (result.interrupted ? "interrupted"
@@ -258,6 +358,20 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
     if (!config.history_file.empty()) {
       telemetry::HistoryRecord record;
       record.workload = result.workload;
+      // A resumed campaign (including a replay of merged fabric shards)
+      // inherits the journal's run id, so its history record correlates
+      // with the coordinator's trace and ledger.
+      if (config.resume && !campaign_config.journal_path.empty()) {
+        try {
+          const std::uint64_t journal_run =
+              fi::read_journal(campaign_config.journal_path).header.run_id;
+          if (journal_run != 0) {
+            record.run_id = telemetry::run_id_to_hex(journal_run);
+          }
+        } catch (const std::runtime_error&) {
+          // Header unreadable: the record simply stays uncorrelated.
+        }
+      }
       record.fingerprint = fi::campaign_fingerprint(
           campaign_config, result.workload, result.time_windows);
       record.git_revision = telemetry::git_describe();

@@ -616,6 +616,9 @@ RangeResult Campaign::run_range(std::uint64_t begin, std::uint64_t end,
       if (config_.metrics != nullptr) {
         feed_metrics(*config_.metrics, ready.trial, /*replayed=*/false);
       }
+      if (config_.estimator != nullptr) {
+        feed_estimator(*config_.estimator, ready.trial);
+      }
       ++commit_index;
       ++result.committed;
       if (ready.trial.outcome != Outcome::kNotInjected) ++result.injected;

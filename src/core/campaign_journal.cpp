@@ -154,6 +154,7 @@ std::vector<std::uint8_t> serialize_header(const JournalHeader& header) {
   put_u32(out, header.time_windows);
   put_u32(out, static_cast<std::uint32_t>(header.workload.size()));
   put_bytes(out, header.workload.data(), header.workload.size());
+  put_u64(out, header.run_id);
   return out;
 }
 
@@ -335,6 +336,8 @@ JournalContents read_journal(const std::string& path) {
     const std::uint32_t name_len = c.u32();
     contents.header.workload.resize(name_len);
     c.bytes(contents.header.workload.data(), name_len);
+    // Journals written before the observability plane end here.
+    if (!c.exhausted()) contents.header.run_id = c.u64();
   }
   pos = next;
 

@@ -15,6 +15,7 @@
 //   u32 header_size | header payload | u32 crc32(header payload)
 //     header payload: u64 fingerprint, u32 time_windows,
 //                     u32 name_len, name bytes
+//                     [, u64 run_id — absent in pre-observability journals]
 //   repeated records, each:
 //   u32 payload_size | record payload | u32 crc32(record payload)
 //     record payload: u64 attempt_index + the flattened TrialResult
@@ -51,6 +52,11 @@ struct JournalHeader {
   std::uint64_t fingerprint = 0;
   unsigned time_windows = 1;
   std::string workload;
+  /// Correlation id of the campaign run that created this journal (see
+  /// docs/FLEET_OBSERVABILITY.md); 0 when unknown (old journals). Not part
+  /// of the fingerprint: re-running the same configuration is the same
+  /// campaign under a new run id.
+  std::uint64_t run_id = 0;
 };
 
 /// One journaled trial attempt. NotInjected attempts are journaled too:

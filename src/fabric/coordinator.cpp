@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <optional>
 #include <ostream>
@@ -13,8 +14,12 @@
 #include <string>
 #include <vector>
 
+#include "fabric/http.hpp"
 #include "fabric/lease.hpp"
 #include "fabric/protocol.hpp"
+#include "fabric/stats.hpp"
+#include "telemetry/history.hpp"  // run_id_to_hex, generate_run_id
+#include "util/json.hpp"
 #include "util/log.hpp"
 #include "util/statistics.hpp"
 
@@ -23,6 +28,10 @@ namespace phifi::fabric {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point then, Clock::time_point now) {
+  return std::chrono::duration<double>(now - then).count();
+}
 
 /// Per-connection coordinator state. worker == 0 until the HELLO arrives.
 struct WorkerConn {
@@ -38,6 +47,35 @@ struct WorkerConn {
   std::uint64_t last_due = 0;
 };
 
+/// What the coordinator remembers about a worker *identity* — unlike
+/// WorkerConn this survives disconnects, so a SIGKILLed worker shows up
+/// as a dead row in /campaign.json instead of vanishing.
+struct WorkerView {
+  bool connected = false;
+  Clock::time_point joined{};
+  Clock::time_point last_seen{};  ///< last frame of any kind
+  bool have_stats = false;
+  WorkerStats stats;              ///< last STATS snapshot, verbatim
+  std::uint64_t lease = 0;        ///< current lease id (0 = none)
+  std::uint64_t lease_begin = 0;
+  std::uint64_t lease_end = 0;
+  Clock::time_point lease_since{};
+};
+
+/// The exact fleet tally: per-attempt LeaseDone details buffered by range
+/// begin, folded at the contiguous frontier with the merge boundary rule
+/// (merge.cpp), so the live numbers are bit-identical to a post-campaign
+/// phifi_merge + phifi_parse of the same accepted ranges.
+struct FleetState {
+  std::map<std::uint64_t, std::vector<AttemptOutcome>> details;
+  std::uint64_t frontier = 0;  ///< next attempt index to fold
+  fi::OutcomeTally tally;      ///< injected attempts inside the boundary
+  std::uint64_t not_injected = 0;
+  std::map<std::string, std::uint64_t> due_kinds;
+  bool boundary = false;
+  bool stopped_early = false;
+};
+
 struct LoopState {
   const fi::CampaignConfig* config = nullptr;
   std::uint64_t fingerprint = 0;
@@ -46,9 +84,14 @@ struct LoopState {
   LeaseLedgerWriter* ledger = nullptr;
   telemetry::MetricsRegistry* metrics = nullptr;
   telemetry::TraceWriter* trace = nullptr;
+  telemetry::CampaignEstimator* estimator = nullptr;
   CoordinatorResult* result = nullptr;
   std::vector<std::unique_ptr<WorkerConn>>* conns = nullptr;
+  std::map<std::uint64_t, WorkerView>* views = nullptr;
+  FleetState* fleet = nullptr;
   std::uint64_t next_worker_id = 1;
+  std::uint64_t run_id = 0;
+  Clock::time_point started{};
 };
 
 double trace_now_ms(const LoopState& state) {
@@ -103,7 +146,8 @@ Clock::time_point lease_deadline(const LoopState& state) {
 }
 
 void ledger_append(LoopState& state, LedgerKind kind, const Lease& lease,
-                   std::uint64_t injected = 0, std::uint64_t sdc = 0) {
+                   std::uint64_t injected = 0, std::uint64_t sdc = 0,
+                   const std::string& detail = std::string()) {
   if (state.ledger == nullptr) return;
   LedgerRecord record;
   record.kind = kind;
@@ -112,7 +156,183 @@ void ledger_append(LoopState& state, LedgerKind kind, const Lease& lease,
   record.end = lease.end;
   record.injected = injected;
   record.sdc = sdc;
+  record.detail = detail;
   state.ledger->append(record);
+}
+
+telemetry::EstimatorOutcome to_estimator_outcome(fi::Outcome outcome) {
+  switch (outcome) {
+    case fi::Outcome::kSdc:
+      return telemetry::EstimatorOutcome::kSdc;
+    case fi::Outcome::kDue:
+      return telemetry::EstimatorOutcome::kDue;
+    default:
+      return telemetry::EstimatorOutcome::kMasked;
+  }
+}
+
+/// Buffers the per-attempt detail of one accepted DONE range. A count
+/// mismatch (or undecodable payload) drops the detail: the fleet frontier
+/// then stalls at that range, which degrades the live tally to "partial"
+/// but never to "wrong".
+void register_detail(LoopState& state, std::uint64_t begin,
+                     std::uint64_t end, const std::string& text) {
+  if (text.empty()) return;
+  std::vector<AttemptOutcome> attempts;
+  try {
+    attempts = decode_attempts(text);
+  } catch (const std::runtime_error& error) {
+    util::log_warn() << "fabric: dropping undecodable lease detail for ["
+                     << begin << ", " << end << "): " << error.what();
+    return;
+  }
+  if (attempts.size() != end - begin) {
+    util::log_warn() << "fabric: lease detail for [" << begin << ", " << end
+                     << ") has " << attempts.size()
+                     << " entries; expected " << (end - begin)
+                     << " — dropping it";
+    return;
+  }
+  state.fleet->details.emplace(begin, std::move(attempts));
+}
+
+/// Folds buffered details at the contiguous frontier into the fleet tally
+/// and the estimator, applying the merge boundary rule after every
+/// injected attempt (merge.cpp does exactly this walk over the merged
+/// journal). Publishes the estimator gauges when anything advanced.
+void advance_fleet(LoopState& state) {
+  FleetState& fleet = *state.fleet;
+  bool advanced = false;
+  while (!fleet.boundary) {
+    const auto it = fleet.details.find(fleet.frontier);
+    if (it == fleet.details.end()) break;
+    for (const AttemptOutcome& attempt : it->second) {
+      if (fleet.boundary) break;  // rest of the range is overshoot
+      fi::Outcome outcome = fi::Outcome::kNotInjected;
+      try {
+        outcome = outcome_from_name(attempt.outcome);
+      } catch (const std::runtime_error& error) {
+        util::log_warn() << "fabric: " << error.what()
+                         << " in lease detail; counting as NotInjected";
+      }
+      if (outcome == fi::Outcome::kNotInjected) {
+        ++fleet.not_injected;
+        continue;
+      }
+      fleet.tally.add(outcome);
+      if (outcome == fi::Outcome::kDue) {
+        ++fleet.due_kinds[attempt.due_kind];
+      }
+      if (state.estimator != nullptr) {
+        state.estimator->record(to_estimator_outcome(outcome),
+                                attempt.model, attempt.window,
+                                attempt.category, attempt.injected);
+      }
+      if (fleet.tally.total() >= state.config->trials) {
+        fleet.boundary = true;
+      } else if (fi::campaign_ci_stop_reached(*state.config, fleet.tally)) {
+        fleet.boundary = true;
+        fleet.stopped_early = true;
+      }
+    }
+    fleet.frontier += it->second.size();
+    fleet.details.erase(it);
+    advanced = true;
+  }
+  if (advanced && state.estimator != nullptr && state.metrics != nullptr) {
+    state.estimator->publish(*state.metrics);
+  }
+}
+
+/// Refreshes the per-worker gauges (fabric.worker.<id>.*) from the view
+/// table — heartbeat lag, lease age, and last-reported throughput.
+void refresh_worker_gauges(LoopState& state) {
+  if (state.metrics == nullptr) return;
+  const auto now = Clock::now();
+  for (const auto& [id, view] : *state.views) {
+    const std::string prefix = "fabric.worker." + std::to_string(id) + ".";
+    state.metrics->gauge(prefix + "connected")
+        .set(view.connected ? 1.0 : 0.0);
+    state.metrics->gauge(prefix + "lag_seconds")
+        .set(seconds_since(view.last_seen, now));
+    state.metrics->gauge(prefix + "lease_age_seconds")
+        .set(view.lease != 0 ? seconds_since(view.lease_since, now) : 0.0);
+    state.metrics->gauge(prefix + "trials_per_sec")
+        .set(view.have_stats ? view.stats.trials_per_sec : 0.0);
+  }
+}
+
+/// Renders the /campaign.json document: fleet tallies and intervals, the
+/// lease picture, and one row per worker ever seen (dead ones included —
+/// that is the point). This is what phifi_top draws.
+std::string build_campaign_json(const LoopState& state) {
+  using util::json::Value;
+  const auto now = Clock::now();
+  Value doc = Value::object();
+  doc["run_id"] = telemetry::run_id_to_hex(state.run_id);
+  doc["fingerprint"] = telemetry::run_id_to_hex(state.fingerprint);
+  doc["trials_target"] = state.table->trials();
+  doc["prefix_injected"] = state.table->prefix_injected();
+  doc["uptime_seconds"] = seconds_since(state.started, now);
+
+  const FleetState& fleet = *state.fleet;
+  doc["completed"] = fleet.tally.total();
+  doc["masked"] = fleet.tally.masked;
+  doc["sdc"] = fleet.tally.sdc;
+  doc["due"] = fleet.tally.due;
+  doc["not_injected"] = fleet.not_injected;
+  doc["fleet_boundary"] = fleet.boundary;
+  doc["stopped_early"] = fleet.stopped_early;
+  Value kinds = Value::object();
+  for (const auto& [kind, count] : fleet.due_kinds) kinds[kind] = count;
+  doc["due_kinds"] = std::move(kinds);
+  if (state.estimator != nullptr && state.estimator->total() > 0) {
+    const util::Interval sdc_ci = state.estimator->sdc_interval();
+    const util::Interval due_ci = state.estimator->due_interval();
+    doc["sdc_rate"] = sdc_ci.point;
+    doc["sdc_ci_lo"] = sdc_ci.lo;
+    doc["sdc_ci_hi"] = sdc_ci.hi;
+    doc["due_rate"] = due_ci.point;
+    doc["due_ci_lo"] = due_ci.lo;
+    doc["due_ci_hi"] = due_ci.hi;
+    if (state.config->stop_ci_width > 0.0) {
+      doc["eta_trials_to_stop"] = state.estimator->trials_to_half_width(
+          state.config->stop_ci_width);
+    }
+  }
+
+  Value leases = Value::object();
+  leases["granted"] = state.result->leases_granted;
+  leases["reclaimed"] = state.result->leases_reclaimed;
+  leases["outstanding"] = state.table->outstanding();
+  doc["leases"] = std::move(leases);
+
+  Value workers = Value::array();
+  for (const auto& [id, view] : *state.views) {
+    Value row = Value::object();
+    row["id"] = id;
+    row["status"] = view.connected ? "live" : "dead";
+    row["lag_seconds"] = seconds_since(view.last_seen, now);
+    if (view.lease != 0) {
+      row["lease"] = view.lease;
+      row["lease_begin"] = view.lease_begin;
+      row["lease_end"] = view.lease_end;
+      row["lease_age_seconds"] = seconds_since(view.lease_since, now);
+    }
+    if (view.have_stats) {
+      row["executed"] = view.stats.executed;
+      row["leases_done"] = view.stats.leases_done;
+      row["masked"] = view.stats.masked;
+      row["sdc"] = view.stats.sdc;
+      row["due"] = view.stats.due;
+      row["not_injected"] = view.stats.not_injected;
+      row["trials_per_sec"] = view.stats.trials_per_sec;
+      row["uptime_seconds"] = view.stats.uptime_seconds;
+    }
+    workers.push_back(std::move(row));
+  }
+  doc["workers"] = std::move(workers);
+  return doc.dump();
 }
 
 /// Grants the next available range to `conn` (ledger first, then wire).
@@ -140,6 +360,11 @@ bool try_grant(LoopState& state, WorkerConn& conn) {
   if (state.metrics != nullptr) {
     state.metrics->counter("fabric.leases_granted").inc();
   }
+  WorkerView& view = (*state.views)[conn.worker];
+  view.lease = lease->id;
+  view.lease_begin = lease->begin;
+  view.lease_end = lease->end;
+  view.lease_since = Clock::now();
   trace_fabric(state, "lease_grant", conn.worker, &*lease);
   return true;
 }
@@ -190,6 +415,13 @@ void handle_hello(LoopState& state, WorkerConn& conn, const Message& msg) {
     ++state.result->workers_seen;
   }
   conn.worker = id;
+  WorkerView& view = (*state.views)[id];
+  const auto now = Clock::now();
+  if (!view.connected && view.joined == Clock::time_point{}) {
+    view.joined = now;
+  }
+  view.connected = true;
+  view.last_seen = now;
   trace_fabric(state, "worker_join", id, nullptr);
   util::log_debug() << "fabric: coordinator welcomed worker " << id
                     << (msg.lease != 0
@@ -200,6 +432,7 @@ void handle_hello(LoopState& state, WorkerConn& conn, const Message& msg) {
   Message welcome;
   welcome.type = MsgType::kWelcome;
   welcome.worker = id;
+  welcome.run = state.run_id;
   conn.link->send(welcome);
 
   // A HELLO can carry a lease claim: the worker was executing it when the
@@ -215,6 +448,10 @@ void handle_hello(LoopState& state, WorkerConn& conn, const Message& msg) {
       grant.end = msg.end;
       conn.link->send(grant);
       reset_lease_counts(conn);
+      view.lease = msg.lease;
+      view.lease_begin = msg.begin;
+      view.lease_end = msg.end;
+      view.lease_since = now;
       Lease lease{msg.lease, msg.begin, msg.end, id, {}};
       trace_fabric(state, "lease_adopt", id, &lease);
     } else {
@@ -228,6 +465,10 @@ void handle_hello(LoopState& state, WorkerConn& conn, const Message& msg) {
 }
 
 void handle_message(LoopState& state, WorkerConn& conn, const Message& msg) {
+  if (conn.worker != 0) {
+    const auto it = state.views->find(conn.worker);
+    if (it != state.views->end()) it->second.last_seen = Clock::now();
+  }
   switch (msg.type) {
     case MsgType::kHello:
       handle_hello(state, conn, msg);
@@ -262,12 +503,34 @@ void handle_message(LoopState& state, WorkerConn& conn, const Message& msg) {
         feed_aggregate(state, conn, msg);
       }
       break;
+    case MsgType::kStats:
+      // Observability only — a torn or hostile payload costs nothing but
+      // a log line; the exact tally never depends on STATS.
+      if (conn.worker != 0) {
+        try {
+          WorkerView& view = (*state.views)[conn.worker];
+          view.stats = decode_stats(msg.text);
+          view.have_stats = true;
+        } catch (const std::runtime_error& error) {
+          util::log_warn() << "fabric: dropping malformed stats from worker "
+                           << conn.worker << ": " << error.what();
+        }
+      }
+      break;
     case MsgType::kLeaseDone: {
       Lease lease{msg.lease, msg.begin, msg.end, conn.worker, {}};
       if (state.table->complete(msg.lease, msg.injected, msg.sdc)) {
+        // The detail rides into the ledger so a restarted coordinator
+        // rebuilds the exact fleet tally from replay alone.
         ledger_append(state, LedgerKind::kDone, lease, msg.injected,
-                      msg.sdc);
+                      msg.sdc, msg.text);
         feed_aggregate(state, conn, msg);
+        register_detail(state, msg.begin, msg.end, msg.text);
+        advance_fleet(state);
+        if (conn.worker != 0) {
+          WorkerView& view = (*state.views)[conn.worker];
+          if (view.lease == msg.lease) view.lease = 0;
+        }
         trace_fabric(state, "lease_done", conn.worker, &lease, msg.injected);
         util::log_debug() << "fabric: lease " << msg.lease << " done by "
                           << conn.worker << ", prefix "
@@ -280,6 +543,10 @@ void handle_message(LoopState& state, WorkerConn& conn, const Message& msg) {
     }
     case MsgType::kGoodbye:
       trace_fabric(state, "worker_leave", conn.worker, nullptr);
+      if (conn.worker != 0) {
+        const auto it = state.views->find(conn.worker);
+        if (it != state.views->end()) it->second.connected = false;
+      }
       conn.link->close();
       break;
     default:
@@ -299,6 +566,10 @@ void sweep_expired(LoopState& state) {
     ++state.result->leases_reclaimed;
     if (state.metrics != nullptr) {
       state.metrics->counter("fabric.leases_reclaimed").inc();
+    }
+    const auto it = state.views->find(lease.worker);
+    if (it != state.views->end() && it->second.lease == lease.id) {
+      it->second.lease = 0;
     }
     trace_fabric(state, "lease_reclaim", lease.worker, &lease);
     util::log_warn() << "fabric: lease " << lease.id << " ["
@@ -331,14 +602,39 @@ CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
                                   const FabricOptions& options,
                                   telemetry::MetricsRegistry* metrics,
                                   telemetry::TraceWriter* trace,
+                                  telemetry::CampaignEstimator* estimator,
                                   telemetry::ProgressEmitter* progress,
                                   std::ostream& out) {
   const std::uint64_t budget = static_cast<std::uint64_t>(
       campaign.trials * (1 + campaign.max_retry_factor));
   LeaseTable table(campaign.trials, budget, options.lease_size);
 
+  CoordinatorResult result;
+  std::vector<std::unique_ptr<WorkerConn>> conns;
+  std::map<std::uint64_t, WorkerView> views;
+  FleetState fleet;
+  LoopState state;
+  state.config = &campaign;
+  state.fingerprint = fingerprint;
+  state.options = &options;
+  state.table = &table;
+  state.metrics = metrics;
+  state.trace = trace;
+  state.estimator = estimator;
+  state.result = &result;
+  state.conns = &conns;
+  state.views = &views;
+  state.fleet = &fleet;
+  state.started = Clock::now();
+
+  // Run-id resolution: an explicit option wins, a resumed ledger's header
+  // keeps its original id (the continued campaign IS the same run), and
+  // a fresh campaign draws one.
+  std::uint64_t run_id = options.run_id;
+
   // Ledger resume: replay an existing ledger so outstanding leases are
-  // re-adoptable by their reconnecting workers (or expire and re-lease).
+  // re-adoptable by their reconnecting workers (or expire and re-lease),
+  // and so DONE details rebuild the exact fleet tally.
   std::unique_ptr<LeaseLedgerWriter> ledger;
   if (!options.ledger_path.empty()) {
     if (::access(options.ledger_path.c_str(), F_OK) == 0) {
@@ -351,6 +647,7 @@ CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
             "fabric: lease ledger '" + options.ledger_path +
             "' belongs to a different campaign (fingerprint mismatch)");
       }
+      if (run_id == 0) run_id = contents.run_id;
       // Restored leases get a full timeout of grace so their workers can
       // reconnect and re-adopt before the deadline sweep re-leases them.
       const auto grace = Clock::now() +
@@ -365,6 +662,7 @@ CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
             break;
           case LedgerKind::kDone:
             table.restore_done(record.lease, record.injected, record.sdc);
+            register_detail(state, record.begin, record.end, record.detail);
             break;
           case LedgerKind::kReclaim:
             table.restore_reclaim(record.lease);
@@ -381,29 +679,43 @@ CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
       }
       out << "\n";
     } else {
+      if (run_id == 0) run_id = telemetry::generate_run_id();
       ledger = std::make_unique<LeaseLedgerWriter>(
-          options.ledger_path, fingerprint, campaign.trials);
+          options.ledger_path, fingerprint, campaign.trials, run_id);
     }
   }
-
-  CoordinatorResult result;
-  std::vector<std::unique_ptr<WorkerConn>> conns;
-  LoopState state;
-  state.config = &campaign;
-  state.fingerprint = fingerprint;
-  state.options = &options;
-  state.table = &table;
+  if (run_id == 0) run_id = telemetry::generate_run_id();
+  state.run_id = run_id;
+  result.run_id = run_id;
   state.ledger = ledger.get();
-  state.metrics = metrics;
-  state.trace = trace;
-  state.result = &result;
-  state.conns = &conns;
+  if (trace != nullptr) {
+    trace->set_run_id(telemetry::run_id_to_hex(run_id));
+  }
+  // Replayed DONE details fold immediately, so the fleet tally (and the
+  // estimator, if any) is exact from the first poll iteration on.
+  advance_fleet(state);
 
   const Address address = parse_address(options.address);
   const int listen_fd = listen_on(address);
   out << "[fabric] coordinator listening on " << options.address << " ("
       << campaign.trials << " trials, lease size " << options.lease_size
-      << ")\n";
+      << ", run " << telemetry::run_id_to_hex(run_id) << ")\n";
+
+  // The scrape endpoint is serviced from the same poll loop as the worker
+  // links — no extra thread, no locking (docs/FLEET_OBSERVABILITY.md).
+  std::unique_ptr<ScrapeServer> scrape;
+  if (!options.serve_metrics.empty()) {
+    scrape = std::make_unique<ScrapeServer>(options.serve_metrics);
+    scrape->set_metrics_handler([&state]() {
+      refresh_worker_gauges(state);
+      return state.metrics != nullptr ? state.metrics->render_openmetrics()
+                                      : std::string("# EOF\n");
+    });
+    scrape->set_campaign_handler(
+        [&state]() { return build_campaign_json(state); });
+    out << "[fabric] scrape endpoint on " << options.serve_metrics
+        << " (port " << scrape->port() << ")\n";
+  }
 
   if (metrics != nullptr) {
     metrics->gauge("campaign.trials_target")
@@ -433,6 +745,11 @@ CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
                                  if (conn->worker != 0) {
                                    trace_fabric(state, "worker_leave",
                                                 conn->worker, nullptr);
+                                   const auto it = state.views->find(
+                                       conn->worker);
+                                   if (it != state.views->end()) {
+                                     it->second.connected = false;
+                                   }
                                  }
                                  return true;
                                }),
@@ -446,6 +763,7 @@ CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
       metrics->gauge("fabric.workers_live").set(static_cast<double>(live));
       metrics->gauge("fabric.leases_outstanding")
           .set(static_cast<double>(table.outstanding()));
+      refresh_worker_gauges(state);
     }
     if (progress != nullptr) progress->tick();
 
@@ -454,10 +772,16 @@ CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
     for (const auto& conn : conns) {
       fds.push_back({conn->link->fd(), POLLIN, 0});
     }
+    const std::size_t scrape_base = fds.size();
+    if (scrape != nullptr) scrape->collect_fds(fds);
     const int n = ::poll(fds.data(), fds.size(), 100);
     if (n < 0 && errno != EINTR) {
       throw std::runtime_error("fabric: coordinator poll failed");
     }
+    // Service scrape clients every pass: accepts, reads, and nonblocking
+    // writes are all cheap no-ops when nothing is pending.
+    if (scrape != nullptr) scrape->service();
+    (void)scrape_base;
     if (n <= 0) continue;
 
     if ((fds[0].revents & POLLIN) != 0) {
@@ -472,7 +796,7 @@ CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
     for (std::size_t i = 0; i < conns.size(); ++i) {
       // fds[1 + i] only covers connections that existed before poll();
       // newly accepted ones are pumped next iteration.
-      if (1 + i >= fds.size()) break;
+      if (1 + i >= scrape_base) break;
       if ((fds[1 + i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) {
         continue;
       }
@@ -521,8 +845,10 @@ CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
         fds.push_back({conn->link->fd(), POLLIN, 0});
       }
     }
+    if (scrape != nullptr) scrape->collect_fds(fds);
     if (fds.empty()) break;  // every worker has hung up
     ::poll(fds.data(), fds.size(), 50);
+    if (scrape != nullptr) scrape->service();
     for (auto& conn : conns) {
       if (!conn->link->alive()) continue;
       conn->link->pump();
@@ -544,12 +870,35 @@ CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
   }
 
   result.completed = table.prefix_injected();
+  result.fleet_completed = fleet.tally.total();
+  result.fleet_masked = fleet.tally.masked;
+  result.fleet_sdc = fleet.tally.sdc;
+  result.fleet_due = fleet.tally.due;
+  result.fleet_not_injected = fleet.not_injected;
+  result.fleet_due_kinds = fleet.due_kinds;
+  result.fleet_boundary = fleet.boundary;
+  result.fleet_stopped_early = fleet.stopped_early;
   if (metrics != nullptr) {
     metrics->gauge("fabric.workers_live").set(0.0);
     metrics->gauge("fabric.leases_outstanding")
         .set(static_cast<double>(table.outstanding()));
+    refresh_worker_gauges(state);
+    if (estimator != nullptr) estimator->publish(*metrics);
   }
   if (progress != nullptr) progress->emit_now();
+  if (trace != nullptr) {
+    telemetry::TraceEnd end;
+    end.completed = fleet.tally.total();
+    end.masked = fleet.tally.masked;
+    end.sdc = fleet.tally.sdc;
+    end.due = fleet.tally.due;
+    end.not_injected = fleet.not_injected;
+    end.interrupted = result.interrupted;
+    end.stopped_early = result.stopped_early || fleet.stopped_early;
+    end.elapsed_ms = trace->now_ms();
+    end.due_kinds = fleet.due_kinds;
+    trace->end(end);
+  }
   out << "[fabric] coordinator done: "
       << (result.complete
               ? (result.stopped_early ? "stopped early (CI target)"

@@ -1,15 +1,19 @@
 // Campaign fabric coordinator: leases attempt-index ranges to workers,
 // reclaims them on stall/crash/partition, and survives its own crashes
 // via the lease ledger. See docs/FABRIC.md for the protocol and the
-// failure matrix.
+// failure matrix, and docs/FLEET_OBSERVABILITY.md for the live
+// aggregation plane (STATS frames, the scrape endpoint, correlation ids).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <map>
+#include <string>
 
 #include "core/campaign.hpp"
 #include "fabric/options.hpp"
+#include "telemetry/estimator.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/trace.hpp"
@@ -29,21 +33,44 @@ struct CoordinatorResult {
   /// trial count (the final lease runs to completion); the merge truncates
   /// at the exact boundary.
   std::uint64_t completed = 0;
+  /// Campaign run id this coordinator served under (resolved from
+  /// options.run_id, the resumed ledger, or freshly generated).
+  std::uint64_t run_id = 0;
+  /// Exact fleet tally, folded from the per-attempt LeaseDone details in
+  /// contiguous attempt order with the merge boundary rule — bit-identical
+  /// to what phifi_parse reports over the merged shards. All zero when no
+  /// worker attached details (a pre-observability worker build).
+  std::uint64_t fleet_completed = 0;  ///< injected attempts inside boundary
+  std::uint64_t fleet_masked = 0;
+  std::uint64_t fleet_sdc = 0;
+  std::uint64_t fleet_due = 0;
+  std::uint64_t fleet_not_injected = 0;
+  std::map<std::string, std::uint64_t> fleet_due_kinds;
+  /// The fleet tally reached the exact campaign boundary (trial count or
+  /// CI stop) — i.e. fleet_* above are final, not a partial prefix.
+  bool fleet_boundary = false;
+  bool fleet_stopped_early = false;  ///< that boundary was the CI stop
 };
 
 /// Runs the coordinator event loop until the campaign completes, the work
 /// space is exhausted, or `campaign.stop_flag` fires. Single-threaded:
 /// one poll() loop owns the listener, every worker connection, lease
-/// deadlines, the ledger, and the progress/metrics feeds.
+/// deadlines, the ledger, the scrape endpoint, and the progress/metrics/
+/// estimator feeds.
 ///
 /// `fingerprint` is the campaign fingerprint workers must match — derive
 /// it with campaign_fingerprint() from a prepared supervisor so the
 /// coordinator validates against exactly what a worker computes.
+///
+/// `estimator` (optional) receives the exact fleet stream: per-attempt
+/// outcomes from LeaseDone details, folded in attempt order up to the
+/// campaign boundary, so its intervals match a --jobs 1 run bit for bit.
 CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
                                   std::uint64_t fingerprint,
                                   const FabricOptions& options,
                                   telemetry::MetricsRegistry* metrics,
                                   telemetry::TraceWriter* trace,
+                                  telemetry::CampaignEstimator* estimator,
                                   telemetry::ProgressEmitter* progress,
                                   std::ostream& out);
 

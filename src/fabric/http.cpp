@@ -1,0 +1,207 @@
+#include "fabric/http.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+namespace phifi::fabric {
+
+namespace {
+
+/// A scrape request is one short line plus a few headers; anything bigger
+/// is a client that is not speaking scrape-HTTP.
+constexpr std::size_t kMaxRequest = 8192;
+
+/// parse_address rejects port 0 (it is never a valid *connect* target),
+/// but for a listen spec it means "pick an ephemeral port" — essential
+/// for tests. Special-case it here rather than loosening the protocol.
+Address parse_serve_spec(const std::string& spec) {
+  if (spec.rfind("tcp:", 0) == 0) {
+    const auto colon = spec.rfind(':');
+    if (colon > 4 && colon != std::string::npos &&
+        spec.substr(colon + 1) == "0") {
+      Address address;
+      address.is_unix = false;
+      address.host = spec.substr(4, colon - 4);
+      address.port = 0;
+      return address;
+    }
+  }
+  return parse_address(spec);
+}
+
+std::string status_line(int code) {
+  switch (code) {
+    case 200: return "HTTP/1.1 200 OK";
+    case 400: return "HTTP/1.1 400 Bad Request";
+    case 404: return "HTTP/1.1 404 Not Found";
+    case 405: return "HTTP/1.1 405 Method Not Allowed";
+    default: return "HTTP/1.1 500 Internal Server Error";
+  }
+}
+
+std::string make_response(int code, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = status_line(code);
+  out += "\r\nContent-Type: " + content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+ScrapeServer::ScrapeServer(const std::string& spec) {
+  const Address address = parse_serve_spec(spec);
+  listen_fd_ = listen_on(address);
+  if (address.is_unix) {
+    unix_path_ = address.path;
+  } else {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) == 0) {
+      port_ = ntohs(bound.sin_port);
+    }
+  }
+}
+
+ScrapeServer::~ScrapeServer() {
+  for (Client& client : clients_) {
+    if (client.fd >= 0) ::close(client.fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+}
+
+void ScrapeServer::set_metrics_handler(Handler handler) {
+  metrics_handler_ = std::move(handler);
+}
+
+void ScrapeServer::set_campaign_handler(Handler handler) {
+  campaign_handler_ = std::move(handler);
+}
+
+void ScrapeServer::collect_fds(std::vector<pollfd>& fds) const {
+  fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+  for (const Client& client : clients_) {
+    fds.push_back(pollfd{client.fd,
+                         static_cast<short>(client.responding ? POLLOUT
+                                                              : POLLIN),
+                         0});
+  }
+}
+
+std::string ScrapeServer::handle(const std::string& method,
+                                 const std::string& path) const {
+  if (method != "GET") {
+    return make_response(405, "text/plain; charset=utf-8",
+                         "method not allowed\n");
+  }
+  // Strip any query string: scrape paths take no parameters.
+  const std::string route = path.substr(0, path.find('?'));
+  if (route == "/metrics") {
+    const std::string body =
+        metrics_handler_ ? metrics_handler_() : std::string();
+    return make_response(
+        200, "application/openmetrics-text; version=1.0.0; charset=utf-8",
+        body);
+  }
+  if (route == "/campaign.json") {
+    const std::string body =
+        campaign_handler_ ? campaign_handler_() : std::string("{}");
+    return make_response(200, "application/json; charset=utf-8", body);
+  }
+  if (route == "/healthz") {
+    return make_response(200, "text/plain; charset=utf-8", "ok\n");
+  }
+  return make_response(404, "text/plain; charset=utf-8", "not found\n");
+}
+
+void ScrapeServer::respond(Client& client) {
+  // Request line: METHOD SP PATH SP VERSION. Headers are ignored — every
+  // route is a parameterless GET.
+  const std::size_t line_end = client.inbound.find("\r\n");
+  const std::string line = client.inbound.substr(
+      0, line_end == std::string::npos ? client.inbound.size() : line_end);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    client.outbound =
+        make_response(400, "text/plain; charset=utf-8", "bad request\n");
+  } else {
+    client.outbound = handle(line.substr(0, sp1),
+                             line.substr(sp1 + 1, sp2 - sp1 - 1));
+  }
+  client.responding = true;
+}
+
+void ScrapeServer::service() {
+  // Accept everything pending; accept_on returns -1 when drained.
+  while (true) {
+    const int fd = accept_on(listen_fd_);
+    if (fd < 0) break;
+    Client client;
+    client.fd = fd;
+    clients_.push_back(std::move(client));
+  }
+
+  for (Client& client : clients_) {
+    if (!client.responding) {
+      while (true) {
+        char chunk[2048];
+        const ssize_t n = ::recv(client.fd, chunk, sizeof chunk, 0);
+        if (n > 0) {
+          client.inbound.append(chunk, static_cast<std::size_t>(n));
+          if (client.inbound.size() > kMaxRequest) {
+            client.outbound = make_response(400, "text/plain; charset=utf-8",
+                                            "request too large\n");
+            client.responding = true;
+            break;
+          }
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        // EOF or error before a complete request: drop the client.
+        ::close(client.fd);
+        client.fd = -1;
+        break;
+      }
+      if (client.fd >= 0 && !client.responding &&
+          client.inbound.find("\r\n\r\n") != std::string::npos) {
+        respond(client);
+      }
+    }
+    if (client.fd >= 0 && client.responding) {
+      while (client.sent < client.outbound.size()) {
+        const ssize_t n =
+            ::send(client.fd, client.outbound.data() + client.sent,
+                   client.outbound.size() - client.sent, MSG_NOSIGNAL);
+        if (n > 0) {
+          client.sent += static_cast<std::size_t>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) continue;
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        ::close(client.fd);
+        client.fd = -1;
+        break;
+      }
+      if (client.fd >= 0 && client.sent == client.outbound.size()) {
+        ::close(client.fd);
+        client.fd = -1;
+      }
+    }
+  }
+  std::erase_if(clients_, [](const Client& client) { return client.fd < 0; });
+}
+
+}  // namespace phifi::fabric

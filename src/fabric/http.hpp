@@ -1,0 +1,80 @@
+// Minimal single-threaded HTTP/1.1 scrape endpoint for a live campaign.
+//
+// The coordinator is a poll loop; Prometheus (and phifi_top) want to GET
+// /metrics and /campaign.json while the campaign runs. ScrapeServer slots
+// into that loop: the coordinator folds its fds into the same poll() set
+// and calls service() once per iteration. No threads, no blocking reads —
+// a slow or stalled scraper can never stall lease traffic. Responses are
+// built whole and drained nonblockingly; every connection is
+// Connection: close (scrapes are one request, keep-alive buys nothing).
+//
+// Routes:
+//   GET /metrics        → the metrics handler (OpenMetrics text)
+//   GET /campaign.json  → the campaign handler (live fleet state)
+//   GET /healthz        → "ok\n"
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/protocol.hpp"
+
+struct pollfd;
+
+namespace phifi::fabric {
+
+class ScrapeServer {
+ public:
+  using Handler = std::function<std::string()>;
+
+  /// Binds and listens on `spec` ("tcp:host:port" or "unix:/path"; TCP
+  /// port 0 binds an ephemeral port — see port()). Throws
+  /// std::runtime_error on a malformed spec or bind failure.
+  explicit ScrapeServer(const std::string& spec);
+  ~ScrapeServer();
+
+  ScrapeServer(const ScrapeServer&) = delete;
+  ScrapeServer& operator=(const ScrapeServer&) = delete;
+
+  void set_metrics_handler(Handler handler);
+  void set_campaign_handler(Handler handler);
+
+  /// Appends the listen fd and every in-flight client fd to `fds` with the
+  /// events each one is waiting for.
+  void collect_fds(std::vector<pollfd>& fds) const;
+
+  /// Accepts pending connections, reads requests, writes responses.
+  /// Nonblocking throughout; call once per poll-loop iteration.
+  void service();
+
+  /// The bound TCP port (resolves port 0 to the kernel's choice); 0 for
+  /// UNIX endpoints.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// In-flight client connections (tests/diagnostics).
+  [[nodiscard]] std::size_t clients() const { return clients_.size(); }
+
+ private:
+  struct Client {
+    int fd = -1;
+    std::string inbound;
+    std::string outbound;
+    std::size_t sent = 0;
+    bool responding = false;
+  };
+
+  void respond(Client& client);
+  [[nodiscard]] std::string handle(const std::string& method,
+                                   const std::string& path) const;
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::string unix_path_;
+  Handler metrics_handler_;
+  Handler campaign_handler_;
+  std::vector<Client> clients_;
+};
+
+}  // namespace phifi::fabric

@@ -248,16 +248,21 @@ LedgerContents read_ledger(const std::string& path) {
     return true;
   };
   std::vector<std::uint8_t> payload;
-  if (!try_frame(&payload) || payload.size() != 16) {
+  // 16-byte headers predate the run-id field; tolerate both.
+  if (!try_frame(&payload) ||
+      (payload.size() != 16 && payload.size() != 24)) {
     throw std::runtime_error("lease ledger: '" + path +
                              "' has a missing or corrupt header");
   }
   contents.fingerprint = get_u64(payload.data());
   contents.trials = get_u64(payload.data() + 8);
+  if (payload.size() == 24) {
+    contents.run_id = get_u64(payload.data() + 16);
+  }
   contents.valid_bytes = offset;
 
   while (try_frame(&payload)) {
-    if (payload.size() != kRecordPayload) break;  // corrupt: drop the tail
+    if (payload.size() < kRecordPayload) break;  // corrupt: drop the tail
     LedgerRecord record;
     record.kind = static_cast<LedgerKind>(payload[0]);
     record.lease = get_u64(payload.data() + 1);
@@ -265,7 +270,17 @@ LedgerContents read_ledger(const std::string& path) {
     record.end = get_u64(payload.data() + 17);
     record.injected = get_u64(payload.data() + 25);
     record.sdc = get_u64(payload.data() + 33);
-    contents.records.push_back(record);
+    if (payload.size() > kRecordPayload) {
+      // Extended record: u32 detail length + the detail bytes.
+      if (payload.size() < kRecordPayload + 4) break;
+      const std::uint32_t detail_len =
+          get_u32(payload.data() + kRecordPayload);
+      if (payload.size() != kRecordPayload + 4 + detail_len) break;
+      record.detail.assign(
+          reinterpret_cast<const char*>(payload.data() + kRecordPayload + 4),
+          detail_len);
+    }
+    contents.records.push_back(std::move(record));
     contents.valid_bytes = offset;
   }
   contents.dropped_bytes = data.size() - contents.valid_bytes;
@@ -274,7 +289,8 @@ LedgerContents read_ledger(const std::string& path) {
 
 LeaseLedgerWriter::LeaseLedgerWriter(const std::string& path,
                                      std::uint64_t fingerprint,
-                                     std::uint64_t trials) {
+                                     std::uint64_t trials,
+                                     std::uint64_t run_id) {
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
                0644);
   if (fd_ < 0) {
@@ -285,6 +301,7 @@ LeaseLedgerWriter::LeaseLedgerWriter(const std::string& path,
   std::vector<std::uint8_t> payload;
   put_u64(payload, fingerprint);
   put_u64(payload, trials);
+  put_u64(payload, run_id);
   write_frame(fd_, payload);
   ::fsync(fd_);
 }
@@ -315,13 +332,15 @@ LeaseLedgerWriter::~LeaseLedgerWriter() {
 
 void LeaseLedgerWriter::append(const LedgerRecord& record) {
   std::vector<std::uint8_t> payload;
-  payload.reserve(kRecordPayload);
+  payload.reserve(kRecordPayload + 4 + record.detail.size());
   payload.push_back(static_cast<std::uint8_t>(record.kind));
   put_u64(payload, record.lease);
   put_u64(payload, record.begin);
   put_u64(payload, record.end);
   put_u64(payload, record.injected);
   put_u64(payload, record.sdc);
+  put_u32(payload, static_cast<std::uint32_t>(record.detail.size()));
+  payload.insert(payload.end(), record.detail.begin(), record.detail.end());
   write_frame(fd_, payload);
   ::fsync(fd_);
 }

@@ -16,10 +16,15 @@
 //   magic "PHIFILL1"
 //   u32 header_size | header payload | u32 crc32(header payload)
 //     header payload: u64 fingerprint, u64 trials
+//                     [, u64 run_id — absent in pre-observability ledgers]
 //   repeated records, each:
 //   u32 payload_size | record payload | u32 crc32(record payload)
 //     record payload: u8 kind, u64 lease, u64 begin, u64 end,
 //                     u64 injected, u64 sdc
+//                     [, u32 detail_len + detail bytes — DONE records
+//                      carry the per-attempt outcome detail (fabric/
+//                      stats.hpp) so a restarted coordinator can rebuild
+//                      its exact fleet estimator; absent in old ledgers]
 #pragma once
 
 #include <chrono>
@@ -133,11 +138,16 @@ struct LedgerRecord {
   std::uint64_t end = 0;
   std::uint64_t injected = 0;
   std::uint64_t sdc = 0;
+  /// Per-attempt outcome detail (encode_attempts) on DONE records; empty
+  /// otherwise and in ledgers written before the observability plane.
+  std::string detail;
 };
 
 struct LedgerContents {
   std::uint64_t fingerprint = 0;
   std::uint64_t trials = 0;
+  /// Campaign run id; 0 when the ledger predates correlation ids.
+  std::uint64_t run_id = 0;
   std::vector<LedgerRecord> records;
   /// File offset just past the last valid record; resume truncates here.
   std::uint64_t valid_bytes = 0;
@@ -154,7 +164,7 @@ class LeaseLedgerWriter {
  public:
   /// Starts a fresh ledger (truncating any existing file).
   LeaseLedgerWriter(const std::string& path, std::uint64_t fingerprint,
-                    std::uint64_t trials);
+                    std::uint64_t trials, std::uint64_t run_id);
   /// Reopens an existing (already loaded) ledger for appending,
   /// truncating a torn tail at `valid_bytes` first.
   LeaseLedgerWriter(const std::string& path, std::uint64_t valid_bytes);

@@ -27,8 +27,12 @@ MergeSummary merge_shards(const fi::CampaignConfig& config,
 
   MergeSummary summary;
   std::vector<fi::JournalRecord> pool;
+  std::uint64_t run_id = 0;
   for (const std::string& path : shard_paths) {
     const fi::JournalContents contents = fi::read_journal(path);
+    // Every shard of one fabric campaign carries the coordinator's run id;
+    // the merged journal keeps it so the correlation survives the merge.
+    if (run_id == 0) run_id = contents.header.run_id;
     if (contents.header.fingerprint != expected_fp) {
       throw std::runtime_error(
           "merge refused: shard '" + path +
@@ -123,6 +127,7 @@ MergeSummary merge_shards(const fi::CampaignConfig& config,
   header.fingerprint = expected_fp;
   header.time_windows = time_windows;
   header.workload = std::string(workload);
+  header.run_id = run_id;
   fi::CampaignJournalWriter writer(options.out_path, header,
                                    fi::JournalFsync::kOnClose);
   for (const fi::JournalRecord* record : selected) {

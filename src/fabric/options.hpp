@@ -26,6 +26,16 @@ struct FabricOptions {
   /// Worker reconnect backoff: initial delay, doubled per failure up to
   /// 10 doublings.
   double reconnect_initial_ms = 200.0;
+  /// Worker: period of the STATS observability snapshot (fabric/stats.hpp),
+  /// sent from the same off-hot-path tick as heartbeats. 0 disables.
+  double stats_interval_seconds = 1.0;
+  /// Coordinator: scrape endpoint address ("tcp:host:port" or
+  /// "unix:/path"; "" = no endpoint). Serves /metrics, /campaign.json,
+  /// /healthz from the coordinator poll loop (fabric/http.hpp).
+  std::string serve_metrics;
+  /// Coordinator: campaign run id stamped into traces, shard journals and
+  /// history records. 0 = generate one (or adopt the ledger's on resume).
+  std::uint64_t run_id = 0;
 };
 
 }  // namespace phifi::fabric

@@ -20,8 +20,10 @@ namespace phifi::fabric {
 namespace {
 
 /// Guards against a desynchronized stream asking us to buffer gigabytes:
-/// real frames are ~100 bytes plus a short reject reason.
-constexpr std::uint32_t kMaxFrame = 1 << 16;
+/// most frames are ~100 bytes, but a LeaseDone carries the per-attempt
+/// outcome detail for its whole range and a Stats frame carries the
+/// worker's estimator cells, so the cap is generous.
+constexpr std::uint32_t kMaxFrame = 1 << 20;
 
 void put_u32(std::vector<std::uint8_t>& out, std::uint32_t value) {
   for (int i = 0; i < 4; ++i) {
@@ -70,6 +72,7 @@ std::string_view to_string(MsgType type) {
     case MsgType::kHeartbeat: return "heartbeat";
     case MsgType::kShutdown: return "shutdown";
     case MsgType::kGoodbye: return "goodbye";
+    case MsgType::kStats: return "stats";
   }
   return "unknown";
 }
@@ -88,6 +91,7 @@ std::vector<std::uint8_t> encode_message(const Message& message) {
   put_u64(payload, message.masked);
   put_u64(payload, message.sdc);
   put_u64(payload, message.due);
+  put_u64(payload, message.run);
   put_u32(payload, static_cast<std::uint32_t>(message.text.size()));
   payload.insert(payload.end(), message.text.begin(), message.text.end());
 
@@ -102,7 +106,7 @@ std::vector<std::uint8_t> encode_message(const Message& message) {
 bool decode_message(std::vector<std::uint8_t>& buffer, Message* out) {
   if (buffer.size() < 4) return false;
   const std::uint32_t size = get_u32(buffer.data());
-  if (size < 85 || size > kMaxFrame) {
+  if (size < 93 || size > kMaxFrame) {
     throw std::runtime_error("fabric: corrupt frame (size " +
                              std::to_string(size) + ")");
   }
@@ -124,11 +128,12 @@ bool decode_message(std::vector<std::uint8_t>& buffer, Message* out) {
   message.masked = get_u64(payload + 57);
   message.sdc = get_u64(payload + 65);
   message.due = get_u64(payload + 73);
-  const std::uint32_t text_len = get_u32(payload + 81);
-  if (85 + static_cast<std::size_t>(text_len) != size) {
+  message.run = get_u64(payload + 81);
+  const std::uint32_t text_len = get_u32(payload + 89);
+  if (93 + static_cast<std::size_t>(text_len) != size) {
     throw std::runtime_error("fabric: corrupt frame (bad text length)");
   }
-  message.text.assign(reinterpret_cast<const char*>(payload + 85), text_len);
+  message.text.assign(reinterpret_cast<const char*>(payload + 93), text_len);
   buffer.erase(buffer.begin(),
                buffer.begin() + 4 + static_cast<std::size_t>(size) + 4);
   *out = std::move(message);

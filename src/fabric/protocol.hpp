@@ -34,6 +34,7 @@ enum class MsgType : std::uint8_t {
   kHeartbeat,     ///< worker → coordinator: lease liveness + progress
   kShutdown,      ///< coordinator → worker: campaign over, exit
   kGoodbye,       ///< worker → coordinator: leaving voluntarily
+  kStats,         ///< worker → coordinator: observability snapshot (text)
 };
 
 std::string_view to_string(MsgType type);
@@ -52,7 +53,8 @@ struct Message {
   std::uint64_t masked = 0;       ///< of which Masked
   std::uint64_t sdc = 0;          ///< of which SDC
   std::uint64_t due = 0;          ///< of which DUE
-  std::string text;               ///< reject reason / diagnostics
+  std::uint64_t run = 0;          ///< campaign run id (WELCOME → worker)
+  std::string text;               ///< reject reason / stats / lease detail
 };
 
 /// Serializes one message into a complete frame.

@@ -1,0 +1,78 @@
+// Fleet observability payloads: the STATS frame body and the per-attempt
+// outcome detail attached to LeaseDone frames and ledger DONE records.
+//
+// Both payloads ride the protocol's `text` field as compact JSON. They are
+// produced off the trial hot path (STATS on the heartbeat timer, detail
+// once per completed lease), which is the FINJ/ZOFI division of labor:
+// centralized collection of monitoring data without taxing the trial loop.
+//
+// The per-attempt detail is what makes the coordinator's fleet tally
+// *exact* rather than approximate: accepted LeaseDone ranges tile the
+// attempt-index space disjointly, so replaying their details in attempt
+// order reproduces, bit for bit, the estimator state a --jobs 1 run would
+// reach at the same boundary (see docs/FLEET_OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/outcome.hpp"
+#include "core/supervisor.hpp"
+#include "telemetry/estimator.hpp"
+
+namespace phifi::fabric {
+
+/// One committed attempt's classification — everything the fleet
+/// estimator and the merge boundary rule need, nothing timing-dependent.
+struct AttemptOutcome {
+  std::string outcome;   ///< "Masked" / "SDC" / "DUE" / "NotInjected"
+  std::string due_kind;  ///< "none" / "crash" / "hang" / ...
+  std::string model;     ///< fault model name
+  std::string category;  ///< code-portion category
+  unsigned window = 0;   ///< execution-time window
+  bool injected = false;
+};
+
+/// Encodes the attempts of one lease range, in attempt order, as a JSON
+/// array (the attempt index is positional: entry i is `begin + i`).
+std::string encode_attempts(const std::vector<AttemptOutcome>& attempts);
+
+/// Decodes an attempt-detail payload. Throws std::runtime_error on
+/// malformed input; an empty string decodes to an empty vector (a frame
+/// from a sender that attached no detail).
+std::vector<AttemptOutcome> decode_attempts(const std::string& text);
+
+/// Classifies one committed trial into the wire form — the single mapping
+/// both the worker (at commit) and the coordinator (on ledger replay of a
+/// merged journal) use, so the fleet tally cannot drift from the shards.
+AttemptOutcome attempt_from_trial(const fi::TrialResult& trial);
+
+/// Maps an AttemptOutcome::outcome name back to the core enum. Throws
+/// std::runtime_error on an unknown name (a malformed or hostile frame).
+fi::Outcome outcome_from_name(const std::string& name);
+
+/// A worker's periodic observability snapshot: cumulative tallies over
+/// everything this process has committed (including overshoot and work on
+/// leases later reclaimed elsewhere — it describes the worker, not the
+/// campaign; the exact campaign tally comes from LeaseDone details).
+struct WorkerStats {
+  std::uint64_t executed = 0;      ///< attempts committed by this process
+  std::uint64_t leases_done = 0;   ///< leases completed and acknowledged
+  std::uint64_t masked = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t due = 0;
+  std::uint64_t not_injected = 0;
+  double trials_per_sec = 0.0;     ///< committed attempts / uptime
+  double uptime_seconds = 0.0;     ///< since the worker process started
+  std::map<std::string, std::uint64_t> due_kinds;
+  telemetry::EstimatorSnapshot estimator;  ///< this worker's cells
+};
+
+std::string encode_stats(const WorkerStats& stats);
+
+/// Throws std::runtime_error on malformed input.
+WorkerStats decode_stats(const std::string& text);
+
+}  // namespace phifi::fabric

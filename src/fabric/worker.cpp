@@ -16,6 +16,9 @@
 #include "core/campaign_journal.hpp"
 #include "core/outcome.hpp"
 #include "fabric/protocol.hpp"
+#include "fabric/stats.hpp"
+#include "telemetry/estimator.hpp"
+#include "telemetry/history.hpp"  // run_id_to_hex
 #include "util/log.hpp"
 
 namespace phifi::fabric {
@@ -71,24 +74,35 @@ class WorkerLoop {
   WorkerLoop(fi::TrialSupervisor& supervisor,
              const fi::CampaignConfig& campaign, std::uint64_t fingerprint,
              const FabricOptions& options,
-             telemetry::MetricsRegistry* metrics, std::ostream& out)
+             telemetry::MetricsRegistry* metrics,
+             telemetry::TraceWriter* trace, std::ostream& out)
       : supervisor_(&supervisor),
         config_(campaign),
         fingerprint_(fingerprint),
         options_(&options),
         metrics_(metrics),
-        out_(&out) {}
+        trace_(trace),
+        out_(&out) {
+    // The worker's own trial stream: run_range feeds the trace (with the
+    // correlation context set on WELCOME) and the worker-local estimator
+    // whose snapshot rides each STATS frame.
+    config_.trace = trace_;
+    config_.estimator = &estimator_;
+  }
 
   WorkerResult run();
 
  private:
   void open_shard();
+  void on_welcome(const Message& msg);
   bool ensure_link();
   void drain_link();
   void handle(const Message& msg);
   bool tick();  ///< run_range's on_tick: pump link, heartbeat; false = stop
+  void maybe_send_stats();
   void execute_lease();
   void send_done();
+  void note_commit(const fi::TrialResult& trial);
   bool stop_requested() const {
     return config_.stop_flag != nullptr &&
            config_.stop_flag->load(std::memory_order_relaxed);
@@ -99,13 +113,15 @@ class WorkerLoop {
   std::uint64_t fingerprint_;
   const FabricOptions* options_;
   telemetry::MetricsRegistry* metrics_;
+  telemetry::TraceWriter* trace_;
   std::ostream* out_;
 
   WorkerResult result_;
   std::unique_ptr<fi::CampaignJournalWriter> shard_;
-  /// Attempt indices already durable in the shard, with their outcomes —
-  /// the worker's resume state and the source of lease base counts.
-  std::map<std::uint64_t, fi::Outcome> done_;
+  /// Attempt indices already durable in the shard, with their
+  /// classification — the worker's resume state, the source of lease base
+  /// counts, and the per-attempt detail attached to each LeaseDone.
+  std::map<std::uint64_t, AttemptOutcome> done_;
 
   std::unique_ptr<Connection> link_;
   bool welcomed_ = false;
@@ -119,13 +135,19 @@ class WorkerLoop {
   // Set by handle() while run_range is inside tick(); examined after.
   bool shutdown_seen_ = false;
   bool revoked_ = false;
+
+  // Observability: campaign run id (adopted from WELCOME), the cumulative
+  // tallies each STATS frame reports, and the worker-local estimator.
+  std::uint64_t run_id_ = 0;
+  bool trace_header_written_ = false;
+  bool resumed_shard_ = false;
+  telemetry::CampaignEstimator estimator_;
+  WorkerStats stats_;
+  Clock::time_point started_{Clock::now()};
+  Clock::time_point last_stats_{};
 };
 
 void WorkerLoop::open_shard() {
-  if (options_->shard_path.empty()) {
-    throw std::runtime_error(
-        "fabric: worker requires a shard journal path (--shard-journal)");
-  }
   if (file_exists(options_->shard_path)) {
     const fi::JournalContents contents =
         fi::read_journal(options_->shard_path);
@@ -138,11 +160,12 @@ void WorkerLoop::open_shard() {
           ", this campaign is " + std::to_string(fingerprint_) + ")");
     }
     for (const fi::JournalRecord& record : contents.records) {
-      done_.emplace(record.attempt_index, record.trial.outcome);
+      done_.emplace(record.attempt_index, attempt_from_trial(record.trial));
     }
     shard_ = std::make_unique<fi::CampaignJournalWriter>(
         options_->shard_path, contents.valid_bytes, config_.journal_fsync,
         config_.journal_batch);
+    resumed_shard_ = true;
     *out_ << "[fabric] worker resumed shard '" << options_->shard_path
           << "': " << done_.size() << " attempts already durable";
     if (contents.dropped_bytes > 0) {
@@ -154,9 +177,44 @@ void WorkerLoop::open_shard() {
     header.fingerprint = fingerprint_;
     header.time_windows = supervisor_->time_windows();
     header.workload = supervisor_->workload_name();
+    header.run_id = run_id_;
     shard_ = std::make_unique<fi::CampaignJournalWriter>(
         options_->shard_path, header, config_.journal_fsync,
         config_.journal_batch);
+  }
+}
+
+/// WELCOME establishes the worker's identity and the campaign's run id —
+/// the shard journal header and every trace record from here on carry
+/// both, so a shard or trace line can be tied back to the coordinator's
+/// lease events (docs/FLEET_OBSERVABILITY.md).
+void WorkerLoop::on_welcome(const Message& msg) {
+  result_.worker_id = msg.worker;
+  welcomed_ = true;
+  if (run_id_ == 0) run_id_ = msg.run;
+  result_.run_id = run_id_;
+  if (trace_ != nullptr) {
+    trace_->set_run_id(run_id_ != 0 ? telemetry::run_id_to_hex(run_id_)
+                                    : std::string());
+    trace_->set_worker(result_.worker_id);
+  }
+  // The shard is opened only now: a fresh shard's header wants the run id,
+  // which only the coordinator knows.
+  if (shard_ == nullptr) open_shard();
+  if (trace_ != nullptr && !trace_header_written_) {
+    trace_header_written_ = true;
+    telemetry::TraceCampaign header;
+    header.workload = supervisor_->workload_name();
+    header.trials = config_.trials;
+    header.seed = config_.seed;
+    header.policy = std::string(to_string(config_.policy));
+    for (const fi::FaultModel model : config_.models) {
+      header.models.emplace_back(to_string(model));
+    }
+    header.time_windows = supervisor_->time_windows();
+    header.resumed = resumed_shard_;
+    header.jobs = config_.jobs;
+    trace_->campaign(header);
   }
 }
 
@@ -210,8 +268,7 @@ bool WorkerLoop::ensure_link() {
 void WorkerLoop::handle(const Message& msg) {
   switch (msg.type) {
     case MsgType::kWelcome:
-      result_.worker_id = msg.worker;
-      welcomed_ = true;
+      on_welcome(msg);
       break;
     case MsgType::kReject:
       result_.rejected = true;
@@ -246,6 +303,7 @@ void WorkerLoop::handle(const Message& msg) {
                         << " granted lease " << msg.lease << " ["
                         << msg.begin << ", " << msg.end << ")";
       lease_ = CurrentLease{msg.lease, msg.begin, msg.end};
+      if (trace_ != nullptr) trace_->set_lease(msg.lease);
       requested_ = false;
       break;
     default:
@@ -274,6 +332,38 @@ void WorkerLoop::drain_link() {
   }
 }
 
+/// Ships the periodic observability snapshot — cumulative tallies,
+/// throughput, and the worker-local estimator cells — on the same
+/// off-hot-path timer as heartbeats. Best-effort: a lost frame costs
+/// nothing but staleness in the coordinator's live view.
+void WorkerLoop::maybe_send_stats() {
+  if (options_->stats_interval_seconds <= 0.0) return;
+  if (link_ == nullptr || !link_->alive() || !welcomed_) return;
+  const auto now = Clock::now();
+  if (last_stats_ != Clock::time_point{} &&
+      std::chrono::duration<double>(now - last_stats_).count() <
+          options_->stats_interval_seconds) {
+    return;
+  }
+  last_stats_ = now;
+  WorkerStats stats = stats_;
+  stats.executed = result_.executed;
+  stats.leases_done = result_.leases_done;
+  stats.uptime_seconds =
+      std::chrono::duration<double>(now - started_).count();
+  stats.trials_per_sec =
+      stats.uptime_seconds > 0.0
+          ? static_cast<double>(result_.executed) / stats.uptime_seconds
+          : 0.0;
+  stats.estimator = estimator_.snapshot();
+  Message msg;
+  msg.type = MsgType::kStats;
+  msg.worker = result_.worker_id;
+  if (lease_.has_value()) msg.lease = lease_->id;
+  msg.text = encode_stats(stats);
+  link_->send(msg);
+}
+
 bool WorkerLoop::tick() {
   if (stop_requested()) return false;
   // Partition tolerance: keep executing the lease while disconnected —
@@ -300,7 +390,26 @@ bool WorkerLoop::tick() {
       link_->send(beat);
     }
   }
+  maybe_send_stats();
   return true;
+}
+
+void WorkerLoop::note_commit(const fi::TrialResult& trial) {
+  switch (trial.outcome) {
+    case fi::Outcome::kMasked:
+      ++stats_.masked;
+      break;
+    case fi::Outcome::kSdc:
+      ++stats_.sdc;
+      break;
+    case fi::Outcome::kDue:
+      ++stats_.due;
+      ++stats_.due_kinds[std::string(to_string(trial.due_kind))];
+      break;
+    case fi::Outcome::kNotInjected:
+      ++stats_.not_injected;
+      break;
+  }
 }
 
 void WorkerLoop::send_done() {
@@ -316,12 +425,27 @@ void WorkerLoop::send_done() {
   done.masked = counts_.masked;
   done.sdc = counts_.sdc;
   done.due = counts_.due;
+  // Attach the per-attempt classification of the whole range (positional:
+  // entry i is attempt begin+i) — what lets the coordinator keep an exact
+  // fleet tally without reading any shard.
+  std::vector<AttemptOutcome> attempts;
+  attempts.reserve(lease_->end - lease_->begin);
+  for (std::uint64_t index = lease_->begin; index < lease_->end; ++index) {
+    const auto it = done_.find(index);
+    if (it == done_.end()) {
+      attempts.clear();  // incomplete (cannot happen) — send no detail
+      break;
+    }
+    attempts.push_back(it->second);
+  }
+  done.text = encode_attempts(attempts);
   util::log_debug() << "fabric: worker " << result_.worker_id
                     << " done with lease " << done.lease << " ("
                     << done.injected << " injected)";
   link_->send(done);
   ++result_.leases_done;
   lease_.reset();
+  if (trace_ != nullptr) trace_->set_lease(0);
   // If the link died before the send landed, the lease stays claimed in
   // the next HELLO... except we just dropped it. That is still safe: the
   // coordinator's deadline reclaims the range and some worker re-executes
@@ -338,7 +462,7 @@ void WorkerLoop::execute_lease() {
        it != done_.end() && it->first == first_missing &&
        it->first < lease_->end;
        ++it) {
-    counts_.add(it->second);
+    counts_.add(outcome_from_name(it->second.outcome));
     ++first_missing;
   }
   last_heartbeat_ = Clock::now();
@@ -351,8 +475,9 @@ void WorkerLoop::execute_lease() {
       // already in another worker's shard; within THIS shard each index
       // appears once because run_range starts past first_missing.
       shard_->append(record);
-      done_.emplace(record.attempt_index, record.trial.outcome);
+      done_.emplace(record.attempt_index, attempt_from_trial(record.trial));
       counts_.add(record.trial.outcome);
+      note_commit(record.trial);
       ++result_.executed;
     };
     hooks.on_tick = [this] { return tick(); };
@@ -365,6 +490,7 @@ void WorkerLoop::execute_lease() {
     if (range.cancelled) {
       if (revoked_) {
         lease_.reset();
+        if (trace_ != nullptr) trace_->set_lease(0);
         revoked_ = false;
       }
       // shutdown_seen_ / stop_flag: leave the lease claimed; the main
@@ -382,7 +508,10 @@ void WorkerLoop::execute_lease() {
 }
 
 WorkerResult WorkerLoop::run() {
-  open_shard();
+  if (options_->shard_path.empty()) {
+    throw std::runtime_error(
+        "fabric: worker requires a shard journal path (--shard-journal)");
+  }
   *out_ << "[fabric] worker connecting to " << options_->address
         << ", shard '" << options_->shard_path << "'\n";
   while (true) {
@@ -411,6 +540,7 @@ WorkerResult WorkerLoop::run() {
       link_->send(request);
       requested_ = true;
     }
+    maybe_send_stats();
     pollfd pfd{link_->fd(), POLLIN, 0};
     ::poll(&pfd, 1, 100);
     drain_link();
@@ -451,11 +581,8 @@ WorkerResult run_worker(fi::TrialSupervisor& supervisor,
                         const FabricOptions& options,
                         telemetry::MetricsRegistry* metrics,
                         telemetry::TraceWriter* trace, std::ostream& out) {
-  // Workers do not emit fabric trace records today (the coordinator owns
-  // the fabric event stream); the parameter keeps the two role entry
-  // points symmetric for the CLI.
-  (void)trace;
-  WorkerLoop loop(supervisor, campaign, fingerprint, options, metrics, out);
+  WorkerLoop loop(supervisor, campaign, fingerprint, options, metrics,
+                  trace, out);
   return loop.run();
 }
 

@@ -65,6 +65,17 @@ struct CellEstimate {
   util::Interval due;  ///< Wilson interval on the cell's DUE proportion
 };
 
+/// Plain-counts view of an estimator: the overall tally plus every
+/// populated cell, in deterministic key order. Snapshots are what workers
+/// ship to the coordinator; because they hold only integer counts, folding
+/// them is associative and commutative, and an estimator rebuilt from any
+/// fold order is bit-identical (intervals included) to one fed the same
+/// trials directly.
+struct EstimatorSnapshot {
+  EstimatorCounts overall;
+  std::vector<std::pair<EstimatorCellKey, EstimatorCounts>> cells;
+};
+
 class CampaignEstimator {
  public:
   /// `confidence` is the two-sided level of every interval (0.95 matches
@@ -96,6 +107,13 @@ class CampaignEstimator {
 
   /// All populated cells in deterministic (model, window, category) order.
   [[nodiscard]] std::vector<CellEstimate> cells() const;
+
+  /// Copies the current counts out as a foldable snapshot.
+  [[nodiscard]] EstimatorSnapshot snapshot() const;
+
+  /// Adds another estimator's counts into this one. Integer addition only,
+  /// so fold order never changes the result.
+  void fold(const EstimatorSnapshot& snapshot);
 
   /// Exports the current estimates as gauges:
   ///   campaign.est.sdc_rate / .sdc_ci_lo / .sdc_ci_hi  (overall, same

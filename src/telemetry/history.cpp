@@ -4,9 +4,11 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <random>
 #include <stdexcept>
 
 namespace phifi::telemetry {
@@ -38,6 +40,7 @@ util::json::Value history_to_json(const HistoryRecord& record) {
   value["type"] = "campaign_summary";
   value["schema"] = 1;
   value["workload"] = record.workload;
+  if (!record.run_id.empty()) value["run_id"] = record.run_id;
   value["fingerprint"] = fingerprint_to_hex(record.fingerprint);
   value["git_revision"] = record.git_revision;
   value["seed"] = record.seed;
@@ -80,6 +83,7 @@ util::json::Value history_to_json(const HistoryRecord& record) {
 HistoryRecord history_from_json(const util::json::Value& value) {
   HistoryRecord record;
   record.workload = value.string_or("workload", "");
+  record.run_id = value.string_or("run_id", "");
   record.fingerprint = fingerprint_from_hex(value.string_or("fingerprint", ""));
   record.git_revision = value.string_or("git_revision", "");
   record.seed = static_cast<std::uint64_t>(value.number_or("seed", 0.0));
@@ -174,6 +178,20 @@ std::vector<HistoryRecord> read_history_file(const std::string& path) {
     records.push_back(history_from_json(value));
   }
   return records;
+}
+
+std::string run_id_to_hex(std::uint64_t run_id) {
+  return fingerprint_to_hex(run_id);
+}
+
+std::uint64_t generate_run_id() {
+  std::random_device device;
+  std::uint64_t id = (static_cast<std::uint64_t>(device()) << 32) ^
+                     static_cast<std::uint64_t>(device());
+  id ^= static_cast<std::uint64_t>(
+      std::chrono::system_clock::now().time_since_epoch().count());
+  // 0 means "unknown" everywhere the id travels; never hand it out.
+  return id == 0 ? 1 : id;
 }
 
 std::string git_describe() {

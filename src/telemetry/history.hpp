@@ -37,6 +37,7 @@ struct HistoryCell {
 /// One campaign summary appended to the --history ledger.
 struct HistoryRecord {
   std::string workload;
+  std::string run_id;             ///< 16-hex correlation id ("" = unknown)
   std::uint64_t fingerprint = 0;  ///< campaign_fingerprint of the config
   std::string git_revision;       ///< `git describe` of the build ("" = n/a)
   std::uint64_t seed = 0;
@@ -76,5 +77,13 @@ std::vector<HistoryRecord> read_history_file(const std::string& path);
 /// git is unavailable or the tree is not a repository. Runs a child
 /// process; call once per campaign, never on a hot path.
 std::string git_describe();
+
+/// Renders a 64-bit run id as the canonical 16-hex-digit correlation
+/// string stamped into traces, journals, and history records.
+std::string run_id_to_hex(std::uint64_t run_id);
+
+/// Draws a fresh non-zero 64-bit run id (random_device mixed with the
+/// wall clock). Called once per campaign launch, never on a hot path.
+std::uint64_t generate_run_id();
 
 }  // namespace phifi::telemetry

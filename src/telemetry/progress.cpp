@@ -107,7 +107,11 @@ std::string ProgressEmitter::render() const {
   if (completed == 0 || total == 0) {
     // Cold start: nothing completed yet (or the registry has no campaign
     // counters at all) — an all-zero outcome split would be misleading.
-    return line + " | waiting for first completed trial";
+    // On a fabric coordinator the first numbers arrive with the first
+    // worker report, so say that instead of implying local execution.
+    return line + (workers_live != nullptr
+                       ? " | waiting for first worker snapshot"
+                       : " | waiting for first completed trial");
   }
   line += " | masked " + fmt1(percent(masked)) + "% sdc " +
           fmt1(percent(sdc)) + "% due " + fmt1(percent(due)) + "%";

@@ -45,7 +45,18 @@ double TraceWriter::now_ms() const {
   return static_cast<double>(monotonic_ns() - t0_ns_) / 1e6;
 }
 
-void TraceWriter::write_line(const util::json::Value& record) {
+void TraceWriter::set_run_id(const std::string& run_id) { run_id_ = run_id; }
+
+void TraceWriter::set_worker(std::uint64_t worker_id) {
+  worker_id_ = worker_id;
+}
+
+void TraceWriter::set_lease(std::uint64_t lease_id) { lease_id_ = lease_id; }
+
+void TraceWriter::write_line(util::json::Value record) {
+  if (!run_id_.empty()) record["run_id"] = run_id_;
+  if (worker_id_ != 0) record["worker_id"] = worker_id_;
+  if (lease_id_ != 0) record["lease_id"] = lease_id_;
   std::string line = record.dump();
   line += '\n';
   // One write per record: a crash tears at most the final line, which the

@@ -131,6 +131,15 @@ class TraceWriter {
   void fabric(const TraceFabricEvent& event);
   void end(const TraceEnd& end);
 
+  /// Correlation context stamped into every subsequent record (docs/
+  /// FLEET_OBSERVABILITY.md): `run_id` identifies one campaign run across
+  /// every process that served it; `worker_id`/`lease_id` tie a worker's
+  /// records to the coordinator's grant/reclaim events. An empty run id or
+  /// a zero worker/lease id clears the field.
+  void set_run_id(const std::string& run_id);
+  void set_worker(std::uint64_t worker_id);
+  void set_lease(std::uint64_t lease_id);
+
   /// Forces buffered records to disk.
   void sync();
 
@@ -141,11 +150,14 @@ class TraceWriter {
   [[nodiscard]] double now_ms() const;
 
  private:
-  void write_line(const util::json::Value& record);
+  void write_line(util::json::Value record);
 
   int fd_ = -1;
   std::uint64_t records_ = 0;
   std::uint64_t t0_ns_ = 0;
+  std::string run_id_;
+  std::uint64_t worker_id_ = 0;
+  std::uint64_t lease_id_ = 0;
 };
 
 /// Parsed trace: raw JSON values, plus the decoded trial records.

@@ -18,6 +18,7 @@
 #include "fabric/lease.hpp"
 #include "fabric/merge.hpp"
 #include "fabric/protocol.hpp"
+#include "fabric/stats.hpp"
 #include "tests/toy_workload.hpp"
 
 namespace phifi::fabric {
@@ -47,6 +48,7 @@ Message sample_message() {
   message.masked = 11;
   message.sdc = 6;
   message.due = 5;
+  message.run = 0xfaceb00c12345678ULL;
   message.text = "diagnostics ride along";
   return message;
 }
@@ -68,7 +70,22 @@ TEST(FabricProtocol, MessageRoundTripsThroughFrame) {
   EXPECT_EQ(got.masked, sent.masked);
   EXPECT_EQ(got.sdc, sent.sdc);
   EXPECT_EQ(got.due, sent.due);
+  EXPECT_EQ(got.run, sent.run);
   EXPECT_EQ(got.text, sent.text);
+}
+
+TEST(FabricProtocol, StatsFrameCarriesSnapshotText) {
+  Message stats;
+  stats.type = MsgType::kStats;
+  stats.worker = 3;
+  stats.lease = 9;
+  stats.text = R"({"executed":17,"trials_per_sec":4.5})";
+  std::vector<std::uint8_t> buffer = encode_message(stats);
+  Message got;
+  ASSERT_TRUE(decode_message(buffer, &got));
+  EXPECT_EQ(got.type, MsgType::kStats);
+  EXPECT_EQ(got.worker, 3u);
+  EXPECT_EQ(got.text, stats.text);
 }
 
 TEST(FabricProtocol, PartialFrameIsNotAMessage) {
@@ -171,6 +188,88 @@ TEST(FabricProtocol, ConnectionExchangesFramesOverUnixSocket) {
   fs::remove(path);
 }
 
+// -------------------------------------------------- observability codecs
+
+TEST(FabricStats, AttemptDetailRoundTrips) {
+  std::vector<AttemptOutcome> attempts(3);
+  attempts[0].outcome = "Masked";
+  attempts[0].model = "single";
+  attempts[0].category = "compute";
+  attempts[0].window = 1;
+  attempts[0].injected = true;
+  attempts[1].outcome = "DUE";
+  attempts[1].due_kind = "hang";
+  attempts[1].model = "double";
+  attempts[1].category = "control";
+  attempts[1].window = 2;
+  attempts[1].injected = true;
+  attempts[2].outcome = "NotInjected";
+  attempts[2].injected = false;
+
+  const std::vector<AttemptOutcome> got =
+      decode_attempts(encode_attempts(attempts));
+  ASSERT_EQ(got.size(), attempts.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].outcome, attempts[i].outcome) << i;
+    EXPECT_EQ(got[i].due_kind, attempts[i].due_kind) << i;
+    EXPECT_EQ(got[i].model, attempts[i].model) << i;
+    EXPECT_EQ(got[i].category, attempts[i].category) << i;
+    EXPECT_EQ(got[i].window, attempts[i].window) << i;
+    EXPECT_EQ(got[i].injected, attempts[i].injected) << i;
+  }
+  EXPECT_TRUE(decode_attempts("").empty());
+  EXPECT_THROW(decode_attempts("{}"), std::runtime_error);
+  EXPECT_THROW(decode_attempts(R"([{"k":"hang"}])"), std::runtime_error);
+}
+
+TEST(FabricStats, OutcomeNamesRoundTripThroughToString) {
+  for (const fi::Outcome outcome :
+       {fi::Outcome::kMasked, fi::Outcome::kSdc, fi::Outcome::kDue,
+        fi::Outcome::kNotInjected}) {
+    EXPECT_EQ(outcome_from_name(std::string(fi::to_string(outcome))),
+              outcome);
+  }
+  EXPECT_THROW(outcome_from_name("Garbled"), std::runtime_error);
+}
+
+TEST(FabricStats, WorkerStatsRoundTrip) {
+  WorkerStats stats;
+  stats.executed = 120;
+  stats.leases_done = 4;
+  stats.masked = 70;
+  stats.sdc = 30;
+  stats.due = 15;
+  stats.not_injected = 5;
+  stats.trials_per_sec = 12.5;
+  stats.uptime_seconds = 9.75;
+  stats.due_kinds["hang"] = 10;
+  stats.due_kinds["crash"] = 5;
+  stats.estimator.overall = {70, 30, 15};
+  telemetry::EstimatorCellKey key;
+  key.model = "single";
+  key.window = 2;
+  key.category = "compute";
+  stats.estimator.cells.emplace_back(key,
+                                     telemetry::EstimatorCounts{40, 20, 8});
+
+  const WorkerStats got = decode_stats(encode_stats(stats));
+  EXPECT_EQ(got.executed, stats.executed);
+  EXPECT_EQ(got.leases_done, stats.leases_done);
+  EXPECT_EQ(got.masked, stats.masked);
+  EXPECT_EQ(got.sdc, stats.sdc);
+  EXPECT_EQ(got.due, stats.due);
+  EXPECT_EQ(got.not_injected, stats.not_injected);
+  EXPECT_DOUBLE_EQ(got.trials_per_sec, stats.trials_per_sec);
+  EXPECT_DOUBLE_EQ(got.uptime_seconds, stats.uptime_seconds);
+  EXPECT_EQ(got.due_kinds, stats.due_kinds);
+  EXPECT_EQ(got.estimator.overall.masked, 70u);
+  EXPECT_EQ(got.estimator.overall.sdc, 30u);
+  ASSERT_EQ(got.estimator.cells.size(), 1u);
+  EXPECT_EQ(got.estimator.cells[0].first, key);
+  EXPECT_EQ(got.estimator.cells[0].second.due, 8u);
+  EXPECT_THROW(decode_stats("[]"), std::runtime_error);
+}
+
 // -------------------------------------------------------------- lease table
 
 using Clock = LeaseTable::Clock;
@@ -253,21 +352,27 @@ TEST(LeaseLedger, RoundTripsRecords) {
   fs::remove(path);
   {
     LeaseLedgerWriter writer(path, /*fingerprint=*/0xabcdULL,
-                             /*trials=*/100);
-    writer.append({LedgerKind::kGrant, 1, 0, 8, 0, 0});
-    writer.append({LedgerKind::kDone, 1, 0, 8, 8, 3});
-    writer.append({LedgerKind::kGrant, 2, 8, 16, 0, 0});
-    writer.append({LedgerKind::kReclaim, 2, 8, 16, 0, 0});
+                             /*trials=*/100, /*run_id=*/0x5eedULL);
+    writer.append({LedgerKind::kGrant, 1, 0, 8, 0, 0, ""});
+    writer.append(
+        {LedgerKind::kDone, 1, 0, 8, 8, 3, R"([{"o":"Masked"}])"});
+    writer.append({LedgerKind::kGrant, 2, 8, 16, 0, 0, ""});
+    writer.append({LedgerKind::kReclaim, 2, 8, 16, 0, 0, ""});
   }
   const LedgerContents contents = read_ledger(path);
   EXPECT_EQ(contents.fingerprint, 0xabcdULL);
   EXPECT_EQ(contents.trials, 100u);
+  EXPECT_EQ(contents.run_id, 0x5eedULL);
   EXPECT_EQ(contents.dropped_bytes, 0u);
   ASSERT_EQ(contents.records.size(), 4u);
   EXPECT_EQ(contents.records[0].kind, LedgerKind::kGrant);
   EXPECT_EQ(contents.records[1].kind, LedgerKind::kDone);
   EXPECT_EQ(contents.records[1].injected, 8u);
   EXPECT_EQ(contents.records[1].sdc, 3u);
+  // The per-attempt detail survives the round trip byte for byte — a
+  // restarted coordinator rebuilds its fleet tally from exactly this.
+  EXPECT_EQ(contents.records[1].detail, R"([{"o":"Masked"}])");
+  EXPECT_EQ(contents.records[0].detail, "");
   EXPECT_EQ(contents.records[3].kind, LedgerKind::kReclaim);
   fs::remove(path);
 }
@@ -276,9 +381,9 @@ TEST(LeaseLedger, TornTailIsDroppedAndResumable) {
   const std::string path = temp_path("ledger_torn.bin");
   fs::remove(path);
   {
-    LeaseLedgerWriter writer(path, 0x1111ULL, 50);
-    writer.append({LedgerKind::kGrant, 1, 0, 8, 0, 0});
-    writer.append({LedgerKind::kGrant, 2, 8, 16, 0, 0});
+    LeaseLedgerWriter writer(path, 0x1111ULL, 50, 0x2222ULL);
+    writer.append({LedgerKind::kGrant, 1, 0, 8, 0, 0, ""});
+    writer.append({LedgerKind::kGrant, 2, 8, 16, 0, 0, ""});
   }
   // Tear the final record mid-write, as a coordinator crash would.
   const auto full_size = fs::file_size(path);
@@ -291,8 +396,8 @@ TEST(LeaseLedger, TornTailIsDroppedAndResumable) {
   // Resume appends after the torn tail is truncated away.
   {
     LeaseLedgerWriter writer(path, torn.valid_bytes);
-    writer.append({LedgerKind::kGrant, 2, 8, 16, 0, 0});
-    writer.append({LedgerKind::kDone, 1, 0, 8, 8, 0});
+    writer.append({LedgerKind::kGrant, 2, 8, 16, 0, 0, ""});
+    writer.append({LedgerKind::kDone, 1, 0, 8, 8, 0, ""});
   }
   const LedgerContents healed = read_ledger(path);
   EXPECT_EQ(healed.dropped_bytes, 0u);

@@ -8,11 +8,14 @@
 // runs in the test process so its result and metrics can be asserted
 // directly. Children exit via _exit() and never touch gtest.
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <filesystem>
 #include <sstream>
@@ -28,9 +31,12 @@
 #include "fabric/options.hpp"
 #include "fabric/protocol.hpp"
 #include "fabric/worker.hpp"
+#include "telemetry/estimator.hpp"
+#include "telemetry/history.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "tests/toy_workload.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
 
 namespace phifi::fabric {
@@ -230,7 +236,7 @@ TEST(FabricCampaign, WorkerKillIsReclaimedAndMatchesJobs1) {
   {
     telemetry::TraceWriter trace(trace_path);
     result = run_coordinator(config, fingerprint, coordinator_options,
-                             &metrics, &trace, nullptr, sink);
+                             &metrics, &trace, nullptr, nullptr, sink);
   }
   EXPECT_TRUE(result.complete) << sink.str();
   EXPECT_GE(result.workers_seen, 2u);
@@ -277,6 +283,226 @@ TEST(FabricCampaign, WorkerKillIsReclaimedAndMatchesJobs1) {
   expect_same_records(reference.records, merged.records);
 }
 
+// ------------------------------------------------- observability plane
+
+/// Blocking-ish HTTP GET against the coordinator's scrape endpoint (unix
+/// transport keeps the test port-collision-free). The server is serviced
+/// by the coordinator's poll loop in another thread of this process; the
+/// client side here is plain sockets. "" on any failure — the scraper
+/// loop just retries.
+std::string scrape(const std::string& socket_path,
+                   const std::string& route) {
+  int fd = -1;
+  try {
+    fd = connect_to(parse_address("unix:" + socket_path));
+  } catch (const std::runtime_error&) {
+    return "";
+  }
+  if (fd < 0) return "";
+  const std::string request = "GET " + route + " HTTP/1.1\r\n\r\n";
+  std::size_t sent = 0;
+  std::string response;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(2);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (sent < request.size()) {
+      const ssize_t n = ::send(fd, request.data() + sent,
+                               request.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) sent += static_cast<std::size_t>(n);
+    }
+    char buffer[4096];
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      response.append(buffer, static_cast<std::size_t>(n));
+    } else if (n == 0) {
+      break;  // server closed: response complete
+    } else if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      break;
+    }
+    ::usleep(1000);
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string http_body(const std::string& response) {
+  const std::size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? std::string()
+                                    : response.substr(split + 4);
+}
+
+TEST(FabricCampaign, ObservabilityPlaneServesLiveFleetState) {
+  util::init_log_from_env();
+  // Slow trials stretch the campaign so mid-flight scrapes are plentiful
+  // and deterministic-ish: the survivor owns [0,2) (so the fleet frontier
+  // advances early and publishes estimator gauges), the doomed worker owns
+  // [2,4) and dies, leaving a dead row until the reclaim re-issues it.
+  const fi::CampaignConfig config = fabric_campaign(/*trials=*/8);
+  ToyWorkload::reset_run_counter();
+  fi::TrialSupervisor supervisor(&phifi::testing::make_toy_slow,
+                                 toy_supervisor_config());
+  supervisor.prepare_golden();
+  const std::uint64_t fingerprint = fi::campaign_fingerprint(
+      config, supervisor.workload_name(), supervisor.time_windows());
+  const unsigned time_windows = supervisor.time_windows();
+
+  const std::string socket_path = temp_path("fab_obs.sock");
+  const std::string scrape_path = temp_path("fab_obs_http.sock");
+  const std::string shard_survivor = temp_path("fab_obs_shard0.jnl");
+  const std::string shard_doomed = temp_path("fab_obs_shard1.jnl");
+  const std::string trace_path = temp_path("fab_obs_trace.ndjson");
+  for (const auto& path : {socket_path, scrape_path, shard_survivor,
+                           shard_doomed, trace_path}) {
+    fs::remove(path);
+  }
+
+  FabricOptions coordinator_options;
+  coordinator_options.address = "unix:" + socket_path;
+  coordinator_options.lease_size = 2;
+  coordinator_options.heartbeat_seconds = 0.05;
+  coordinator_options.lease_timeout_seconds = 0.6;
+  coordinator_options.serve_metrics = "unix:" + scrape_path;
+  coordinator_options.run_id = 0xfee1600dULL;
+
+  FabricOptions survivor_options = coordinator_options;
+  survivor_options.shard_path = shard_survivor;
+  survivor_options.reconnect_initial_ms = 30.0;
+  survivor_options.stats_interval_seconds = 0.05;
+  const pid_t survivor = ::fork();
+  ASSERT_GE(survivor, 0);
+  if (survivor == 0) {
+    child_run_worker(config, &phifi::testing::make_toy_slow, fingerprint,
+                     survivor_options, /*startup_delay_ms=*/0);
+  }
+  const pid_t doomed = ::fork();
+  ASSERT_GE(doomed, 0);
+  if (doomed == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    child_doomed_worker(config, fingerprint, coordinator_options.address,
+                        shard_doomed, /*kill_after=*/1);
+  }
+
+  // Scraper thread: polls both routes while the campaign runs, keeping
+  // evidence for the post-run assertions. Client-side sockets only — the
+  // server side is serviced by run_coordinator's own poll loop.
+  std::atomic<bool> stop_scraping{false};
+  std::string est_metrics;       // /metrics once campaign.est.* appeared
+  std::string dead_row_json;     // /campaign.json with a dead worker row
+  std::string healthz;           // first successful /healthz body
+  std::vector<std::uint64_t> scraped_sdc;  // every mid-flight fleet sdc
+  std::thread scraper([&]() {
+    while (!stop_scraping.load()) {
+      const std::string metrics_response = scrape(scrape_path, "/metrics");
+      if (est_metrics.empty() &&
+          metrics_response.find("phifi_campaign_est_sdc_rate") !=
+              std::string::npos) {
+        est_metrics = metrics_response;
+      }
+      if (healthz.empty()) {
+        healthz = http_body(scrape(scrape_path, "/healthz"));
+      }
+      const std::string body =
+          http_body(scrape(scrape_path, "/campaign.json"));
+      if (!body.empty()) {
+        try {
+          const util::json::Value doc = util::json::parse(body);
+          scraped_sdc.push_back(
+              static_cast<std::uint64_t>(doc.number_or("sdc", 0.0)));
+          if (dead_row_json.empty() &&
+              body.find(R"("status":"dead")") != std::string::npos) {
+            dead_row_json = body;
+          }
+        } catch (const std::runtime_error&) {
+          // Torn scrape (coordinator wound down mid-request): ignore.
+        }
+      }
+      ::usleep(10000);
+    }
+  });
+
+  telemetry::MetricsRegistry metrics;
+  telemetry::CampaignEstimator estimator;
+  std::ostringstream sink;
+  CoordinatorResult result;
+  {
+    telemetry::TraceWriter trace(trace_path);
+    result = run_coordinator(config, fingerprint, coordinator_options,
+                             &metrics, &trace, &estimator, nullptr, sink);
+  }
+  stop_scraping.store(true);
+  scraper.join();
+
+  EXPECT_TRUE(result.complete) << sink.str();
+  EXPECT_EQ(result.run_id, 0xfee1600dULL);
+  EXPECT_GE(result.leases_reclaimed, 1u);
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(doomed, &status, 0), doomed);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  ASSERT_EQ(::waitpid(survivor, &status, 0), survivor);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  // --- scrape endpoint: OpenMetrics shape and live fleet state ---
+  EXPECT_EQ(healthz, "ok\n");
+  ASSERT_FALSE(est_metrics.empty())
+      << "no mid-campaign scrape ever showed campaign.est.* gauges";
+  EXPECT_NE(est_metrics.find("application/openmetrics-text"),
+            std::string::npos);
+  const std::string est_body = http_body(est_metrics);
+  EXPECT_NE(est_body.find("# EOF"), std::string::npos);
+  EXPECT_NE(est_body.find("phifi_campaign_completed_total"),
+            std::string::npos);
+  EXPECT_NE(est_body.find("phifi_fabric_worker_"), std::string::npos);
+  ASSERT_FALSE(dead_row_json.empty())
+      << "the SIGKILLed worker never appeared as a dead row";
+  ASSERT_FALSE(scraped_sdc.empty());
+
+  // --- exact fleet tally: bit-identical to the post-campaign merge ---
+  MergeOptions merge_options;
+  merge_options.shards = {shard_survivor, shard_doomed};
+  merge_options.out_path = temp_path("fab_obs_merged.jnl");
+  merge_options.allow_torn_tail = true;
+  const MergeSummary summary = merge_shards(
+      config, "Toy", time_windows, merge_options);
+  EXPECT_TRUE(result.fleet_boundary);
+  EXPECT_EQ(result.fleet_completed, summary.overall.total());
+  EXPECT_EQ(result.fleet_masked, summary.overall.masked);
+  EXPECT_EQ(result.fleet_sdc, summary.overall.sdc);
+  EXPECT_EQ(result.fleet_due, summary.overall.due);
+  // The estimator saw the same exact stream.
+  EXPECT_EQ(estimator.counts().masked, summary.overall.masked);
+  EXPECT_EQ(estimator.counts().sdc, summary.overall.sdc);
+  EXPECT_EQ(estimator.counts().due, summary.overall.due);
+  // Every mid-flight scrape is a fold prefix: never ahead of the final.
+  for (const std::uint64_t sdc : scraped_sdc) {
+    EXPECT_LE(sdc, result.fleet_sdc);
+  }
+
+  // --- correlation ids survive WELCOME → shard → merge → trace ---
+  const std::string run_hex = telemetry::run_id_to_hex(result.run_id);
+  EXPECT_EQ(fi::read_journal(shard_survivor).header.run_id, result.run_id);
+  EXPECT_EQ(fi::read_journal(merge_options.out_path).header.run_id,
+            result.run_id);
+  const telemetry::TraceContents trace_contents =
+      telemetry::read_trace_file(trace_path);
+  ASSERT_FALSE(trace_contents.fabric.empty());
+  bool saw_dead_worker_event = false;
+  for (const auto& event : trace_contents.fabric) {
+    EXPECT_EQ(event.string_or("run_id", ""), run_hex);
+    EXPECT_NE(event.string_or("kind", ""), "");
+    saw_dead_worker_event = saw_dead_worker_event ||
+                            event.string_or("kind", "") == "lease_reclaim";
+  }
+  EXPECT_TRUE(saw_dead_worker_event);
+  ASSERT_FALSE(trace_contents.end.is_null());
+  EXPECT_EQ(trace_contents.end.string_or("run_id", ""), run_hex);
+  // The trace end record carries the exact fleet tally too.
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                trace_contents.end.number_or("sdc", 0.0)),
+            result.fleet_sdc);
+}
+
 TEST(FabricCampaign, CoordinatorCrashResumesFromLedgerAndMatchesJobs1) {
   // The slow toy (~0.3s/trial) keeps the campaign alive long enough to
   // SIGKILL the coordinator mid-flight at a deterministic ledger point.
@@ -304,7 +530,7 @@ TEST(FabricCampaign, CoordinatorCrashResumesFromLedgerAndMatchesJobs1) {
   if (coordinator == 0) {
     std::ostringstream sink;
     run_coordinator(config, fingerprint, coordinator_options, nullptr,
-                    nullptr, nullptr, sink);
+                    nullptr, nullptr, nullptr, sink);
     ::_exit(0);  // should be SIGKILLed long before completing
   }
   FabricOptions worker_options = coordinator_options;
@@ -344,7 +570,7 @@ TEST(FabricCampaign, CoordinatorCrashResumesFromLedgerAndMatchesJobs1) {
   std::ostringstream sink;
   const CoordinatorResult result =
       run_coordinator(config, fingerprint, coordinator_options, &metrics,
-                      nullptr, nullptr, sink);
+                      nullptr, nullptr, nullptr, sink);
   EXPECT_TRUE(result.complete) << sink.str();
   EXPECT_GE(result.completed, config.trials);
 

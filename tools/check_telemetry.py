@@ -50,6 +50,15 @@ def require(condition, message):
         fail(message)
 
 
+def check_hex_id(record, key, where):
+    """Validates a 16-hex correlation id (docs/FLEET_OBSERVABILITY.md)."""
+    value = check_string(record, key, where)
+    require(len(value) == 16
+            and all(c in "0123456789abcdef" for c in value),
+            f"{where}: '{key}' = {value!r} is not 16 hex digits")
+    return value
+
+
 def check_number(record, key, where, minimum=None):
     require(key in record, f"{where}: missing '{key}'")
     value = record[key]
@@ -123,7 +132,10 @@ def check_fabric(record, where):
     lifecycle log (docs/FABRIC.md); lease-less kinds (worker_join/leave)
     carry zeroed range fields."""
     kind = check_string(record, "kind", where, allowed=FABRIC_KINDS)
-    check_number(record, "worker", where, minimum=0)
+    # Correlation (docs/FLEET_OBSERVABILITY.md): every fabric record names
+    # the run it belongs to and the worker it concerns.
+    check_hex_id(record, "run_id", where)
+    check_number(record, "worker", where, minimum=1)
     check_number(record, "lease", where, minimum=0)
     begin = check_number(record, "begin", where, minimum=0)
     end = check_number(record, "end", where, minimum=0)
@@ -141,7 +153,7 @@ def check_fabric(record, where):
 
 def check_trace(path):
     """Returns (trial_count, outcome_counts, end_record_or_None,
-    fabric_kind_counts)."""
+    fabric_kind_counts, run_ids)."""
     counts = {name: 0 for name in OUTCOMES}
     fabric_counts = {name: 0 for name in FABRIC_KINDS}
     header = None
@@ -150,6 +162,8 @@ def check_trace(path):
     trials = 0
     prev_ts = 0.0
     jobs = 1
+    run_ids = set()
+    unstamped = 0  # records with no run_id (ok only outside fabric runs)
     with open(path, encoding="utf-8") as stream:
         for lineno, line in enumerate(stream, start=1):
             where = f"{path}:{lineno}"
@@ -162,6 +176,17 @@ def check_trace(path):
             except json.JSONDecodeError as error:
                 fail(f"{where}: unparseable record: {error}")
             require(isinstance(record, dict), f"{where}: not an object")
+            # Correlation context stamped by the trace writer: validate on
+            # every record that carries it, and remember whether any record
+            # went unstamped (a fabric trace may not mix).
+            if "run_id" in record:
+                run_ids.add(check_hex_id(record, "run_id", where))
+            else:
+                unstamped += 1
+            if "worker_id" in record:
+                check_number(record, "worker_id", where, minimum=1)
+            if "lease_id" in record:
+                check_number(record, "lease_id", where, minimum=1)
             kind = check_string(record, "type", where)
             if kind == "campaign":
                 # A resumed campaign appends a second header (resumed=true)
@@ -227,11 +252,20 @@ def check_trace(path):
                 f"{path}: more lease_done events than grants + adoptions")
         require(fabric_counts["worker_join"] >= 1,
                 f"{path}: fabric events without any worker_join")
-    if end is not None:
+        # Fabric runs stamp run_id on *every* record, and one run writes
+        # exactly one run id per trace stream.
+        require(unstamped == 0,
+                f"{path}: {unstamped} record(s) without run_id in a fabric "
+                f"trace")
+        require(len(run_ids) == 1,
+                f"{path}: expected one run_id, saw {sorted(run_ids)}")
+    if end is not None and not (fabric_total > 0 and trials == 0):
         # The final end record tallies the whole campaign. A single-segment
         # trace must match it exactly; a resumed trace may fall short of it
         # by the records a crash tore off before the resume replayed them
-        # from the journal.
+        # from the journal. (A coordinator trace is exempt: its end record
+        # is the *fleet* tally folded from lease details, with no local
+        # trial records to compare — cross-checked via --history instead.)
         completed = counts["Masked"] + counts["SDC"] + counts["DUE"]
         for key, expect in (("completed", completed),
                             ("masked", counts["Masked"]),
@@ -249,7 +283,7 @@ def check_trace(path):
     print(f"check_telemetry: trace OK: {path} ({trials} trial records, "
           f"{fabric_total} fabric records, {segments} segment(s), "
           f"end={'present' if end else 'absent'})")
-    return trials, counts, end, fabric_counts
+    return trials, counts, end, fabric_counts, run_ids
 
 
 def check_metrics(path):
@@ -413,6 +447,8 @@ def check_history(path):
             if record.get("type") != "campaign_summary":
                 continue  # forward compatibility
             check_string(record, "workload", where)
+            if record.get("run_id"):
+                check_hex_id(record, "run_id", where)
             fingerprint = check_string(record, "fingerprint", where)
             require(len(fingerprint) == 16
                     and all(c in "0123456789abcdef" for c in fingerprint),
@@ -478,7 +514,7 @@ def main():
     history = check_history(args.history) if args.history else None
 
     if trace is not None and counters is not None:
-        trial_count, counts, _, fabric_counts = trace
+        trial_count, counts, _, fabric_counts, _ = trace
         # A coordinator's campaign.* counters aggregate worker lease
         # reports; its trace has no trial records to tally them against.
         for outcome, counter in (("Masked", "campaign.masked"),
@@ -498,14 +534,32 @@ def main():
                         f"has {fabric_counts[kind]} {kind} events")
         print("check_telemetry: trace and metrics agree")
     if trace is not None and history is not None:
-        _, counts, _, _ = trace
+        trial_count, counts, end, fabric_counts, run_ids = trace
         latest = history[-1]
-        for outcome, key in (("Masked", "masked"), ("SDC", "sdc"),
-                             ("DUE", "due")):
-            require(latest[key] == counts[outcome],
-                    f"history.{key} = {latest[key]} but the trace tallies "
-                    f"{counts[outcome]}")
-        print("check_telemetry: trace and history agree")
+        if trial_count == 0 and sum(fabric_counts.values()) > 0:
+            # Coordinator trace: no trial records, but the end record is
+            # the exact fleet tally folded from per-attempt lease details.
+            # The history here is a replay of the merged shard journals, so
+            # equality proves the live fold == the post-campaign merge.
+            require(end is not None,
+                    "coordinator trace has no end record to cross-check")
+            for key in ("completed", "masked", "sdc", "due"):
+                require(latest[key] == end[key],
+                        f"history.{key} = {latest[key]} but the "
+                        f"coordinator's fleet tally says {end[key]}")
+            print("check_telemetry: coordinator fleet tally and "
+                  "merged-journal history agree")
+        else:
+            for outcome, key in (("Masked", "masked"), ("SDC", "sdc"),
+                                 ("DUE", "due")):
+                require(latest[key] == counts[outcome],
+                        f"history.{key} = {latest[key]} but the trace "
+                        f"tallies {counts[outcome]}")
+            print("check_telemetry: trace and history agree")
+        if run_ids and latest.get("run_id"):
+            require(latest["run_id"] in run_ids,
+                    f"history run_id {latest['run_id']!r} does not match "
+                    f"the trace ({sorted(run_ids)})")
 
 
 if __name__ == "__main__":

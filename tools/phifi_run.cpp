@@ -68,7 +68,14 @@ int main(int argc, char** argv) {
               << "                   address (unix:/path or tcp:host:port)\n"
               << "  --connect        run a fabric worker against that\n"
               << "                   coordinator (needs --shard-journal);\n"
-              << "                   merge shards with phifi_merge\n";
+              << "                   merge shards with phifi_merge\n"
+              << "  --serve-metrics  coordinator: serve /metrics,\n"
+                 "                   /campaign.json, /healthz on this\n"
+                 "                   address while the campaign runs\n"
+                 "                   (tcp:host:port or unix:/path)\n"
+              << "  --stats-interval worker: seconds between STATS\n"
+                 "                   snapshots to the coordinator (0 = "
+                 "off)\n";
     return 2;
   }
 
@@ -83,8 +90,10 @@ int main(int argc, char** argv) {
   std::string connect_addr;
   std::string shard_journal;
   std::string lease_ledger;
+  std::string serve_metrics;
   long lease_size = 0;            // 0: leave the config file's value
   double lease_timeout = -1.0;    // <0: leave the config file's value
+  double stats_interval = -1.0;   // <0: leave the config file's value
   double progress_seconds = -1.0;  // <0: leave the config file's value
   double stop_ci_width = -1.0;     // <0: leave the config file's value
   const auto flag_value = [&](int& i) -> const char* {
@@ -143,6 +152,18 @@ int main(int argc, char** argv) {
       const char* value = flag_value(i);
       if (value == nullptr) return 2;
       lease_ledger = value;
+    } else if (arg == "--serve-metrics") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      serve_metrics = value;
+    } else if (arg == "--stats-interval") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      stats_interval = std::atof(value);
+      if (stats_interval < 0.0) {
+        std::cerr << "phifi_run: bad --stats-interval '" << value << "'\n";
+        return 2;
+      }
     } else if (arg == "--lease-size") {
       const char* value = flag_value(i);
       if (value == nullptr) return 2;
@@ -218,6 +239,8 @@ int main(int argc, char** argv) {
     if (lease_timeout > 0.0) {
       config.fabric_lease_timeout_seconds = lease_timeout;
     }
+    if (!serve_metrics.empty()) config.fabric_serve_metrics = serve_metrics;
+    if (stats_interval >= 0.0) config.fabric_stats_seconds = stats_interval;
     config.stop_flag = &g_stop;
     if (config.resume && config.journal_file.empty()) {
       std::cerr << "phifi_run: --resume requires 'journal_file' in the "
@@ -226,6 +249,11 @@ int main(int argc, char** argv) {
     }
     const bool fabric_role =
         !config.fabric_listen.empty() || !config.fabric_connect.empty();
+    if (!config.fabric_serve_metrics.empty() &&
+        config.fabric_listen.empty()) {
+      std::cerr << "phifi_run: --serve-metrics requires --coordinator\n";
+      return 2;
+    }
     if (fabric_role) {
       if (!config.fabric_listen.empty() && !config.fabric_connect.empty()) {
         std::cerr << "phifi_run: --coordinator and --connect are mutually "
