@@ -8,6 +8,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "util/posix_io.hpp"
+
 namespace phifi::fi {
 
 namespace {
@@ -238,16 +240,9 @@ CampaignJournalWriter::~CampaignJournalWriter() {
 }
 
 void CampaignJournalWriter::write_all(const void* data, std::size_t size) {
-  const auto* bytes = static_cast<const std::uint8_t*>(data);
-  while (size > 0) {
-    const ssize_t n = ::write(fd_, bytes, size);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("journal: write failed: ") +
-                               std::strerror(errno));
-    }
-    bytes += n;
-    size -= static_cast<std::size_t>(n);
+  if (!util::io::write_fully(fd_, data, size)) {
+    throw std::runtime_error(std::string("journal: write failed: ") +
+                             std::strerror(errno));
   }
 }
 
@@ -256,6 +251,7 @@ void CampaignJournalWriter::append(const JournalRecord& record) {
   write_all(framed.data(), framed.size());
   ++written_;
   if (fsync_ == JournalFsync::kEveryRecord) {
+    // phicheck:blocking-ok(worker-side shard journal: kEveryRecord is the caller's explicit durability/latency trade; the coordinator loop reaches here only through name-union on 'append')
     ::fsync(fd_);
   } else if (fsync_ == JournalFsync::kBatch) {
     ++unsynced_;
@@ -269,6 +265,7 @@ void CampaignJournalWriter::append(const JournalRecord& record) {
 }
 
 void CampaignJournalWriter::sync() {
+  // phicheck:blocking-ok(batch-policy flush point: durability is the purpose; runs on the worker process, not the coordinator thread)
   if (fd_ >= 0) ::fsync(fd_);
   unsynced_ = 0;
   last_sync_ = std::chrono::steady_clock::now();
@@ -281,18 +278,12 @@ JournalContents read_journal(const std::string& path) {
                              "': " + std::strerror(errno));
   }
   std::vector<std::uint8_t> file;
-  std::uint8_t buffer[1 << 16];
-  while (true) {
-    const ssize_t n = ::read(fd, buffer, sizeof(buffer));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const int err = errno;
-      ::close(fd);
-      throw std::runtime_error("journal: read failed: " +
-                               std::string(std::strerror(err)));
-    }
-    if (n == 0) break;
-    file.insert(file.end(), buffer, buffer + n);
+  // phicheck:blocking-ok(journal replay happens at worker startup/lease adoption, off the coordinator thread; the walk reaches here via same-name tick/handle union)
+  if (!util::io::read_to_end(fd, file)) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("journal: read failed: " +
+                             std::string(std::strerror(err)));
   }
   ::close(fd);
 

@@ -7,6 +7,8 @@
 
 namespace phifi::fi {
 
+// phicheck:exhaustive-switch — the outcome taxonomy feeds every estimator and
+// report; a silently-defaulted new outcome would skew published rates.
 enum class Outcome {
   kMasked,      ///< program finished, output bit-identical to golden
   kSdc,         ///< program finished, output differs
@@ -16,6 +18,7 @@ enum class Outcome {
 
 /// What kind of DUE was detected (all collapse to "DUE" in the paper's
 /// figures; the split is logged for diagnosis).
+// phicheck:exhaustive-switch
 enum class DueKind {
   kNone,
   kCrash,        ///< killed by SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT

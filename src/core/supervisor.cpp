@@ -34,6 +34,7 @@ double seconds_since(Clock::time_point start) {
 
 /// waitpid that survives signal delivery to the campaign process: EINTR is
 /// a retry, not an error. Any other failure is real and still throws.
+// phicheck:eintr-helper retry loop below; every waitpid in this file routes here
 pid_t waitpid_eintr(pid_t pid, int* status, int flags) {
   while (true) {
     const pid_t reaped = ::waitpid(pid, status, flags);

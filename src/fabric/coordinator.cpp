@@ -21,6 +21,7 @@
 #include "telemetry/history.hpp"  // run_id_to_hex, generate_run_id
 #include "util/json.hpp"
 #include "util/log.hpp"
+#include "util/posix_io.hpp"
 #include "util/statistics.hpp"
 
 namespace phifi::fabric {
@@ -166,9 +167,13 @@ telemetry::EstimatorOutcome to_estimator_outcome(fi::Outcome outcome) {
       return telemetry::EstimatorOutcome::kSdc;
     case fi::Outcome::kDue:
       return telemetry::EstimatorOutcome::kDue;
-    default:
+    case fi::Outcome::kMasked:
+    case fi::Outcome::kNotInjected:
+      // NotInjected attempts never reach the estimator (advance_fleet
+      // filters them); mapping them like masked keeps this total.
       return telemetry::EstimatorOutcome::kMasked;
   }
+  return telemetry::EstimatorOutcome::kMasked;  // unreachable
 }
 
 /// Buffers the per-attempt detail of one accepted DONE range. A count
@@ -346,14 +351,14 @@ bool try_grant(LoopState& state, WorkerConn& conn) {
   // re-claims it via HELLO (if the grant did reach the wire) or the
   // deadline reclaims it. Killed before the append, the grant simply
   // never happened.
-  ledger_append(state, LedgerKind::kGrant, *lease);
+  ledger_append(state, LedgerKind::kGrant, *lease);  // phicheck:durable-before(grant)
   Message grant;
   grant.type = MsgType::kLeaseGrant;
   grant.worker = conn.worker;
   grant.lease = lease->id;
   grant.begin = lease->begin;
   grant.end = lease->end;
-  conn.link->send(grant);
+  conn.link->send(grant);  // phicheck:wire-after(grant)
   conn.hungry = false;
   reset_lease_counts(conn);
   ++state.result->leases_granted;
@@ -549,7 +554,12 @@ void handle_message(LoopState& state, WorkerConn& conn, const Message& msg) {
       }
       conn.link->close();
       break;
-    default:
+    case MsgType::kWelcome:
+    case MsgType::kReject:
+    case MsgType::kLeaseGrant:
+    case MsgType::kLeaseRevoke:
+    case MsgType::kShutdown:
+    default:  // default stays for out-of-range bytes decoded off the wire
       util::log_warn() << "fabric: coordinator ignoring unexpected "
                        << to_string(msg.type) << " from worker "
                        << conn.worker;
@@ -597,6 +607,8 @@ void sweep_expired(LoopState& state) {
 
 }  // namespace
 
+// phicheck:poll-loop — single-threaded event loop; anything blocking here
+// stalls heartbeats, grants, and the scrape endpoint for the whole fleet.
 CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
                                   std::uint64_t fingerprint,
                                   const FabricOptions& options,
@@ -774,8 +786,8 @@ CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
     }
     const std::size_t scrape_base = fds.size();
     if (scrape != nullptr) scrape->collect_fds(fds);
-    const int n = ::poll(fds.data(), fds.size(), 100);
-    if (n < 0 && errno != EINTR) {
+    const int n = util::io::poll_retry(fds.data(), fds.size(), 100);
+    if (n < 0) {
       throw std::runtime_error("fabric: coordinator poll failed");
     }
     // Service scrape clients every pass: accepts, reads, and nonblocking
@@ -847,7 +859,7 @@ CoordinatorResult run_coordinator(const fi::CampaignConfig& campaign,
     }
     if (scrape != nullptr) scrape->collect_fds(fds);
     if (fds.empty()) break;  // every worker has hung up
-    ::poll(fds.data(), fds.size(), 50);
+    util::io::poll_retry(fds.data(), fds.size(), 50);
     if (scrape != nullptr) scrape->service();
     for (auto& conn : conns) {
       if (!conn->link->alive()) continue;

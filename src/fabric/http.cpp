@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "util/posix_io.hpp"
+
 namespace phifi::fabric {
 
 namespace {
@@ -157,7 +159,7 @@ void ScrapeServer::service() {
     if (!client.responding) {
       while (true) {
         char chunk[2048];
-        const ssize_t n = ::recv(client.fd, chunk, sizeof chunk, 0);
+        const ssize_t n = util::io::recv_some(client.fd, chunk, sizeof chunk, 0);
         if (n > 0) {
           client.inbound.append(chunk, static_cast<std::size_t>(n));
           if (client.inbound.size() > kMaxRequest) {
@@ -168,7 +170,6 @@ void ScrapeServer::service() {
           }
           continue;
         }
-        if (n < 0 && errno == EINTR) continue;
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
         // EOF or error before a complete request: drop the client.
         ::close(client.fd);
@@ -182,14 +183,13 @@ void ScrapeServer::service() {
     }
     if (client.fd >= 0 && client.responding) {
       while (client.sent < client.outbound.size()) {
-        const ssize_t n =
-            ::send(client.fd, client.outbound.data() + client.sent,
-                   client.outbound.size() - client.sent, MSG_NOSIGNAL);
+        const ssize_t n = util::io::send_some(
+            client.fd, client.outbound.data() + client.sent,
+            client.outbound.size() - client.sent, MSG_NOSIGNAL);
         if (n > 0) {
           client.sent += static_cast<std::size_t>(n);
           continue;
         }
-        if (n < 0 && errno == EINTR) continue;
         if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
         ::close(client.fd);
         client.fd = -1;

@@ -9,6 +9,7 @@
 #include <stdexcept>
 
 #include "core/campaign_journal.hpp"  // journal_crc32
+#include "util/posix_io.hpp"
 
 namespace phifi::fabric {
 
@@ -47,16 +48,9 @@ std::uint64_t get_u64(const std::uint8_t* data) {
 
 void write_all(int fd, const void* data, std::size_t size,
                const char* what) {
-  const auto* bytes = static_cast<const std::uint8_t*>(data);
-  while (size > 0) {
-    const ssize_t n = ::write(fd, bytes, size);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("lease ledger: ") + what + ": " +
-                               std::strerror(errno));
-    }
-    bytes += n;
-    size -= static_cast<std::size_t>(n);
+  if (!util::io::write_fully(fd, data, size)) {
+    throw std::runtime_error(std::string("lease ledger: ") + what + ": " +
+                             std::strerror(errno));
   }
 }
 
@@ -213,18 +207,12 @@ LedgerContents read_ledger(const std::string& path) {
                              "': " + std::strerror(errno));
   }
   std::vector<std::uint8_t> data;
-  std::uint8_t chunk[4096];
-  while (true) {
-    const ssize_t n = ::read(fd, chunk, sizeof chunk);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const int saved = errno;
-      ::close(fd);
-      throw std::runtime_error("lease ledger: read '" + path +
-                               "': " + std::strerror(saved));
-    }
-    if (n == 0) break;
-    data.insert(data.end(), chunk, chunk + n);
+  // phicheck:blocking-ok(startup ledger replay, before the poll loop spins; a 1 MiB ledger reads back in single-digit ms)
+  if (!util::io::read_to_end(fd, data)) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error("lease ledger: read '" + path +
+                             "': " + std::strerror(saved));
   }
   ::close(fd);
 
@@ -342,6 +330,7 @@ void LeaseLedgerWriter::append(const LedgerRecord& record) {
   put_u32(payload, static_cast<std::uint32_t>(record.detail.size()));
   payload.insert(payload.end(), record.detail.begin(), record.detail.end());
   write_frame(fd_, payload);
+  // phicheck:blocking-ok(the deliberate one: a GRANT/DONE must be on disk before the matching wire frame or a coordinator crash forgets leases it promised (docs/FABRIC.md); bench: one fsync per lease transition, ~0.1-1ms on ext4 SSD, amortized over an entire lease of trials)
   ::fsync(fd_);
 }
 

@@ -125,6 +125,8 @@ class LeaseTable {
   std::map<std::uint64_t, DoneRange> done_;  ///< by begin
 };
 
+// phicheck:exhaustive-switch — replay (read_ledger) must handle every record
+// kind or crash recovery silently drops state.
 enum class LedgerKind : std::uint8_t {
   kGrant = 1,
   kDone = 2,

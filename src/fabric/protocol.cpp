@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "core/campaign_journal.hpp"  // journal_crc32: one CRC in the repo
+#include "util/posix_io.hpp"
 
 namespace phifi::fabric {
 
@@ -257,6 +258,7 @@ int connect_to(const Address& address, int timeout_ms) {
       hints.ai_family = AF_INET;
       hints.ai_socktype = SOCK_STREAM;
       addrinfo* info = nullptr;
+      // phicheck:blocking-ok(worker-side reconnect path, coordinator reaches it only by name-union on tick/ensure_link; numeric hosts short-circuit above, so the resolver runs once per worker start for names like localhost)
       if (::getaddrinfo(address.host.c_str(),
                         std::to_string(address.port).c_str(), &hints,
                         &info) != 0 ||
@@ -271,16 +273,18 @@ int connect_to(const Address& address, int timeout_ms) {
   }
   if (fd < 0) return -1;
   make_nonblocking_cloexec(fd);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&storage), len) == 0) {
+  // phicheck:allow(eintr) nonblocking connect: EINTR means the handshake continues asynchronously, exactly like EINPROGRESS — both resolve via poll + SO_ERROR below
+  if (::connect(  // phicheck:blocking-ok(socket is O_NONBLOCK: connect returns EINPROGRESS immediately; completion is polled below with a bounded timeout)
+          fd, reinterpret_cast<sockaddr*>(&storage), len) == 0) {
     return fd;
   }
-  if (errno != EINPROGRESS) {
+  if (errno != EINPROGRESS && errno != EINTR) {
     ::close(fd);
     return -1;
   }
   // Nonblocking connect in flight: wait bounded, then check SO_ERROR.
   pollfd waiter{fd, POLLOUT, 0};
-  const int ready = ::poll(&waiter, 1, timeout_ms);
+  const int ready = util::io::poll_retry(&waiter, 1, timeout_ms);
   if (ready <= 0) {
     ::close(fd);
     return -1;
@@ -296,7 +300,7 @@ int connect_to(const Address& address, int timeout_ms) {
 }
 
 int accept_on(int listen_fd) {
-  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  const int fd = util::io::accept_retry(listen_fd);
   if (fd < 0) return -1;
   make_nonblocking_cloexec(fd);
   return fd;
@@ -319,18 +323,17 @@ bool Connection::send(const Message& message) {
   const std::uint8_t* data = frame.data();
   std::size_t remaining = frame.size();
   while (remaining > 0) {
-    const ssize_t n = ::send(fd_, data, remaining, MSG_NOSIGNAL);
+    const ssize_t n = util::io::send_some(fd_, data, remaining, MSG_NOSIGNAL);
     if (n > 0) {
       data += n;
       remaining -= static_cast<std::size_t>(n);
       continue;
     }
-    if (n < 0 && errno == EINTR) continue;
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
       // Frames are tiny; a full send buffer means the peer stopped
       // draining. Wait briefly rather than dropping the message.
       pollfd waiter{fd_, POLLOUT, 0};
-      if (::poll(&waiter, 1, 1000) > 0) continue;
+      if (util::io::poll_retry(&waiter, 1, 1000) > 0) continue;
     }
     // A failed send usually means the peer hung up — but frames it sent
     // before closing (a coordinator's kShutdown racing our request) may
@@ -347,7 +350,7 @@ bool Connection::pump() {
   if (fd_ < 0) return false;
   while (true) {
     std::uint8_t chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    const ssize_t n = util::io::recv_some(fd_, chunk, sizeof chunk, 0);
     if (n > 0) {
       inbound_.insert(inbound_.end(), chunk, chunk + n);
       continue;
@@ -356,7 +359,6 @@ bool Connection::pump() {
       close();
       return false;  // EOF
     }
-    if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
     close();
     return false;

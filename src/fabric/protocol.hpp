@@ -23,6 +23,8 @@
 
 namespace phifi::fabric {
 
+// phicheck:exhaustive-switch — adding a frame type must be visible at every
+// dispatch site; defaults are reserved for out-of-range bytes off the wire.
 enum class MsgType : std::uint8_t {
   kHello = 1,     ///< worker → coordinator: fingerprint + optional lease claim
   kWelcome,       ///< coordinator → worker: assigned worker id

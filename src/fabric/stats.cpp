@@ -15,6 +15,7 @@ std::uint64_t u64_or(const Value& object, const std::string& key) {
   return static_cast<std::uint64_t>(object.number_or(key, 0.0));
 }
 
+// phicheck:ndjson-writer(stats.counts) out
 Value counts_to_json(const telemetry::EstimatorCounts& counts) {
   Value out = Value::object();
   out["masked"] = counts.masked;
@@ -33,6 +34,7 @@ telemetry::EstimatorCounts counts_from_json(const Value& object) {
 
 }  // namespace
 
+// phicheck:ndjson-writer(stats.attempt) entry
 std::string encode_attempts(const std::vector<AttemptOutcome>& attempts) {
   Value array = Value::array();
   for (const AttemptOutcome& attempt : attempts) {
@@ -98,6 +100,8 @@ fi::Outcome outcome_from_name(const std::string& name) {
   throw std::runtime_error("fabric: unknown outcome name '" + name + "'");
 }
 
+// phicheck:ndjson-writer(stats.worker) out
+// phicheck:ndjson-writer(stats.estimator_cell) cell
 std::string encode_stats(const WorkerStats& stats) {
   Value out = Value::object();
   out["executed"] = stats.executed;

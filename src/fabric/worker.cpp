@@ -20,6 +20,7 @@
 #include "telemetry/estimator.hpp"
 #include "telemetry/history.hpp"  // run_id_to_hex
 #include "util/log.hpp"
+#include "util/posix_io.hpp"
 
 namespace phifi::fabric {
 
@@ -306,7 +307,13 @@ void WorkerLoop::handle(const Message& msg) {
       if (trace_ != nullptr) trace_->set_lease(msg.lease);
       requested_ = false;
       break;
-    default:
+    case MsgType::kHello:
+    case MsgType::kLeaseRequest:
+    case MsgType::kLeaseDone:
+    case MsgType::kHeartbeat:
+    case MsgType::kGoodbye:
+    case MsgType::kStats:
+    default:  // default stays for out-of-range bytes decoded off the wire
       util::log_warn() << "fabric: worker ignoring unexpected "
                        << to_string(msg.type);
       break;
@@ -413,7 +420,7 @@ void WorkerLoop::note_commit(const fi::TrialResult& trial) {
 }
 
 void WorkerLoop::send_done() {
-  shard_->sync();
+  shard_->sync();  // phicheck:durable-before(done)
   Message done;
   done.type = MsgType::kLeaseDone;
   done.worker = result_.worker_id;
@@ -442,7 +449,7 @@ void WorkerLoop::send_done() {
   util::log_debug() << "fabric: worker " << result_.worker_id
                     << " done with lease " << done.lease << " ("
                     << done.injected << " injected)";
-  link_->send(done);
+  link_->send(done);  // phicheck:wire-after(done)
   ++result_.leases_done;
   lease_.reset();
   if (trace_ != nullptr) trace_->set_lease(0);
@@ -542,7 +549,7 @@ WorkerResult WorkerLoop::run() {
     }
     maybe_send_stats();
     pollfd pfd{link_->fd(), POLLIN, 0};
-    ::poll(&pfd, 1, 100);
+    util::io::poll_retry(&pfd, 1, 100);
     drain_link();
     if (link_ != nullptr && !link_->alive()) {
       // Lost the coordinator between leases: re-request after reconnect.

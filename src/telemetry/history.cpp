@@ -11,6 +11,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "util/posix_io.hpp"
+
 namespace phifi::telemetry {
 
 namespace {
@@ -35,6 +37,8 @@ std::uint64_t fingerprint_from_hex(const std::string& text) {
 
 }  // namespace
 
+// phicheck:ndjson-writer(history.campaign_summary) value
+// phicheck:ndjson-writer(history.cell) entry
 util::json::Value history_to_json(const HistoryRecord& record) {
   util::json::Value value = util::json::Value::object();
   value["type"] = "campaign_summary";
@@ -137,19 +141,11 @@ void append_history(const std::string& path, const HistoryRecord& record) {
   }
   std::string line = history_to_json(record).dump();
   line += '\n';
-  const char* data = line.data();
-  std::size_t remaining = line.size();
-  while (remaining > 0) {
-    const ssize_t n = ::write(fd, data, remaining);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const int saved = errno;
-      ::close(fd);
-      throw std::runtime_error(std::string("append_history: write failed: ") +
-                               std::strerror(saved));
-    }
-    data += n;
-    remaining -= static_cast<std::size_t>(n);
+  if (!util::io::write_fully(fd, line.data(), line.size())) {
+    const int saved = errno;
+    ::close(fd);
+    throw std::runtime_error(std::string("append_history: write failed: ") +
+                             std::strerror(saved));
   }
   ::fsync(fd);
   ::close(fd);

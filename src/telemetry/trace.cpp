@@ -10,6 +10,8 @@
 #include <istream>
 #include <stdexcept>
 
+#include "util/posix_io.hpp"
+
 namespace phifi::telemetry {
 
 namespace {
@@ -53,6 +55,7 @@ void TraceWriter::set_worker(std::uint64_t worker_id) {
 
 void TraceWriter::set_lease(std::uint64_t lease_id) { lease_id_ = lease_id; }
 
+// phicheck:ndjson-writer(trace.context) record
 void TraceWriter::write_line(util::json::Value record) {
   if (!run_id_.empty()) record["run_id"] = run_id_;
   if (worker_id_ != 0) record["worker_id"] = worker_id_;
@@ -61,21 +64,14 @@ void TraceWriter::write_line(util::json::Value record) {
   line += '\n';
   // One write per record: a crash tears at most the final line, which the
   // reader drops like the journal drops a torn binary record.
-  const char* data = line.data();
-  std::size_t remaining = line.size();
-  while (remaining > 0) {
-    const ssize_t n = ::write(fd_, data, remaining);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw std::runtime_error(std::string("TraceWriter: write failed: ") +
-                               std::strerror(errno));
-    }
-    data += n;
-    remaining -= static_cast<std::size_t>(n);
+  if (!util::io::write_fully(fd_, line.data(), line.size())) {
+    throw std::runtime_error(std::string("TraceWriter: write failed: ") +
+                             std::strerror(errno));
   }
   ++records_;
 }
 
+// phicheck:ndjson-writer(trace.campaign) record
 void TraceWriter::campaign(const TraceCampaign& header) {
   util::json::Value record = util::json::Value::object();
   record["type"] = "campaign";
@@ -93,6 +89,7 @@ void TraceWriter::campaign(const TraceCampaign& header) {
   write_line(record);
 }
 
+// phicheck:ndjson-writer(trace.trial) record
 util::json::Value trial_to_json(const TrialTrace& trial) {
   util::json::Value record = util::json::Value::object();
   record["type"] = "trial";
@@ -176,6 +173,7 @@ void TraceWriter::trial(const TrialTrace& trial) {
   write_line(trial_to_json(trial));
 }
 
+// phicheck:ndjson-writer(trace.fabric) record
 void TraceWriter::fabric(const TraceFabricEvent& event) {
   util::json::Value record = util::json::Value::object();
   record["type"] = "fabric";
@@ -189,6 +187,7 @@ void TraceWriter::fabric(const TraceFabricEvent& event) {
   write_line(record);
 }
 
+// phicheck:ndjson-writer(trace.end) record
 void TraceWriter::end(const TraceEnd& end) {
   util::json::Value record = util::json::Value::object();
   record["type"] = "end";
@@ -210,6 +209,7 @@ void TraceWriter::end(const TraceEnd& end) {
 }
 
 void TraceWriter::sync() {
+  // phicheck:blocking-ok(explicit flush API called at campaign end / segment boundaries, not from the event loop; the walk reaches it via same-name 'sync' union)
   if (fd_ >= 0) ::fsync(fd_);
 }
 

@@ -1,0 +1,82 @@
+#include "util/posix_io.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace phifi::util::io {
+
+// phicheck:eintr-helper canonical partial-write loop
+bool write_fully(int fd, const void* data, std::size_t size) {
+  const char* cursor = static_cast<const char*>(data);
+  std::size_t remaining = size;
+  while (remaining > 0) {
+    const ssize_t n = ::write(fd, cursor, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    cursor += n;
+    remaining -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// phicheck:eintr-helper canonical read retry
+ssize_t read_some(int fd, void* buffer, std::size_t size) {
+  while (true) {
+    // phicheck:blocking-ok(wrapper: whether this read blocks is the caller's fd contract; poll-loop callers are flagged at their own call sites)
+    const ssize_t n = ::read(fd, buffer, size);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+bool read_to_end(int fd, std::vector<std::uint8_t>& out) {
+  std::uint8_t chunk[4096];
+  while (true) {
+    const ssize_t n = read_some(fd, chunk, sizeof chunk);
+    if (n < 0) return false;
+    if (n == 0) return true;
+    out.insert(out.end(), chunk, chunk + n);
+  }
+}
+
+// phicheck:eintr-helper canonical send retry; EAGAIN is the caller's
+ssize_t send_some(int fd, const void* data, std::size_t size, int flags) {
+  while (true) {
+    const ssize_t n = ::send(fd, data, size, flags);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+// phicheck:eintr-helper canonical recv retry; EAGAIN is the caller's
+ssize_t recv_some(int fd, void* buffer, std::size_t size, int flags) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, size, flags);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+// phicheck:eintr-helper signal mid-wait == early timeout tick
+int poll_retry(pollfd* fds, nfds_t count, int timeout_ms) {
+  while (true) {
+    const int n = ::poll(fds, count, timeout_ms);
+    if (n < 0 && errno == EINTR) continue;
+    return n;
+  }
+}
+
+// phicheck:eintr-helper canonical accept retry
+int accept_retry(int listen_fd) {
+  while (true) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0 && errno == EINTR) continue;
+    return fd;
+  }
+}
+
+}  // namespace phifi::util::io

@@ -1,0 +1,41 @@
+// Shared EINTR-retry / partial-I/O helpers (docs/STATIC_ANALYSIS.md, eintr
+// checker). The supervisor forwards signals and reaps children while the
+// fabric is mid-syscall, so every raw read/write/poll/accept in the project
+// must either live here or carry a phicheck annotation explaining why not.
+#pragma once
+
+#include <poll.h>
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace phifi::util::io {
+
+/// Writes all of `data`, retrying on EINTR and short writes. Returns false
+/// on a hard error with errno preserved.
+bool write_fully(int fd, const void* data, std::size_t size);
+
+/// One read, retrying on EINTR only. Returns the byte count, 0 at EOF, or
+/// -1 with errno set (never EINTR).
+ssize_t read_some(int fd, void* buffer, std::size_t size);
+
+/// Appends the remainder of `fd` to `out`. Returns false on a hard read
+/// error with errno preserved.
+bool read_to_end(int fd, std::vector<std::uint8_t>& out);
+
+/// send/recv retrying on EINTR only; EAGAIN/EWOULDBLOCK pass through to the
+/// caller, which owns the backpressure policy.
+ssize_t send_some(int fd, const void* data, std::size_t size, int flags);
+ssize_t recv_some(int fd, void* buffer, std::size_t size, int flags);
+
+/// poll retrying on EINTR with the same timeout: callers treat a signal
+/// mid-wait like an early timeout tick, which every poll loop here already
+/// tolerates. Returns the ready count or -1 with errno set (never EINTR).
+int poll_retry(pollfd* fds, nfds_t count, int timeout_ms);
+
+/// accept retrying on EINTR only. Returns the new fd or -1 with errno set.
+int accept_retry(int listen_fd);
+
+}  // namespace phifi::util::io

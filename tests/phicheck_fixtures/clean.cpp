@@ -3,8 +3,11 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdint>
+#include <map>
+#include <string>
 
 namespace fixture_clean {
 
@@ -38,6 +41,60 @@ void clean_spawn() {
     clean_child_entry();
   }
   (void)pid;
+}
+
+// phicheck:poll-loop
+void clean_event_loop() {
+  for (int i = 0; i < 3; ++i) {
+    // phicheck:blocking-ok(fixture: deliberate pacing nap, bounded at 100us)
+    usleep(100);
+  }
+}
+
+// phicheck:eintr-helper retries until the read lands or fails for real
+long clean_read_retry(int fd, char* buf, unsigned long len) {
+  while (true) {
+    const long n = ::read(fd, buf, len);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+struct CleanLink {
+  void send(int frame);
+};
+struct CleanLedger {
+  void append(int record);
+};
+
+void clean_commit(CleanLink& link, CleanLedger& ledger) {
+  ledger.append(7);  // phicheck:durable-before(fixture-good)
+  link.send(42);     // phicheck:wire-after(fixture-good)
+}
+
+// phicheck:exhaustive-switch
+enum class CleanPhase {
+  kIdle,
+  kBusy,
+};
+
+int clean_dispatch(CleanPhase phase) {
+  switch (phase) {
+    case CleanPhase::kIdle:
+      return 0;
+    // phicheck:allow(enum-switch) fixture: kBusy deliberately folded in
+    default:
+      return 1;
+  }
+}
+
+using Json = std::map<std::string, int>;
+
+// phicheck:ndjson-writer(fixture.clean) out
+Json clean_writer() {
+  Json out;
+  out["name"] = 1;
+  out["value"] = 2;
+  return out;
 }
 
 }  // namespace fixture_clean

@@ -1,0 +1,17 @@
+// phicheck fixture: the wire frame escapes before the durable append — the
+// ordering bug that double-runs trials after a coordinator crash.
+namespace fixture_durability {
+
+struct BadLink {
+  void send(int frame);
+};
+struct BadLedger {
+  void append(int record);
+};
+
+void bad_commit(BadLink& link, BadLedger& ledger) {
+  link.send(42);     // phicheck:wire-after(fixture-bad)
+  ledger.append(7);  // phicheck:durable-before(fixture-bad)
+}
+
+}  // namespace fixture_durability

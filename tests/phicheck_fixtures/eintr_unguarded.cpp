@@ -1,0 +1,13 @@
+// phicheck fixture: a raw interruptible syscall outside any eintr-helper —
+// the retry discipline the eintr checker exists to enforce.
+#include <unistd.h>
+
+namespace fixture_eintr {
+
+long drain_fd(int fd) {
+  char buf[64];
+  const long n = ::read(fd, buf, sizeof buf);
+  return n;
+}
+
+}  // namespace fixture_eintr

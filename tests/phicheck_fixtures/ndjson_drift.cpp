@@ -1,0 +1,18 @@
+// phicheck fixture: an NDJSON writer that drifted from its declared family —
+// one undeclared field written, one required field missing.
+#include <map>
+#include <string>
+
+namespace fixture_ndjson {
+
+using Json = std::map<std::string, int>;
+
+// phicheck:ndjson-writer(fixture.sample) record
+Json drifting_writer() {
+  Json record;
+  record["alpha"] = 1;
+  record["gamma"] = 3;
+  return record;
+}
+
+}  // namespace fixture_ndjson

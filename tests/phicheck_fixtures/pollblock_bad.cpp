@@ -1,0 +1,22 @@
+// phicheck fixture: a poll-loop root that reaches blocking calls, directly
+// (usleep) and through a helper (nanosleep). Compiled by nobody; scanned by
+// test_phicheck to pin the poll-loop checker's diagnostics.
+#include <ctime>
+#include <unistd.h>
+
+namespace fixture_pollblock {
+
+void pollblock_drain() {
+  timespec ts{0, 1000};
+  nanosleep(&ts, nullptr);
+}
+
+// phicheck:poll-loop
+void bad_event_loop() {
+  for (int i = 0; i < 3; ++i) {
+    usleep(100);
+    pollblock_drain();
+  }
+}
+
+}  // namespace fixture_pollblock

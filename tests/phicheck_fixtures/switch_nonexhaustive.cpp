@@ -1,0 +1,20 @@
+// phicheck fixture: a switch over an exhaustive-switch enum whose default
+// silently swallows an enumerator.
+namespace fixture_switch {
+
+// phicheck:exhaustive-switch
+enum class Phase {
+  kInit,
+  kRun,
+  kDrain,
+};
+
+int bad_dispatch(Phase phase) {
+  switch (phase) {
+    case Phase::kInit: return 0;
+    case Phase::kRun: return 1;
+    default: return -1;
+  }
+}
+
+}  // namespace fixture_switch

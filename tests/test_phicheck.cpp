@@ -10,6 +10,8 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #ifndef PHICHECK_BIN
@@ -54,7 +56,8 @@ RunResult run_phicheck(const std::string& args) {
 std::string fixture_args() {
   return std::string("--root ") + PHICHECK_FIXTURES + " --allowlist " +
          PHICHECK_DATA + "/signal_allowlist.txt --policy " +
-         PHICHECK_FIXTURES + "/fixtures_policy.txt";
+         PHICHECK_FIXTURES + "/fixtures_policy.txt --ndjson-schema " +
+         PHICHECK_FIXTURES + "/fixtures_ndjson_schema.txt";
 }
 
 }  // namespace
@@ -117,15 +120,72 @@ TEST(PhicheckTest, FixtureScanFindsAllSeededViolations) {
             std::string::npos)
       << r.output;
 
-  EXPECT_NE(r.output.find("phicheck: 11 finding(s)"), std::string::npos)
+  // Poll-loop: blocking call direct from the root and through a helper.
+  EXPECT_NE(r.output.find("pollblock_bad.cpp:17: [poll-loop] blocking call "
+                          "'usleep' reachable from poll loop "
+                          "(bad_event_loop -> usleep)"),
+            std::string::npos)
       << r.output;
+  EXPECT_NE(r.output.find("pollblock_bad.cpp:11: [poll-loop] blocking call "
+                          "'nanosleep' reachable from poll loop "
+                          "(bad_event_loop -> pollblock_drain -> nanosleep)"),
+            std::string::npos)
+      << r.output;
+
+  // EINTR discipline: raw syscall outside any annotated helper.
+  EXPECT_NE(r.output.find("eintr_unguarded.cpp:9: [eintr] direct call to "
+                          "interruptible 'read' in 'drain_fd' outside an "
+                          "eintr-helper"),
+            std::string::npos)
+      << r.output;
+
+  // Durability order: send precedes the matching append.
+  EXPECT_NE(r.output.find("durability_bad.cpp:13: [durability] "
+                          "wire-after(fixture-bad) is not dominated by "
+                          "durable-before(fixture-bad)"),
+            std::string::npos)
+      << r.output;
+
+  // Enum-switch: a default swallowing an enumerator.
+  EXPECT_NE(r.output.find("switch_nonexhaustive.cpp:13: [enum-switch] switch "
+                          "over 'Phase' in 'bad_dispatch' does not name "
+                          "enumerator(s): kDrain"),
+            std::string::npos)
+      << r.output;
+
+  // NDJSON schema: one undeclared field written, one required field missing.
+  EXPECT_NE(r.output.find("ndjson_drift.cpp:11: [ndjson-schema] "
+                          "'drifting_writer' writes field 'gamma' not "
+                          "declared for family 'fixture.sample'"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("ndjson_drift.cpp:11: [ndjson-schema] "
+                          "'drifting_writer' does not write required field "
+                          "'beta' of family 'fixture.sample'"),
+            std::string::npos)
+      << r.output;
+
+  EXPECT_NE(r.output.find("phicheck: 18 finding(s)"), std::string::npos)
+      << r.output;
+}
+
+TEST(PhicheckTest, JsonReportCarriesFindings) {
+  const RunResult r = run_phicheck(fixture_args() + " --json -");
+  ASSERT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("\"checker\": \"poll-loop\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"checker\": \"durability\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"files_scanned\""), std::string::npos) << r.output;
 }
 
 TEST(PhicheckTest, CleanFixtureProducesNoFindings) {
   const std::string args = std::string("--root ") + PHICHECK_FIXTURES +
                            "/clean.cpp --allowlist " + PHICHECK_DATA +
                            "/signal_allowlist.txt --policy " +
-                           PHICHECK_FIXTURES + "/fixtures_policy.txt";
+                           PHICHECK_FIXTURES + "/fixtures_policy.txt" +
+                           " --ndjson-schema " + PHICHECK_FIXTURES +
+                           "/fixtures_ndjson_schema.txt";
   const RunResult r = run_phicheck(args);
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("phicheck: OK"), std::string::npos) << r.output;
@@ -136,9 +196,36 @@ TEST(PhicheckTest, RealSourcesScanClean) {
   const std::string args = std::string("--root ") + PHICHECK_SRC +
                            " --allowlist " + PHICHECK_DATA +
                            "/signal_allowlist.txt --policy " + PHICHECK_DATA +
-                           "/atomics_policy.txt";
+                           "/atomics_policy.txt --ndjson-schema " +
+                           PHICHECK_DATA + "/ndjson_schema.txt";
   const RunResult r = run_phicheck(args);
   EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(PhicheckTest, SchemaDriftFailsTheGate) {
+  // Deleting a declared field from the spec must fail the ndjson gate (and
+  // therefore the build step that emits the Python table).
+  std::ifstream in(std::string(PHICHECK_DATA) + "/ndjson_schema.txt");
+  ASSERT_TRUE(in.good());
+  const std::string drifted = ::testing::TempDir() + "drifted_schema.txt";
+  {
+    std::ofstream out(drifted);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.find("elapsed_ms") != std::string::npos) continue;
+      out << line << "\n";
+    }
+  }
+  const std::string args = std::string("--check ndjson --root ") +
+                           PHICHECK_SRC + "/telemetry/trace.cpp" +
+                           " --ndjson-schema " + drifted;
+  const RunResult r = run_phicheck(args);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("writes field 'elapsed_ms' not declared for "
+                          "family 'trace.end'"),
+            std::string::npos)
+      << r.output;
+  std::remove(drifted.c_str());
 }
 
 TEST(PhicheckTest, ShmAssertEmissionCoversRealSharedStructs) {

@@ -9,6 +9,15 @@ cross-checks them against each other when several are given:
     check_telemetry.py --trace campaign.ndjson --metrics metrics.json
     check_telemetry.py --metrics metrics.json --openmetrics metrics.om
     check_telemetry.py --history reliability.ndjson
+    check_telemetry.py --schema build/generated/telemetry_schema.py
+
+--schema loads the field table that phicheck generates at build time from
+tools/phicheck/ndjson_schema.txt (the declared source of truth for NDJSON
+record shapes). With --schema this script (a) self-checks its own hardcoded
+field expectations against the table, so validator/spec drift fails CI even
+without an artifact to validate, and (b) strictly checks every record in
+--trace/--history against its family: required fields present, no fields
+outside the declared set.
 
 Exits non-zero with a pointed message on the first violation. Stdlib only,
 so CI can run it without installing anything.
@@ -29,6 +38,10 @@ FABRIC_KINDS = {"worker_join", "worker_leave", "lease_grant", "lease_adopt",
 # offending record instead of leaving the user to fish it out by line number.
 _OFFENDING_LINE = None
 
+# Field table loaded from --schema: {family: {"required": [...],
+# "optional": [...]}}. None means no strict field checking.
+_SCHEMA = None
+
 
 def set_offending_line(line):
     global _OFFENDING_LINE
@@ -48,6 +61,84 @@ def fail(message):
 def require(condition, message):
     if not condition:
         fail(message)
+
+
+def load_schema(path):
+    """Loads the phicheck-generated field table (a Python file defining
+    SCHEMA) without importing it as a module."""
+    scope = {}
+    with open(path, encoding="utf-8") as stream:
+        exec(compile(stream.read(), path, "exec"), scope)  # noqa: S102
+    schema = scope.get("SCHEMA")
+    require(isinstance(schema, dict) and schema,
+            f"{path}: no SCHEMA dict (regenerate with phicheck "
+            f"--emit-ndjson-schema)")
+    for family, fields in schema.items():
+        require(isinstance(fields, dict)
+                and set(fields) == {"required", "optional"},
+                f"{path}: malformed family {family!r}")
+    return schema
+
+
+def schema_fields(family):
+    """All declared fields (required + optional) for a family."""
+    entry = _SCHEMA[family]
+    return set(entry["required"]) | set(entry["optional"])
+
+
+def check_fields(record, family, where, extra_ok=()):
+    """Strict shape check against the generated table: every required field
+    present, nothing outside the declared set. No-op without --schema."""
+    if _SCHEMA is None:
+        return
+    require(family in _SCHEMA,
+            f"{where}: record family {family!r} missing from the schema "
+            f"table (update tools/phicheck/ndjson_schema.txt)")
+    allowed = schema_fields(family) | set(extra_ok)
+    # The trace writer stamps correlation context onto every record.
+    if family.startswith("trace.") and "trace.context" in _SCHEMA:
+        allowed |= schema_fields("trace.context")
+    for key in record:
+        require(key in allowed,
+                f"{where}: field {key!r} is not declared for {family} in "
+                f"ndjson_schema.txt")
+    for key in _SCHEMA[family]["required"]:
+        require(key in record,
+                f"{where}: {family} record is missing required field "
+                f"{key!r}")
+
+
+def schema_self_check(schema):
+    """Cross-checks this script's hardcoded field expectations against the
+    generated table, so the validator cannot silently lag the writers."""
+    expected = {
+        "trace.trial": {"attempt", "outcome", "due_kind", "injected",
+                        "progress_fraction", "window", "seconds", "ts_ms",
+                        "spans", "phases"},
+        "trace.fabric": {"kind", "worker", "lease", "begin", "end",
+                         "injected", "ts_ms"},
+        "trace.end": {"completed", "masked", "sdc", "due", "not_injected",
+                      "elapsed_ms", "stopped_early", "due_kinds"},
+        "trace.campaign": {"workload", "trials", "time_windows", "jobs"},
+        "history.campaign_summary":
+            set(HISTORY_COUNTS) | set(HISTORY_RATES)
+            | {"workload", "fingerprint", "stopped_early", "interrupted",
+               "aborted", "elapsed_seconds", "trials_per_sec", "cells"},
+        "history.cell": {"model", "category", "window", "masked", "sdc",
+                         "due", "sdc_rate"},
+    }
+    for family, fields in expected.items():
+        require(family in schema,
+                f"schema table lost family {family!r} that this validator "
+                f"depends on")
+        declared = (set(schema[family]["required"])
+                    | set(schema[family]["optional"]))
+        missing = fields - declared
+        require(not missing,
+                f"{family}: validator checks field(s) {sorted(missing)} "
+                f"that the schema table no longer declares")
+    print(f"check_telemetry: schema OK: {len(schema)} families, "
+          f"validator expectations all declared")
 
 
 def check_hex_id(record, key, where):
@@ -188,6 +279,8 @@ def check_trace(path):
             if "lease_id" in record:
                 check_number(record, "lease_id", where, minimum=1)
             kind = check_string(record, "type", where)
+            if kind in ("campaign", "trial", "fabric", "end"):
+                check_fields(record, f"trace.{kind}", where)
             if kind == "campaign":
                 # A resumed campaign appends a second header (resumed=true)
                 # and restarts the campaign clock; only the first segment
@@ -446,6 +539,7 @@ def check_history(path):
                 fail(f"{where}: unparseable record: {error}")
             if record.get("type") != "campaign_summary":
                 continue  # forward compatibility
+            check_fields(record, "history.campaign_summary", where)
             check_string(record, "workload", where)
             if record.get("run_id"):
                 check_hex_id(record, "run_id", where)
@@ -476,6 +570,7 @@ def check_history(path):
             require(isinstance(cells, list), f"{where}: 'cells' not a list")
             for i, cell in enumerate(cells):
                 cell_where = f"{where} cell[{i}]"
+                check_fields(cell, "history.cell", cell_where)
                 check_string(cell, "model", cell_where)
                 check_string(cell, "category", cell_where)
                 check_number(cell, "window", cell_where, minimum=0)
@@ -502,10 +597,20 @@ def main():
                              "(cross-checked against --metrics when given)")
     parser.add_argument("--history",
                         help="--history campaign ledger to validate")
+    parser.add_argument("--schema",
+                        help="phicheck-generated field table "
+                             "(build/generated/telemetry_schema.py); "
+                             "enables strict per-record field checking")
     args = parser.parse_args()
-    if not any((args.trace, args.metrics, args.openmetrics, args.history)):
+    if not any((args.trace, args.metrics, args.openmetrics, args.history,
+                args.schema)):
         parser.error("nothing to check: pass --trace, --metrics, "
-                     "--openmetrics and/or --history")
+                     "--openmetrics, --history and/or --schema")
+
+    if args.schema:
+        global _SCHEMA
+        _SCHEMA = load_schema(args.schema)
+        schema_self_check(_SCHEMA)
 
     trace = check_trace(args.trace) if args.trace else None
     counters = check_metrics(args.metrics) if args.metrics else None

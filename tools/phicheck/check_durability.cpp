@@ -1,0 +1,189 @@
+// durability checker: verifies the crash-consistency contract between the
+// lease ledger and the wire protocol via paired markers —
+//
+//   ledger_append(...);        // phicheck:durable-before(grant)
+//   conn.link->send(grant);    // phicheck:wire-after(grant)
+//
+// For every tag, each wire-after site must be *dominated* by a
+// durable-before site: same function, durable first, and the durable
+// statement's innermost enclosing block must still be open where the send
+// happens (so no path reaches the send without passing the append). Absent
+// goto, that lexical condition is sound: an exception or early return
+// between the two skips the send, which is the safe direction — a lease
+// recorded but never announced is re-granted on replay, while an announced
+// lease that was never recorded double-runs trials after a crash.
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "model.hpp"
+
+namespace phicheck {
+
+namespace {
+
+struct Marker {
+  const SourceFile* file = nullptr;
+  int line = 0;                  ///< annotation line
+  std::size_t anchor = 0;        ///< token index of the marked statement
+  const FunctionDef* fn = nullptr;
+};
+
+/// Extracts "tag" from a directive like "durable-before(tag)".
+std::string tag_of(const std::string& directive, const std::string& prefix) {
+  if (directive.rfind(prefix + "(", 0) != 0) return "";
+  const std::size_t open = prefix.size() + 1;
+  const std::size_t close = directive.find(')', open);
+  if (close == std::string::npos) return "";
+  return directive.substr(open, close - open);
+}
+
+/// First token on the annotation's line (trailing comment) or the next line
+/// (comment above the statement); tokens.size() when neither exists.
+std::size_t anchor_token(const SourceFile& file, int ann_line) {
+  const std::vector<Token>& tokens = file.lexed.tokens;
+  for (int want : {ann_line, ann_line + 1}) {
+    for (std::size_t i = 0; i < tokens.size(); ++i) {
+      if (tokens[i].line == want) return i;
+    }
+  }
+  return tokens.size();
+}
+
+bool line_mentions(const SourceFile& file, int line,
+                   const std::set<std::string>& idents) {
+  for (const Token& t : file.lexed.tokens) {
+    if (t.line == line && t.kind == TokKind::kIdent &&
+        idents.count(t.text) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Token index of the "{" opening the innermost block that contains `anchor`
+/// within `fn`'s body.
+std::size_t innermost_block(const SourceFile& file, const FunctionDef& fn,
+                            std::size_t anchor) {
+  const std::vector<Token>& tokens = file.lexed.tokens;
+  std::vector<std::size_t> stack;
+  for (std::size_t i = fn.body_begin; i <= anchor && i < tokens.size(); ++i) {
+    if (tokens[i].kind != TokKind::kPunct) continue;
+    if (tokens[i].text == "{") stack.push_back(i);
+    if (tokens[i].text == "}" && !stack.empty()) stack.pop_back();
+  }
+  return stack.empty() ? fn.body_begin : stack.back();
+}
+
+bool resolve(const SourceFile& file, const Annotation& ann, Marker& out,
+             std::vector<Finding>& findings) {
+  out.file = &file;
+  out.line = ann.line;
+  out.anchor = anchor_token(file, ann.line);
+  if (out.anchor >= file.lexed.tokens.size()) {
+    findings.push_back({file.lexed.path, ann.line, "durability",
+                        "phicheck:" + ann.directive +
+                            " is not attached to a statement"});
+    return false;
+  }
+  const int stmt_line = file.lexed.tokens[out.anchor].line;
+  out.fn = enclosing_function(file, stmt_line);
+  if (out.fn == nullptr) {
+    findings.push_back({file.lexed.path, ann.line, "durability",
+                        "phicheck:" + ann.directive +
+                            " marker sits outside any function body"});
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Finding> check_durability(const Codebase& cb) {
+  std::vector<Finding> findings;
+  std::map<std::string, std::vector<Marker>> durables;
+  std::map<std::string, std::vector<Marker>> wires;
+
+  static const std::set<std::string> durable_idents = {
+      "append", "ledger_append", "sync", "fsync", "fdatasync", "write_frame"};
+  static const std::set<std::string> wire_idents = {"send", "send_frame"};
+
+  for (const SourceFile& file : cb.files) {
+    for (const Annotation& ann : file.lexed.annotations) {
+      const std::string d_tag = tag_of(ann.directive, "durable-before");
+      const std::string w_tag = tag_of(ann.directive, "wire-after");
+      if (d_tag.empty() && w_tag.empty()) continue;
+      Marker m;
+      if (!resolve(file, ann, m, findings)) continue;
+      const int stmt_line = file.lexed.tokens[m.anchor].line;
+      if (!d_tag.empty()) {
+        if (!line_mentions(file, stmt_line, durable_idents)) {
+          findings.push_back(
+              {file.lexed.path, ann.line, "durability",
+               "durable-before(" + d_tag +
+                   ") marker is not on an append/sync/fsync statement"});
+          continue;
+        }
+        durables[d_tag].push_back(m);
+      } else {
+        if (!line_mentions(file, stmt_line, wire_idents)) {
+          findings.push_back({file.lexed.path, ann.line, "durability",
+                              "wire-after(" + w_tag +
+                                  ") marker is not on a send statement"});
+          continue;
+        }
+        wires[w_tag].push_back(m);
+      }
+    }
+  }
+
+  for (const auto& [tag, sites] : durables) {
+    if (wires.count(tag) == 0) {
+      for (const Marker& m : sites) {
+        findings.push_back({m.file->lexed.path, m.line, "durability",
+                            "durable-before(" + tag +
+                                ") has no matching wire-after(" + tag + ")"});
+      }
+    }
+  }
+  for (const auto& [tag, sites] : wires) {
+    const auto durable_it = durables.find(tag);
+    for (const Marker& wire : sites) {
+      if (durable_it == durables.end()) {
+        findings.push_back({wire.file->lexed.path, wire.line, "durability",
+                            "wire-after(" + tag +
+                                ") has no matching durable-before(" + tag +
+                                ")"});
+        continue;
+      }
+      bool dominated = false;
+      for (const Marker& durable : durable_it->second) {
+        if (durable.file != wire.file || durable.fn != wire.fn) continue;
+        if (durable.anchor >= wire.anchor) continue;
+        const std::size_t block =
+            innermost_block(*durable.file, *durable.fn, durable.anchor);
+        const std::size_t block_end =
+            match_brace(durable.file->lexed.tokens, block);
+        if (wire.anchor < block_end) {
+          dominated = true;
+          break;
+        }
+      }
+      if (!dominated) {
+        std::ostringstream msg;
+        msg << "wire-after(" << tag << ") is not dominated by durable-before("
+            << tag
+            << "): the durable append must precede the send in the same or "
+               "an enclosing block of the same function";
+        findings.push_back(
+            {wire.file->lexed.path, wire.line, "durability", msg.str()});
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace phicheck

@@ -1,0 +1,106 @@
+// eintr checker: every direct call to an interruptible syscall must live
+// inside a function annotated `phicheck:eintr-helper` (whose body must
+// actually reference EINTR) or carry `phicheck:allow(eintr)` with a reason.
+//
+// The campaign supervisor forwards SIGINT/SIGTERM and reaps children with
+// SIGCHLD in flight, so every read/write/poll/accept in the fleet runs with
+// signals arriving. A missed EINTR retry shows up as a spurious campaign
+// abort — indistinguishable from a DUE in the results, which is exactly the
+// class of injector bug the methodology cannot tolerate. Routing through the
+// helpers in src/util/posix_io.cpp keeps the retry logic in one place.
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "model.hpp"
+
+namespace phicheck {
+
+namespace {
+
+const std::set<std::string>& interruptible_calls() {
+  static const std::set<std::string> names = {
+      "read", "write", "waitpid", "poll", "accept", "connect", "send", "recv",
+  };
+  return names;
+}
+
+/// True for `Foo::bar(...)` class/namespace-qualified calls — those are
+/// project statics, not raw syscalls. Global-qualified `::read(...)` has no
+/// identifier before its "::" and stays in scope.
+bool class_qualified(const std::vector<Token>& tokens, std::size_t call_index) {
+  if (call_index < 2) return false;
+  const Token& prev = tokens[call_index - 1];
+  if (prev.kind != TokKind::kPunct || prev.text != "::") return false;
+  const Token& scope = tokens[call_index - 2];
+  if (scope.kind != TokKind::kIdent) return false;
+  // `return ::read(...)` is a global-qualified syscall, not Foo::read —
+  // keywords never name a scope.
+  static const std::set<std::string> keywords = {
+      "return", "case", "else", "do", "goto", "throw", "new", "delete",
+      "co_return", "co_yield", "co_await",
+  };
+  return keywords.count(scope.text) == 0;
+}
+
+bool body_references(const SourceFile& file, const FunctionDef& fn,
+                     const std::string& ident) {
+  const std::vector<Token>& tokens = file.lexed.tokens;
+  for (std::size_t i = fn.body_begin; i < fn.body_end && i < tokens.size();
+       ++i) {
+    if (tokens[i].kind == TokKind::kIdent && tokens[i].text == ident) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<Finding> check_eintr(const Codebase& cb) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : cb.files) {
+    // Functions this file declares as EINTR-retry helpers.
+    std::set<const FunctionDef*> helpers;
+    for (const Annotation& ann : file.lexed.annotations) {
+      if (ann.directive != "eintr-helper") continue;
+      const FunctionDef* fn = function_below(file, ann.line, 12);
+      if (fn == nullptr) {
+        findings.push_back(
+            {file.lexed.path, ann.line, "eintr",
+             "phicheck:eintr-helper annotation does not precede a function "
+             "definition"});
+        continue;
+      }
+      if (!body_references(file, *fn, "EINTR")) {
+        findings.push_back(
+            {file.lexed.path, fn->line, "eintr",
+             "'" + fn->name +
+                 "' is annotated phicheck:eintr-helper but its body never "
+                 "checks EINTR"});
+        continue;
+      }
+      helpers.insert(fn);
+    }
+    for (const FunctionDef& fn : file.functions) {
+      for (const CallSite& call : fn.calls) {
+        if (interruptible_calls().count(call.name) == 0) continue;
+        if (call.member) continue;  // stream.read(...) etc.
+        if (class_qualified(file.lexed.tokens, call.token_index)) continue;
+        if (helpers.count(&fn) != 0) continue;
+        if (file.lexed.allows("eintr", call.line)) continue;
+        std::ostringstream msg;
+        msg << "direct call to interruptible '" << call.name << "' in '"
+            << fn.name
+            << "' outside an eintr-helper; route through util::io "
+               "(src/util/posix_io.hpp) or annotate phicheck:allow(eintr)";
+        findings.push_back({file.lexed.path, call.line, "eintr", msg.str()});
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace phicheck

@@ -1,0 +1,105 @@
+// poll-loop checker: nothing reachable from a `phicheck:poll-loop` root may
+// call into the blocking set (sleeps, fsync, blocking waits, unbounded file
+// reads, ...) unless the call site carries `phicheck:blocking-ok(reason)`.
+//
+// The coordinator's event loop is single-threaded by design
+// (docs/STATIC_ANALYSIS.md): one blocked syscall stalls every worker's
+// heartbeats, lease grants, and the scrape endpoint at once. The deliberate
+// exceptions (the lease-ledger fsync that buys crash durability) must say so
+// in-line, with a reason, where the call happens.
+//
+// Resolution is name-based and deliberately conservative: every definition of
+// a called name is walked (`Codebase::find_functions`), because a lexical
+// tool that guesses a single receiver type silently under-approximates.
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "model.hpp"
+
+namespace phicheck {
+
+namespace {
+
+const std::set<std::string>& blocking_calls() {
+  // Raw syscalls plus the util::io wrappers that front them — matching the
+  // wrapper names keeps the finding (and its blocking-ok annotation) at the
+  // caller's line, where the blocking decision actually lives.
+  static const std::set<std::string> names = {
+      "sleep",      "usleep",   "nanosleep", "sleep_for", "sleep_until",
+      "fsync",      "fdatasync", "system",   "popen",     "pclose",
+      "wait",       "waitpid",  "wait4",     "waitid",    "connect",
+      "getaddrinfo", "read",    "fread",     "fgets",     "read_some",
+      "read_to_end",
+  };
+  return names;
+}
+
+/// True when the call line (or the line above) carries a
+/// `phicheck:blocking-ok(reason)` annotation or an allow(poll-loop).
+bool blocking_ok(const SourceFile& file, int line) {
+  if (file.lexed.allows("poll-loop", line)) return true;
+  for (const Annotation& ann : file.lexed.annotations) {
+    if (ann.line != line && ann.line != line - 1) continue;
+    if (ann.directive.rfind("blocking-ok(", 0) == 0) return true;
+  }
+  return false;
+}
+
+struct Walker {
+  const Codebase& cb;
+  std::vector<Finding>& findings;
+  std::set<const FunctionDef*> visited;
+
+  void walk(const SourceFile& file, const FunctionDef& fn,
+            const std::string& chain) {
+    if (!visited.insert(&fn).second) return;
+    for (const CallSite& call : fn.calls) {
+      if (blocking_calls().count(call.name) != 0) {
+        if (!blocking_ok(file, call.line)) {
+          std::ostringstream msg;
+          msg << "blocking call '" << call.name
+              << "' reachable from poll loop (" << chain << " -> " << call.name
+              << "); annotate phicheck:blocking-ok(reason) if deliberate";
+          findings.push_back(
+              {file.lexed.path, call.line, "poll-loop", msg.str()});
+        }
+        // The call site owns the blocking decision: whether annotated or
+        // just reported, don't descend into the wrapper and re-flag its
+        // interior (util::io wrappers would otherwise fire twice).
+        continue;
+      }
+      for (const auto& [callee_file, callee] : cb.find_functions(call.name)) {
+        walk(*callee_file, *callee, chain + " -> " + call.name);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<Finding> check_poll_loop(const Codebase& cb) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : cb.files) {
+    for (const Annotation& ann : file.lexed.annotations) {
+      if (ann.directive != "poll-loop") continue;
+      const FunctionDef* root = function_below(file, ann.line, 12);
+      if (root == nullptr) {
+        findings.push_back(
+            {file.lexed.path, ann.line, "poll-loop",
+             "phicheck:poll-loop annotation does not precede a function "
+             "definition"});
+        continue;
+      }
+      // Fresh visited set per root so overlapping call trees still report
+      // against every annotated loop.
+      Walker walker{cb, findings, {}};
+      walker.walk(file, *root, root->name);
+    }
+  }
+  return findings;
+}
+
+}  // namespace phicheck

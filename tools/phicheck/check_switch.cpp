@@ -1,0 +1,185 @@
+// enum-switch checker: a switch over an enum annotated
+// `phicheck:exhaustive-switch` must name every enumerator, or annotate its
+// default with `phicheck:allow(enum-switch)`.
+//
+// -Wswitch already errors (under CI's -Werror) on a defaultless switch that
+// misses an enumerator; the gap this checker closes is switches WITH a
+// default, which silently swallow enumerators added later. That matters here
+// because the wire protocol (MsgType), the ledger (LedgerKind), and the
+// outcome taxonomy (Outcome/DueKind) all grow with the paper reproduction —
+// a default that quietly drops a new frame type is a protocol bug that no
+// compiler warning will ever surface. A default alongside a full enumerator
+// list is fine (decode paths cast raw bytes, so out-of-range needs a home).
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.hpp"
+#include "model.hpp"
+
+namespace phicheck {
+
+namespace {
+
+struct AnnotatedEnum {
+  const EnumDef* def = nullptr;
+  std::set<std::string> enumerators;
+};
+
+struct SwitchInfo {
+  int line = 0;
+  std::set<std::string> labels;
+  /// Enum-name qualifier seen in the labels (`MsgType::kHello` -> "MsgType").
+  /// Empty for unqualified labels (plain enums, `using enum`).
+  std::string qualifier;
+  bool has_default = false;
+  int default_line = 0;
+};
+
+/// Parses the switch whose "switch" keyword is at `kw`; returns false when
+/// the token pattern is not a braced switch body.
+bool parse_switch(const std::vector<Token>& tokens, std::size_t kw,
+                  SwitchInfo& out) {
+  std::size_t i = kw + 1;
+  if (i >= tokens.size() || tokens[i].text != "(") return false;
+  int depth = 0;
+  while (i < tokens.size()) {
+    if (tokens[i].kind == TokKind::kPunct) {
+      if (tokens[i].text == "(") ++depth;
+      if (tokens[i].text == ")" && --depth == 0) break;
+    }
+    ++i;
+  }
+  ++i;
+  if (i >= tokens.size() || tokens[i].text != "{") return false;
+  const std::size_t open = i;
+  const std::size_t close = match_brace(tokens, open);
+  out.line = tokens[kw].line;
+  int body_depth = 0;
+  for (std::size_t j = open + 1; j < close; ++j) {
+    const Token& t = tokens[j];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") ++body_depth;
+      if (t.text == "}") --body_depth;
+      continue;
+    }
+    if (t.kind != TokKind::kIdent || body_depth != 0) continue;
+    if (t.text == "default") {
+      out.has_default = true;
+      out.default_line = t.line;
+    } else if (t.text == "case") {
+      // Label is the last identifier before the ":" (handles Qual::kName);
+      // the identifier before a "::" is the enum-name qualifier, which pins
+      // attribution (EstimatorOutcome::kSdc must never match Outcome).
+      std::string label;
+      std::size_t k = j + 1;
+      while (k < close && tokens[k].text != ":") {
+        if (tokens[k].kind == TokKind::kIdent) {
+          label = tokens[k].text;
+        } else if (tokens[k].text == "::" && !label.empty()) {
+          out.qualifier = label;
+        }
+        ++k;
+      }
+      if (!label.empty()) out.labels.insert(label);
+      j = k;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Finding> check_enum_switch(const Codebase& cb) {
+  std::vector<Finding> findings;
+  std::vector<AnnotatedEnum> annotated;
+  for (const SourceFile& file : cb.files) {
+    for (const Annotation& ann : file.lexed.annotations) {
+      if (ann.directive != "exhaustive-switch") continue;
+      const EnumDef* match = nullptr;
+      for (const EnumDef& def : cb.enum_defs) {
+        if (def.file != file.lexed.path) continue;
+        if (def.line < ann.line || def.line - ann.line > 3) continue;
+        if (match == nullptr || def.line < match->line) match = &def;
+      }
+      if (match == nullptr) {
+        findings.push_back(
+            {file.lexed.path, ann.line, "enum-switch",
+             "phicheck:exhaustive-switch annotation does not precede an enum "
+             "definition"});
+        continue;
+      }
+      AnnotatedEnum entry;
+      entry.def = match;
+      entry.enumerators.insert(match->enumerators.begin(),
+                               match->enumerators.end());
+      annotated.push_back(std::move(entry));
+    }
+  }
+  if (annotated.empty()) return findings;
+
+  for (const SourceFile& file : cb.files) {
+    const std::vector<Token>& tokens = file.lexed.tokens;
+    for (const FunctionDef& fn : file.functions) {
+      for (std::size_t i = fn.body_begin; i < fn.body_end && i < tokens.size();
+           ++i) {
+        if (tokens[i].kind != TokKind::kIdent || tokens[i].text != "switch") {
+          continue;
+        }
+        SwitchInfo sw;
+        if (!parse_switch(tokens, i, sw) || sw.labels.empty()) continue;
+        // Attribution: a label qualifier (`MsgType::kHello`) names the enum
+        // outright — a switch qualified with an unannotated enum's name is
+        // never checked, even if its labels happen to collide with an
+        // annotated enum's (EstimatorOutcome::kSdc vs Outcome::kSdc).
+        // Unqualified labels fall back to overlap, but only when *every*
+        // label is an enumerator of the candidate.
+        const AnnotatedEnum* best = nullptr;
+        if (!sw.qualifier.empty()) {
+          for (const AnnotatedEnum& cand : annotated) {
+            if (cand.def->name == sw.qualifier) {
+              best = &cand;
+              break;
+            }
+          }
+        } else {
+          std::size_t best_overlap = 0;
+          for (const AnnotatedEnum& cand : annotated) {
+            const bool all = std::all_of(
+                sw.labels.begin(), sw.labels.end(),
+                [&](const std::string& label) {
+                  return cand.enumerators.count(label) != 0;
+                });
+            if (all && sw.labels.size() > best_overlap) {
+              best_overlap = sw.labels.size();
+              best = &cand;
+            }
+          }
+        }
+        if (best == nullptr) continue;
+        std::vector<std::string> missing;
+        for (const std::string& e : best->def->enumerators) {
+          if (sw.labels.count(e) == 0) missing.push_back(e);
+        }
+        if (missing.empty()) continue;
+        if (sw.has_default &&
+            file.lexed.allows("enum-switch", sw.default_line)) {
+          continue;
+        }
+        std::ostringstream msg;
+        msg << "switch over '" << best->def->name << "' in '" << fn.name
+            << "' does not name enumerator(s):";
+        for (const std::string& e : missing) msg << " " << e;
+        msg << "; name them or annotate the default with "
+               "phicheck:allow(enum-switch)";
+        findings.push_back(
+            {file.lexed.path, sw.line, "enum-switch", msg.str()});
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace phicheck

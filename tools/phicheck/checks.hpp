@@ -1,4 +1,4 @@
-// The four phicheck checkers (docs/STATIC_ANALYSIS.md):
+// The phicheck checkers (docs/STATIC_ANALYSIS.md):
 //   signal-safety    calls reachable from registered signal handlers must be
 //                    on the async-signal-safe allowlist
 //   fork-safety      no heap / stdio / locking between fork() and the
@@ -7,6 +7,16 @@
 //                    pinned sizes; emits the generated static_assert header
 //   atomics          every explicit memory_order use matches the per-variable
 //                    policy declared in atomics_policy.txt
+//   poll-loop        no blocking call reachable from a phicheck:poll-loop
+//                    root unless annotated phicheck:blocking-ok(reason)
+//   eintr            direct interruptible syscalls must live inside a
+//                    phicheck:eintr-helper function or carry allow(eintr)
+//   durability       paired phicheck:durable-before(tag) / wire-after(tag)
+//                    markers: the append+fsync must dominate the send
+//   enum-switch      switches over phicheck:exhaustive-switch enums name
+//                    every enumerator or annotate the default
+//   ndjson-schema    field sets written by phicheck:ndjson-writer functions
+//                    match ndjson_schema.txt; emits the Python field table
 #pragma once
 
 #include <string>
@@ -35,5 +45,21 @@ std::vector<Finding> check_shm_pod(const Codebase& cb,
 
 std::vector<Finding> check_atomics(const Codebase& cb,
                                    const std::string& policy_path);
+
+std::vector<Finding> check_poll_loop(const Codebase& cb);
+
+std::vector<Finding> check_eintr(const Codebase& cb);
+
+std::vector<Finding> check_durability(const Codebase& cb);
+
+std::vector<Finding> check_enum_switch(const Codebase& cb);
+
+/// `schema_path` is the ndjson_schema.txt spec. When `emit_path` is non-empty
+/// and the checker finds no violations, writes the generated Python field
+/// table there ("-" for stdout). With an empty `schema_path` the checker
+/// reports any ndjson-writer annotation as unverifiable.
+std::vector<Finding> check_ndjson_schema(const Codebase& cb,
+                                         const std::string& schema_path,
+                                         const std::string& emit_path);
 
 }  // namespace phicheck

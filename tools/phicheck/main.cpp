@@ -3,12 +3,18 @@
 //   phicheck --root src --root tools
 //            --allowlist tools/phicheck/signal_allowlist.txt
 //            --policy tools/phicheck/atomics_policy.txt
-//            [--check signal,fork,shm,atomics]
+//            --ndjson-schema tools/phicheck/ndjson_schema.txt
+//            [--check signal,fork,shm,atomics,poll-loop,eintr,durability,
+//                     enum-switch,ndjson]
 //            [--emit-shm-asserts <path|->]
+//            [--emit-ndjson-schema <path|->]
+//            [--json <path|->]
 //
 // Exit 0: clean. Exit 1: findings (printed as `file:line: [checker] msg`).
 // Exit 2: usage / configuration error.
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
@@ -21,11 +27,55 @@ namespace {
 int usage() {
   std::cerr
       << "usage: phicheck --root <dir> [--root <dir>...]\n"
-         "                [--check signal,fork,shm,atomics]\n"
+         "                [--check signal,fork,shm,atomics,poll-loop,eintr,\n"
+         "                         durability,enum-switch,ndjson]\n"
          "                [--allowlist <signal_allowlist.txt>]\n"
          "                [--policy <atomics_policy.txt>]\n"
-         "                [--emit-shm-asserts <path|->]\n";
+         "                [--ndjson-schema <ndjson_schema.txt>]\n"
+         "                [--emit-shm-asserts <path|->]\n"
+         "                [--emit-ndjson-schema <path|->]\n"
+         "                [--json <path|->]\n";
   return 2;
+}
+
+std::string json_escape(const std::string& text) {
+  std::ostringstream out;
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default: out << c; break;
+    }
+  }
+  return out.str();
+}
+
+/// Machine-readable findings report for the CI artifact (--json).
+void write_json(const std::vector<phicheck::Finding>& findings,
+                std::size_t files_scanned, const std::string& path) {
+  std::ostringstream out;
+  out << "{\n  \"files_scanned\": " << files_scanned
+      << ",\n  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const phicheck::Finding& f = findings[i];
+    out << (i == 0 ? "" : ",") << "\n    {\"file\": \"" << json_escape(f.file)
+        << "\", \"line\": " << f.line << ", \"checker\": \""
+        << json_escape(f.checker) << "\", \"message\": \""
+        << json_escape(f.message) << "\"}";
+  }
+  out << (findings.empty() ? "" : "\n  ") << "]\n}\n";
+  if (path == "-") {
+    std::cout << out.str();
+    return;
+  }
+  const std::filesystem::path target(path);
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path());
+  }
+  std::ofstream stream(target);
+  stream << out.str();
 }
 
 }  // namespace
@@ -33,10 +83,15 @@ int usage() {
 int main(int argc, char** argv) {
   using namespace phicheck;
   std::vector<std::string> roots;
-  std::vector<std::string> checks = {"signal", "fork", "shm", "atomics"};
+  std::vector<std::string> checks = {"signal",    "fork",        "shm",
+                                     "atomics",   "poll-loop",   "eintr",
+                                     "durability", "enum-switch", "ndjson"};
   std::string allowlist;
   std::string policy;
   std::string emit_shm;
+  std::string ndjson_schema;
+  std::string emit_ndjson;
+  std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +121,18 @@ int main(int argc, char** argv) {
       const char* v = value();
       if (v == nullptr) return usage();
       emit_shm = v;
+    } else if (arg == "--ndjson-schema") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      ndjson_schema = v;
+    } else if (arg == "--emit-ndjson-schema") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      emit_ndjson = v;
+    } else if (arg == "--json") {
+      const char* v = value();
+      if (v == nullptr) return usage();
+      json_path = v;
     } else {
       std::cerr << "phicheck: unknown argument '" << arg << "'\n";
       return usage();
@@ -98,6 +165,13 @@ int main(int argc, char** argv) {
   if (enabled("fork")) append(check_fork_safety(cb));
   if (enabled("shm")) append(check_shm_pod(cb, emit_shm));
   if (enabled("atomics")) append(check_atomics(cb, policy));
+  if (enabled("poll-loop")) append(check_poll_loop(cb));
+  if (enabled("eintr")) append(check_eintr(cb));
+  if (enabled("durability")) append(check_durability(cb));
+  if (enabled("enum-switch")) append(check_enum_switch(cb));
+  if (enabled("ndjson")) {
+    append(check_ndjson_schema(cb, ndjson_schema, emit_ndjson));
+  }
 
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
@@ -115,6 +189,7 @@ int main(int argc, char** argv) {
     std::cout << f.file << ":" << f.line << ": [" << f.checker << "] "
               << f.message << "\n";
   }
+  if (!json_path.empty()) write_json(findings, cb.files.size(), json_path);
   if (findings.empty()) {
     std::cerr << "phicheck: OK (" << cb.files.size() << " files scanned)\n";
     return 0;

@@ -296,6 +296,42 @@ Codebase load_codebase(const std::vector<std::string>& roots) {
         }
         if (j < tokens.size() && tokens[j].kind == TokKind::kIdent) {
           cb.enums.emplace(tokens[j].text, tokens[j].line);
+          // Full definition: collect enumerators between "{" and its match.
+          // Skip over an underlying-type spec (`: std::uint8_t`); a ";" first
+          // means forward declaration.
+          std::size_t k = j + 1;
+          while (k < tokens.size() && tokens[k].text != "{" &&
+                 tokens[k].text != ";") {
+            ++k;
+          }
+          if (k < tokens.size() && tokens[k].text == "{") {
+            EnumDef def;
+            def.name = tokens[j].text;
+            def.file = file.lexed.path;
+            def.line = tokens[j].line;
+            const std::size_t close = match_brace(tokens, k);
+            std::size_t p = k + 1;
+            while (p < close) {
+              if (tokens[p].kind == TokKind::kIdent &&
+                  (p == k + 1 || tokens[p - 1].text == ",")) {
+                def.enumerators.push_back(tokens[p].text);
+                // Skip the (optional) initializer up to the next "," at
+                // enum-body depth; initializers may contain parens.
+                int depth = 0;
+                while (p < close) {
+                  const Token& u = tokens[p];
+                  if (u.kind == TokKind::kPunct) {
+                    if (u.text == "(" || u.text == "{") ++depth;
+                    if (u.text == ")" || u.text == "}") --depth;
+                    if (u.text == "," && depth == 0) break;
+                  }
+                  ++p;
+                }
+              }
+              ++p;
+            }
+            cb.enum_defs.push_back(std::move(def));
+          }
         }
       }
     }
@@ -314,6 +350,43 @@ const FunctionDef* Codebase::find_function(const std::string& name,
     }
   }
   return nullptr;
+}
+
+std::vector<std::pair<const SourceFile*, const FunctionDef*>>
+Codebase::find_functions(const std::string& name) const {
+  std::vector<std::pair<const SourceFile*, const FunctionDef*>> out;
+  for (const SourceFile& f : files) {
+    for (const FunctionDef& fn : f.functions) {
+      if (fn.name == name) out.emplace_back(&f, &fn);
+    }
+  }
+  return out;
+}
+
+const FunctionDef* function_below(const SourceFile& file, int ann_line,
+                                  int window) {
+  const FunctionDef* best = nullptr;
+  for (const FunctionDef& fn : file.functions) {
+    if (fn.line < ann_line || fn.line - ann_line > window) continue;
+    if (best == nullptr || fn.line < best->line) best = &fn;
+  }
+  return best;
+}
+
+const FunctionDef* enclosing_function(const SourceFile& file, int line) {
+  const std::vector<Token>& tokens = file.lexed.tokens;
+  const FunctionDef* best = nullptr;
+  for (const FunctionDef& fn : file.functions) {
+    if (fn.body_end >= tokens.size()) continue;
+    const int begin = tokens[fn.body_begin].line;
+    const int end = tokens[fn.body_end].line;
+    if (line < begin || line > end) continue;
+    // Innermost wins: function bodies nest only via lambdas/local classes,
+    // whose braces never model as separate functions, so the latest-starting
+    // candidate is the tightest.
+    if (best == nullptr || begin > tokens[best->body_begin].line) best = &fn;
+  }
+  return best;
 }
 
 }  // namespace phicheck

@@ -54,16 +54,42 @@ struct SourceFile {
   std::vector<StructDef> structs;
 };
 
+/// One enum definition with its enumerators — what the enum-switch checker
+/// walks to demand exhaustiveness.
+struct EnumDef {
+  std::string name;  ///< unqualified tag name
+  std::string file;
+  int line = 0;
+  std::vector<std::string> enumerators;
+};
+
 struct Codebase {
   std::vector<SourceFile> files;
   /// All enum tag names seen anywhere (enum / enum class) — the shm checker
   /// treats them as POD-safe member types.
   std::map<std::string, int> enums;
+  /// Full enum definitions (tag + enumerator list), in file order.
+  std::vector<EnumDef> enum_defs;
 
   /// First definition of `name` across all files, or nullptr.
   [[nodiscard]] const FunctionDef* find_function(const std::string& name,
                                                  const SourceFile** file) const;
+
+  /// Every definition of `name` across all files. Name-based resolution is
+  /// deliberately conservative: a call-graph walker that cannot see types
+  /// must follow all same-named candidates or it silently under-approximates.
+  [[nodiscard]] std::vector<std::pair<const SourceFile*, const FunctionDef*>>
+  find_functions(const std::string& name) const;
 };
+
+/// The function whose body's opening brace sits on `ann_line` or within
+/// `window` lines below it — how `phicheck:<directive>` annotations bind to
+/// the function they precede. Returns nullptr when none qualifies.
+const FunctionDef* function_below(const SourceFile& file, int ann_line,
+                                  int window);
+
+/// The innermost function whose body spans `line`, or nullptr.
+const FunctionDef* enclosing_function(const SourceFile& file, int line);
 
 /// Lexes and models one already-read file.
 SourceFile model_file(std::string path, const std::string& text);

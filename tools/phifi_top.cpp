@@ -30,6 +30,7 @@ using phifi::util::json::Value;
 
 /// One-shot HTTP GET against the scrape endpoint; empty string on any
 /// transport failure (caller decides whether that is fatal).
+// phicheck:eintr-helper deadline-bounded poll loop; EINTR just re-ticks
 std::string fetch(const phifi::fabric::Address& address,
                   const std::string& route) {
   int fd = -1;
