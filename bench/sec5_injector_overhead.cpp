@@ -35,6 +35,12 @@
 // (off / 1s / 250ms). STATS frames ride the heartbeat timer off the trial
 // hot path, so throughput should be flat across the sweep; the table and
 // BENCH_fabric_observability.json make that claim measurable run over run.
+//
+// The seventh table prices the trial fast path (docs/PARALLELISM.md):
+// trials/s with the fork-server on vs. the legacy cold-start child, per
+// workload at deliberately small instance sizes — setup + register_sites
+// dominate short trials, which is exactly the regime the fast path
+// amortizes. Emitted to BENCH_fastpath.json.
 #include <sys/resource.h>
 #include <sys/wait.h>
 
@@ -58,6 +64,11 @@
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 #include "util/json.hpp"
+#include "workloads/clamr_workload.hpp"
+#include "workloads/dgemm.hpp"
+#include "workloads/hotspot.hpp"
+#include "workloads/lud.hpp"
+#include "workloads/nw.hpp"
 
 namespace {
 
@@ -269,6 +280,88 @@ double fabric_trials_per_sec(const phifi::work::WorkloadInfo& info,
   ::unlink(shard_path.c_str());
   if (!result.complete) return 0.0;
   return seconds > 0.0 ? static_cast<double>(trials) / seconds : 0.0;
+}
+
+// Small-instance factories for the fast-path table. Short trials are where
+// the per-trial setup + register_sites cost dominates, so they bound the
+// speedup the fork server can buy; the registry's default sizes would bury
+// it under run time.
+std::unique_ptr<phifi::fi::Workload> make_small_dgemm() {
+  return std::make_unique<phifi::work::Dgemm>(32);
+}
+std::unique_ptr<phifi::fi::Workload> make_small_hotspot() {
+  return std::make_unique<phifi::work::HotSpot>(32, 32);
+}
+std::unique_ptr<phifi::fi::Workload> make_small_lud() {
+  return std::make_unique<phifi::work::Lud>(32);
+}
+std::unique_ptr<phifi::fi::Workload> make_small_nw() {
+  return std::make_unique<phifi::work::Nw>(64);
+}
+// Deep-refinement CLAMR at one timestep: AmrMesh preallocates every array
+// at fully-refined capacity ((base << refine)^2 cells) so injection-site
+// pointers stay stable, and setup() serially dry-runs the step schedule to
+// learn progress weights. Both costs scale with capacity while the measured
+// step scales with the few hundred ACTIVE cells — the cold-start-dominated
+// regime of the paper's real runs (where input loading and mesh building
+// take seconds), miniaturized. This is where the fork server pays off
+// hardest: the template pays allocation + dry run once, grandchildren
+// inherit it all by COW.
+std::unique_ptr<phifi::fi::Workload> make_clamr_refine4() {
+  phifi::work::clamr::MeshParams params;
+  params.max_refine = 4;
+  return std::make_unique<phifi::work::Clamr>(params, 1);
+}
+std::unique_ptr<phifi::fi::Workload> make_clamr_refine5() {
+  phifi::work::clamr::MeshParams params;
+  params.max_refine = 5;
+  return std::make_unique<phifi::work::Clamr>(params, 1);
+}
+
+struct FastpathWorkload {
+  const char* name;
+  phifi::fi::WorkloadFactory factory;
+};
+
+constexpr FastpathWorkload kFastpathWorkloads[] = {
+    {"DGEMM(32)", &make_small_dgemm},
+    {"HotSpot(32x32)", &make_small_hotspot},
+    {"LUD(32)", &make_small_lud},
+    {"NW(64)", &make_small_nw},
+    {"CLAMR(16,+4,1step)", &make_clamr_refine4},
+    {"CLAMR(16,+5,1step)", &make_clamr_refine5},
+};
+
+/// Trials per wall-clock second through run_trial with the fast path on or
+/// off. One unmeasured warm-up trial first, so template spawn (fast) and
+/// page-cache effects (legacy) stay out of the steady-state rate; `mode`
+/// reports how the supervisor resolved the fork mode.
+double fastpath_trials_per_sec(phifi::fi::WorkloadFactory factory, bool fast,
+                               int reps, std::string* mode) {
+  using namespace phifi;
+  using Clock = std::chrono::steady_clock;
+  fi::SupervisorConfig config = bench::bench_supervisor_config();
+  config.trial_fast_path = fast;
+  fi::TrialSupervisor supervisor(factory, config);
+  supervisor.prepare_golden();
+  {
+    fi::TrialConfig warmup;
+    warmup.trial_seed = 4999;
+    (void)supervisor.run_trial(warmup);
+  }
+  const auto start = Clock::now();
+  for (int rep = 0; rep < reps; ++rep) {
+    fi::TrialConfig trial;
+    trial.trial_seed = 5000 + rep;
+    trial.model = fi::FaultModel::kSingle;
+    (void)supervisor.run_trial(trial);
+  }
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (mode != nullptr) {
+    *mode = std::string(fi::to_string(supervisor.fork_mode()));
+  }
+  return seconds > 0.0 ? static_cast<double>(reps) / seconds : 0.0;
 }
 
 }  // namespace
@@ -484,5 +577,44 @@ int main() {
     out << stats_doc.dump() << "\n";
   }
   std::cout << "wrote BENCH_fabric_observability.json\n";
+
+  // Trial fast path: fork-server vs. legacy cold start, small instances.
+  // The mode column shows what the supervisor resolved the fast path to —
+  // "warm" for resettable workloads, "template" otherwise.
+  util::Table fastpath("Trial fast path (fork-server) vs legacy cold start");
+  fastpath.set_header({"benchmark", "mode", "legacy trials/s",
+                       "fast trials/s", "speedup"});
+  const int kFastpathReps =
+      static_cast<int>(bench::env_size("PHIFI_TRIALS", 48));
+  util::json::Value fastpath_points = util::json::Value::array();
+  for (const FastpathWorkload& wl : kFastpathWorkloads) {
+    const double legacy = fastpath_trials_per_sec(
+        wl.factory, /*fast=*/false, kFastpathReps, nullptr);
+    std::string mode;
+    const double fast = fastpath_trials_per_sec(wl.factory, /*fast=*/true,
+                                                kFastpathReps, &mode);
+    const double speedup = legacy > 0.0 ? fast / legacy : 0.0;
+    fastpath.add_row({wl.name, mode, util::fmt(legacy, 0),
+                      util::fmt(fast, 0), util::fmt(speedup, 2) + "x"});
+
+    util::json::Value point = util::json::Value::object();
+    point["workload"] = wl.name;
+    point["fork_mode"] = mode;
+    point["trials_per_sec_legacy"] = legacy;
+    point["trials_per_sec_fast"] = fast;
+    point["speedup"] = speedup;
+    fastpath_points.push_back(std::move(point));
+  }
+  bench::print_table(fastpath);
+
+  util::json::Value fastpath_doc = util::json::Value::object();
+  fastpath_doc["bench"] = "sec5_trial_fastpath";
+  fastpath_doc["trials"] = static_cast<std::uint64_t>(kFastpathReps);
+  fastpath_doc["points"] = std::move(fastpath_points);
+  {
+    std::ofstream out("BENCH_fastpath.json", std::ios::trunc);
+    out << fastpath_doc.dump() << "\n";
+  }
+  std::cout << "wrote BENCH_fastpath.json\n";
   return 0;
 }

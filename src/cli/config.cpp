@@ -86,6 +86,7 @@ fi::SupervisorConfig RunnerConfig::supervisor_config() const {
   config.child_cpu_seconds = child_cpu_seconds;
   config.heartbeat_divisions = heartbeat_divisions;
   config.stall_timeout_seconds = stall_timeout_seconds;
+  config.trial_fast_path = trial_fast_path;
   return config;
 }
 
@@ -242,6 +243,10 @@ RunnerConfig parse_config(std::istream& is) {
           static_cast<unsigned>(parse_u64(line_number, value));
     } else if (key == "stall_timeout_seconds") {
       config.stall_timeout_seconds = parse_double(line_number, value);
+    } else if (key == "trial_fast_path") {
+      if (value == "true") config.trial_fast_path = true;
+      else if (value == "false") config.trial_fast_path = false;
+      else fail(line_number, "trial_fast_path must be 'true' or 'false'");
     } else if (key == "max_consecutive_failures") {
       config.max_consecutive_failures = parse_u64(line_number, value);
     } else if (key == "fabric_listen") {
@@ -364,6 +369,8 @@ std::string format_config(const RunnerConfig& config) {
      << "child_cpu_seconds = " << config.child_cpu_seconds << "\n"
      << "heartbeat_divisions = " << config.heartbeat_divisions << "\n"
      << "stall_timeout_seconds = " << config.stall_timeout_seconds << "\n"
+     << "trial_fast_path = " << (config.trial_fast_path ? "true" : "false")
+     << "\n"
      << "max_consecutive_failures = " << config.max_consecutive_failures
      << "\n";
   if (!config.fabric_listen.empty()) {

@@ -78,6 +78,10 @@ struct RunnerConfig {
   unsigned child_cpu_seconds = 0;          ///< 0 = unlimited
   unsigned heartbeat_divisions = 16;       ///< 0 = heartbeat off
   double stall_timeout_seconds = 0.0;      ///< 0 = no early stall kill
+  /// Fork-server trial fast path (--trial-fast-path / `trial_fast_path`):
+  /// setup amortized across trials, golden shared via a sealed read-only
+  /// mapping. Tallies are bit-identical to the legacy path.
+  bool trial_fast_path = false;
 
   // Campaign failure handling.
   std::size_t max_consecutive_failures = 5;

@@ -292,8 +292,37 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
   fi::SupervisorConfig supervisor_config = config.supervisor_config();
   if (telemetry_on) supervisor_config.metrics = &metrics;
   fi::TrialSupervisor supervisor(factory, supervisor_config);
-  supervisor.prepare_golden();
-  if (telemetry_on) {
+
+  // Satellite of the trial fast path: a restarted fabric worker whose shard
+  // journal already records this exact campaign's golden digest adopts it
+  // and skips the golden re-run — on wide fleets the per-worker golden run
+  // is pure duplicated work.
+  bool adopted_golden = false;
+  if (config.trial_fast_path && !config.fabric_connect.empty() &&
+      !config.fabric_shard.empty()) {
+    try {
+      const fi::JournalContents shard = fi::read_journal(config.fabric_shard);
+      const auto probe = factory();
+      const std::uint64_t fingerprint = fi::campaign_fingerprint(
+          config.campaign_config(), probe->name(), probe->time_windows());
+      if (shard.header.fingerprint == fingerprint &&
+          shard.header.golden_digest != 0 &&
+          shard.header.golden_output_bytes != 0) {
+        supervisor.adopt_golden(shard.header.golden_digest,
+                                shard.header.golden_output_bytes,
+                                shard.header.golden_seconds);
+        adopted_golden = true;
+      }
+    } catch (const std::runtime_error&) {
+      // No shard yet (fresh worker) or an unreadable one: the normal golden
+      // run below covers both, and open_shard() reports torn/mismatched
+      // journals with full context.
+    }
+  }
+  if (!adopted_golden) supervisor.prepare_golden();
+  if (telemetry_on && !adopted_golden) {
+    // An adopting supervisor never ran the golden in-process, so there are
+    // no device counters to export.
     export_golden_counters(metrics, supervisor.golden_counters(),
                            supervisor.golden_seconds());
   }

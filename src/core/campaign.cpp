@@ -40,6 +40,9 @@ telemetry::TrialTrace make_trial_trace(const TrialResult& trial,
   t.seconds = trial.seconds;
   t.heartbeats = trial.heartbeats;
   t.escalated_kill = trial.escalated_kill;
+  t.fork_mode = std::string(to_string(trial.fork_mode));
+  t.fork_seconds = trial.fork_done_seconds;
+  t.setup_skipped = trial.setup_skipped;
   t.ts_ms = ts_ms;
   t.spans.push_back({"fork", 0.0, trial.fork_done_seconds * 1e3});
   t.spans.push_back(
@@ -323,6 +326,9 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
       header.fingerprint = fingerprint;
       header.time_windows = result.time_windows;
       header.workload = result.workload;
+      header.golden_digest = supervisor_->golden_digest();
+      header.golden_seconds = supervisor_->golden_seconds();
+      header.golden_output_bytes = supervisor_->golden_output_bytes();
       journal = std::make_unique<CampaignJournalWriter>(
           config_.journal_path, header, config_.journal_fsync,
           config_.journal_batch);
@@ -502,7 +508,7 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
     // proves the fork machinery works again.
     std::vector<SlotCompletion> done = supervisor_->poll_slots();
     if (done.empty()) {
-      std::this_thread::sleep_for(supervisor_->next_poll_delay());
+      supervisor_->wait_for_completion();
       continue;
     }
     consecutive_failures = 0;
@@ -723,7 +729,7 @@ RangeResult Campaign::run_range(std::uint64_t begin, std::uint64_t end,
     // (5) Reap: buffer completions for the commit point.
     std::vector<SlotCompletion> done = supervisor_->poll_slots();
     if (done.empty()) {
-      std::this_thread::sleep_for(supervisor_->next_poll_delay());
+      supervisor_->wait_for_completion();
       continue;
     }
     consecutive_failures = 0;

@@ -157,6 +157,9 @@ std::vector<std::uint8_t> serialize_header(const JournalHeader& header) {
   put_u32(out, static_cast<std::uint32_t>(header.workload.size()));
   put_bytes(out, header.workload.data(), header.workload.size());
   put_u64(out, header.run_id);
+  put_u64(out, header.golden_digest);
+  put_f64(out, header.golden_seconds);
+  put_u64(out, header.golden_output_bytes);
   return out;
 }
 
@@ -329,6 +332,12 @@ JournalContents read_journal(const std::string& path) {
     c.bytes(contents.header.workload.data(), name_len);
     // Journals written before the observability plane end here.
     if (!c.exhausted()) contents.header.run_id = c.u64();
+    // ... and those written before the trial fast path end here.
+    if (!c.exhausted()) {
+      contents.header.golden_digest = c.u64();
+      contents.header.golden_seconds = c.f64();
+      contents.header.golden_output_bytes = c.u64();
+    }
   }
   pos = next;
 

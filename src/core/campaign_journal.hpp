@@ -16,6 +16,9 @@
 //     header payload: u64 fingerprint, u32 time_windows,
 //                     u32 name_len, name bytes
 //                     [, u64 run_id — absent in pre-observability journals]
+//                     [, u64 golden_digest, f64 golden_seconds,
+//                        u64 golden_output_bytes — absent in pre-fast-path
+//                        journals]
 //   repeated records, each:
 //   u32 payload_size | record payload | u32 crc32(record payload)
 //     record payload: u64 attempt_index + the flattened TrialResult
@@ -57,6 +60,16 @@ struct JournalHeader {
   /// of the fingerprint: re-running the same configuration is the same
   /// campaign under a new run id.
   std::uint64_t run_id = 0;
+  /// Golden-run identity of the campaign that wrote this journal: FNV-1a 64
+  /// digest of the golden output, its wall-clock seconds and byte count.
+  /// All zero when unknown (old journals, or a writer without the fast
+  /// path). A fast-path resume whose fingerprint matches can adopt these
+  /// via TrialSupervisor::adopt_golden() and skip the golden re-run
+  /// entirely. Not fingerprinted: the digest is derived state, not
+  /// configuration.
+  std::uint64_t golden_digest = 0;
+  double golden_seconds = 0.0;
+  std::uint64_t golden_output_bytes = 0;
 };
 
 /// One journaled trial attempt. NotInjected attempts are journaled too:

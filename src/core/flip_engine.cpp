@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cstring>
-#include <vector>
 
 namespace phifi::fi {
 
@@ -14,12 +13,23 @@ void copy_truncated(char* dst, std::size_t dst_size, const std::string& src) {
 }
 }  // namespace
 
+util::BumpArena& FlipEngine::scratch() {
+  if (arena_ == nullptr) {
+    // Worst case per selection: one index list over every site plus one
+    // weight per site, together at most once each per inject().
+    arena_ = std::make_unique<util::BumpArena>(
+        registry_->size() * (sizeof(std::size_t) + sizeof(double)) + 64);
+  }
+  return *arena_;
+}
+
 InjectionRecord FlipEngine::inject(FaultModel model, util::Rng& rng,
                                    double progress_fraction, unsigned burst) {
   InjectionRecord record;
   record.model = model;
   record.progress_fraction = progress_fraction;
   if (registry_->size() == 0) return record;
+  scratch().rewind();
 
   const std::size_t site_index = select_site(rng);
   const InjectionSite& site = registry_->site(site_index);
@@ -48,7 +58,7 @@ InjectionRecord FlipEngine::inject(FaultModel model, util::Rng& rng,
   return record;
 }
 
-std::size_t FlipEngine::select_site(util::Rng& rng) const {
+std::size_t FlipEngine::select_site(util::Rng& rng) {
   switch (policy_) {
     case SelectionPolicy::kCarolFi: return select_carol_fi(rng);
     case SelectionPolicy::kBytesWeighted: return select_bytes_weighted(rng);
@@ -59,17 +69,20 @@ std::size_t FlipEngine::select_site(util::Rng& rng) const {
   return 0;
 }
 
-std::size_t FlipEngine::select_carol_fi(util::Rng& rng) const {
+std::size_t FlipEngine::select_carol_fi(util::Rng& rng) {
   const std::size_t workers = registry_->worker_frame_count();
   // Pick a thread; every thread's call stack ends at the outer frame with
   // the globals, so each pick offers two frames: thread-local and global.
-  std::vector<std::size_t> frame;
+  const auto indices = scratch().allocate_span<std::size_t>(registry_->size());
+  std::span<const std::size_t> frame;
   if (workers > 0 && rng.bernoulli(0.5)) {
     const int worker = static_cast<int>(rng.below(workers));
-    frame = registry_->frame_sites(FrameKind::kWorker, worker);
+    frame = indices.first(
+        registry_->frame_sites_into(FrameKind::kWorker, worker, indices));
   }
   if (frame.empty()) {
-    frame = registry_->frame_sites(FrameKind::kGlobal);
+    frame = indices.first(
+        registry_->frame_sites_into(FrameKind::kGlobal, -1, indices));
   }
   if (frame.empty()) {
     // Degenerate registry (e.g. worker frames only): fall back to anything.
@@ -85,31 +98,32 @@ std::size_t FlipEngine::select_carol_fi(util::Rng& rng) const {
   if (rng.bernoulli(0.5)) {
     return frame[rng.below(frame.size())];
   }
-  std::vector<double> weights;
-  weights.reserve(frame.size());
-  for (std::size_t index : frame) {
-    weights.push_back(static_cast<double>(registry_->site(index).bytes));
+  const auto weights = scratch().allocate_span<double>(frame.size());
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    weights[i] = static_cast<double>(registry_->site(frame[i]).bytes);
   }
   return frame[rng.weighted_index(weights)];
 }
 
 std::size_t FlipEngine::select_bytes_weighted(util::Rng& rng,
-                                              bool global_only) const {
-  std::vector<double> weights;
-  weights.reserve(registry_->size());
+                                              bool global_only) {
+  const auto weights = scratch().allocate_span<double>(registry_->size());
+  std::size_t i = 0;
   for (const InjectionSite& site : registry_->sites()) {
     const bool eligible =
         !global_only || site.frame == FrameKind::kGlobal;
-    weights.push_back(eligible ? static_cast<double>(site.bytes) : 0.0);
+    weights[i++] = eligible ? static_cast<double>(site.bytes) : 0.0;
   }
   return rng.weighted_index(weights);
 }
 
-std::size_t FlipEngine::select_worker_frame(util::Rng& rng) const {
+std::size_t FlipEngine::select_worker_frame(util::Rng& rng) {
   const std::size_t workers = registry_->worker_frame_count();
   if (workers == 0) return select_bytes_weighted(rng);
   const int worker = static_cast<int>(rng.below(workers));
-  const auto frame = registry_->frame_sites(FrameKind::kWorker, worker);
+  const auto indices = scratch().allocate_span<std::size_t>(registry_->size());
+  const auto frame = indices.first(
+      registry_->frame_sites_into(FrameKind::kWorker, worker, indices));
   if (frame.empty()) return select_bytes_weighted(rng);
   return frame[rng.below(frame.size())];
 }

@@ -2,9 +2,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "core/fault_model.hpp"
 #include "core/injection_site.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace phifi::fi {
@@ -73,14 +75,20 @@ class FlipEngine {
                          double progress_fraction, unsigned burst = 1);
 
  private:
-  std::size_t select_site(util::Rng& rng) const;
-  std::size_t select_carol_fi(util::Rng& rng) const;
-  std::size_t select_bytes_weighted(util::Rng& rng,
-                                    bool global_only = false) const;
-  std::size_t select_worker_frame(util::Rng& rng) const;
+  std::size_t select_site(util::Rng& rng);
+  std::size_t select_carol_fi(util::Rng& rng);
+  std::size_t select_bytes_weighted(util::Rng& rng, bool global_only = false);
+  std::size_t select_worker_frame(util::Rng& rng);
+
+  /// Scratch for the selection paths (frame index lists, weight tables) —
+  /// rewound per inject() so selection never touches the heap after the
+  /// first injection. Sized for the worst case, so allocate_span cannot
+  /// fail mid-selection once created.
+  util::BumpArena& scratch();
 
   const SiteRegistry* registry_;
   SelectionPolicy policy_;
+  std::unique_ptr<util::BumpArena> arena_;
 };
 
 }  // namespace phifi::fi

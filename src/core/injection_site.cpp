@@ -56,6 +56,18 @@ std::vector<std::size_t> SiteRegistry::frame_sites(FrameKind frame,
   return indices;
 }
 
+std::size_t SiteRegistry::frame_sites_into(FrameKind frame, int worker,
+                                           std::span<std::size_t> out) const {
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < sites_.size() && count < out.size(); ++i) {
+    const auto& site = sites_[i];
+    if (site.frame != frame) continue;
+    if (frame == FrameKind::kWorker && site.worker != worker) continue;
+    out[count++] = i;
+  }
+  return count;
+}
+
 std::size_t SiteRegistry::total_bytes() const {
   std::size_t total = 0;
   for (const auto& site : sites_) total += site.bytes;

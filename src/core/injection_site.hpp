@@ -83,6 +83,12 @@ class SiteRegistry {
   [[nodiscard]] std::vector<std::size_t> frame_sites(FrameKind frame,
                                                      int worker = -1) const;
 
+  /// Allocation-free variant for the trial hot loop: writes matching site
+  /// indices into `out` (sized >= size()) and returns how many were
+  /// written. Selection order matches frame_sites().
+  std::size_t frame_sites_into(FrameKind frame, int worker,
+                               std::span<std::size_t> out) const;
+
   /// Total registered bytes (for bytes-weighted selection).
   [[nodiscard]] std::size_t total_bytes() const;
 

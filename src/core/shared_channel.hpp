@@ -35,7 +35,7 @@ inline constexpr std::size_t kShmMaxPhases = 32;
 /// trial communicate through. Namespace-scope (not a private nested type)
 /// so the phicheck-generated layout asserts can name it; nothing outside
 /// SharedChannel should touch it.
-// phicheck:shm-pod phifi::fi::ShmHeader size=1464 atomic
+// phicheck:shm-pod phifi::fi::ShmHeader size=1544 atomic
 struct ShmHeader {
   std::atomic<std::uint32_t> record_ready;
   std::atomic<std::uint32_t> output_ready;
@@ -44,6 +44,45 @@ struct ShmHeader {
   PhaseRecord phases[kShmMaxPhases];
   std::uint64_t output_size;
   InjectionRecord record;
+  // ---- fork-server extension (trial fast path) ----
+  // Child-side classification verdict: set once the trial child compared
+  // its output against the shared golden mapping (or digest).
+  std::atomic<std::uint32_t> verdict_ready;
+  // Template-side completion: the template reaped its grandchild and
+  // published the wait status (the campaign parent cannot waitpid a
+  // grandchild).
+  std::atomic<std::uint32_t> status_ready;
+  // Parent->template command handshake: the command fields below are
+  // published under cmd_ready before the wake byte is written to the pipe.
+  std::atomic<std::uint32_t> cmd_ready;
+  // Grandchild pid, published by the template right after its fork so the
+  // watchdog can signal the trial process directly.
+  std::atomic<std::int32_t> child_pid;
+  std::uint32_t verdict;       ///< 1 = output matches golden (Masked)
+  std::int32_t child_status;   ///< grandchild waitpid status
+  std::uint32_t trial_valid;   ///< command carries an injected-trial config
+  std::uint32_t trial_model;
+  std::uint32_t trial_policy;
+  std::uint32_t trial_burst;
+  std::uint64_t output_digest;  ///< FNV-1a 64 of the child's output bytes
+  std::uint64_t trial_seed;
+  double trial_earliest;
+  double trial_latest;
+  /// One-time workload setup cost in the template, for trial telemetry.
+  /// Written once by the template, never cleared by reset().
+  double template_setup_seconds;
+};
+
+/// Mirror of the supervisor's TrialConfig for the template command block
+/// (the channel layer deliberately knows nothing about supervisor types).
+struct TrialCommand {
+  bool injected = false;  ///< false = clean (golden-comparison) trial
+  std::uint64_t trial_seed = 0;
+  std::uint32_t model = 0;
+  std::uint32_t policy = 0;
+  std::uint32_t burst = 1;
+  double earliest_fraction = 0.0;
+  double latest_fraction = 0.0;
 };
 
 class SharedChannel {
@@ -76,7 +115,43 @@ class SharedChannel {
   /// and a corrupted child looping on enter_phase must not wedge anything.
   void store_phase(std::string_view name, double fraction, double t_seconds);
 
+  /// Fast path: publishes the child-side classification verdict. Masked
+  /// trials ship only this (zero output bytes cross the channel); SDC
+  /// trials additionally store_output() so the parent can analyze the
+  /// corrupted bytes.
+  void store_verdict(bool matches_golden, std::uint64_t digest);
+
+  // ---- template (fork-server) side ----
+
+  /// Reads the trial command published by store_command(). Called after
+  /// the wake byte arrives on the command pipe.
+  [[nodiscard]] TrialCommand load_command() const;
+
+  /// Publishes the freshly forked grandchild's pid for the watchdog.
+  void publish_child(std::int32_t pid);
+
+  /// Publishes the grandchild's reaped wait status; this is the parent's
+  /// completion signal for template-mode trials.
+  void publish_status(std::int32_t status);
+
+  /// Records the template's one-time workload setup cost (never cleared
+  /// by reset(); written before the first publish_status()).
+  void store_template_setup_seconds(double seconds);
+
   // ---- parent side ----
+
+  /// Publishes the next trial command for the template, then returns;
+  /// the caller wakes the template through the command pipe.
+  void store_command(const TrialCommand& command);
+
+  [[nodiscard]] bool verdict_ready() const;
+  /// Valid only when verdict_ready(): did the output match the golden?
+  [[nodiscard]] bool verdict_matches() const;
+  [[nodiscard]] std::uint64_t output_digest() const;
+  [[nodiscard]] bool status_ready() const;
+  [[nodiscard]] std::int32_t child_status() const;
+  [[nodiscard]] std::int32_t child_pid() const;
+  [[nodiscard]] double template_setup_seconds() const;
 
   [[nodiscard]] std::uint64_t heartbeat() const;
   [[nodiscard]] bool output_ready() const;

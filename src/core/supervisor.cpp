@@ -1,8 +1,10 @@
 #include "core/supervisor.hpp"
 
 #include <cerrno>
+#include <poll.h>
 #include <signal.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -17,6 +19,7 @@
 #include <thread>
 
 #include "util/log.hpp"
+#include "util/posix_io.hpp"
 
 namespace phifi::fi {
 
@@ -27,6 +30,21 @@ using Clock = std::chrono::steady_clock;
 /// Child exit code for an allocation failure under the address-space rlimit
 /// (distinct from the generic uncaught-exception code 3).
 constexpr int kChildExitRlimit = 4;
+
+/// Template (fork-server) exit codes: fork of a trial grandchild failed /
+/// waitpid on the grandchild failed. Either way the parent respawns it.
+constexpr int kTemplateExitForkFailed = 5;
+constexpr int kTemplateExitWaitFailed = 6;
+
+/// A template that keeps dying this many times over one trial points at a
+/// systemic problem (OOM killer, broken workload setup); give up loudly
+/// rather than spin on respawns.
+constexpr unsigned kMaxTemplateRespawns = 3;
+
+/// Upper bound on one wait_for_completion() block. Completion itself wakes
+/// the poll() instantly via an event fd; the tick only paces watchdog
+/// bookkeeping (deadlines, stall detection), whose thresholds are seconds.
+constexpr int kWatchdogTickMs = 10;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -69,11 +87,12 @@ bool kill_with_escalation(pid_t pid, double grace_seconds, int* status) {
 /// the legacy fixed 200µs poll, so reap latency stays bounded by the same
 /// constant while long trials cost orders of magnitude fewer wakeups.
 std::chrono::microseconds adaptive_poll_interval(double elapsed,
-                                                 double expected) {
+                                                 double expected,
+                                                 long min_floor_us) {
   using std::chrono::microseconds;
-  if (expected <= 0.0) return microseconds(200);
+  if (expected <= 0.0) return microseconds(min_floor_us);
   const long floor_us = std::clamp(
-      static_cast<long>(expected * 1e6 / 20.0), 200L, 1000L);
+      static_cast<long>(expected * 1e6 / 20.0), min_floor_us, 1000L);
   if (elapsed < 0.8 * expected) {
     const double gap = 0.8 * expected - elapsed;
     const auto us = static_cast<long>(gap * 1e6 / 2.0);
@@ -83,6 +102,40 @@ std::chrono::microseconds adaptive_poll_interval(double elapsed,
   // Hang territory: completion is unlikely to be imminent, and kill
   // decisions tolerate ms-scale latency.
   return microseconds(std::max(floor_us, 1000L));
+}
+
+/// Flattens a TrialConfig into the POD command block the template loads
+/// from shared memory. nullptr = clean (uninjected) trial.
+TrialCommand to_command(const TrialConfig* config) {
+  TrialCommand command;
+  if (config == nullptr) return command;
+  command.injected = true;
+  command.trial_seed = config->trial_seed;
+  command.model = static_cast<std::uint32_t>(config->model);
+  command.policy = static_cast<std::uint32_t>(config->policy);
+  command.burst = config->burst_elements;
+  command.earliest_fraction = config->earliest_fraction;
+  command.latest_fraction = config->latest_fraction;
+  return command;
+}
+
+/// Wakes a template blocked on its command pipe. MSG_NOSIGNAL turns a dead
+/// template into EPIPE instead of a campaign-killing SIGPIPE. Returns false
+/// when the template is gone.
+bool wake_template_fd(int fd) {
+  const std::byte wake{1};
+  return util::io::send_some(fd, &wake, 1, MSG_NOSIGNAL) == 1;
+}
+
+/// Busy-waits (1ms naps, bounded) until a pid no longer exists. Used on
+/// orphaned grandchildren after SIGKILL: they reparent to init, so waitpid
+/// cannot observe them, but no verdict/heartbeat write can land after the
+/// process is gone.
+void wait_pid_gone(pid_t pid, double timeout_seconds) {
+  const auto start = Clock::now();
+  while (::kill(pid, 0) == 0 && seconds_since(start) < timeout_seconds) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
 }
 
 }  // namespace
@@ -97,6 +150,7 @@ TrialSupervisor::~TrialSupervisor() {
   // Never leave orphaned trial children behind: a campaign that throws
   // mid-flight still reaps on unwind.
   kill_active_slots();
+  shutdown_templates();
 }
 
 void TrialSupervisor::prepare_golden() {
@@ -121,17 +175,71 @@ void TrialSupervisor::prepare_golden() {
   type_ = workload->output_type();
   windows_ = workload->time_windows();
   name_ = workload->name();
+  output_capacity_ = golden_.size();
+  // Digested on both paths: the journal header records it so a later
+  // fast-path resume can adopt the golden without re-running it.
+  golden_digest_ = fnv1a64(golden_);
+  if (config_.trial_fast_path) {
+    // Publish the golden once into a sealed read-only mapping every trial
+    // child inherits, then pick the fork flavor: a workload that can
+    // restore its post-setup image in place stays warm in this process and
+    // trials fork straight from it; otherwise a per-slot template process
+    // pays setup once and re-forks grandchildren.
+    golden_map_.publish(golden_);
+    if (workload->reset()) {
+      resolved_mode_ = ForkMode::kWarm;
+      warm_workload_ = std::move(workload);
+      warm_workload_->register_sites(warm_registry_);
+    } else {
+      resolved_mode_ = ForkMode::kTemplate;
+    }
+  }
   prepared_ = true;
   ensure_slots(1);
   util::log_info() << name_ << ": golden run " << golden_seconds_ << "s, "
-                   << golden_.size() << " output bytes";
+                   << golden_.size() << " output bytes"
+                   << (config_.trial_fast_path
+                           ? (resolved_mode_ == ForkMode::kWarm
+                                  ? " (fast path: warm re-fork)"
+                                  : " (fast path: fork-server templates)")
+                           : "");
+}
+
+void TrialSupervisor::adopt_golden(std::uint64_t digest,
+                                   std::uint64_t output_bytes,
+                                   double golden_seconds) {
+  if (!config_.trial_fast_path) {
+    throw std::runtime_error(
+        "TrialSupervisor: adopt_golden requires the trial fast path");
+  }
+  if (digest == 0 || output_bytes == 0) {
+    throw std::runtime_error("TrialSupervisor: cannot adopt an empty golden");
+  }
+  // Output metadata comes from a setup-less instance: shape, type, windows
+  // and name are structural workload properties, fixed at construction.
+  auto workload = factory_();
+  shape_ = workload->output_shape();
+  type_ = workload->output_type();
+  windows_ = workload->time_windows();
+  name_ = workload->name();
+  golden_digest_ = digest;
+  output_capacity_ = output_bytes;
+  golden_seconds_ = golden_seconds;  // preserves the watchdog deadline
+  adopted_ = true;
+  // Always template mode: there is no golden run here to leave a warm
+  // image behind, so a template must pay setup (once per slot).
+  resolved_mode_ = ForkMode::kTemplate;
+  prepared_ = true;
+  ensure_slots(1);
+  util::log_info() << name_ << ": adopted golden digest, skipped "
+                   << golden_seconds << "s golden run";
 }
 
 void TrialSupervisor::ensure_slots(unsigned count) {
   assert(prepared_ && "call prepare_golden() first");
   while (slots_.size() < count) {
     Slot slot;
-    slot.channel = std::make_unique<SharedChannel>(golden_.size());
+    slot.channel = std::make_unique<SharedChannel>(output_capacity_);
     slots_.push_back(std::move(slot));
   }
 }
@@ -156,7 +264,16 @@ std::span<const std::byte> TrialSupervisor::last_output() const {
 
 std::span<const std::byte> TrialSupervisor::slot_output(unsigned slot) const {
   assert(slot < slots_.size());
-  return slots_[slot].channel->output();
+  const auto output = slots_[slot].channel->output();
+  // Fast-path Masked trials ship zero output bytes (the verdict is enough);
+  // observers expecting the trial's output get the golden span, which is
+  // bit-identical by definition of Masked.
+  if (output.empty() && golden_map_.mapped() &&
+      slots_[slot].channel->verdict_ready() &&
+      slots_[slot].channel->verdict_matches()) {
+    return golden_map_.golden();
+  }
+  return output;
 }
 
 TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
@@ -166,7 +283,7 @@ TrialResult TrialSupervisor::run_child(const TrialConfig* config) {
   while (true) {
     std::vector<SlotCompletion> done = poll_slots();
     if (!done.empty()) return std::move(done.front().result);
-    std::this_thread::sleep_for(next_poll_delay());
+    wait_for_completion();
   }
 }
 
@@ -177,14 +294,57 @@ void TrialSupervisor::launch(unsigned slot_index, const TrialConfig* config) {
   slot.channel->reset();
   SharedChannel* channel = slot.channel.get();
   const auto start = Clock::now();
-  const pid_t pid = ::fork();
-  if (pid < 0) {
-    throw std::runtime_error("TrialSupervisor: fork failed");
+  slot.mode = config_.trial_fast_path ? resolved_mode_ : ForkMode::kLegacy;
+  slot.respawn_attempts = 0;
+  slot.setup_skipped = false;
+  if (slot.mode == ForkMode::kLegacy) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      throw std::runtime_error("TrialSupervisor: fork failed");
+    }
+    if (pid == 0) {
+      child_main(config, channel);  // never returns
+    }
+    slot.pid = pid;
+  } else if (slot.mode == ForkMode::kWarm) {
+    // Warm image: fork straight from this process; COW hands the child a
+    // pristine copy of the post-setup workload and the site registry
+    // pointing into it. No factory, setup or registration in the child.
+    const TrialCommand command = to_command(config);
+    Workload& workload = *warm_workload_;
+    SiteRegistry& registry = warm_registry_;
+    // Exit pipe: the child inherits the write end and never touches it, so
+    // any exit — clean, crash, or SIGKILL — closes it in the kernel and the
+    // parent's read end EOFs. wait_for_completion() blocks on that instead
+    // of napping on a timer, which both removes reap latency and keeps the
+    // parent truly idle (off-CPU) while the child computes.
+    int exit_pipe[2] = {-1, -1};
+    if (::pipe(exit_pipe) != 0) {
+      throw std::runtime_error("TrialSupervisor: pipe failed");
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(exit_pipe[0]);
+      ::close(exit_pipe[1]);
+      throw std::runtime_error("TrialSupervisor: fork failed");
+    }
+    if (pid == 0) {
+      fast_trial_main(workload, registry, command, channel);  // never returns
+    }
+    ::close(exit_pipe[1]);
+    slot.exit_fd = exit_pipe[0];
+    slot.pid = pid;
+    slot.setup_skipped = true;
+  } else {
+    // Template mode: hand the command to the slot's fork server (spawning
+    // it first if needed) and let it re-fork the trial grandchild. The
+    // grandchild is not our waitpid child; completion arrives through the
+    // channel's status_ready flag.
+    slot.pending = to_command(config);
+    slot.setup_skipped = slot.template_pid > 0;
+    dispatch_pending(slot_index);
+    slot.pid = -1;
   }
-  if (pid == 0) {
-    child_main(config, channel);  // never returns
-  }
-  slot.pid = pid;
   slot.active = true;
   slot.injected = config != nullptr;
   slot.start = start;
@@ -194,6 +354,55 @@ void TrialSupervisor::launch(unsigned slot_index, const TrialConfig* config) {
   slot.last_beat_time = start;
   slot.last_poll_time = start;
   ++active_count_;
+}
+
+void TrialSupervisor::spawn_template(unsigned slot_index) {
+  Slot& slot = slots_[slot_index];
+  if (slot.cmd_fd >= 0) {
+    // Stale pipe from a dead template; a fresh socketpair guarantees no
+    // queued wake bytes survive into the new process.
+    ::close(slot.cmd_fd);
+    slot.cmd_fd = -1;
+  }
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    throw std::runtime_error("TrialSupervisor: socketpair failed");
+  }
+  SharedChannel* channel = slot.channel.get();
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    throw std::runtime_error("TrialSupervisor: template fork failed");
+  }
+  if (pid == 0) {
+    template_main(channel, fds[1], fds[0]);  // never returns
+  }
+  ::close(fds[1]);
+  slot.cmd_fd = fds[0];
+  slot.template_pid = pid;
+}
+
+void TrialSupervisor::dispatch_pending(unsigned slot_index) {
+  Slot& slot = slots_[slot_index];
+  unsigned attempts = 0;
+  while (true) {
+    if (slot.template_pid < 0) {
+      spawn_template(slot_index);
+      slot.setup_skipped = false;  // this trial pays the template's setup
+    }
+    slot.channel->store_command(slot.pending);
+    if (wake_template_fd(slot.cmd_fd)) return;
+    // The template died between spawn and wake (EPIPE): reap and retry.
+    int status = 0;
+    (void)waitpid_eintr(slot.template_pid, &status, 0);
+    slot.template_pid = -1;
+    ++template_respawns_;
+    if (++attempts >= kMaxTemplateRespawns) {
+      throw std::runtime_error(
+          "TrialSupervisor: template process keeps dying at startup");
+    }
+  }
 }
 
 void TrialSupervisor::start_trial(unsigned slot, const TrialConfig& config) {
@@ -217,6 +426,16 @@ std::vector<SlotCompletion> TrialSupervisor::poll_slots() {
       if (slot.active && slot.pid == reaped) {
         done.push_back({i, finalize_slot(slot, status, DueKind::kNone,
                                          /*escalated=*/false)});
+        matched = true;
+        break;
+      }
+      if (slot.template_pid == reaped) {
+        // A fork-server died. Idle slot: just forget it (the next launch
+        // respawns). Active slot: clean up the orphaned grandchild and
+        // replay the pending command — counter-indexed seeds make the
+        // replayed trial bit-identical, so tallies are unaffected.
+        slot.template_pid = -1;
+        if (slot.active) handle_template_death(i);
         matched = true;
         break;
       }
@@ -254,6 +473,13 @@ std::vector<SlotCompletion> TrialSupervisor::poll_slots() {
     Slot& slot = slots_[i];
     if (!slot.active) continue;
     ++slot.polls;
+    // Template-mode completion: the grandchild is reaped by its template,
+    // not by us, so "done" is the template's published wait status.
+    if (slot.mode == ForkMode::kTemplate && slot.channel->status_ready()) {
+      done.push_back({i, finalize_slot(slot, slot.channel->child_status(),
+                                       DueKind::kNone, /*escalated=*/false)});
+      continue;
+    }
     const auto now = Clock::now();
     const double elapsed = seconds_since(slot.start);
     if (poll_hist != nullptr) {
@@ -288,12 +514,102 @@ std::vector<SlotCompletion> TrialSupervisor::poll_slots() {
     }
     if (killed_as != DueKind::kNone) {
       int status = 0;
-      const bool escalated =
-          kill_with_escalation(slot.pid, config_.kill_grace_seconds, &status);
-      done.push_back({i, finalize_slot(slot, status, killed_as, escalated)});
+      if (slot.mode == ForkMode::kTemplate) {
+        // Far past the hard deadline with still no grandchild pid, the
+        // template itself is wedged (e.g. workload setup hangs): take the
+        // whole subtree down instead of skipping forever.
+        const bool force =
+            elapsed > hard_deadline + std::max(1.0,
+                                               config_.kill_grace_seconds);
+        bool escalated = false;
+        if (kill_template_trial(slot, force, &status, &escalated)) {
+          done.push_back(
+              {i, finalize_slot(slot, status, killed_as, escalated)});
+        }
+      } else {
+        const bool escalated = kill_with_escalation(
+            slot.pid, config_.kill_grace_seconds, &status);
+        done.push_back({i, finalize_slot(slot, status, killed_as, escalated)});
+      }
     }
   }
   return done;
+}
+
+bool TrialSupervisor::kill_template_trial(Slot& slot, bool force, int* status,
+                                          bool* escalated) {
+  const pid_t gpid = slot.channel->child_pid();
+  if (gpid <= 0) {
+    if (!force) return false;  // template hasn't forked yet; retry next poll
+    // Wedged template, no grandchild: kill and reap the template itself.
+    if (slot.template_pid > 0) {
+      ::kill(slot.template_pid, SIGKILL);
+      int template_status = 0;
+      (void)waitpid_eintr(slot.template_pid, &template_status, 0);
+      slot.template_pid = -1;
+    }
+    *status = SIGKILL;  // raw wait status: signaled by SIGKILL
+    *escalated = true;
+    return true;
+  }
+  // Normal path: signal the grandchild and wait for the template to reap
+  // it and publish the status (SIGTERM, grace, then SIGKILL — mirroring
+  // kill_with_escalation, with status_ready standing in for waitpid).
+  ::kill(gpid, SIGTERM);
+  const auto grace_start = Clock::now();
+  while (seconds_since(grace_start) < config_.kill_grace_seconds) {
+    if (slot.channel->status_ready()) {
+      *status = slot.channel->child_status();
+      *escalated = false;
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ::kill(gpid, SIGKILL);
+  *escalated = true;
+  const auto kill_start = Clock::now();
+  const double bound = std::max(1.0, config_.kill_grace_seconds);
+  while (seconds_since(kill_start) < bound) {
+    if (slot.channel->status_ready()) {
+      *status = slot.channel->child_status();
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The grandchild is SIGKILLed but its template never published a status:
+  // the template is wedged too. Take it down and synthesize the status.
+  if (slot.template_pid > 0) {
+    ::kill(slot.template_pid, SIGKILL);
+    int template_status = 0;
+    (void)waitpid_eintr(slot.template_pid, &template_status, 0);
+    slot.template_pid = -1;
+  }
+  *status = SIGKILL;
+  return true;
+}
+
+void TrialSupervisor::handle_template_death(unsigned slot_index) {
+  Slot& slot = slots_[slot_index];
+  ++template_respawns_;
+  if (++slot.respawn_attempts > kMaxTemplateRespawns) {
+    throw std::runtime_error(
+        "TrialSupervisor: template process keeps dying mid-trial");
+  }
+  util::log_warn() << name_ << ": template for slot " << slot_index
+                   << " died mid-trial; respawning and replaying";
+  // The dead template's grandchild is now an orphan (reparented to init, so
+  // not waitpid-able here). Kill it and wait until it is truly gone before
+  // resetting the channel, so no late write races the replay.
+  const pid_t gpid = slot.channel->child_pid();
+  if (gpid > 0 && !slot.channel->status_ready()) {
+    ::kill(gpid, SIGKILL);
+    wait_pid_gone(gpid, 1.0);
+  }
+  slot.channel->reset();
+  dispatch_pending(slot_index);
+  if (config_.metrics != nullptr) {
+    config_.metrics->counter("supervisor.template_respawns").inc();
+  }
 }
 
 std::chrono::microseconds TrialSupervisor::next_poll_delay() const {
@@ -305,21 +621,130 @@ std::chrono::microseconds TrialSupervisor::next_poll_delay() const {
   for (const Slot& slot : slots_) {
     if (!slot.active) continue;
     any = true;
+    // Fast-path trials are often dominated by reap latency, so their poll
+    // floor drops from the legacy 200µs to 50µs; the cost is bounded
+    // because the adaptive schedule still backs off away from the expected
+    // completion time.
+    const long floor_us = slot.mode == ForkMode::kLegacy ? 200L : 50L;
     delay = std::min(delay, adaptive_poll_interval(seconds_since(slot.start),
-                                                   golden_seconds_));
+                                                   golden_seconds_, floor_us));
   }
   return any ? delay : std::chrono::microseconds(200);
+}
+
+void TrialSupervisor::wait_for_completion() {
+  // Gather the event fd of every active fast-path slot: warm trials EOF
+  // their exit pipe, templates send a completion byte on the command
+  // socketpair (whose closure also covers template death). Any active slot
+  // without an event fd — legacy mode — forces the sleep fallback, because
+  // poll(2) cannot express the legacy sub-ms schedule without busy-waiting.
+  struct SlotEvent {
+    pid_t hup_pid;  ///< process whose death a HUP on this fd signals
+    bool drain;     ///< template completion byte, consumed here
+  };
+  std::vector<pollfd> fds;
+  std::vector<SlotEvent> events;
+  fds.reserve(slots_.size());
+  events.reserve(slots_.size());
+  bool evented = true;
+  for (const Slot& slot : slots_) {
+    if (!slot.active) continue;
+    const bool warm = slot.mode == ForkMode::kWarm;
+    const int fd = warm                               ? slot.exit_fd
+                   : slot.mode == ForkMode::kTemplate ? slot.cmd_fd
+                                                      : -1;
+    if (fd < 0) {
+      evented = false;
+      break;
+    }
+    fds.push_back({fd, POLLIN, 0});
+    events.push_back({warm ? slot.pid : slot.template_pid, !warm});
+  }
+  if (!evented || fds.empty()) {
+    std::this_thread::sleep_for(next_poll_delay());
+    return;
+  }
+  const int ready = util::io::poll_retry(
+      fds.data(), static_cast<nfds_t>(fds.size()), kWatchdogTickMs);
+  if (ready <= 0) return;  // watchdog tick: caller re-polls slots
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLHUP | POLLERR)) != 0 && events[i].hup_pid > 0) {
+      // HUP means every write end is gone: the process is past the point of
+      // running user code but may not be a zombie yet. Parking in a WNOWAIT
+      // waitid hands it the CPU to finish dying — a single-core machine
+      // would otherwise spin instantly-ready poll() against WNOHANG-empty
+      // waitpid for a scheduler slice — while leaving the zombie for
+      // poll_slots()'s reap pass.
+      siginfo_t info;
+      std::memset(&info, 0, sizeof(info));
+      (void)::waitid(P_PID, static_cast<id_t>(events[i].hup_pid), &info,
+                     WEXITED | WNOWAIT);
+    } else if (events[i].drain && (fds[i].revents & POLLIN) != 0) {
+      // Drain completion bytes so a byte observed after its trial was
+      // already finalized via the channel flag cannot accumulate into a
+      // stream of spurious instant wakes.
+      std::byte consumed;
+      (void)util::io::recv_some(fds[i].fd, &consumed, 1, MSG_DONTWAIT);
+    }
+  }
 }
 
 void TrialSupervisor::kill_active_slots() {
   for (Slot& slot : slots_) {
     if (!slot.active) continue;
-    ::kill(slot.pid, SIGKILL);
-    int status = 0;
-    (void)waitpid_eintr(slot.pid, &status, 0);
+    if (slot.mode == ForkMode::kTemplate) {
+      // Cancel by killing the whole template subtree: the simplest way to
+      // guarantee no queued wake byte, in-flight command, or late status
+      // publish leaks into the slot's next trial. The next launch pays one
+      // template respawn — cancels only happen at the campaign finish line.
+      if (slot.template_pid > 0) {
+        ::kill(slot.template_pid, SIGKILL);
+        int status = 0;
+        (void)waitpid_eintr(slot.template_pid, &status, 0);
+        slot.template_pid = -1;
+      }
+      if (slot.cmd_fd >= 0) {
+        ::close(slot.cmd_fd);
+        slot.cmd_fd = -1;
+      }
+      const pid_t gpid = slot.channel->child_pid();
+      if (gpid > 0 && !slot.channel->status_ready()) {
+        ::kill(gpid, SIGKILL);
+        wait_pid_gone(gpid, 1.0);
+      }
+    } else if (slot.pid > 0) {
+      ::kill(slot.pid, SIGKILL);
+      int status = 0;
+      (void)waitpid_eintr(slot.pid, &status, 0);
+    }
+    if (slot.exit_fd >= 0) {
+      ::close(slot.exit_fd);
+      slot.exit_fd = -1;
+    }
     slot.active = false;
     slot.pid = -1;
     --active_count_;
+  }
+}
+
+void TrialSupervisor::shutdown_templates() {
+  assert(active_count_ == 0 && "shutdown_templates with trials in flight");
+  // Closing the parent end of the command pipe EOFs the template's blocking
+  // read; it _exit(0)s and we reap it. Close ALL pipe ends first: a
+  // template spawned later inherits the parent ends of earlier slots, so
+  // EOF delivery can cascade in reverse spawn order.
+  for (Slot& slot : slots_) {
+    if (slot.cmd_fd >= 0) {
+      ::close(slot.cmd_fd);
+      slot.cmd_fd = -1;
+    }
+  }
+  for (Slot& slot : slots_) {
+    if (slot.template_pid > 0) {
+      int status = 0;
+      (void)waitpid_eintr(slot.template_pid, &status, 0);
+      slot.template_pid = -1;
+    }
   }
 }
 
@@ -333,6 +758,8 @@ TrialResult TrialSupervisor::finalize_slot(Slot& slot, int status,
   result.polls = slot.polls;
   result.heartbeats = slot.channel->heartbeat();
   result.escalated_kill = escalated;
+  result.fork_mode = slot.mode;
+  result.setup_skipped = slot.setup_skipped;
   result.phases = slot.channel->phases();
   if (slot.channel->record_ready()) result.record = slot.channel->record();
   result.window = windows_ == 0
@@ -353,7 +780,9 @@ TrialResult TrialSupervisor::finalize_slot(Slot& slot, int status,
     result.outcome = Outcome::kDue;
     result.due_kind = DueKind::kRlimit;
   } else if (!WIFEXITED(status) || WEXITSTATUS(status) != 0 ||
-             !slot.channel->output_ready()) {
+             (slot.mode == ForkMode::kLegacy
+                  ? !slot.channel->output_ready()
+                  : !slot.channel->verdict_ready())) {
     result.outcome = Outcome::kDue;
     result.due_kind = DueKind::kAbnormalExit;
   } else if (slot.injected && !result.record.injected) {
@@ -361,6 +790,11 @@ TrialResult TrialSupervisor::finalize_slot(Slot& slot, int status,
     // armed fraction (shouldn't happen with finish()-backstop, but stay
     // honest if it does).
     result.outcome = Outcome::kNotInjected;
+  } else if (slot.mode != ForkMode::kLegacy) {
+    // Fast path: the child already classified against the shared golden
+    // mapping (or its digest) and shipped only the verdict.
+    result.outcome = slot.channel->verdict_matches() ? Outcome::kMasked
+                                                     : Outcome::kSdc;
   } else {
     // Clean exit: classify by comparing against the golden copy.
     const auto output = slot.channel->output();
@@ -371,8 +805,15 @@ TrialResult TrialSupervisor::finalize_slot(Slot& slot, int status,
   }
   result.classified_seconds = seconds_since(slot.start);
 
+  if (slot.exit_fd >= 0) {
+    ::close(slot.exit_fd);
+    slot.exit_fd = -1;
+  }
   slot.active = false;
   slot.pid = -1;
+  slot.respawn_attempts = 0;
+  // slot.template_pid deliberately survives: the fork server outlives the
+  // trials it ran and keeps serving this slot.
   --active_count_;
 
   if (config_.metrics != nullptr && escalated) {
@@ -471,6 +912,153 @@ void TrialSupervisor::child_main(const TrialConfig* config,
     progress.finish();
 
     channel->store_output(workload->output_bytes());
+  } catch (const std::bad_alloc&) {
+    ::_exit(kChildExitRlimit);
+  } catch (...) {
+    ::_exit(3);
+  }
+  ::_exit(0);
+}
+
+// phicheck:fork-child-entry
+void TrialSupervisor::template_main(SharedChannel* channel, int cmd_fd,
+                                    int parent_fd) {
+  // Fork-server process: pay factory + setup + register_sites ONCE, then
+  // loop re-forking trial grandchildren from this warm image on command.
+  // COW gives every grandchild a pristine copy of the post-setup state, so
+  // in-place mutation by one trial can never leak into the next.
+  //
+  // Inherited parent-side pipe ends are closed first — ours so the
+  // parent's close reliably reads as EOF, the other slots' so their
+  // shutdown does not wait on this process.
+  ::close(parent_fd);
+  for (const Slot& other : slots_) {
+    if (other.cmd_fd >= 0 && other.cmd_fd != cmd_fd) ::close(other.cmd_fd);
+  }
+  // phicheck:fork-workload-entry — setup runs workload code; a crash here
+  // surfaces as a template death and the parent respawns (bounded).
+  try {
+    const auto setup_start = Clock::now();
+    auto workload = factory_();
+    workload->setup(config_.input_seed);
+    SiteRegistry registry;
+    workload->register_sites(registry);
+    channel->store_template_setup_seconds(seconds_since(setup_start));
+    Workload& warm = *workload;
+    while (true) {
+      std::byte wake;
+      const ssize_t n = util::io::read_some(cmd_fd, &wake, 1);
+      if (n <= 0) ::_exit(0);  // parent closed the pipe: clean shutdown
+      const TrialCommand command = channel->load_command();
+      const pid_t pid = ::fork();
+      if (pid < 0) ::_exit(kTemplateExitForkFailed);
+      if (pid == 0) {
+        fast_trial_main(warm, registry, command, channel);  // never returns
+      }
+      channel->publish_child(pid);
+      int status = 0;
+      if (waitpid_eintr(pid, &status, 0) < 0) {
+        ::_exit(kTemplateExitWaitFailed);
+      }
+      channel->publish_status(status);
+      // Completion byte, after the status is visible: wakes a parent
+      // blocked in wait_for_completion(). Best effort — a vanished parent
+      // surfaces as EOF on the next command read.
+      const std::byte trial_done{1};
+      (void)util::io::send_some(cmd_fd, &trial_done, 1, MSG_NOSIGNAL);
+    }
+  } catch (...) {
+    ::_exit(3);
+  }
+}
+
+// phicheck:fork-child-entry
+void TrialSupervisor::fast_trial_main(Workload& workload,
+                                      SiteRegistry& registry,
+                                      const TrialCommand& command,
+                                      SharedChannel* channel) {
+  // Fast-path trial body: the workload arrives warm (COW from the campaign
+  // process or a template), so there is no factory/setup/register_sites
+  // here — straight to arming the flip and running. Classification happens
+  // in place against the inherited golden mapping; only a verdict (and,
+  // for SDC, the corrupted bytes) crosses the channel.
+  if (util::log_level() > util::LogLevel::kInfo) {
+    // Same deliberate pre-workload stderr redirect as child_main.
+    // phicheck:allow(fork-safety) reviewed pre-workload stderr redirect
+    std::FILE* sink = std::freopen("/dev/null", "w", stderr);
+    (void)sink;
+  }
+  if (config_.child_address_space_mb > 0) {
+    const rlim_t bytes =
+        static_cast<rlim_t>(config_.child_address_space_mb) * 1024 * 1024;
+    const rlimit limit{bytes, bytes};
+    ::setrlimit(RLIMIT_AS, &limit);
+  }
+  if (config_.child_cpu_seconds > 0) {
+    const rlimit limit{config_.child_cpu_seconds,
+                       static_cast<rlim_t>(config_.child_cpu_seconds) + 1};
+    ::setrlimit(RLIMIT_CPU, &limit);
+  }
+  // phicheck:fork-workload-entry — from here the child runs workload code.
+  try {
+    ProgressTracker progress;
+    progress.reset(workload.total_steps());
+    if (config_.heartbeat_divisions > 0) {
+      progress.set_pulse(config_.heartbeat_divisions,
+                         [channel] { channel->beat(); });
+    }
+    const auto child_start = Clock::now();
+    progress.set_phase_hook(
+        [channel, child_start](std::string_view phase, double fraction) {
+          channel->store_phase(phase, fraction, seconds_since(child_start));
+        });
+
+    phi::Device device(config_.device_spec, config_.device_os_threads);
+
+    // Identical RNG construction and draw order to the legacy child_main:
+    // the same trial seed selects the same site, bit and injection time,
+    // which is what makes fast-path tallies bit-identical to legacy.
+    util::Rng rng(command.injected ? command.trial_seed : 0);
+    FlipEngine engine(registry,
+                      command.injected
+                          ? static_cast<SelectionPolicy>(command.policy)
+                          : SelectionPolicy::kCarolFi);
+    if (command.injected) {
+      const double target = rng.uniform(command.earliest_fraction,
+                                        command.latest_fraction);
+      progress.arm(target, [channel, &command, &engine, &rng](double at) {
+        InjectionRecord provisional;
+        provisional.injected = true;
+        provisional.model = static_cast<FaultModel>(command.model);
+        provisional.progress_fraction = at;
+        channel->store_record(provisional);
+        const InjectionRecord record =
+            engine.inject(static_cast<FaultModel>(command.model), rng, at,
+                          command.burst);
+        channel->store_record(record);
+      });
+    }
+
+    workload.run(device, progress);
+    progress.finish();
+
+    // Classify in place: memcmp against the inherited golden mapping, or
+    // digest-only when the golden was adopted from a journal.
+    const auto output = workload.output_bytes();
+    const std::uint64_t digest = fnv1a64(output);
+    bool matches;
+    if (golden_map_.mapped()) {
+      matches = output.size() == golden_map_.size() &&
+                std::memcmp(output.data(), golden_map_.golden().data(),
+                            output.size()) == 0;
+    } else {
+      matches = output.size() == output_capacity_ && digest == golden_digest_;
+    }
+    // SDC ships the corrupted bytes for parent-side analysis; Masked ships
+    // nothing but the verdict. Output lands before the verdict flag so the
+    // parent never sees a verdict without its bytes.
+    if (!matches) channel->store_output(output);
+    channel->store_verdict(matches, digest);
   } catch (const std::bad_alloc&) {
     ::_exit(kChildExitRlimit);
   } catch (...) {

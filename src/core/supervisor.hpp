@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "core/flip_engine.hpp"
+#include "core/golden_map.hpp"
 #include "core/outcome.hpp"
 #include "core/shared_channel.hpp"
 #include "core/workload_api.hpp"
@@ -43,7 +44,38 @@ enum class WatchdogPoll {
   kAdaptive,
 };
 
+/// How a trial child comes into existence.
+enum class ForkMode {
+  /// Cold start: every child re-runs factory + setup + register_sites.
+  kLegacy,
+  /// Warm image: the campaign process keeps the post-setup workload alive
+  /// (restored via Workload::reset() after the golden run) and forks trial
+  /// children directly from it; COW hands each child a pristine copy.
+  kWarm,
+  /// Fork server: a per-slot template process pays setup once and re-forks
+  /// trial grandchildren from its warm image on command.
+  kTemplate,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ForkMode mode) {
+  switch (mode) {
+    case ForkMode::kWarm:
+      return "warm";
+    case ForkMode::kTemplate:
+      return "template";
+    case ForkMode::kLegacy:
+      break;
+  }
+  return "legacy";
+}
+
 struct SupervisorConfig {
+  /// Enables the fork-server trial fast path: golden output shared through
+  /// a sealed read-only mapping, children classifying in place and shipping
+  /// only a verdict, setup paid once per campaign (warm mode) or once per
+  /// slot (template mode) instead of once per trial. Outcome tallies are
+  /// bit-identical to the legacy path for the same seeds.
+  bool trial_fast_path = false;
   /// Input-generation seed; fixed for a whole campaign so every trial runs
   /// the same computation as the golden copy.
   std::uint64_t input_seed = 0x900d5eedULL;
@@ -108,6 +140,13 @@ struct TrialResult {
   std::uint64_t heartbeats = 0;
   /// True when the child ignored SIGTERM and had to be SIGKILLed.
   bool escalated_kill = false;
+  /// How this trial's child process came into existence.
+  ForkMode fork_mode = ForkMode::kLegacy;
+  /// True when the trial paid no workload setup anywhere in its critical
+  /// path: warm-mode trials always (setup was amortized from the golden
+  /// run), template-mode trials except the one that (re)spawned the
+  /// template, legacy trials never.
+  bool setup_skipped = false;
 
   // ---- telemetry (traced, not journaled: the journal stays the compact
   //      durability record, the trace is the observability record) ----
@@ -144,6 +183,15 @@ class TrialSupervisor {
   /// torn down afterwards so the campaign process is single-threaded when
   /// it forks.
   void prepare_golden();
+
+  /// Fast-path alternative to prepare_golden(): adopts a golden digest
+  /// recorded by an earlier run (e.g. a fabric shard journal) instead of
+  /// re-running the golden execution. Output metadata is probed from a
+  /// setup-less workload instance; trials run in template mode and classify
+  /// by digest alone (golden bytes are not materialized, so golden() stays
+  /// empty and Masked outputs are unavailable). Requires trial_fast_path.
+  void adopt_golden(std::uint64_t digest, std::uint64_t output_bytes,
+                    double golden_seconds);
 
   /// Runs one injected trial in a forked child and classifies the outcome.
   /// Synchronous convenience over slot 0; must not be mixed with in-flight
@@ -182,6 +230,17 @@ class TrialSupervisor {
   /// adaptive (or fixed) poll interval across the active slots.
   [[nodiscard]] std::chrono::microseconds next_poll_delay() const;
 
+  /// Blocks until a completion event is plausible, then returns so the
+  /// caller can run poll_slots() again. Fast-path slots carry an event fd
+  /// (warm: the trial's exit pipe; template: the fork-server's completion
+  /// byte), so the wait is a poll(2) that the kernel ends the moment the
+  /// trial is done — no reap latency and, on a loaded machine, no poll
+  /// wakeups competing with the child for CPU. Bounded by a 10ms tick so
+  /// watchdog bookkeeping (deadlines, stall detection) keeps running.
+  /// Legacy slots have no event fd and fall back to next_poll_delay()
+  /// sleeping, preserving the pre-fast-path schedule exactly.
+  void wait_for_completion();
+
   /// SIGKILLs and reaps every active slot without classifying — used to
   /// cancel speculative attempts past the campaign's finish line and to
   /// tear down on abort.
@@ -193,6 +252,31 @@ class TrialSupervisor {
   [[nodiscard]] unsigned time_windows() const { return windows_; }
   [[nodiscard]] double golden_seconds() const { return golden_seconds_; }
   [[nodiscard]] std::string_view workload_name() const { return name_; }
+
+  /// FNV-1a 64 digest of the golden output (0 until prepared/adopted).
+  [[nodiscard]] std::uint64_t golden_digest() const { return golden_digest_; }
+  /// Golden output size in bytes; valid in adopted mode too, where the
+  /// bytes themselves are not materialized.
+  [[nodiscard]] std::uint64_t golden_output_bytes() const {
+    return output_capacity_;
+  }
+  /// True when the golden was adopted from a recorded digest.
+  [[nodiscard]] bool adopted() const { return adopted_; }
+  /// The fork mode trials will run in (resolved by prepare/adopt_golden).
+  [[nodiscard]] ForkMode fork_mode() const { return resolved_mode_; }
+  /// Times a dead template process had to be respawned mid-campaign.
+  [[nodiscard]] unsigned template_respawns() const {
+    return template_respawns_;
+  }
+  /// PID of the slot's template (fork-server) process, or -1 when none is
+  /// alive. Diagnostics and the template-crash drill in tests.
+  [[nodiscard]] pid_t slot_template_pid(unsigned slot) const {
+    return slot < slots_.size() ? slots_[slot].template_pid : -1;
+  }
+
+  /// Shuts down idle template processes (closes their command pipes and
+  /// reaps them). Called by the destructor; requires no active slots.
+  void shutdown_templates();
 
   /// Device performance counters of the golden run (arithmetic intensity
   /// per Sec. 3.2/4.2; feeds the report and the metrics registry).
@@ -224,6 +308,17 @@ class TrialSupervisor {
     std::uint64_t last_beat = 0;
     std::uint64_t polls = 0;
     double fork_done = 0.0;
+    // ---- fast path ----
+    ForkMode mode = ForkMode::kLegacy;  ///< mode of the in-flight trial
+    pid_t template_pid = -1;  ///< fork-server process (outlives trials)
+    int cmd_fd = -1;          ///< parent end of the template command pipe
+    /// Warm mode: read end of a per-trial pipe whose write end lives only
+    /// in the child, so child exit (any exit, including SIGKILL) reads as
+    /// EOF here — an exact, kernel-delivered completion event.
+    int exit_fd = -1;
+    TrialCommand pending{};   ///< last dispatched command, for respawn replay
+    unsigned respawn_attempts = 0;  ///< respawns charged to the current trial
+    bool setup_skipped = false;     ///< the in-flight trial paid no setup
   };
 
   TrialResult run_child(const TrialConfig* config);
@@ -233,6 +328,30 @@ class TrialSupervisor {
                             bool escalated);
   [[noreturn]] void child_main(const TrialConfig* config,
                                SharedChannel* channel);
+
+  // ---- fast path ----
+  /// Forks a fresh template process for the slot (template mode).
+  void spawn_template(unsigned slot);
+  /// Ensures a live template and hands it the slot's pending command,
+  /// respawning (bounded) if the template died before it could be woken.
+  void dispatch_pending(unsigned slot);
+  /// Watchdog kill for a template-mode trial: signals the grandchild and
+  /// waits for the template to publish its status. Returns false when the
+  /// grandchild does not exist yet and `force` is not set (retry next
+  /// poll); with `force`, kills the whole template subtree.
+  bool kill_template_trial(Slot& slot, bool force, int* status,
+                           bool* escalated);
+  /// Reap-pass handler for a template process that died mid-campaign.
+  void handle_template_death(unsigned slot);
+  /// Template process body: setup once, then loop re-forking trial
+  /// grandchildren from the warm image on command.
+  [[noreturn]] void template_main(SharedChannel* channel, int cmd_fd,
+                                  int parent_fd);
+  /// Fast-path trial body, shared by warm children and template
+  /// grandchildren: inject, run, classify in place, ship the verdict.
+  [[noreturn]] void fast_trial_main(Workload& workload, SiteRegistry& registry,
+                                    const TrialCommand& command,
+                                    SharedChannel* channel);
 
   WorkloadFactory factory_;
   SupervisorConfig config_;
@@ -246,6 +365,20 @@ class TrialSupervisor {
   std::vector<Slot> slots_;
   unsigned active_count_ = 0;
   bool prepared_ = false;
+  // ---- fast path ----
+  /// Warm post-setup workload image kept alive in the campaign process
+  /// (warm mode only); trial children are forked straight from it.
+  std::unique_ptr<Workload> warm_workload_;
+  /// Site registry built once against warm_workload_; its raw pointers
+  /// stay valid in every COW child.
+  SiteRegistry warm_registry_;
+  /// Sealed read-only shared mapping of the golden output.
+  GoldenMap golden_map_;
+  std::uint64_t golden_digest_ = 0;
+  std::uint64_t output_capacity_ = 0;  ///< golden output bytes (both modes)
+  bool adopted_ = false;
+  ForkMode resolved_mode_ = ForkMode::kLegacy;
+  unsigned template_respawns_ = 0;
 };
 
 }  // namespace phifi::fi

@@ -70,6 +70,17 @@ class Workload {
   /// must stay valid until the workload is destroyed.
   virtual void register_sites(SiteRegistry& registry) = 0;
 
+  /// Optional fast-path hook (docs/PARALLELISM.md, "trial fast path"):
+  /// restores the exact post-setup() state after ONE fault-free run() in
+  /// this process, without reallocating — registered site pointers must
+  /// stay valid. Returning true lets the supervisor keep a warm workload
+  /// image in the campaign parent and fork trial children directly from
+  /// it; returning false (the default) makes the fast path spawn a
+  /// per-slot template process instead. Only called right after the golden
+  /// run; implementations may rebuild inputs from the stored seed as long
+  /// as the result is bit-identical to the original setup().
+  virtual bool reset() { return false; }
+
   [[nodiscard]] virtual std::span<const std::byte> output_bytes() const = 0;
   [[nodiscard]] virtual util::Shape output_shape() const = 0;
   [[nodiscard]] virtual ElementType output_type() const = 0;

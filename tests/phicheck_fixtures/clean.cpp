@@ -43,6 +43,19 @@ void clean_spawn() {
   (void)pid;
 }
 
+// phicheck:fork-child-entry — a fork-server: each grandchild branch ends
+// the process through the grandchild's own entry function.
+void clean_template_loop() {
+  // phicheck:fork-workload-entry
+  for (int i = 0; i < 3; ++i) {
+    const int pid = fork();
+    if (pid == 0) {
+      clean_child_entry();
+    }
+    (void)pid;
+  }
+}
+
 // phicheck:poll-loop
 void clean_event_loop() {
   for (int i = 0; i < 3; ++i) {

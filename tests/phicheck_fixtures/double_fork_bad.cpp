@@ -1,0 +1,39 @@
+// phicheck fixture: double-fork (fork-server) topology violations — a
+// fork-child-entry template whose grandchild branches fall through into
+// the serve loop instead of ending the process.
+#include <unistd.h>
+
+namespace fixture {
+
+int serve_counter;
+
+// phicheck:fork-child-entry
+void grandchild_entry() {
+  // phicheck:fork-workload-entry
+  _exit(0);
+}
+
+// phicheck:fork-child-entry
+void bad_template_loop() {
+  // phicheck:fork-workload-entry
+  while (true) {
+    const int pid = fork();
+    if (pid == 0) {
+      grandchild_entry();
+      serve_counter = 1;  // falls back into the serve loop
+    }
+  }
+}
+
+// phicheck:fork-child-entry
+void silent_template_loop() {
+  // phicheck:fork-workload-entry
+  while (true) {
+    const int pid = fork();
+    if (pid == 0) {
+      serve_counter = 2;  // no terminating call at all
+    }
+  }
+}
+
+}  // namespace fixture

@@ -24,6 +24,9 @@ JournalHeader sample_header() {
   header.fingerprint = 0x1122334455667788ULL;
   header.time_windows = 4;
   header.workload = "Toy";
+  header.golden_digest = 0xfeedfacecafef00dULL;
+  header.golden_seconds = 0.375;
+  header.golden_output_bytes = 512;
   return header;
 }
 
@@ -119,6 +122,11 @@ TEST(CampaignJournal, RoundTripsHeaderAndRecords) {
   EXPECT_EQ(contents.header.fingerprint, sample_header().fingerprint);
   EXPECT_EQ(contents.header.time_windows, 4u);
   EXPECT_EQ(contents.header.workload, "Toy");
+  EXPECT_EQ(contents.header.golden_digest, sample_header().golden_digest);
+  EXPECT_DOUBLE_EQ(contents.header.golden_seconds,
+                   sample_header().golden_seconds);
+  EXPECT_EQ(contents.header.golden_output_bytes,
+            sample_header().golden_output_bytes);
   EXPECT_EQ(contents.dropped_bytes, 0u);
   EXPECT_EQ(contents.valid_bytes, fs::file_size(path));
   ASSERT_EQ(contents.records.size(), 3u);

@@ -75,6 +75,7 @@ child_address_space_mb = 2048
 child_cpu_seconds = 30
 heartbeat_divisions = 32
 stall_timeout_seconds = 1.5
+trial_fast_path = true
 max_consecutive_failures = 3
 )");
   EXPECT_EQ(config.journal_file, "/tmp/c.jnl");
@@ -86,6 +87,7 @@ max_consecutive_failures = 3
   EXPECT_EQ(config.child_cpu_seconds, 30u);
   EXPECT_EQ(config.heartbeat_divisions, 32u);
   EXPECT_DOUBLE_EQ(config.stall_timeout_seconds, 1.5);
+  EXPECT_TRUE(config.trial_fast_path);
   EXPECT_EQ(config.max_consecutive_failures, 3u);
 
   // The parsed keys reach the structs the campaign actually consumes.
@@ -93,6 +95,7 @@ max_consecutive_failures = 3
   EXPECT_EQ(supervisor.poll, fi::WatchdogPoll::kFixed);
   EXPECT_EQ(supervisor.child_address_space_mb, 2048u);
   EXPECT_EQ(supervisor.heartbeat_divisions, 32u);
+  EXPECT_TRUE(supervisor.trial_fast_path);
   const fi::CampaignConfig campaign = config.campaign_config();
   EXPECT_EQ(campaign.journal_path, "/tmp/c.jnl");
   EXPECT_TRUE(campaign.resume);
@@ -117,6 +120,7 @@ TEST(CliConfig, DurabilityKeysSurviveFormatRoundTrip) {
   config.child_cpu_seconds = 60;
   config.heartbeat_divisions = 8;
   config.stall_timeout_seconds = 2.0;
+  config.trial_fast_path = true;
   config.max_consecutive_failures = 9;
   const RunnerConfig reparsed = parse(format_config(config));
   EXPECT_EQ(reparsed.journal_file, config.journal_file);
@@ -129,6 +133,7 @@ TEST(CliConfig, DurabilityKeysSurviveFormatRoundTrip) {
   EXPECT_EQ(reparsed.heartbeat_divisions, config.heartbeat_divisions);
   EXPECT_DOUBLE_EQ(reparsed.stall_timeout_seconds,
                    config.stall_timeout_seconds);
+  EXPECT_EQ(reparsed.trial_fast_path, config.trial_fast_path);
   EXPECT_EQ(reparsed.max_consecutive_failures,
             config.max_consecutive_failures);
 }

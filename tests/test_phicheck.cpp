@@ -93,6 +93,19 @@ TEST(PhicheckTest, FixtureScanFindsAllSeededViolations) {
             std::string::npos)
       << r.output;
 
+  // Double-fork (fork-server) topology: a grandchild branch that falls
+  // through past its entry call, and one with no terminating call at all.
+  EXPECT_NE(r.output.find("double_fork_bad.cpp:21: [fork-safety] "
+                          "fork-server 'bad_template_loop' forks a "
+                          "grandchild whose branch can fall through"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("double_fork_bad.cpp:33: [fork-safety] "
+                          "fork-server 'silent_template_loop' forks a "
+                          "grandchild whose branch can fall through"),
+            std::string::npos)
+      << r.output;
+
   // Shm-POD: allocating member, raw pointer member, missing size pin.
   EXPECT_NE(r.output.find("shm_nonpod.cpp:10: [shm-pod] member 'label'"),
             std::string::npos)
@@ -165,7 +178,7 @@ TEST(PhicheckTest, FixtureScanFindsAllSeededViolations) {
             std::string::npos)
       << r.output;
 
-  EXPECT_NE(r.output.find("phicheck: 18 finding(s)"), std::string::npos)
+  EXPECT_NE(r.output.find("phicheck: 20 finding(s)"), std::string::npos)
       << r.output;
 }
 
@@ -242,7 +255,7 @@ TEST(PhicheckTest, ShmAssertEmissionCoversRealSharedStructs) {
             std::string::npos)
       << r.output;
   EXPECT_NE(
-      r.output.find("static_assert(sizeof(phifi::fi::ShmHeader) == 1464"),
+      r.output.find("static_assert(sizeof(phifi::fi::ShmHeader) == 1544"),
       std::string::npos)
       << r.output;
   EXPECT_NE(

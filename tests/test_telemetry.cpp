@@ -132,6 +132,9 @@ TrialTrace sample_trace_trial(int i) {
   trial.seconds = 0.125 * (i + 1);
   trial.heartbeats = 16u + static_cast<std::uint64_t>(i);
   trial.escalated_kill = (i % 2) == 1;
+  trial.fork_mode = i % 3 == 0 ? "legacy" : i % 3 == 1 ? "warm" : "template";
+  trial.fork_seconds = 0.001 * (i + 1);
+  trial.setup_skipped = i % 3 != 0;
   trial.ts_ms = 10.0 * i;
   trial.spans = {{"fork", 0.0, 0.5}, {"run", 0.5, 3.5}, {"classify", 3.5, 4.0}};
   trial.phases = {{"setup", 0.0, 0.1}, {"main", 0.5, 1.7}};
@@ -153,6 +156,9 @@ void expect_trial_trace_eq(const TrialTrace& a, const TrialTrace& b) {
   EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
   EXPECT_EQ(a.heartbeats, b.heartbeats);
   EXPECT_EQ(a.escalated_kill, b.escalated_kill);
+  EXPECT_EQ(a.fork_mode, b.fork_mode);
+  EXPECT_DOUBLE_EQ(a.fork_seconds, b.fork_seconds);
+  EXPECT_EQ(a.setup_skipped, b.setup_skipped);
   EXPECT_DOUBLE_EQ(a.ts_ms, b.ts_ms);
   ASSERT_EQ(a.spans.size(), b.spans.size());
   for (std::size_t i = 0; i < a.spans.size(); ++i) {

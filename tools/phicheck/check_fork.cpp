@@ -173,6 +173,58 @@ std::vector<Finding> check_fork_safety(const Codebase& cb) {
                        "', which is not annotated phicheck:fork-child-entry "
                        "(and is not _exit/exec*)"});
             }
+            // Double-fork (fork-server) topology: when a child-entry
+            // function itself forks, its child branch must end the
+            // grandchild — last statement a call to an entry or
+            // _exit/exec* function with nothing after it. A branch that
+            // falls through resumes the template's serve loop in the
+            // grandchild, and two processes start consuming commands.
+            if (entries.count(fn.name) != 0 &&
+                !file.lexed.allows("fork-safety", tokens[i].line)) {
+              const CallSite* last = nullptr;
+              for (const CallSite& child_call : fn.calls) {
+                if (child_call.token_index >= block_begin &&
+                    child_call.token_index <= block_end &&
+                    (last == nullptr ||
+                     child_call.token_index > last->token_index)) {
+                  last = &child_call;
+                }
+              }
+              bool terminates =
+                  last != nullptr && (entries.count(last->name) != 0 ||
+                                      exec_like().count(last->name) != 0);
+              if (terminates) {
+                std::size_t after = last->token_index;
+                while (after < block_end && tokens[after].text != "(") {
+                  ++after;
+                }
+                int depth = 0;
+                for (; after <= block_end; ++after) {
+                  if (tokens[after].text == "(") {
+                    ++depth;
+                  } else if (tokens[after].text == ")" && --depth == 0) {
+                    ++after;
+                    break;
+                  }
+                }
+                for (; after <= block_end; ++after) {
+                  if (tokens[after].text != ";" &&
+                      tokens[after].text != "}") {
+                    terminates = false;
+                    break;
+                  }
+                }
+              }
+              if (!terminates) {
+                findings.push_back(
+                    {file.lexed.path, tokens[i].line, "fork-safety",
+                     "fork-server '" + fn.name +
+                         "' forks a grandchild whose branch can fall "
+                         "through into the serve loop; end the child "
+                         "branch with a call to a fork-child-entry or "
+                         "_exit/exec* function"});
+              }
+            }
             break;
           }
         }

@@ -48,8 +48,27 @@ bool blocking_ok(const SourceFile& file, int line) {
   return false;
 }
 
+/// Names of every function annotated `phicheck:fork-child-entry` anywhere
+/// in the codebase. These bodies run in a forked child (or grandchild)
+/// process, so nothing they do can block the parent's poll loop — the walk
+/// must not descend into them, or the fork-server topology (a poll loop
+/// that launches trials through a template process) drowns in false
+/// positives from the children's deliberate blocking reads and waits.
+std::set<std::string> child_entry_names(const Codebase& cb) {
+  std::set<std::string> names;
+  for (const SourceFile& file : cb.files) {
+    for (const Annotation& ann : file.lexed.annotations) {
+      if (ann.directive != "fork-child-entry") continue;
+      const FunctionDef* fn = function_below(file, ann.line, 5);
+      if (fn != nullptr) names.insert(fn->name);
+    }
+  }
+  return names;
+}
+
 struct Walker {
   const Codebase& cb;
+  const std::set<std::string>& child_entries;
   std::vector<Finding>& findings;
   std::set<const FunctionDef*> visited;
 
@@ -71,6 +90,9 @@ struct Walker {
         // interior (util::io wrappers would otherwise fire twice).
         continue;
       }
+      // A fork-child entry point executes in its own process: its blocking
+      // behavior is the child's business, not the poll loop's.
+      if (child_entries.count(call.name) != 0) continue;
       for (const auto& [callee_file, callee] : cb.find_functions(call.name)) {
         walk(*callee_file, *callee, chain + " -> " + call.name);
       }
@@ -82,6 +104,7 @@ struct Walker {
 
 std::vector<Finding> check_poll_loop(const Codebase& cb) {
   std::vector<Finding> findings;
+  const std::set<std::string> child_entries = child_entry_names(cb);
   for (const SourceFile& file : cb.files) {
     for (const Annotation& ann : file.lexed.annotations) {
       if (ann.directive != "poll-loop") continue;
@@ -95,7 +118,7 @@ std::vector<Finding> check_poll_loop(const Codebase& cb) {
       }
       // Fresh visited set per root so overlapping call trees still report
       // against every annotated loop.
-      Walker walker{cb, findings, {}};
+      Walker walker{cb, child_entries, findings, {}};
       walker.walk(file, *root, root->name);
     }
   }

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
               << "                 [--metrics-format json|openmetrics]\n"
               << "                 [--progress <seconds>] "
                  "[--stop-ci-width <eps>]\n"
-              << "                 [--history <file>]\n"
+              << "                 [--history <file>] [--trial-fast-path]\n"
               << "                 [--coordinator <addr> "
                  "[--lease-ledger <file>]\n"
               << "                  [--lease-size <n>] "
@@ -61,6 +61,10 @@ int main(int argc, char** argv) {
               << "       phifi_run --template\n"
               << "  --stop-ci-width  stop once the SDC-proportion 95% CI\n"
               << "                   half-width is <= eps (e.g. 0.005)\n"
+              << "  --trial-fast-path\n"
+                 "                   fork trials from a warm post-setup\n"
+                 "                   image (fork-server fast path); tallies\n"
+                 "                   stay bit-identical to the default path\n"
               << "  --history        append a campaign summary record to\n"
               << "                   this NDJSON ledger (phifi_parse "
                  "--drift)\n"
@@ -81,6 +85,7 @@ int main(int argc, char** argv) {
 
   int repetitions = 1;
   bool resume = false;
+  bool trial_fast_path = false;
   int jobs = 0;  // 0: leave the config file's value
   std::string trace_out;
   std::string metrics_out;
@@ -107,6 +112,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--trial-fast-path") {
+      trial_fast_path = true;
     } else if (arg == "--jobs") {
       const char* value = flag_value(i);
       if (value == nullptr) return 2;
@@ -218,6 +225,7 @@ int main(int argc, char** argv) {
   try {
     cli::RunnerConfig config = cli::parse_config(config_stream);
     if (resume) config.resume = true;
+    if (trial_fast_path) config.trial_fast_path = true;
     if (jobs > 0) config.jobs = static_cast<unsigned>(jobs);
     if (!trace_out.empty()) config.trace_file = trace_out;
     if (!metrics_out.empty()) config.metrics_file = metrics_out;
