@@ -22,21 +22,26 @@
 // sequential stop rule vs. the nullptr fast path, emitted to
 // BENCH_observatory.json.
 //
-// The fifth table measures multi-worker scheduler scaling: campaign
+// The fifth table prices the latency anatomy profiler (docs/PROFILING.md)
+// the same way: campaign trial time with the accumulate-only profiler on
+// vs. the nullptr fast path, emitted to BENCH_profiler.json — the
+// profiler's "integer adds only" claim, measured.
+//
+// The sixth table measures multi-worker scheduler scaling: campaign
 // throughput (trials/s) at --jobs 1/2/4/8 with a group-commit (kBatch)
 // journal, telemetry off and on. Trial children are genuinely concurrent
 // forks, so speedup tracks the host's core count — on a 4-core host jobs=4
 // should reach >= 3x the jobs=1 throughput; on a 1-core container it stays
 // near 1x by construction. The table also lands in BENCH_parallel.json so
 // the perf trajectory is recorded run over run.
-// The sixth table prices the fleet observability plane (docs/
+// The seventh table prices the fleet observability plane (docs/
 // FLEET_OBSERVABILITY.md): one coordinator + one forked worker over a
 // loopback unix socket, sweeping the worker's STATS snapshot interval
 // (off / 1s / 250ms). STATS frames ride the heartbeat timer off the trial
 // hot path, so throughput should be flat across the sweep; the table and
 // BENCH_fabric_observability.json make that claim measurable run over run.
 //
-// The seventh table prices the trial fast path (docs/PARALLELISM.md):
+// The eighth table prices the trial fast path (docs/PARALLELISM.md):
 // trials/s with the fork-server on vs. the legacy cold-start child, per
 // workload at deliberately small instance sizes — setup + register_sites
 // dominate short trials, which is exactly the regime the fast path
@@ -62,6 +67,7 @@
 #include "fabric/worker.hpp"
 #include "telemetry/estimator.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "util/json.hpp"
 #include "workloads/clamr_workload.hpp"
@@ -164,6 +170,33 @@ double estimator_ms_per_trial(const phifi::work::WorkloadInfo& info,
     config.estimator = &estimator;
     config.stop_ci_width = 1e-9;  // evaluated every commit, never reached
   }
+  fi::Campaign campaign(supervisor, config);
+
+  const auto start = Clock::now();
+  (void)campaign.run();
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+             .count() /
+         static_cast<double>(trials);
+}
+
+/// Wall-clock milliseconds per trial with the latency anatomy profiler
+/// attached (accumulate-only, the file-less mode the fabric workers use)
+/// vs. the nullptr fast path. The profiler claims pure integer adds per
+/// commit; this table is where that claim gets a measured price.
+double profiler_ms_per_trial(const phifi::work::WorkloadInfo& info,
+                             bool profiler_on, std::size_t trials,
+                             std::uint64_t seed) {
+  using namespace phifi;
+  using Clock = std::chrono::steady_clock;
+
+  telemetry::TrialProfiler profiler;
+  fi::TrialSupervisor supervisor(info.factory,
+                                 bench::bench_supervisor_config());
+  supervisor.prepare_golden();
+
+  fi::CampaignConfig config = bench::bench_campaign_config(seed);
+  config.trials = trials;
+  if (profiler_on) config.profiler = &profiler;
   fi::Campaign campaign(supervisor, config);
 
   const auto start = Clock::now();
@@ -479,14 +512,42 @@ int main() {
   }
   bench::print_table(observatory);
   {
-    util::json::Value doc = util::json::Value::object();
-    doc["bench"] = "sec5_observatory_overhead";
+    util::json::Value doc = bench::bench_doc("sec5_observatory_overhead");
     doc["trials"] = static_cast<std::uint64_t>(kTelemetryTrials);
     doc["points"] = std::move(observatory_points);
-    std::ofstream out("BENCH_observatory.json", std::ios::trunc);
-    out << doc.dump() << "\n";
+    bench::write_bench_doc(doc, "BENCH_observatory.json");
   }
-  std::cout << "wrote BENCH_observatory.json\n";
+
+  // Profiler overhead: the latency anatomy accumulator on vs. off. The
+  // "on" column pays the commit-path clock reads and histogram adds —
+  // BENCH_profiler.json records that this stays within bench noise.
+  util::Table prof("Profiler overhead per trial (latency anatomy)");
+  prof.set_header({"benchmark", "profiler off [ms]", "profiler on [ms]",
+                   "overhead"});
+  util::json::Value prof_points = util::json::Value::array();
+  for (const auto& info : work::all_workloads()) {
+    const double off_ms = profiler_ms_per_trial(
+        info, /*profiler_on=*/false, kTelemetryTrials, /*seed=*/777);
+    const double on_ms = profiler_ms_per_trial(
+        info, /*profiler_on=*/true, kTelemetryTrials, /*seed=*/777);
+    const double overhead = off_ms > 0.0 ? on_ms / off_ms - 1.0 : 0.0;
+    prof.add_row({std::string(info.name), util::fmt(off_ms, 2),
+                  util::fmt(on_ms, 2), util::fmt_percent(overhead)});
+
+    util::json::Value point = util::json::Value::object();
+    point["workload"] = info.name;
+    point["ms_per_trial_profiler_off"] = off_ms;
+    point["ms_per_trial_profiler_on"] = on_ms;
+    point["overhead_fraction"] = overhead;
+    prof_points.push_back(std::move(point));
+  }
+  bench::print_table(prof);
+  {
+    util::json::Value doc = bench::bench_doc("sec5_profiler_overhead");
+    doc["trials"] = static_cast<std::uint64_t>(kTelemetryTrials);
+    doc["points"] = std::move(prof_points);
+    bench::write_bench_doc(doc, "BENCH_profiler.json");
+  }
 
   // Parallel scheduler scaling: one representative workload, --jobs sweep.
   // Speedup is relative to jobs=1 within the same telemetry setting.
@@ -527,18 +588,13 @@ int main() {
   }
   bench::print_table(scaling);
 
-  util::json::Value bench_point = util::json::Value::object();
-  bench_point["bench"] = "sec5_parallel_scaling";
+  util::json::Value bench_point = bench::bench_doc("sec5_parallel_scaling");
   bench_point["workload"] = scale_info.name;
   bench_point["trials"] = static_cast<std::uint64_t>(kScalingTrials);
   bench_point["host_cores"] = cores;
   bench_point["journal_fsync"] = "batch";
   bench_point["points"] = std::move(points);
-  {
-    std::ofstream out("BENCH_parallel.json", std::ios::trunc);
-    out << bench_point.dump() << "\n";
-  }
-  std::cout << "wrote BENCH_parallel.json\n";
+  bench::write_bench_doc(bench_point, "BENCH_parallel.json");
 
   // Fleet observability cost: the STATS interval sweep. "off" is the
   // baseline; the delta columns are the price of live fleet visibility.
@@ -567,16 +623,11 @@ int main() {
   }
   bench::print_table(stats_sweep);
 
-  util::json::Value stats_doc = util::json::Value::object();
-  stats_doc["bench"] = "sec5_fabric_observability";
+  util::json::Value stats_doc = bench::bench_doc("sec5_fabric_observability");
   stats_doc["workload"] = scale_info.name;
   stats_doc["trials"] = static_cast<std::uint64_t>(kScalingTrials);
   stats_doc["points"] = std::move(stats_points);
-  {
-    std::ofstream out("BENCH_fabric_observability.json", std::ios::trunc);
-    out << stats_doc.dump() << "\n";
-  }
-  std::cout << "wrote BENCH_fabric_observability.json\n";
+  bench::write_bench_doc(stats_doc, "BENCH_fabric_observability.json");
 
   // Trial fast path: fork-server vs. legacy cold start, small instances.
   // The mode column shows what the supervisor resolved the fast path to —
@@ -607,14 +658,9 @@ int main() {
   }
   bench::print_table(fastpath);
 
-  util::json::Value fastpath_doc = util::json::Value::object();
-  fastpath_doc["bench"] = "sec5_trial_fastpath";
+  util::json::Value fastpath_doc = bench::bench_doc("sec5_trial_fastpath");
   fastpath_doc["trials"] = static_cast<std::uint64_t>(kFastpathReps);
   fastpath_doc["points"] = std::move(fastpath_points);
-  {
-    std::ofstream out("BENCH_fastpath.json", std::ios::trunc);
-    out << fastpath_doc.dump() << "\n";
-  }
-  std::cout << "wrote BENCH_fastpath.json\n";
+  bench::write_bench_doc(fastpath_doc, "BENCH_fastpath.json");
   return 0;
 }

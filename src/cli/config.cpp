@@ -159,6 +159,8 @@ RunnerConfig parse_config(std::istream& is) {
       config.trace_file = value;
     } else if (key == "metrics_file") {
       config.metrics_file = value;
+    } else if (key == "profile_file") {
+      config.profile_file = value;
     } else if (key == "metrics_format") {
       if (value == "json") config.metrics_format = MetricsFormat::kJson;
       else if (value == "openmetrics") {
@@ -328,6 +330,9 @@ std::string format_config(const RunnerConfig& config) {
   }
   if (!config.metrics_file.empty()) {
     os << "metrics_file = " << config.metrics_file << "\n";
+  }
+  if (!config.profile_file.empty()) {
+    os << "profile_file = " << config.profile_file << "\n";
   }
   if (config.metrics_format == MetricsFormat::kOpenMetrics) {
     os << "metrics_format = openmetrics\n";

@@ -41,6 +41,9 @@ struct RunnerConfig {
   // Telemetry (see src/telemetry/, docs/TELEMETRY.md, docs/OBSERVATORY.md).
   std::string trace_file;    ///< NDJSON trial trace ("" = no trace)
   std::string metrics_file;  ///< final metrics snapshot ("" = none)
+  /// Trial latency anatomy profile: one NDJSON `profile` record per
+  /// committed attempt ("" = profiler off; see docs/PROFILING.md).
+  std::string profile_file;
   MetricsFormat metrics_format = MetricsFormat::kJson;
   double progress_seconds = 0.0;  ///< live progress interval (0 = off)
   /// Longitudinal ledger: append one campaign-summary NDJSON record per

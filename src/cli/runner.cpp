@@ -18,6 +18,7 @@
 #include "telemetry/estimator.hpp"
 #include "telemetry/history.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/trace.hpp"
 #include "util/table.hpp"
@@ -70,7 +71,8 @@ void write_metrics_file(const RunnerConfig& config,
 RunSummary run_fabric(const RunnerConfig& config,
                       fi::TrialSupervisor& supervisor,
                       telemetry::MetricsRegistry& metrics, bool telemetry_on,
-                      telemetry::TraceWriter* trace, std::ostream& out) {
+                      telemetry::TraceWriter* trace,
+                      telemetry::TrialProfiler* profiler, std::ostream& out) {
   RunSummary summary;
   summary.workload = config.workload;
   summary.mode = config.mode;
@@ -84,6 +86,10 @@ RunSummary run_fabric(const RunnerConfig& config,
 
   fi::CampaignConfig campaign_config = config.campaign_config();
   if (fabric_telemetry) campaign_config.metrics = &metrics;
+  // Worker-side only in practice: the coordinator runs no trials, so its
+  // commit path never fires. The worker's run_range feeds this profiler and
+  // ships its snapshot on the STATS heartbeat.
+  campaign_config.profiler = profiler;
   const std::uint64_t fingerprint = fi::campaign_fingerprint(
       campaign_config, supervisor.workload_name(),
       supervisor.time_windows());
@@ -288,6 +294,14 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
     trace = std::make_unique<telemetry::TraceWriter>(
         config.trace_file, /*truncate=*/!config.resume);
   }
+  std::unique_ptr<telemetry::TrialProfiler> profiler;
+  if (!config.profile_file.empty()) {
+    // Same append-on-resume rule as the trace: replayed trials were
+    // profiled by the run that executed them.
+    profiler = std::make_unique<telemetry::TrialProfiler>(
+        config.profile_file, /*truncate=*/!config.resume);
+    profiler->set_workload(config.workload);
+  }
 
   fi::SupervisorConfig supervisor_config = config.supervisor_config();
   if (telemetry_on) supervisor_config.metrics = &metrics;
@@ -329,14 +343,21 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
 
   if (config.mode == RunMode::kInject &&
       (!config.fabric_listen.empty() || !config.fabric_connect.empty())) {
-    return run_fabric(config, supervisor, metrics, telemetry_on,
-                      trace.get(), out);
+    RunSummary fabric_summary = run_fabric(config, supervisor, metrics,
+                                           telemetry_on, trace.get(),
+                                           profiler.get(), out);
+    if (profiler != nullptr) {
+      profiler->sync();
+      fabric_summary.profile_records = profiler->records_written();
+    }
+    return fabric_summary;
   }
 
   if (config.mode == RunMode::kInject) {
     fi::CampaignConfig campaign_config = config.campaign_config();
     if (telemetry_on) campaign_config.metrics = &metrics;
     campaign_config.trace = trace.get();
+    campaign_config.profiler = profiler.get();
 
     // The streaming estimator feeds the progress line, the exported
     // est.* gauges, and the history ledger's per-cell intervals; the
@@ -373,6 +394,9 @@ RunSummary run_from_config(const RunnerConfig& config, std::ostream& out) {
       summary.progress_emits = progress->emitted();
     }
     if (trace != nullptr) summary.trace_records = trace->records_written();
+    if (profiler != nullptr) {
+      summary.profile_records = profiler->records_written();
+    }
     summary.outcomes = result.overall;
     summary.resumed_trials = result.resumed_trials;
     summary.interrupted = result.interrupted;

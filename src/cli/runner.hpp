@@ -24,6 +24,7 @@ struct RunSummary {
   // Telemetry (see docs/TELEMETRY.md).
   std::uint64_t trace_records = 0;   ///< NDJSON records written
   std::uint64_t progress_emits = 0;  ///< live progress lines rendered
+  std::uint64_t profile_records = 0;  ///< NDJSON `profile` records written
 
   // Fabric roles (docs/FABRIC.md). `fabric` marks a coordinator/worker
   // run; outcome tallies then live in the shard journals, not here.

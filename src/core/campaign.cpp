@@ -116,7 +116,41 @@ struct PendingTrial {
   /// Output snapshot for the observer, captured at reap time because the
   /// slot's shm channel may be reused before this attempt commits.
   std::vector<std::byte> output;
+  /// Reap timestamp, set only when a profiler is attached: the reorder-
+  /// buffer wait is commit time minus this.
+  std::chrono::steady_clock::time_point reaped_at{};
 };
+
+/// Assembles the per-phase latency breakdown of one committed attempt for
+/// the profiler. Child wall-clock is the reap interval; the child's own
+/// reported setup/inject/classify slices are carved out of it and the rest
+/// is the run. Negative residues (clock skew between the child's and the
+/// parent's measurements) clamp to zero inside profile_us_from_seconds.
+telemetry::TrialProfile make_trial_profile(const TrialResult& trial,
+                                           std::uint64_t attempt,
+                                           double rob_wait_seconds,
+                                           double journal_seconds,
+                                           double flush_seconds) {
+  using telemetry::ProfilePhase;
+  using telemetry::profile_us_from_seconds;
+  telemetry::TrialProfile p;
+  p.attempt = attempt;
+  p.fork_mode = std::string(to_string(trial.fork_mode));
+  p.us(ProfilePhase::kFork) =
+      profile_us_from_seconds(trial.fork_done_seconds);
+  p.us(ProfilePhase::kSetup) = profile_us_from_seconds(trial.setup_seconds);
+  p.us(ProfilePhase::kInject) = profile_us_from_seconds(trial.inject_seconds);
+  p.us(ProfilePhase::kRun) = profile_us_from_seconds(
+      (trial.reaped_seconds - trial.fork_done_seconds) - trial.setup_seconds -
+      trial.inject_seconds - trial.classify_child_seconds);
+  p.us(ProfilePhase::kClassify) = profile_us_from_seconds(
+      (trial.classified_seconds - trial.reaped_seconds) +
+      trial.classify_child_seconds);
+  p.us(ProfilePhase::kRobWait) = profile_us_from_seconds(rob_wait_seconds);
+  p.us(ProfilePhase::kJournal) = profile_us_from_seconds(journal_seconds);
+  p.us(ProfilePhase::kFlush) = profile_us_from_seconds(flush_seconds);
+  return p;
+}
 
 }  // namespace
 
@@ -365,11 +399,23 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
       PendingTrial ready = std::move(it->second);
       pending.erase(it);
       // Journal first (write-ahead of the in-memory tallies), then tally.
+      double journal_seconds = 0.0;
+      double flush_seconds = 0.0;
       if (journal != nullptr) {
         JournalRecord record;
         record.attempt_index = commit_index;
         record.trial = ready.trial;
-        journal->append(record);
+        if (config_.profiler != nullptr) {
+          const auto journal_start = Clock::now();
+          journal->append(record);
+          flush_seconds = journal->last_fsync_seconds();
+          journal_seconds =
+              std::chrono::duration<double>(Clock::now() - journal_start)
+                  .count() -
+              flush_seconds;
+        } else {
+          journal->append(record);
+        }
       }
       if (config_.trace != nullptr) {
         config_.trace->trial(make_trial_trace(ready.trial, commit_index,
@@ -381,6 +427,14 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
       accumulate_trial(result, ready.trial);
       if (config_.estimator != nullptr) {
         feed_estimator(*config_.estimator, ready.trial);
+      }
+      if (config_.profiler != nullptr) {
+        const double rob_wait =
+            std::chrono::duration<double>(Clock::now() - ready.reaped_at)
+                .count();
+        config_.profiler->trial(make_trial_profile(
+            ready.trial, commit_index, rob_wait, journal_seconds,
+            flush_seconds));
       }
       ++commit_index;
       if (ready.trial.outcome == Outcome::kNotInjected) continue;
@@ -525,6 +579,7 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
         const auto output = supervisor_->slot_output(completion.slot);
         entry.output.assign(output.begin(), output.end());
       }
+      if (config_.profiler != nullptr) entry.reaped_at = Clock::now();
       pending.emplace(index, std::move(entry));
     }
     if (config_.metrics != nullptr) {
@@ -543,6 +598,7 @@ CampaignResult Campaign::run(const TrialObserver& observer) {
   }
 
   if (journal != nullptr) journal->sync();
+  if (config_.profiler != nullptr) config_.profiler->sync();
   if (config_.trace != nullptr) {
     telemetry::TraceEnd end;
     end.completed = completed;
@@ -609,11 +665,23 @@ RangeResult Campaign::run_range(std::uint64_t begin, std::uint64_t end,
       if (it == pending.end()) break;
       PendingTrial ready = std::move(it->second);
       pending.erase(it);
+      // Durability lives behind on_commit here (the fabric worker's shard
+      // journal), so its whole duration is the journal phase; the flush
+      // split is unavailable through the hook and reads as zero.
+      double journal_seconds = 0.0;
       if (hooks.on_commit) {
         JournalRecord record;
         record.attempt_index = commit_index;
         record.trial = ready.trial;
-        hooks.on_commit(record);
+        if (config_.profiler != nullptr) {
+          const auto journal_start = Clock::now();
+          hooks.on_commit(record);
+          journal_seconds =
+              std::chrono::duration<double>(Clock::now() - journal_start)
+                  .count();
+        } else {
+          hooks.on_commit(record);
+        }
       }
       if (config_.trace != nullptr) {
         config_.trace->trial(make_trial_trace(ready.trial, commit_index,
@@ -624,6 +692,14 @@ RangeResult Campaign::run_range(std::uint64_t begin, std::uint64_t end,
       }
       if (config_.estimator != nullptr) {
         feed_estimator(*config_.estimator, ready.trial);
+      }
+      if (config_.profiler != nullptr) {
+        const double rob_wait =
+            std::chrono::duration<double>(Clock::now() - ready.reaped_at)
+                .count();
+        config_.profiler->trial(make_trial_profile(
+            ready.trial, commit_index, rob_wait, journal_seconds,
+            /*flush_seconds=*/0.0));
       }
       ++commit_index;
       ++result.committed;
@@ -741,6 +817,7 @@ RangeResult Campaign::run_range(std::uint64_t begin, std::uint64_t end,
       entry.trial = std::move(completion.result);
       entry.ts_ms = ts_ms;
       entry.slot = completion.slot;
+      if (config_.profiler != nullptr) entry.reaped_at = Clock::now();
       pending.emplace(index, std::move(entry));
     }
   }

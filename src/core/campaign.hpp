@@ -21,6 +21,7 @@
 #include "core/supervisor.hpp"
 #include "telemetry/estimator.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 
 namespace phifi::fi {
@@ -97,6 +98,11 @@ struct CampaignConfig {
   /// disables feeding; the --stop-ci-width rule works either way (it reads
   /// the tallies directly).
   telemetry::CampaignEstimator* estimator = nullptr;
+  /// Trial latency anatomy profiler, fed at the deterministic commit point
+  /// with the per-phase breakdown (fork/setup/inject/run/classify plus the
+  /// scheduler's reorder-buffer wait, journal append, and batched fsync
+  /// flush). nullptr keeps the commit path clock-free, like the tracer.
+  telemetry::TrialProfiler* profiler = nullptr;
 };
 
 /// Masked/SDC/DUE counts with convenience rates.

@@ -253,16 +253,25 @@ void CampaignJournalWriter::append(const JournalRecord& record) {
   const auto framed = frame(serialize_record(record));
   write_all(framed.data(), framed.size());
   ++written_;
+  last_fsync_seconds_ = 0.0;
   if (fsync_ == JournalFsync::kEveryRecord) {
+    const auto fsync_start = std::chrono::steady_clock::now();
     // phicheck:blocking-ok(worker-side shard journal: kEveryRecord is the caller's explicit durability/latency trade; the coordinator loop reaches here only through name-union on 'append')
     ::fsync(fd_);
+    last_fsync_seconds_ = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - fsync_start)
+                              .count();
   } else if (fsync_ == JournalFsync::kBatch) {
     ++unsynced_;
     const double since_ms = std::chrono::duration<double, std::milli>(
                                 std::chrono::steady_clock::now() - last_sync_)
                                 .count();
     if (unsynced_ >= batch_.max_records || since_ms >= batch_.max_delay_ms) {
+      const auto fsync_start = std::chrono::steady_clock::now();
       sync();
+      last_fsync_seconds_ = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() - fsync_start)
+                                .count();
     }
   }
 }

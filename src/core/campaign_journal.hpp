@@ -118,6 +118,12 @@ class CampaignJournalWriter {
   [[nodiscard]] std::uint64_t written() const { return written_; }
   /// Records appended since the last fsync (kBatch diagnostics/tests).
   [[nodiscard]] std::uint64_t unsynced() const { return unsynced_; }
+  /// Seconds the most recent append() spent inside fsync (0 when that
+  /// append did not flush). Lets the latency profiler attribute a batched
+  /// group-commit flush to the trial whose append triggered it.
+  [[nodiscard]] double last_fsync_seconds() const {
+    return last_fsync_seconds_;
+  }
 
  private:
   void write_all(const void* data, std::size_t size);
@@ -127,6 +133,7 @@ class CampaignJournalWriter {
   JournalBatchPolicy batch_;
   std::uint64_t written_ = 0;
   std::uint64_t unsynced_ = 0;
+  double last_fsync_seconds_ = 0.0;
   std::chrono::steady_clock::time_point last_sync_{};
 };
 

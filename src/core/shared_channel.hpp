@@ -35,7 +35,7 @@ inline constexpr std::size_t kShmMaxPhases = 32;
 /// trial communicate through. Namespace-scope (not a private nested type)
 /// so the phicheck-generated layout asserts can name it; nothing outside
 /// SharedChannel should touch it.
-// phicheck:shm-pod phifi::fi::ShmHeader size=1544 atomic
+// phicheck:shm-pod phifi::fi::ShmHeader size=1568 atomic
 struct ShmHeader {
   std::atomic<std::uint32_t> record_ready;
   std::atomic<std::uint32_t> output_ready;
@@ -71,6 +71,14 @@ struct ShmHeader {
   /// One-time workload setup cost in the template, for trial telemetry.
   /// Written once by the template, never cleared by reset().
   double template_setup_seconds;
+  // ---- per-trial phase timing (latency anatomy profiler) ----
+  // Written by the trial child before it exits, cleared by reset(): how
+  // much of the child's wall-clock went to workload setup, to site
+  // registration + flip arming, and to in-child classification. The
+  // campaign subtracts these from the reap interval to isolate the run.
+  double setup_seconds;
+  double inject_seconds;
+  double classify_seconds;
 };
 
 /// Mirror of the supervisor's TrialConfig for the template command block
@@ -115,6 +123,13 @@ class SharedChannel {
   /// and a corrupted child looping on enter_phase must not wedge anything.
   void store_phase(std::string_view name, double fraction, double t_seconds);
 
+  /// Publishes how the child's own wall-clock decomposed: workload setup
+  /// (or warm reset), site registration + flip arming, and in-child
+  /// classification, all in seconds. Plain stores — the parent reads them
+  /// only after reaping, and zeros (never written) are valid.
+  void store_trial_timing(double setup_seconds, double inject_seconds,
+                          double classify_seconds);
+
   /// Fast path: publishes the child-side classification verdict. Masked
   /// trials ship only this (zero output bytes cross the channel); SDC
   /// trials additionally store_output() so the parent can analyze the
@@ -152,6 +167,10 @@ class SharedChannel {
   [[nodiscard]] std::int32_t child_status() const;
   [[nodiscard]] std::int32_t child_pid() const;
   [[nodiscard]] double template_setup_seconds() const;
+  /// Child-reported phase timing, valid after reap; zero if never stored.
+  [[nodiscard]] double trial_setup_seconds() const;
+  [[nodiscard]] double trial_inject_seconds() const;
+  [[nodiscard]] double trial_classify_seconds() const;
 
   [[nodiscard]] std::uint64_t heartbeat() const;
   [[nodiscard]] bool output_ready() const;

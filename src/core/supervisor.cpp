@@ -760,6 +760,14 @@ TrialResult TrialSupervisor::finalize_slot(Slot& slot, int status,
   result.escalated_kill = escalated;
   result.fork_mode = slot.mode;
   result.setup_skipped = slot.setup_skipped;
+  result.setup_seconds = slot.channel->trial_setup_seconds();
+  if (slot.mode == ForkMode::kTemplate && !slot.setup_skipped) {
+    // This trial (re)spawned its fork server, so the template's one-time
+    // workload setup sits on this trial's critical path.
+    result.setup_seconds += slot.channel->template_setup_seconds();
+  }
+  result.inject_seconds = slot.channel->trial_inject_seconds();
+  result.classify_child_seconds = slot.channel->trial_classify_seconds();
   result.phases = slot.channel->phases();
   if (slot.channel->record_ready()) result.record = slot.channel->record();
   result.window = windows_ == 0
@@ -861,11 +869,15 @@ void TrialSupervisor::child_main(const TrialConfig* config,
   // phicheck:fork-workload-entry — from here the child runs workload code
   // (heap, threads, locks are the workload's business; crashes are DUEs).
   try {
+    const auto setup_start = Clock::now();
     auto workload = factory_();
     workload->setup(config_.input_seed);
+    const double setup_seconds = seconds_since(setup_start);
 
+    const auto register_start = Clock::now();
     SiteRegistry registry;
     workload->register_sites(registry);
+    double inject_seconds = seconds_since(register_start);
 
     ProgressTracker progress;
     progress.reset(workload->total_steps());
@@ -884,6 +896,7 @@ void TrialSupervisor::child_main(const TrialConfig* config,
 
     phi::Device device(config_.device_spec, config_.device_os_threads);
 
+    const auto arm_start = Clock::now();
     util::Rng rng(config != nullptr ? config->trial_seed : 0);
     FlipEngine engine(registry, config != nullptr
                                     ? config->policy
@@ -907,6 +920,10 @@ void TrialSupervisor::child_main(const TrialConfig* config,
         channel->store_record(record);
       });
     }
+    inject_seconds += seconds_since(arm_start);
+    // Timing lands before run() so a trial that dies mid-run (a DUE) still
+    // reports what it paid for setup and arming.
+    channel->store_trial_timing(setup_seconds, inject_seconds, 0.0);
 
     workload->run(device, progress);
     progress.finish();
@@ -1018,6 +1035,7 @@ void TrialSupervisor::fast_trial_main(Workload& workload,
     // Identical RNG construction and draw order to the legacy child_main:
     // the same trial seed selects the same site, bit and injection time,
     // which is what makes fast-path tallies bit-identical to legacy.
+    const auto arm_start = Clock::now();
     util::Rng rng(command.injected ? command.trial_seed : 0);
     FlipEngine engine(registry,
                       command.injected
@@ -1038,12 +1056,14 @@ void TrialSupervisor::fast_trial_main(Workload& workload,
         channel->store_record(record);
       });
     }
+    const double inject_seconds = seconds_since(arm_start);
 
     workload.run(device, progress);
     progress.finish();
 
     // Classify in place: memcmp against the inherited golden mapping, or
     // digest-only when the golden was adopted from a journal.
+    const auto classify_start = Clock::now();
     const auto output = workload.output_bytes();
     const std::uint64_t digest = fnv1a64(output);
     bool matches;
@@ -1058,6 +1078,11 @@ void TrialSupervisor::fast_trial_main(Workload& workload,
     // nothing but the verdict. Output lands before the verdict flag so the
     // parent never sees a verdict without its bytes.
     if (!matches) channel->store_output(output);
+    // Warm trials paid no setup (the post-setup image arrived via COW);
+    // template-mode setup is the template's one-time cost, attributed by
+    // finalize_slot from template_setup_seconds for the trial that paid it.
+    channel->store_trial_timing(0.0, inject_seconds,
+                                seconds_since(classify_start));
     channel->store_verdict(matches, digest);
   } catch (const std::bad_alloc&) {
     ::_exit(kChildExitRlimit);

@@ -157,6 +157,13 @@ struct TrialResult {
   double fork_done_seconds = 0.0;
   double reaped_seconds = 0.0;
   double classified_seconds = 0.0;
+  /// Child-reported decomposition of its own wall-clock (zeros for trials
+  /// that died before reporting): workload setup/reset, site registration +
+  /// flip arming, and in-child classification (fast path only). The
+  /// profiler subtracts these from the reap interval to isolate the run.
+  double setup_seconds = 0.0;
+  double inject_seconds = 0.0;
+  double classify_child_seconds = 0.0;
   /// Watchdog poll iterations while the child ran (diagnostics).
   std::uint64_t polls = 0;
   /// Workload phase transitions the child reported, in order.

@@ -249,8 +249,22 @@ void advance_fleet(LoopState& state) {
   }
 }
 
+/// Folds the latest profile snapshot of every worker that sent one. Each
+/// STATS snapshot is cumulative, so re-folding the latest from scratch on
+/// every refresh is exact — the result is bit-identical to the histogram a
+/// --jobs 1 run of the same committed trials would hold (profiler.hpp).
+telemetry::ProfileSnapshot fold_fleet_profile(const LoopState& state) {
+  telemetry::ProfileSnapshot fleet;
+  for (const auto& [id, view] : *state.views) {
+    if (view.have_stats) fleet.fold(view.stats.profile);
+  }
+  return fleet;
+}
+
 /// Refreshes the per-worker gauges (fabric.worker.<id>.*) from the view
-/// table — heartbeat lag, lease age, and last-reported throughput.
+/// table — heartbeat lag, lease age, and last-reported throughput — and
+/// the fleet latency-anatomy gauges (profile.<phase>.*) when any worker
+/// runs with --profile.
 void refresh_worker_gauges(LoopState& state) {
   if (state.metrics == nullptr) return;
   const auto now = Clock::now();
@@ -264,7 +278,28 @@ void refresh_worker_gauges(LoopState& state) {
         .set(view.lease != 0 ? seconds_since(view.lease_since, now) : 0.0);
     state.metrics->gauge(prefix + "trials_per_sec")
         .set(view.have_stats ? view.stats.trials_per_sec : 0.0);
+    if (view.have_stats && view.stats.profile.trials() > 0) {
+      state.metrics->gauge(prefix + "p95_run_ms")
+          .set(telemetry::profile_percentile_ms(
+              view.stats.profile.phase(telemetry::ProfilePhase::kRun), 95));
+    }
   }
+  const telemetry::ProfileSnapshot fleet = fold_fleet_profile(state);
+  if (fleet.trials() == 0) return;
+  for (std::size_t p = 0; p < telemetry::kProfilePhaseCount; ++p) {
+    const std::string prefix =
+        "profile." +
+        std::string(to_string(static_cast<telemetry::ProfilePhase>(p))) +
+        ".";
+    state.metrics->gauge(prefix + "p50_ms")
+        .set(telemetry::profile_percentile_ms(fleet.phases[p], 50));
+    state.metrics->gauge(prefix + "p95_ms")
+        .set(telemetry::profile_percentile_ms(fleet.phases[p], 95));
+    state.metrics->gauge(prefix + "p99_ms")
+        .set(telemetry::profile_percentile_ms(fleet.phases[p], 99));
+  }
+  state.metrics->gauge("profile.trials")
+      .set(static_cast<double>(fleet.trials()));
 }
 
 /// Renders the /campaign.json document: fleet tallies and intervals, the
@@ -312,6 +347,28 @@ std::string build_campaign_json(const LoopState& state) {
   leases["outstanding"] = state.table->outstanding();
   doc["leases"] = std::move(leases);
 
+  // Fleet latency anatomy: exact fold over the workers' cumulative
+  // snapshots (present only when at least one worker profiles).
+  const telemetry::ProfileSnapshot profile = fold_fleet_profile(state);
+  if (profile.trials() > 0) {
+    Value latency = Value::object();
+    latency["trials"] = profile.trials();
+    Value phases = Value::array();
+    for (std::size_t p = 0; p < telemetry::kProfilePhaseCount; ++p) {
+      Value row = Value::object();
+      row["phase"] = std::string(
+          to_string(static_cast<telemetry::ProfilePhase>(p)));
+      row["count"] = profile.phases[p].count;
+      row["mean_ms"] = profile.phases[p].mean_ms();
+      row["p50_ms"] = telemetry::profile_percentile_ms(profile.phases[p], 50);
+      row["p95_ms"] = telemetry::profile_percentile_ms(profile.phases[p], 95);
+      row["p99_ms"] = telemetry::profile_percentile_ms(profile.phases[p], 99);
+      phases.push_back(std::move(row));
+    }
+    latency["phases"] = std::move(phases);
+    doc["latency"] = std::move(latency);
+  }
+
   Value workers = Value::array();
   for (const auto& [id, view] : *state.views) {
     Value row = Value::object();
@@ -333,6 +390,10 @@ std::string build_campaign_json(const LoopState& state) {
       row["not_injected"] = view.stats.not_injected;
       row["trials_per_sec"] = view.stats.trials_per_sec;
       row["uptime_seconds"] = view.stats.uptime_seconds;
+      if (view.stats.profile.trials() > 0) {
+        row["p95_run_ms"] = telemetry::profile_percentile_ms(
+            view.stats.profile.phase(telemetry::ProfilePhase::kRun), 95);
+      }
     }
     workers.push_back(std::move(row));
   }

@@ -128,6 +128,9 @@ std::string encode_stats(const WorkerStats& stats) {
   }
   estimator["cells"] = std::move(cells);
   out["estimator"] = std::move(estimator);
+  if (stats.profile.trials() > 0) {
+    out["profile"] = telemetry::profile_snapshot_to_json(stats.profile);
+  }
   return out.dump();
 }
 
@@ -165,6 +168,10 @@ WorkerStats decode_stats(const std::string& text) {
                                            counts_from_json(cell));
       }
     }
+  }
+  if (const Value* profile = parsed.find("profile");
+      profile != nullptr && profile->is_object()) {
+    stats.profile = telemetry::profile_snapshot_from_json(*profile);
   }
   return stats;
 }

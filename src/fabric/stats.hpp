@@ -21,6 +21,7 @@
 #include "core/outcome.hpp"
 #include "core/supervisor.hpp"
 #include "telemetry/estimator.hpp"
+#include "telemetry/profiler.hpp"
 
 namespace phifi::fabric {
 
@@ -68,6 +69,11 @@ struct WorkerStats {
   double uptime_seconds = 0.0;     ///< since the worker process started
   std::map<std::string, std::uint64_t> due_kinds;
   telemetry::EstimatorSnapshot estimator;  ///< this worker's cells
+  /// Cumulative latency-anatomy histograms (only encoded when non-empty;
+  /// a worker running without --profile sends none). The coordinator
+  /// re-folds the latest snapshot of every worker, so percentiles are
+  /// exact over the fleet, not an average of averages.
+  telemetry::ProfileSnapshot profile;
 };
 
 std::string encode_stats(const WorkerStats& stats);

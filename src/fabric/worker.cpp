@@ -368,6 +368,12 @@ void WorkerLoop::maybe_send_stats() {
           ? static_cast<double>(result_.executed) / stats.uptime_seconds
           : 0.0;
   stats.estimator = estimator_.snapshot();
+  // Latency anatomy rides the same frame when the worker profiles: the
+  // cumulative snapshot, so a lost frame only costs freshness and the
+  // coordinator can re-fold the latest from each worker exactly.
+  if (config_.profiler != nullptr) {
+    stats.profile = config_.profiler->snapshot();
+  }
   Message msg;
   msg.type = MsgType::kStats;
   msg.worker = result_.worker_id;

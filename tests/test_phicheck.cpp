@@ -255,7 +255,7 @@ TEST(PhicheckTest, ShmAssertEmissionCoversRealSharedStructs) {
             std::string::npos)
       << r.output;
   EXPECT_NE(
-      r.output.find("static_assert(sizeof(phifi::fi::ShmHeader) == 1544"),
+      r.output.find("static_assert(sizeof(phifi::fi::ShmHeader) == 1568"),
       std::string::npos)
       << r.output;
   EXPECT_NE(

@@ -9,6 +9,7 @@ cross-checks them against each other when several are given:
     check_telemetry.py --trace campaign.ndjson --metrics metrics.json
     check_telemetry.py --metrics metrics.json --openmetrics metrics.om
     check_telemetry.py --history reliability.ndjson
+    check_telemetry.py --trace campaign.ndjson --profile campaign.profile
     check_telemetry.py --schema build/generated/telemetry_schema.py
 
 --schema loads the field table that phicheck generates at build time from
@@ -33,6 +34,8 @@ DUE_KINDS = {"none", "crash", "abnormal-exit", "hang", "rlimit", "stall",
 FABRIC_KINDS = {"worker_join", "worker_leave", "lease_grant", "lease_adopt",
                 "lease_done", "lease_reclaim"}
 FORK_MODES = {"legacy", "warm", "template"}
+PROFILE_PHASES_US = ("fork_us", "setup_us", "inject_us", "run_us",
+                     "classify_us", "rob_wait_us", "journal_us", "flush_us")
 
 
 # The NDJSON line currently being validated, so fail() can show the actual
@@ -128,6 +131,8 @@ def schema_self_check(schema):
                "aborted", "elapsed_seconds", "trials_per_sec", "cells"},
         "history.cell": {"model", "category", "window", "masked", "sdc",
                          "due", "sdc_rate"},
+        "profile": set(PROFILE_PHASES_US) | {"attempt", "workload",
+                                             "fork_mode"},
     }
     for family, fields in expected.items():
         require(family in schema,
@@ -529,6 +534,48 @@ def check_openmetrics(path, snapshot_path=None):
           f"({len(samples)} samples, {len(types)} families)")
 
 
+def check_profile(path):
+    """Validates a latency-anatomy NDJSON stream (phifi_run --profile).
+    Returns the number of profile records."""
+    records = 0
+    seen_attempts = set()
+    with open(path, encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            where = f"{path}:{lineno}"
+            line = line.strip()
+            set_offending_line(line)
+            if not line:
+                fail(f"{where}: blank line in NDJSON stream")
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                fail(f"{where}: unparseable record: {error}")
+            require(isinstance(record, dict), f"{where}: not an object")
+            if record.get("type") != "profile":
+                continue  # forward compatibility
+            check_fields(record, "profile", where)
+            attempt = check_number(record, "attempt", where, minimum=0)
+            # One record per committed attempt — within one process's
+            # stream an attempt index never repeats.
+            require(attempt not in seen_attempts,
+                    f"{where}: duplicate profile record for attempt "
+                    f"{attempt}")
+            seen_attempts.add(attempt)
+            check_string(record, "workload", where)
+            check_string(record, "fork_mode", where, allowed=FORK_MODES)
+            for key in PROFILE_PHASES_US:
+                value = check_number(record, key, where, minimum=0)
+                require(isinstance(value, int),
+                        f"{where}: '{key}' = {value!r} is not an integer "
+                        f"microsecond count")
+            records += 1
+    set_offending_line(None)
+    require(records, f"{path}: no profile records")
+    print(f"check_telemetry: profile OK: {path} ({records} records, "
+          f"all attempts distinct)")
+    return records
+
+
 HISTORY_COUNTS = ("completed", "masked", "sdc", "due", "not_injected",
                   "trials_target", "seed", "jobs")
 HISTORY_RATES = ("sdc_rate", "sdc_ci_lo", "sdc_ci_hi",
@@ -609,15 +656,18 @@ def main():
                              "(cross-checked against --metrics when given)")
     parser.add_argument("--history",
                         help="--history campaign ledger to validate")
+    parser.add_argument("--profile",
+                        help="latency-anatomy NDJSON stream to validate "
+                             "(cross-checked against --trace when given)")
     parser.add_argument("--schema",
                         help="phicheck-generated field table "
                              "(build/generated/telemetry_schema.py); "
                              "enables strict per-record field checking")
     args = parser.parse_args()
     if not any((args.trace, args.metrics, args.openmetrics, args.history,
-                args.schema)):
+                args.profile, args.schema)):
         parser.error("nothing to check: pass --trace, --metrics, "
-                     "--openmetrics, --history and/or --schema")
+                     "--openmetrics, --history, --profile and/or --schema")
 
     if args.schema:
         global _SCHEMA
@@ -629,6 +679,18 @@ def main():
     if args.openmetrics:
         check_openmetrics(args.openmetrics, snapshot_path=args.metrics)
     history = check_history(args.history) if args.history else None
+    profile_records = check_profile(args.profile) if args.profile else None
+
+    if trace is not None and profile_records is not None:
+        # The profiler observes every committed attempt (NotInjected ones
+        # included) and skips journal-replayed ones, exactly like the trace
+        # writer — so a same-run pair must have equal record counts.
+        trial_count = trace[0]
+        require(profile_records == trial_count,
+                f"profile has {profile_records} records but the trace has "
+                f"{trial_count} trial records (every committed attempt "
+                f"must be profiled exactly once)")
+        print("check_telemetry: trace and profile agree")
 
     if trace is not None and counters is not None:
         trial_count, counts, _, fabric_counts, _ = trace

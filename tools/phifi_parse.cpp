@@ -15,9 +15,15 @@
 // per-cell two-proportion z-tests and exits 3 when any slice moved
 // significantly — the CI reliability-regression gate.
 //
+// With --profile it reads the NDJSON latency-anatomy stream phifi_run
+// --profile writes and renders the per-workload, per-phase percentile
+// table (count, p50, p95, p99, mean) from the folded log2 histograms —
+// the same fold the fleet coordinator applies, so the numbers agree.
+//
 //   $ phifi_parse [--json] <log.csv> [more.csv ...]
 //   $ phifi_parse [--json] --from-journal <campaign.jnl> [more.jnl ...]
 //   $ phifi_parse [--json] --from-trace <campaign.trace> [more ...]
+//   $ phifi_parse [--json] --profile <campaign.profile> [more ...]
 //   $ phifi_parse [--json] --drift <baseline.ndjson> <current.ndjson>
 //                 [--alpha <a>]
 #include <algorithm>
@@ -25,6 +31,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -34,6 +41,7 @@
 #include "core/campaign_journal.hpp"
 #include "core/trial_log.hpp"
 #include "telemetry/history.hpp"
+#include "telemetry/profiler.hpp"
 #include "telemetry/trace.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -301,6 +309,87 @@ int run_drift(const std::string& baseline_file,
   return report.any_significant ? 3 : 0;
 }
 
+/// --profile: fold per-trial latency records into per-workload histograms
+/// and render the phase percentile table.
+int run_profile(const std::vector<std::string>& files, bool json) {
+  using namespace phifi;
+  // Folding by workload keeps mixed files (e.g. merged fleet shards over
+  // different workloads) readable; within one campaign there is one key.
+  std::map<std::string, telemetry::ProfileSnapshot> by_workload;
+  for (const std::string& file : files) {
+    try {
+      const telemetry::ProfileContents contents =
+          telemetry::read_profile_file(file);
+      if (contents.dropped_bytes > 0) {
+        std::cerr << "phifi_parse: " << file << ": dropped "
+                  << contents.dropped_bytes << " bytes of torn tail\n";
+      }
+      for (const telemetry::TrialProfile& trial : contents.trials) {
+        telemetry::ProfileSnapshot& snapshot = by_workload[trial.workload];
+        for (std::size_t p = 0; p < telemetry::kProfilePhaseCount; ++p) {
+          snapshot.phases[p].observe(trial.phase_us[p]);
+        }
+      }
+    } catch (const std::exception& error) {
+      std::cerr << "phifi_parse: " << file << ": " << error.what() << "\n";
+      return 1;
+    }
+  }
+  if (by_workload.empty()) {
+    std::cerr << "phifi_parse: no profile records\n";
+    return 1;
+  }
+  if (json) {
+    Value root = Value::object();
+    root["source"] = std::string("profile");
+    Value workloads = Value::object();
+    for (const auto& [workload, snapshot] : by_workload) {
+      Value entry = Value::object();
+      entry["trials"] = snapshot.trials();
+      Value phases = Value::array();
+      for (std::size_t p = 0; p < telemetry::kProfilePhaseCount; ++p) {
+        const telemetry::ProfilePhaseHist& hist = snapshot.phases[p];
+        Value row = Value::object();
+        row["phase"] = std::string(
+            to_string(static_cast<telemetry::ProfilePhase>(p)));
+        row["count"] = hist.count;
+        row["sum_us"] = hist.sum_us;
+        row["mean_ms"] = hist.mean_ms();
+        row["p50_ms"] = telemetry::profile_percentile_ms(hist, 50);
+        row["p95_ms"] = telemetry::profile_percentile_ms(hist, 95);
+        row["p99_ms"] = telemetry::profile_percentile_ms(hist, 99);
+        phases.push_back(std::move(row));
+      }
+      entry["phases"] = std::move(phases);
+      workloads[workload] = std::move(entry);
+    }
+    root["workloads"] = std::move(workloads);
+    std::cout << root.dump() << "\n";
+  } else {
+    for (const auto& [workload, snapshot] : by_workload) {
+      util::Table table("Trial latency anatomy - " +
+                        (workload.empty() ? std::string("(unknown)")
+                                          : workload) +
+                        " (" + std::to_string(snapshot.trials()) +
+                        " trials)");
+      table.set_header(
+          {"phase", "count", "p50 ms", "p95 ms", "p99 ms", "mean ms"});
+      for (std::size_t p = 0; p < telemetry::kProfilePhaseCount; ++p) {
+        const telemetry::ProfilePhaseHist& hist = snapshot.phases[p];
+        table.add_row(
+            {std::string(to_string(static_cast<telemetry::ProfilePhase>(p))),
+             std::to_string(hist.count),
+             fmt_double(telemetry::profile_percentile_ms(hist, 50), 3),
+             fmt_double(telemetry::profile_percentile_ms(hist, 95), 3),
+             fmt_double(telemetry::profile_percentile_ms(hist, 99), 3),
+             fmt_double(hist.mean_ms(), 3)});
+      }
+      table.print_text(std::cout);
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -318,6 +407,8 @@ int main(int argc, char** argv) {
       source = "journal";
     } else if (arg == "--from-trace") {
       source = "trace";
+    } else if (arg == "--profile") {
+      source = "profile";
     } else if (arg == "--drift") {
       source = "drift";
     } else if (arg == "--alpha") {
@@ -340,14 +431,21 @@ int main(int argc, char** argv) {
                  "[more ...]\n"
               << "       phifi_parse [--json] --from-trace <campaign.trace> "
                  "[more ...]\n"
+              << "       phifi_parse [--json] --profile <campaign.profile> "
+                 "[more ...]\n"
               << "       phifi_parse [--json] --drift <baseline.ndjson> "
                  "<current.ndjson> [--alpha <a>]\n"
+              << "--profile renders the per-workload phase latency table "
+                 "from phifi_run --profile output\n"
               << "--drift compares the latest campaign record of two "
                  "--history ledgers;\nexit 3 = significant PVF movement\n";
     return 2;
   }
   if (source == "drift") {
     return run_drift(files[0], files[1], alpha, json);
+  }
+  if (source == "profile") {
+    return run_profile(files, json);
   }
 
   fi::CampaignResult result;

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
     std::cerr << "usage: phifi_run <config-file> [repetitions] [--resume]\n"
               << "                 [--jobs <n>] [--trace-out <file>] "
                  "[--metrics-out <file>]\n"
+              << "                 [--profile <file>]\n"
               << "                 [--metrics-format json|openmetrics]\n"
               << "                 [--progress <seconds>] "
                  "[--stop-ci-width <eps>]\n"
@@ -65,6 +66,9 @@ int main(int argc, char** argv) {
                  "                   fork trials from a warm post-setup\n"
                  "                   image (fork-server fast path); tallies\n"
                  "                   stay bit-identical to the default path\n"
+              << "  --profile        write one NDJSON latency-anatomy\n"
+                 "                   record per committed trial (read with\n"
+                 "                   phifi_parse --profile)\n"
               << "  --history        append a campaign summary record to\n"
               << "                   this NDJSON ledger (phifi_parse "
                  "--drift)\n"
@@ -88,6 +92,7 @@ int main(int argc, char** argv) {
   bool trial_fast_path = false;
   int jobs = 0;  // 0: leave the config file's value
   std::string trace_out;
+  std::string profile_out;
   std::string metrics_out;
   std::string metrics_format;
   std::string history_out;
@@ -126,6 +131,10 @@ int main(int argc, char** argv) {
       const char* value = flag_value(i);
       if (value == nullptr) return 2;
       trace_out = value;
+    } else if (arg == "--profile") {
+      const char* value = flag_value(i);
+      if (value == nullptr) return 2;
+      profile_out = value;
     } else if (arg == "--metrics-out") {
       const char* value = flag_value(i);
       if (value == nullptr) return 2;
@@ -228,6 +237,7 @@ int main(int argc, char** argv) {
     if (trial_fast_path) config.trial_fast_path = true;
     if (jobs > 0) config.jobs = static_cast<unsigned>(jobs);
     if (!trace_out.empty()) config.trace_file = trace_out;
+    if (!profile_out.empty()) config.profile_file = profile_out;
     if (!metrics_out.empty()) config.metrics_file = metrics_out;
     if (metrics_format == "json") {
       config.metrics_format = cli::MetricsFormat::kJson;
@@ -281,6 +291,7 @@ int main(int argc, char** argv) {
     const std::string base_log = config.log_file;
     const std::string base_journal = config.journal_file;
     const std::string base_trace = config.trace_file;
+    const std::string base_profile = config.profile_file;
     const std::string base_metrics = config.metrics_file;
     for (int rep = 0; rep < repetitions; ++rep) {
       if (repetitions > 1) {
@@ -293,6 +304,9 @@ int main(int argc, char** argv) {
         }
         if (!base_trace.empty()) {
           config.trace_file = base_trace + "." + std::to_string(rep);
+        }
+        if (!base_profile.empty()) {
+          config.profile_file = base_profile + "." + std::to_string(rep);
         }
         if (!base_metrics.empty()) {
           config.metrics_file = base_metrics + "." + std::to_string(rep);

@@ -158,6 +158,7 @@ std::string render(const Value& doc, bool ansi) {
   const Value* workers = doc.find("workers");
   out << "\n  " << bold
       << "worker        status  lag     lease           trials/s  executed"
+         "  p95 run"
       << reset << "\n";
   if (workers != nullptr) {
     for (const Value& row : workers->as_array()) {
@@ -170,17 +171,25 @@ std::string render(const Value& doc, bool ansi) {
                       row.number_or("lease_end", 0.0));
         lease = line;
       }
+      // p95 of the run phase from the worker's latency snapshot; absent
+      // unless the worker runs with --profile.
+      std::string p95_run = "-";
+      if (row.find("p95_run_ms") != nullptr) {
+        std::snprintf(line, sizeof(line), "%.1fms",
+                      row.number_or("p95_run_ms", 0.0));
+        p95_run = line;
+      }
       char id_hex[24];
       std::snprintf(id_hex, sizeof(id_hex), "%012llx",
                     static_cast<unsigned long long>(
                         row.number_or("id", 0.0)));
       std::snprintf(line, sizeof(line),
-                    "  %-12s  %s%-6s%s  %-6s  %-14s  %8.1f  %8.0f\n",
+                    "  %-12s  %s%-6s%s  %-6s  %-14s  %8.1f  %8.0f  %7s\n",
                     id_hex, live ? green : red, live ? "live" : "dead",
                     reset,
                     seconds_label(row.number_or("lag_seconds", 0.0)).c_str(),
                     lease.c_str(), row.number_or("trials_per_sec", 0.0),
-                    row.number_or("executed", 0.0));
+                    row.number_or("executed", 0.0), p95_run.c_str());
       out << line;
     }
   }
